@@ -1,0 +1,246 @@
+// Command declnetctl is the CLI client for declnetd: the five Table-2
+// verbs (plus extensions) from a shell.
+//
+// Usage:
+//
+//	declnetctl [-server URL] [-tenant NAME] <command> [args]
+//
+//	request-eip <vm-node-id>
+//	release-eip <eip>
+//	request-sip <provider>
+//	bind <eip> <sip> [weight]
+//	unbind <eip> <sip>
+//	permit <target> <entry> [entry...]     # CIDRs or bare IPs
+//	qos <provider> <region> <bits-per-sec>
+//	potato <provider> hot|cold|dedicated
+//	group <name> <eip> [eip...]
+//	transfer <src> <dst> <bytes>
+//	probe <src> <dst>
+//	status
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+)
+
+func main() {
+	args := os.Args[1:]
+	server := "http://localhost:8080"
+	tenant := "default"
+	for len(args) >= 2 {
+		switch args[0] {
+		case "-server":
+			server = args[1]
+			args = args[2:]
+		case "-tenant":
+			tenant = args[1]
+			args = args[2:]
+		default:
+			goto parsed
+		}
+	}
+parsed:
+	if len(args) == 0 {
+		die("missing command; see -h in source header for usage")
+	}
+	cmd, rest := args[0], args[1:]
+	c := client{server: server, tenant: tenant}
+	var err error
+	switch cmd {
+	case "request-eip":
+		err = c.requestEIP(rest)
+	case "release-eip":
+		err = c.releaseEIP(rest)
+	case "request-sip":
+		err = c.requestSIP(rest)
+	case "bind":
+		err = c.bind(rest)
+	case "unbind":
+		err = c.unbind(rest)
+	case "permit":
+		err = c.permit(rest)
+	case "qos":
+		err = c.qos(rest)
+	case "potato":
+		err = c.potato(rest)
+	case "group":
+		err = c.group(rest)
+	case "transfer":
+		err = c.transfer(rest)
+	case "probe":
+		err = c.probe(rest)
+	case "status":
+		err = c.status(rest)
+	default:
+		die(fmt.Sprintf("unknown command %q", cmd))
+	}
+	if err != nil {
+		die(err.Error())
+	}
+}
+
+func die(msg string) {
+	fmt.Fprintln(os.Stderr, "declnetctl:", msg)
+	os.Exit(1)
+}
+
+type client struct {
+	server string
+	tenant string
+}
+
+// call POSTs body to path (or GETs when body is nil) and pretty-prints
+// the JSON response.
+func (c client) call(method, path string, body any) error {
+	var rdr io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rdr = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, c.server+path, rdr)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	var pretty bytes.Buffer
+	if json.Indent(&pretty, raw, "", "  ") == nil {
+		fmt.Println(pretty.String())
+	} else {
+		fmt.Println(string(raw))
+	}
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("server returned %s", resp.Status)
+	}
+	return nil
+}
+
+func need(args []string, n int, usage string) error {
+	if len(args) < n {
+		return fmt.Errorf("usage: declnetctl %s", usage)
+	}
+	return nil
+}
+
+func (c client) requestEIP(args []string) error {
+	if err := need(args, 1, "request-eip <vm-node-id>"); err != nil {
+		return err
+	}
+	return c.call("POST", "/v1/eips", map[string]any{"tenant": c.tenant, "vm": args[0]})
+}
+
+func (c client) releaseEIP(args []string) error {
+	if err := need(args, 1, "release-eip <eip>"); err != nil {
+		return err
+	}
+	return c.call("POST", "/v1/eips/release", map[string]any{"tenant": c.tenant, "eip": args[0]})
+}
+
+func (c client) requestSIP(args []string) error {
+	if err := need(args, 1, "request-sip <provider>"); err != nil {
+		return err
+	}
+	return c.call("POST", "/v1/sips", map[string]any{"tenant": c.tenant, "provider": args[0]})
+}
+
+func (c client) bind(args []string) error {
+	if err := need(args, 2, "bind <eip> <sip> [weight]"); err != nil {
+		return err
+	}
+	weight := 1
+	if len(args) >= 3 {
+		w, err := strconv.Atoi(args[2])
+		if err != nil {
+			return fmt.Errorf("bad weight %q", args[2])
+		}
+		weight = w
+	}
+	return c.call("POST", "/v1/bind", map[string]any{
+		"tenant": c.tenant, "eip": args[0], "sip": args[1], "weight": weight})
+}
+
+func (c client) unbind(args []string) error {
+	if err := need(args, 2, "unbind <eip> <sip>"); err != nil {
+		return err
+	}
+	return c.call("POST", "/v1/unbind", map[string]any{
+		"tenant": c.tenant, "eip": args[0], "sip": args[1]})
+}
+
+func (c client) permit(args []string) error {
+	if err := need(args, 2, "permit <target> <entry> [entry...]"); err != nil {
+		return err
+	}
+	return c.call("POST", "/v1/permit", map[string]any{
+		"tenant": c.tenant, "target": args[0], "entries": args[1:]})
+}
+
+func (c client) qos(args []string) error {
+	if err := need(args, 3, "qos <provider> <region> <bits-per-sec>"); err != nil {
+		return err
+	}
+	bw, err := strconv.ParseFloat(args[2], 64)
+	if err != nil {
+		return fmt.Errorf("bad bandwidth %q", args[2])
+	}
+	return c.call("POST", "/v1/qos", map[string]any{
+		"tenant": c.tenant, "provider": args[0], "region": args[1], "bandwidth_bps": bw})
+}
+
+func (c client) potato(args []string) error {
+	if err := need(args, 2, "potato <provider> hot|cold|dedicated"); err != nil {
+		return err
+	}
+	return c.call("POST", "/v1/potato", map[string]any{
+		"tenant": c.tenant, "provider": args[0], "policy": args[1]})
+}
+
+func (c client) group(args []string) error {
+	if err := need(args, 2, "group <name> <eip> [eip...]"); err != nil {
+		return err
+	}
+	return c.call("POST", "/v1/groups", map[string]any{
+		"tenant": c.tenant, "name": args[0], "members": args[1:]})
+}
+
+func (c client) transfer(args []string) error {
+	if err := need(args, 3, "transfer <src> <dst> <bytes>"); err != nil {
+		return err
+	}
+	b, err := strconv.ParseFloat(args[2], 64)
+	if err != nil {
+		return fmt.Errorf("bad byte count %q", args[2])
+	}
+	return c.call("POST", "/v1/transfer", map[string]any{
+		"tenant": c.tenant, "src": args[0], "dst": args[1], "bytes": b})
+}
+
+func (c client) probe(args []string) error {
+	if err := need(args, 2, "probe <src> <dst>"); err != nil {
+		return err
+	}
+	return c.call("GET", fmt.Sprintf("/v1/probe?tenant=%s&src=%s&dst=%s", c.tenant, args[0], args[1]), nil)
+}
+
+func (c client) status(args []string) error {
+	return c.call("GET", "/v1/status", nil)
+}

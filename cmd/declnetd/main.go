@@ -1,0 +1,48 @@
+// Command declnetd serves the declarative tenant-networking control plane
+// (the paper's Table-2 API) over HTTP/JSON, backed by a simulated
+// Figure-1 multi-cloud world.
+//
+// Usage:
+//
+//	declnetd -listen :8080 -seed 1 -hosts 4
+//
+// Endpoints (all JSON):
+//
+//	POST /v1/eips          {tenant, vm}                       request_eip
+//	POST /v1/eips/release  {tenant, eip}
+//	POST /v1/sips          {tenant, provider}                 request_sip
+//	POST /v1/bind          {tenant, eip, sip, weight}         bind
+//	POST /v1/unbind        {tenant, eip, sip}
+//	POST /v1/permit        {tenant, target, entries, groups}  set_permit_list
+//	POST /v1/qos           {tenant, provider, region, bandwidth_bps}  set_qos
+//	POST /v1/potato        {tenant, provider, policy}
+//	POST /v1/groups        {tenant, provider, name, members}
+//	POST /v1/transfer      {tenant, src, dst, bytes}
+//	GET  /v1/probe?tenant=&src=&dst=
+//	GET  /v1/status
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"declnet"
+	"declnet/internal/api"
+)
+
+func main() {
+	listen := flag.String("listen", ":8080", "listen address")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	hosts := flag.Int("hosts", 4, "hosts per availability zone")
+	flag.Parse()
+
+	world, err := declnet.NewFig1World(*seed, *hosts)
+	if err != nil {
+		log.Fatalf("building world: %v", err)
+	}
+	srv := api.NewServer(world)
+	log.Printf("declnetd: Table-2 control plane on %s (providers: %s, %s, onprem)",
+		*listen, world.Fig1.CloudA, world.Fig1.CloudB)
+	log.Fatal(http.ListenAndServe(*listen, srv))
+}

@@ -1,0 +1,69 @@
+// Command expdriver runs the paper-reproduction experiments (E1–E10 from
+// DESIGN.md) and prints their tables.
+//
+// Usage:
+//
+//	expdriver                 # run everything, plain text
+//	expdriver -run E3,E7      # a subset
+//	expdriver -format md      # GitHub markdown (for EXPERIMENTS.md)
+//	expdriver -list           # list experiment IDs and titles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"declnet/internal/exp"
+)
+
+func main() {
+	run := flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+	format := flag.String("format", "text", "output format: text or md")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var selected []exp.Experiment
+	if *run == "all" {
+		selected = exp.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e, err := exp.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	failed := false
+	for _, e := range selected {
+		start := time.Now()
+		table, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			failed = true
+			continue
+		}
+		switch *format {
+		case "md":
+			fmt.Println(table.Markdown())
+		default:
+			fmt.Println(table.Text())
+		}
+		fmt.Printf("(%s ran in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,339 @@
+// Package declnet is a reference implementation of the declarative,
+// endpoint-centric cloud tenant networking API proposed in "Rethinking
+// Networking Abstractions for Cloud Tenants" (HotOS '21): instead of
+// building virtual networks from VPCs, gateways, and appliances, a tenant
+// asks for endpoint IPs and service IPs, attaches permit lists and QoS
+// intents to them, and lets the provider do the rest.
+//
+// The five verbs of the paper's Table 2 map to:
+//
+//	request_eip(vm_id)              -> Tenant.RequestEIP
+//	request_sip()                   -> Tenant.RequestSIP
+//	bind(eip, sip)                  -> Tenant.Bind
+//	set_permit_list(eip, permits)   -> Tenant.SetPermitList / Permit / Revoke
+//	set_qos(region, bandwidth)      -> Tenant.SetQoS
+//
+// plus the extensions the paper sketches: weights on bind, endpoint
+// groups, and hot/cold-potato transit profiles.
+//
+// Everything runs against a deterministic multi-cloud simulation: a world
+// graph of providers, regions, backbones, internet transit, exchange
+// points, and on-prem sites (package internal/topo), with a flow-level
+// max-min fair data plane (package internal/netsim). NewFig1World builds
+// the paper's Figure-1 deployment substrate in one call.
+package declnet
+
+import (
+	"fmt"
+	"time"
+
+	"declnet/internal/addr"
+	"declnet/internal/core"
+	"declnet/internal/permit"
+	"declnet/internal/qos"
+	"declnet/internal/topo"
+)
+
+// Re-exported address types: EIP is an endpoint IP (flat, globally
+// routable, default-off); SIP is a load-balanced service IP.
+type (
+	EIP = core.EIP
+	SIP = core.SIP
+	// IP is a raw IPv4 address.
+	IP = addr.IP
+	// Prefix is a CIDR prefix used in permit lists.
+	Prefix = addr.Prefix
+	// NodeID names a compute endpoint (VM/container) in the world graph.
+	NodeID = topo.NodeID
+)
+
+// Potato profiles, re-exported from the QoS engine.
+const (
+	HotPotato  = qos.HotPotato
+	ColdPotato = qos.ColdPotato
+	Dedicated  = qos.Dedicated
+)
+
+// ParseIP and ParsePrefix parse dotted-quad and CIDR notation.
+func ParseIP(s string) (IP, error)         { return addr.ParseIP(s) }
+func ParsePrefix(s string) (Prefix, error) { return addr.ParsePrefix(s) }
+
+// Exact returns the permit entry matching a single endpoint.
+func Exact(ip IP) Prefix { return addr.NewPrefix(ip, 32) }
+
+// Anywhere returns the permit entry matching every source (a public
+// service's permit list).
+func Anywhere() Prefix { return addr.MustParsePrefix("0.0.0.0/0") }
+
+// World is a running multi-cloud simulation with provider control planes.
+type World struct {
+	Cloud *core.Cloud
+	// Fig1 describes the built world when NewFig1World was used.
+	Fig1 *topo.Fig1World
+}
+
+// NewFig1World builds the paper's Figure-1 substrate — two cloud
+// providers with two regions each, an on-prem datacenter, an internet
+// exchange with dedicated circuits, and the public internet — and brings
+// up a Table-2 control plane for each administrative domain.
+// hostsPerZone sets the compute capacity per availability zone.
+func NewFig1World(seed int64, hostsPerZone int) (*World, error) {
+	if hostsPerZone < 1 {
+		hostsPerZone = 2
+	}
+	w := topo.BuildFig1(hostsPerZone)
+	c := core.NewCloud(seed, w.Graph)
+	configs := []struct {
+		name string
+		eip  string
+		sip  string
+	}{
+		{w.CloudA, "100.64.0.0/10", "100.127.0.0/16"},
+		{w.CloudB, "104.0.0.0/8", "104.255.0.0/16"},
+		{"onprem", "108.0.0.0/8", "108.255.0.0/16"},
+	}
+	for _, cfg := range configs {
+		if _, err := c.AddProvider(cfg.name, core.Config{
+			EIPBase: addr.MustParsePrefix(cfg.eip),
+			SIPBase: addr.MustParsePrefix(cfg.sip),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return &World{Cloud: c, Fig1: w}, nil
+}
+
+// Host returns the NodeID of host n (1-based) in the given provider,
+// region, and zone — the vm_id handed to RequestEIP.
+func (w *World) Host(provider, region, zone string, n int) NodeID {
+	return topo.HostID(provider, region, zone, n)
+}
+
+// OnPremHost returns the NodeID of host n at the on-prem site.
+func (w *World) OnPremHost(n int) NodeID {
+	return NodeID(fmt.Sprintf("onprem/hq/host%d", n))
+}
+
+// Run advances the simulation until its event queue drains.
+func (w *World) Run() { w.Cloud.Eng.Run() }
+
+// RunFor advances the simulation by the given virtual duration.
+func (w *World) RunFor(d time.Duration) {
+	w.Cloud.Eng.RunUntil(w.Cloud.Eng.Now() + d)
+}
+
+// Now returns the current virtual time.
+func (w *World) Now() time.Duration { return w.Cloud.Eng.Now() }
+
+// AttachMeter turns on usage metering across all providers; pass a
+// *meter.Meter (see internal/meter) or any core.Biller.
+func (w *World) AttachMeter(b core.Biller) { w.Cloud.SetBiller(b) }
+
+// Tenant returns a handle scoped to one tenant account. Creating the
+// handle is free; all state lives provider-side.
+func (w *World) Tenant(name string) *Tenant {
+	return &Tenant{world: w, name: name}
+}
+
+// Tenant is a tenant-scoped view of the Table-2 API across all providers
+// in the world — the paper's uniform multi-cloud interface.
+type Tenant struct {
+	world *World
+	name  string
+}
+
+// Name returns the tenant account name.
+func (t *Tenant) Name() string { return t.name }
+
+func (t *Tenant) provider(name string) (*core.Provider, error) {
+	p, ok := t.world.Cloud.Provider(name)
+	if !ok {
+		return nil, fmt.Errorf("declnet: unknown provider %q", name)
+	}
+	return p, nil
+}
+
+// RequestEIP grants an endpoint IP for a VM (Table 2: request_eip). The
+// provider is inferred from the VM's position in the world.
+func (t *Tenant) RequestEIP(vm NodeID) (EIP, error) {
+	n, ok := t.world.Cloud.G.Node(vm)
+	if !ok {
+		return 0, fmt.Errorf("declnet: unknown VM %q", vm)
+	}
+	p, err := t.provider(n.Provider)
+	if err != nil {
+		return 0, err
+	}
+	return p.RequestEIP(t.name, vm)
+}
+
+// ReleaseEIP returns an endpoint IP and tears down its bindings and
+// permit state.
+func (t *Tenant) ReleaseEIP(eip EIP) error {
+	p, err := t.providerOf(eip)
+	if err != nil {
+		return err
+	}
+	return p.ReleaseEIP(t.name, eip)
+}
+
+// RequestSIP grants a service IP at the named provider (Table 2:
+// request_sip).
+func (t *Tenant) RequestSIP(providerName string) (SIP, error) {
+	p, err := t.provider(providerName)
+	if err != nil {
+		return 0, err
+	}
+	return p.RequestSIP(t.name)
+}
+
+// Bind associates an EIP with a SIP with an optional weight (Table 2:
+// bind). weight <= 0 means 1.
+func (t *Tenant) Bind(eip EIP, sip SIP, weight int) error {
+	p, err := t.providerOf(sip)
+	if err != nil {
+		return err
+	}
+	return p.Bind(t.name, eip, sip, weight)
+}
+
+// Unbind removes an EIP from a SIP with connection draining.
+func (t *Tenant) Unbind(eip EIP, sip SIP) error {
+	p, err := t.providerOf(sip)
+	if err != nil {
+		return err
+	}
+	return p.Unbind(t.name, eip, sip)
+}
+
+// SetPermitList replaces the permit list guarding an EIP or SIP (Table 2:
+// set_permit_list). Group names expand to their membership.
+func (t *Tenant) SetPermitList(target IP, entries []Prefix, groups ...string) error {
+	p, err := t.providerOf(target)
+	if err != nil {
+		return err
+	}
+	return p.SetPermitList(t.name, target, entries, groups...)
+}
+
+// Permit adds one entry to a target's permit list.
+func (t *Tenant) Permit(target IP, entry Prefix) error {
+	p, err := t.providerOf(target)
+	if err != nil {
+		return err
+	}
+	return p.Permit(t.name, target, entry)
+}
+
+// Revoke removes one entry from a target's permit list.
+func (t *Tenant) Revoke(target IP, entry Prefix) error {
+	p, err := t.providerOf(target)
+	if err != nil {
+		return err
+	}
+	return p.Revoke(t.name, target, entry)
+}
+
+// SetQoS grants regional egress bandwidth in bits/s (Table 2: set_qos).
+func (t *Tenant) SetQoS(providerName, region string, bandwidth float64) error {
+	p, err := t.provider(providerName)
+	if err != nil {
+		return err
+	}
+	return p.SetQoS(t.name, region, bandwidth)
+}
+
+// SetVMEgressCap overrides one endpoint's egress bandwidth guarantee in
+// bits/s — today's standard per-VM offering, adopted unchanged (§4 QoS).
+func (t *Tenant) SetVMEgressCap(eip EIP, bps float64) error {
+	p, err := t.providerOf(eip)
+	if err != nil {
+		return err
+	}
+	return p.SetVMEgressCap(t.name, eip, bps)
+}
+
+// SetPotato selects the tenant's transit profile at a provider
+// (extension; §4 QoS).
+func (t *Tenant) SetPotato(providerName string, policy qos.PotatoPolicy) error {
+	p, err := t.provider(providerName)
+	if err != nil {
+		return err
+	}
+	p.SetPotato(t.name, policy)
+	return nil
+}
+
+// CreateGroup defines a named endpoint group usable in SetPermitList at
+// any provider; members may span clouds (extension; §4 Connectivity).
+func (t *Tenant) CreateGroup(group string, members ...EIP) error {
+	return t.world.Cloud.CreateGroup(t.name, group, members...)
+}
+
+// ConnectOpts tunes Connect; see core.ConnectOpts.
+type ConnectOpts = core.ConnectOpts
+
+// Conn is a live connection; Close releases its resources.
+type Conn = core.Conn
+
+// QoSClass marks whether traffic consumes the regional reservation.
+type QoSClass = core.QoSClass
+
+// Traffic classes for the §4-footnote reserved-bandwidth extension.
+const (
+	Reserved   = core.Reserved
+	BestEffort = core.BestEffort
+)
+
+// Connect opens a connection from one of the tenant's EIPs to a
+// destination EIP or SIP, running the full declarative data path:
+// default-off admission, provider-side load balancing, potato-profile
+// path selection, and egress enforcement.
+func (t *Tenant) Connect(src EIP, dst IP, opts ConnectOpts) (*Conn, error) {
+	return t.world.Cloud.Connect(t.name, src, dst, opts)
+}
+
+// Transfer moves sizeBytes from src to dst and returns the completion
+// time once the simulation is advanced (World.Run).
+func (t *Tenant) Transfer(src EIP, dst IP, sizeBytes float64, done func(time.Duration)) (*Conn, error) {
+	return t.Connect(src, dst, ConnectOpts{SizeBytes: sizeBytes, OnDone: done})
+}
+
+// Probe samples a round trip between one of the tenant's EIPs and a
+// destination, reporting the RTT and whether the probe survived loss.
+func (t *Tenant) Probe(src EIP, dst IP) (time.Duration, bool, error) {
+	return t.world.Cloud.Probe(t.name, src, dst)
+}
+
+// Register binds a tenant-scoped name to one of the tenant's addresses —
+// the §6 extension that abstracts above IP addresses entirely.
+func (t *Tenant) Register(name string, target IP) error {
+	return t.world.Cloud.RegisterName(t.name, name, target)
+}
+
+// Resolve returns the address behind one of the tenant's names.
+func (t *Tenant) Resolve(name string) (IP, bool) {
+	return t.world.Cloud.ResolveName(t.name, name)
+}
+
+// Unregister removes a name binding.
+func (t *Tenant) Unregister(name string) bool {
+	return t.world.Cloud.UnregisterName(t.name, name)
+}
+
+// ConnectName is Connect with the destination given by name.
+func (t *Tenant) ConnectName(src EIP, name string, opts ConnectOpts) (*Conn, error) {
+	return t.world.Cloud.ConnectName(t.name, src, name, opts)
+}
+
+func (t *Tenant) providerOf(ip IP) (*core.Provider, error) {
+	p, ok := t.world.Cloud.ProviderOf(ip)
+	if !ok {
+		return nil, fmt.Errorf("declnet: %s is not a granted address", ip)
+	}
+	return p, nil
+}
+
+// Entry builds a permit entry from a CIDR string, panicking on bad input;
+// for tests and example code.
+func Entry(cidr string) permit.Entry { return addr.MustParsePrefix(cidr) }

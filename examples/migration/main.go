@@ -1,0 +1,74 @@
+// Migration: move a workload between clouds with the declarative API —
+// the §5 claim that "any migration between clouds will become incredibly
+// simple as the basic interface will be constant between clouds."
+//
+// The analytics tier starts in cloud A, talks to a database service in
+// cloud B, then moves to cloud B. The move is: release the old EIPs,
+// request new ones from the other provider, refresh the permit lists.
+// Same verbs, different provider; connectivity, security, and QoS intent
+// carry over.
+//
+//	go run ./examples/migration
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"declnet"
+)
+
+func main() {
+	world, err := declnet.NewFig1World(11, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f := world.Fig1
+	acme := world.Tenant("acme")
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	calls := 0
+	count := func(err error) {
+		must(err)
+		calls++
+	}
+
+	// --- Day 1: the tier lives in cloud A ---------------------------------
+	worker1, err := acme.RequestEIP(world.Host(f.CloudA, f.RegionsA[0], "az1", 1))
+	must(err)
+	worker2, err := acme.RequestEIP(world.Host(f.CloudA, f.RegionsA[0], "az2", 1))
+	must(err)
+	db, err := acme.RequestEIP(world.Host(f.CloudB, f.RegionsB[0], "az1", 1))
+	must(err)
+	dbSvc, err := acme.RequestSIP(f.CloudB)
+	must(err)
+	must(acme.Bind(db, dbSvc, 1))
+	must(acme.SetPermitList(dbSvc, []declnet.Prefix{declnet.Exact(worker1), declnet.Exact(worker2)}))
+
+	probe := func(src declnet.EIP, label string) {
+		rtt, _, err := acme.Probe(src, dbSvc)
+		must(err)
+		fmt.Printf("%s -> db service: RTT %v\n", label, rtt.Round(100*time.Microsecond))
+	}
+	probe(worker1, "worker1 (cloud A)")
+
+	// --- Day 2: move the tier to cloud B ----------------------------------
+	fmt.Println("\nmigrating the tier to cloud B ...")
+	count(acme.ReleaseEIP(worker1))
+	count(acme.ReleaseEIP(worker2))
+	newWorker1, err := acme.RequestEIP(world.Host(f.CloudB, f.RegionsB[0], "az1", 2))
+	count(err)
+	newWorker2, err := acme.RequestEIP(world.Host(f.CloudB, f.RegionsB[0], "az2", 2))
+	count(err)
+	count(acme.SetPermitList(dbSvc, []declnet.Prefix{
+		declnet.Exact(newWorker1), declnet.Exact(newWorker2)}))
+
+	probe(newWorker1, "worker1 (cloud B)")
+	fmt.Printf("\nmigration done in %d API calls — the same verbs, no new concepts.\n", calls)
+	fmt.Println("(the baseline equivalent rebuilds VNets/NSGs/routes/hub attachments")
+	fmt.Println(" in the destination cloud's own vocabulary; see expdriver -run E8)")
+}

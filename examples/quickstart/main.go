@@ -1,0 +1,65 @@
+// Quickstart: the whole Table-2 API in one sitting.
+//
+// A tenant brings up two instances in different clouds, permits one to
+// reach the other, and moves a file — with no VPCs, subnets, gateways,
+// route tables, or appliances anywhere in sight.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"declnet"
+)
+
+func main() {
+	// A simulated multi-cloud world: two providers, two regions each,
+	// an on-prem site, the public internet, and an exchange point —
+	// the paper's Figure 1.
+	world, err := declnet.NewFig1World(42, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f := world.Fig1
+	acme := world.Tenant("acme")
+
+	// request_eip(vm_id): endpoint IPs for a client in cloud A and a
+	// server in cloud B. Flat, globally routable, default-off.
+	client, err := acme.RequestEIP(world.Host(f.CloudA, f.RegionsA[0], "az1", 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	server, err := acme.RequestEIP(world.Host(f.CloudB, f.RegionsB[0], "az1", 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("client EIP: %s (cloud A)\nserver EIP: %s (cloud B)\n", client, server)
+
+	// Default-off: without a permit list, nothing flows.
+	if _, err := acme.Connect(client, server, declnet.ConnectOpts{SizeBytes: 1 << 20}); err != nil {
+		fmt.Println("before set_permit_list:", err)
+	}
+
+	// set_permit_list(eip, permit_list): admit exactly the client.
+	if err := acme.SetPermitList(server, []declnet.Prefix{declnet.Exact(client)}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Move 100 MB across clouds and report the completion time.
+	var fct time.Duration
+	if _, err := acme.Transfer(client, server, 100e6, func(d time.Duration) { fct = d }); err != nil {
+		log.Fatal(err)
+	}
+	world.Run()
+	fmt.Printf("100 MB cloud A -> cloud B in %v (virtual time)\n", fct.Round(time.Millisecond))
+
+	// Probe the path the provider chose.
+	rtt, delivered, err := acme.Probe(client, server)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("RTT %v, delivered=%v\n", rtt.Round(100*time.Microsecond), delivered)
+}

@@ -1,0 +1,88 @@
+package addr
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Planner models the address-planning chore the paper calls out in §2:
+// "managing non-overlapping subnets across 100s of VPCs becomes
+// challenging, prompting AWS to recommend special address planner tools".
+// It assigns non-overlapping CIDRs to named networks out of the RFC1918
+// space, tracking the decisions a tenant has to make along the way.
+type Planner struct {
+	pools []*BlockPool
+	plans map[string]Prefix
+	// Decisions counts discrete planning choices made (block sizing,
+	// pool selection, overlap checks) — input to the complexity metrics.
+	Decisions int
+}
+
+// RFC1918 returns the three private pools tenants usually plan within.
+func RFC1918() []Prefix {
+	return []Prefix{
+		MustParsePrefix("10.0.0.0/8"),
+		MustParsePrefix("172.16.0.0/12"),
+		MustParsePrefix("192.168.0.0/16"),
+	}
+}
+
+// NewPlanner returns a planner over the given address pools (typically
+// RFC1918()).
+func NewPlanner(pools []Prefix) *Planner {
+	p := &Planner{plans: make(map[string]Prefix)}
+	for _, root := range pools {
+		p.pools = append(p.pools, NewBlockPool(root))
+	}
+	return p
+}
+
+// Plan assigns a CIDR able to hold hosts addresses to the named network.
+// Names must be unique; replanning a name is an error (tenants resize by
+// migration, not in place — another of the paper's pain points).
+func (p *Planner) Plan(name string, hosts int) (Prefix, error) {
+	if _, ok := p.plans[name]; ok {
+		return Prefix{}, fmt.Errorf("addr: network %q already planned", name)
+	}
+	p.Decisions++ // choosing a size
+	for _, pool := range p.pools {
+		p.Decisions++ // choosing / checking a pool
+		blk, err := pool.AllocateFor(hosts)
+		if err == nil {
+			p.plans[name] = blk
+			return blk, nil
+		}
+	}
+	return Prefix{}, fmt.Errorf("planning %q for %d hosts: %w", name, hosts, ErrExhausted)
+}
+
+// Lookup returns the CIDR planned for name.
+func (p *Planner) Lookup(name string) (Prefix, bool) {
+	blk, ok := p.plans[name]
+	return blk, ok
+}
+
+// Networks returns all planned networks sorted by name.
+func (p *Planner) Networks() []string {
+	names := make([]string, 0, len(p.plans))
+	for n := range p.plans {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Validate confirms the invariant the tenant otherwise maintains by hand:
+// no two planned networks overlap. It returns the offending pair if any.
+func (p *Planner) Validate() error {
+	names := p.Networks()
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			a, b := p.plans[names[i]], p.plans[names[j]]
+			if a.Overlaps(b) {
+				return fmt.Errorf("addr: %q (%s) overlaps %q (%s)", names[i], a, names[j], b)
+			}
+		}
+	}
+	return nil
+}

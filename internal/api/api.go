@@ -1,0 +1,470 @@
+// Package api exposes the Table-2 control plane over HTTP/JSON — the
+// shape a real provider would offer tenants. cmd/declnetd serves it;
+// cmd/declnetctl speaks it. The handler owns a single simulated World and
+// serializes access to it (the simulation engine is single-threaded by
+// design).
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"declnet"
+	"declnet/internal/qos"
+)
+
+// Server wraps a world in an http.Handler.
+type Server struct {
+	mu    sync.Mutex
+	world *declnet.World
+	mux   *http.ServeMux
+}
+
+// NewServer returns a handler over the given world.
+func NewServer(w *declnet.World) *Server {
+	s := &Server{world: w, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/eips", s.requestEIP)
+	s.mux.HandleFunc("POST /v1/eips/release", s.releaseEIP)
+	s.mux.HandleFunc("POST /v1/sips", s.requestSIP)
+	s.mux.HandleFunc("POST /v1/bind", s.bind)
+	s.mux.HandleFunc("POST /v1/unbind", s.unbind)
+	s.mux.HandleFunc("POST /v1/permit", s.setPermitList)
+	s.mux.HandleFunc("POST /v1/qos", s.setQoS)
+	s.mux.HandleFunc("POST /v1/potato", s.setPotato)
+	s.mux.HandleFunc("POST /v1/groups", s.createGroup)
+	s.mux.HandleFunc("POST /v1/names", s.registerName)
+	s.mux.HandleFunc("POST /v1/transfer", s.transfer)
+	s.mux.HandleFunc("GET /v1/probe", s.probe)
+	s.mux.HandleFunc("GET /v1/status", s.status)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Error is the JSON error envelope.
+type Error struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, Error{Error: err.Error()})
+}
+
+func decode[T any](r *http.Request) (T, error) {
+	var v T
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&v); err != nil {
+		return v, fmt.Errorf("api: bad request body: %w", err)
+	}
+	return v, nil
+}
+
+// EIPRequest asks for an endpoint IP (Table 2: request_eip(vm_id)).
+type EIPRequest struct {
+	Tenant string `json:"tenant"`
+	VM     string `json:"vm"`
+}
+
+// EIPResponse returns the granted address.
+type EIPResponse struct {
+	EIP string `json:"eip"`
+}
+
+func (s *Server) requestEIP(w http.ResponseWriter, r *http.Request) {
+	req, err := decode[EIPRequest](r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	eip, err := s.world.Tenant(req.Tenant).RequestEIP(declnet.NodeID(req.VM))
+	if err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, EIPResponse{EIP: eip.String()})
+}
+
+// ReleaseRequest returns an endpoint IP.
+type ReleaseRequest struct {
+	Tenant string `json:"tenant"`
+	EIP    string `json:"eip"`
+}
+
+func (s *Server) releaseEIP(w http.ResponseWriter, r *http.Request) {
+	req, err := decode[ReleaseRequest](r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ip, err := declnet.ParseIP(req.EIP)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.world.Tenant(req.Tenant).ReleaseEIP(ip); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+// SIPRequest asks for a service IP (Table 2: request_sip()).
+type SIPRequest struct {
+	Tenant   string `json:"tenant"`
+	Provider string `json:"provider"`
+}
+
+// SIPResponse returns the granted service address.
+type SIPResponse struct {
+	SIP string `json:"sip"`
+}
+
+func (s *Server) requestSIP(w http.ResponseWriter, r *http.Request) {
+	req, err := decode[SIPRequest](r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sip, err := s.world.Tenant(req.Tenant).RequestSIP(req.Provider)
+	if err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SIPResponse{SIP: sip.String()})
+}
+
+// BindRequest associates an EIP with a SIP (Table 2: bind(eip, sip)).
+type BindRequest struct {
+	Tenant string `json:"tenant"`
+	EIP    string `json:"eip"`
+	SIP    string `json:"sip"`
+	Weight int    `json:"weight,omitempty"`
+}
+
+func (s *Server) bind(w http.ResponseWriter, r *http.Request) {
+	s.bindish(w, r, func(t *declnet.Tenant, eip, sip declnet.IP, weight int) error {
+		return t.Bind(eip, sip, weight)
+	})
+}
+
+func (s *Server) unbind(w http.ResponseWriter, r *http.Request) {
+	s.bindish(w, r, func(t *declnet.Tenant, eip, sip declnet.IP, _ int) error {
+		return t.Unbind(eip, sip)
+	})
+}
+
+func (s *Server) bindish(w http.ResponseWriter, r *http.Request, fn func(*declnet.Tenant, declnet.IP, declnet.IP, int) error) {
+	req, err := decode[BindRequest](r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	eip, err := declnet.ParseIP(req.EIP)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sip, err := declnet.ParseIP(req.SIP)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := fn(s.world.Tenant(req.Tenant), eip, sip, req.Weight); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+// PermitRequest replaces a target's permit list (Table 2:
+// set_permit_list(eip, permit_list)). Entries are CIDR strings; bare IPs
+// are treated as /32s.
+type PermitRequest struct {
+	Tenant  string   `json:"tenant"`
+	Target  string   `json:"target"`
+	Entries []string `json:"entries"`
+	Groups  []string `json:"groups,omitempty"`
+}
+
+func (s *Server) setPermitList(w http.ResponseWriter, r *http.Request) {
+	req, err := decode[PermitRequest](r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	target, err := declnet.ParseIP(req.Target)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	entries := make([]declnet.Prefix, 0, len(req.Entries))
+	for _, e := range req.Entries {
+		if !strings.Contains(e, "/") {
+			e += "/32"
+		}
+		p, err := declnet.ParsePrefix(e)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		entries = append(entries, p)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.world.Tenant(req.Tenant).SetPermitList(target, entries, req.Groups...); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+// QoSRequest grants regional egress bandwidth (Table 2:
+// set_qos(region, bandwidth)).
+type QoSRequest struct {
+	Tenant    string  `json:"tenant"`
+	Provider  string  `json:"provider"`
+	Region    string  `json:"region"`
+	Bandwidth float64 `json:"bandwidth_bps"`
+}
+
+func (s *Server) setQoS(w http.ResponseWriter, r *http.Request) {
+	req, err := decode[QoSRequest](r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.world.Tenant(req.Tenant).SetQoS(req.Provider, req.Region, req.Bandwidth); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+// PotatoRequest selects a transit profile ("hot", "cold", "dedicated").
+type PotatoRequest struct {
+	Tenant   string `json:"tenant"`
+	Provider string `json:"provider"`
+	Policy   string `json:"policy"`
+}
+
+func (s *Server) setPotato(w http.ResponseWriter, r *http.Request) {
+	req, err := decode[PotatoRequest](r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var policy qos.PotatoPolicy
+	switch req.Policy {
+	case "hot":
+		policy = qos.HotPotato
+	case "cold":
+		policy = qos.ColdPotato
+	case "dedicated":
+		policy = qos.Dedicated
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("api: unknown policy %q", req.Policy))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.world.Tenant(req.Tenant).SetPotato(req.Provider, policy); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+// GroupRequest defines an endpoint group (members may span providers).
+type GroupRequest struct {
+	Tenant  string   `json:"tenant"`
+	Name    string   `json:"name"`
+	Members []string `json:"members"`
+}
+
+func (s *Server) createGroup(w http.ResponseWriter, r *http.Request) {
+	req, err := decode[GroupRequest](r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	members := make([]declnet.EIP, 0, len(req.Members))
+	for _, m := range req.Members {
+		ip, err := declnet.ParseIP(m)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		members = append(members, ip)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.world.Tenant(req.Tenant).CreateGroup(req.Name, members...); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+// NameRequest binds a tenant-scoped name to one of the tenant's
+// addresses (the §6 naming extension).
+type NameRequest struct {
+	Tenant string `json:"tenant"`
+	Name   string `json:"name"`
+	Target string `json:"target"`
+}
+
+func (s *Server) registerName(w http.ResponseWriter, r *http.Request) {
+	req, err := decode[NameRequest](r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	target, err := declnet.ParseIP(req.Target)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.world.Tenant(req.Tenant).Register(req.Name, target); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+// resolveDst interprets a destination string as an IP, falling back to
+// the tenant's registered names. Callers hold s.mu.
+func (s *Server) resolveDst(tenant, dst string) (declnet.IP, error) {
+	if ip, err := declnet.ParseIP(dst); err == nil {
+		return ip, nil
+	}
+	if ip, ok := s.world.Tenant(tenant).Resolve(dst); ok {
+		return ip, nil
+	}
+	return 0, fmt.Errorf("api: %q is neither an address nor a registered name", dst)
+}
+
+// TransferRequest moves bytes between endpoints inside the simulation.
+type TransferRequest struct {
+	Tenant string  `json:"tenant"`
+	Src    string  `json:"src"`
+	Dst    string  `json:"dst"`
+	Bytes  float64 `json:"bytes"`
+}
+
+// TransferResponse reports the flow completion time.
+type TransferResponse struct {
+	FCTMillis float64 `json:"fct_ms"`
+}
+
+func (s *Server) transfer(w http.ResponseWriter, r *http.Request) {
+	req, err := decode[TransferRequest](r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	src, err := declnet.ParseIP(req.Src)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Bytes <= 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("api: bytes must be positive"))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dst, err := s.resolveDst(req.Tenant, req.Dst)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var fct time.Duration
+	_, err = s.world.Tenant(req.Tenant).Transfer(src, dst, req.Bytes, func(d time.Duration) { fct = d })
+	if err != nil {
+		writeErr(w, http.StatusForbidden, err)
+		return
+	}
+	s.world.Run()
+	writeJSON(w, http.StatusOK, TransferResponse{FCTMillis: float64(fct) / float64(time.Millisecond)})
+}
+
+// ProbeResponse reports one RTT sample.
+type ProbeResponse struct {
+	RTTMillis float64 `json:"rtt_ms"`
+	Delivered bool    `json:"delivered"`
+}
+
+func (s *Server) probe(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	src, err := declnet.ParseIP(q.Get("src"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dst, err := s.resolveDst(q.Get("tenant"), q.Get("dst"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	rtt, ok, err := s.world.Tenant(q.Get("tenant")).Probe(src, dst)
+	if err != nil {
+		writeErr(w, http.StatusForbidden, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ProbeResponse{
+		RTTMillis: float64(rtt) / float64(time.Millisecond),
+		Delivered: ok,
+	})
+}
+
+// StatusResponse summarizes the running world.
+type StatusResponse struct {
+	VirtualTimeMillis float64        `json:"virtual_time_ms"`
+	Providers         map[string]any `json:"providers"`
+}
+
+func (s *Server) status(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	resp := StatusResponse{
+		VirtualTimeMillis: float64(s.world.Now()) / float64(time.Millisecond),
+		Providers:         map[string]any{},
+	}
+	for _, name := range []string{s.world.Fig1.CloudA, s.world.Fig1.CloudB, "onprem"} {
+		if p, ok := s.world.Cloud.Provider(name); ok {
+			resp.Providers[name] = map[string]int{
+				"endpoints": p.EndpointCount(),
+				"services":  p.ServiceCount(),
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,113 @@
+package app
+
+import "testing"
+
+func testGateway(t *testing.T) (*Gateway, string) {
+	t.Helper()
+	svc := NewService("orders",
+		Operation{Name: "get_order", Scope: "read", Schema: []string{"id"}},
+		Operation{Name: "place_order", Scope: "write", Schema: []string{"sku", "qty"}},
+		Operation{Name: "health", Scope: ""},
+	)
+	g := NewGateway(svc)
+	tok := g.IssueToken("client-1", "read")
+	return g, tok
+}
+
+func TestServed(t *testing.T) {
+	g, tok := testGateway(t)
+	out := g.Handle(Request{Bearer: tok, Op: "get_order", Args: map[string]string{"id": "42"}})
+	if out != Served {
+		t.Fatalf("outcome = %v, want served", out)
+	}
+}
+
+func TestUnknownOp(t *testing.T) {
+	g, tok := testGateway(t)
+	if out := g.Handle(Request{Bearer: tok, Op: "drop_tables"}); out != DeniedUnknownOp {
+		t.Fatalf("outcome = %v, want unknown-op", out)
+	}
+}
+
+func TestAnonymousDenied(t *testing.T) {
+	g, _ := testGateway(t)
+	if out := g.Handle(Request{Op: "get_order", Args: map[string]string{"id": "1"}}); out != DeniedAuth {
+		t.Fatalf("outcome = %v, want auth denial", out)
+	}
+	if out := g.Handle(Request{Bearer: "forged", Op: "get_order", Args: map[string]string{"id": "1"}}); out != DeniedAuth {
+		t.Fatalf("forged token outcome = %v, want auth denial", out)
+	}
+}
+
+func TestScopeEnforced(t *testing.T) {
+	g, tok := testGateway(t)
+	out := g.Handle(Request{Bearer: tok, Op: "place_order", Args: map[string]string{"sku": "x", "qty": "1"}})
+	if out != DeniedScope {
+		t.Fatalf("outcome = %v, want scope denial (token has read, op needs write)", out)
+	}
+	// Scopeless op accepts any valid token.
+	if out := g.Handle(Request{Bearer: tok, Op: "health"}); out != Served {
+		t.Fatalf("scopeless op outcome = %v", out)
+	}
+}
+
+func TestMalformedRejected(t *testing.T) {
+	g, tok := testGateway(t)
+	cases := []map[string]string{
+		nil,
+		{},
+		{"id": ""},
+		{"id": "   "},
+		{"wrong": "42"},
+	}
+	for i, args := range cases {
+		if out := g.Handle(Request{Bearer: tok, Op: "get_order", Args: args}); out != DeniedMalformed {
+			t.Fatalf("case %d outcome = %v, want malformed", i, out)
+		}
+	}
+}
+
+func TestRevocation(t *testing.T) {
+	g, tok := testGateway(t)
+	if !g.RevokeToken(tok) {
+		t.Fatal("revoke failed")
+	}
+	if g.RevokeToken(tok) {
+		t.Fatal("double revoke succeeded")
+	}
+	if out := g.Handle(Request{Bearer: tok, Op: "get_order", Args: map[string]string{"id": "1"}}); out != DeniedAuth {
+		t.Fatalf("revoked token outcome = %v", out)
+	}
+}
+
+func TestCountsAndFraction(t *testing.T) {
+	g, tok := testGateway(t)
+	g.Handle(Request{Bearer: tok, Op: "get_order", Args: map[string]string{"id": "1"}})
+	g.Handle(Request{Op: "get_order"})
+	g.Handle(Request{Bearer: tok, Op: "nope"})
+	if g.Counts[Served] != 1 || g.Counts[DeniedAuth] != 1 || g.Counts[DeniedUnknownOp] != 1 {
+		t.Fatalf("counts = %v", g.Counts)
+	}
+	if f := g.ServedFraction(); f < 0.33 || f > 0.34 {
+		t.Fatalf("ServedFraction = %v", f)
+	}
+	var empty Gateway
+	empty.Counts = map[Outcome]uint64{}
+	if empty.ServedFraction() != 0 {
+		t.Fatal("empty gateway fraction nonzero")
+	}
+}
+
+func TestServiceOperations(t *testing.T) {
+	svc := NewService("s", Operation{Name: "b"}, Operation{Name: "a"})
+	ops := svc.Operations()
+	if len(ops) != 2 || ops[0] != "a" || ops[1] != "b" {
+		t.Fatalf("Operations = %v", ops)
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	if Served.String() != "served" || DeniedMalformed.String() != "malformed" {
+		t.Fatal("outcome names wrong")
+	}
+}

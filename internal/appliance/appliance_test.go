@@ -1,0 +1,237 @@
+package appliance
+
+import (
+	"strings"
+	"testing"
+
+	"declnet/internal/addr"
+	"declnet/internal/complexity"
+	"declnet/internal/vnet"
+)
+
+func pfx(s string) addr.Prefix { return addr.MustParsePrefix(s) }
+func ipa(s string) addr.IP     { return addr.MustParseIP(s) }
+
+func TestTargetGroupHealth(t *testing.T) {
+	g := NewTargetGroup("tg")
+	g.Register("i-1")
+	g.Register("i-2")
+	if got := g.Healthy(); len(got) != 2 {
+		t.Fatalf("Healthy = %v", got)
+	}
+	if err := g.SetHealth("i-1", false); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Healthy(); len(got) != 1 || got[0] != "i-2" {
+		t.Fatalf("Healthy after failure = %v", got)
+	}
+	if err := g.SetHealth("missing", true); err == nil {
+		t.Fatal("SetHealth on unknown target succeeded")
+	}
+	g.Deregister("i-2")
+	if g.Size() != 1 {
+		t.Fatalf("Size = %d", g.Size())
+	}
+}
+
+func newALB(t *testing.T) (*LoadBalancer, *complexity.Ledger) {
+	t.Helper()
+	var led complexity.Ledger
+	lb := NewLoadBalancer("alb", ApplicationLB, &led)
+	api := NewTargetGroup("api")
+	api.Register("i-api-1")
+	api.Register("i-api-2")
+	web := NewTargetGroup("web")
+	web.Register("i-web-1")
+	lb.AddTargetGroup(api, &led)
+	lb.AddTargetGroup(web, &led)
+	if err := lb.AddRule(L7Rule{Priority: 10, PathPrefix: "/api", TargetGroup: "api"}, &led); err != nil {
+		t.Fatal(err)
+	}
+	if err := lb.SetDefault("web", &led); err != nil {
+		t.Fatal(err)
+	}
+	return lb, &led
+}
+
+func TestALBPathRouting(t *testing.T) {
+	lb, _ := newALB(t)
+	got, err := lb.Route(Request{Path: "/api/v1/users"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(got, "i-api") {
+		t.Fatalf("api path routed to %q", got)
+	}
+	got, err = lb.Route(Request{Path: "/index.html"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "i-web-1" {
+		t.Fatalf("default routed to %q", got)
+	}
+}
+
+func TestALBRoundRobin(t *testing.T) {
+	lb, _ := newALB(t)
+	seen := map[string]int{}
+	for i := 0; i < 10; i++ {
+		b, err := lb.Route(Request{Path: "/api"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[b]++
+	}
+	if seen["i-api-1"] != 5 || seen["i-api-2"] != 5 {
+		t.Fatalf("round robin distribution = %v", seen)
+	}
+}
+
+func TestALBHostHeaderRules(t *testing.T) {
+	var led complexity.Ledger
+	lb := NewLoadBalancer("alb", ApplicationLB, &led)
+	a := NewTargetGroup("a")
+	a.Register("i-a")
+	b := NewTargetGroup("b")
+	b.Register("i-b")
+	lb.AddTargetGroup(a, &led)
+	lb.AddTargetGroup(b, &led)
+	lb.AddRule(L7Rule{Priority: 1, Host: "admin.example.com", TargetGroup: "a"}, &led)
+	lb.AddRule(L7Rule{Priority: 2, HeaderKey: "X-Tier", HeaderValue: "beta", TargetGroup: "b"}, &led)
+
+	got, _ := lb.Route(Request{Host: "admin.example.com"})
+	if got != "i-a" {
+		t.Fatalf("host rule routed to %q", got)
+	}
+	got, _ = lb.Route(Request{Headers: map[string]string{"X-Tier": "beta"}})
+	if got != "i-b" {
+		t.Fatalf("header rule routed to %q", got)
+	}
+	if _, err := lb.Route(Request{Path: "/x"}); err == nil {
+		t.Fatal("no default group but Route succeeded")
+	}
+}
+
+func TestRulePriorityOrder(t *testing.T) {
+	var led complexity.Ledger
+	lb := NewLoadBalancer("alb", ApplicationLB, &led)
+	hi := NewTargetGroup("hi")
+	hi.Register("i-hi")
+	lo := NewTargetGroup("lo")
+	lo.Register("i-lo")
+	lb.AddTargetGroup(hi, &led)
+	lb.AddTargetGroup(lo, &led)
+	// Added in reverse priority order; priority 1 must still win.
+	lb.AddRule(L7Rule{Priority: 5, PathPrefix: "/x", TargetGroup: "lo"}, &led)
+	lb.AddRule(L7Rule{Priority: 1, PathPrefix: "/x", TargetGroup: "hi"}, &led)
+	got, _ := lb.Route(Request{Path: "/x"})
+	if got != "i-hi" {
+		t.Fatalf("priority order broken: routed to %q", got)
+	}
+}
+
+func TestNLBFlowHashSticky(t *testing.T) {
+	var led complexity.Ledger
+	lb := NewLoadBalancer("nlb", NetworkLB, &led)
+	g := NewTargetGroup("g")
+	for _, id := range []string{"i-1", "i-2", "i-3"} {
+		g.Register(id)
+	}
+	lb.AddTargetGroup(g, &led)
+	lb.SetDefault("g", &led)
+	flow := vnet.Packet{Src: ipa("10.0.0.1"), SrcPort: 1234, Dst: ipa("10.0.0.9"), DstPort: 443, Proto: vnet.TCP}
+	first, err := lb.Route(Request{Flow: flow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		got, _ := lb.Route(Request{Flow: flow})
+		if got != first {
+			t.Fatal("NLB flow hashing not sticky")
+		}
+	}
+	// Different flows spread across backends.
+	seen := map[string]bool{}
+	for p := 0; p < 200; p++ {
+		fl := flow
+		fl.SrcPort = 1000 + p
+		b, _ := lb.Route(Request{Flow: fl})
+		seen[b] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("flow spread hit %d backends, want 3", len(seen))
+	}
+}
+
+func TestNLBRejectsL7Rules(t *testing.T) {
+	var led complexity.Ledger
+	lb := NewLoadBalancer("nlb", NetworkLB, &led)
+	g := NewTargetGroup("g")
+	lb.AddTargetGroup(g, &led)
+	if err := lb.AddRule(L7Rule{TargetGroup: "g"}, &led); err == nil {
+		t.Fatal("NLB accepted an L7 rule")
+	}
+}
+
+func TestRouteNoHealthyTargets(t *testing.T) {
+	lb, _ := newALB(t)
+	for _, g := range lb.Groups() {
+		for _, id := range g.Healthy() {
+			g.SetHealth(id, false)
+		}
+	}
+	if _, err := lb.Route(Request{Path: "/api"}); err == nil {
+		t.Fatal("route with no healthy targets succeeded")
+	}
+}
+
+func TestLBLedgerCharges(t *testing.T) {
+	_, led := newALB(t)
+	if led.BoxesOf("load-balancer-application") != 1 {
+		t.Fatalf("ALB box not charged: %s", led)
+	}
+	if led.BoxesOf("target-group") != 2 {
+		t.Fatalf("target groups = %d, want 2", led.BoxesOf("target-group"))
+	}
+	if led.DecisionCount() == 0 {
+		t.Fatal("LB product decision not charged")
+	}
+}
+
+func TestFirewallRules(t *testing.T) {
+	var led complexity.Ledger
+	fw := NewFirewall("fw", &led)
+	fw.AddRule(FWRule{Action: vnet.Deny, Proto: vnet.TCP, Src: pfx("0.0.0.0/0"), Dst: pfx("0.0.0.0/0"), PortFrom: 22, PortTo: 22}, &led)
+	fw.AddRule(FWRule{Action: vnet.Allow, Src: pfx("0.0.0.0/0"), Dst: pfx("10.0.0.0/8")}, &led)
+
+	if ok, _ := fw.Inspect(vnet.Packet{Src: ipa("1.2.3.4"), Dst: ipa("10.0.0.1"), Proto: vnet.TCP, DstPort: 22}); ok {
+		t.Fatal("deny rule did not drop SSH")
+	}
+	if ok, _ := fw.Inspect(vnet.Packet{Src: ipa("1.2.3.4"), Dst: ipa("10.0.0.1"), Proto: vnet.TCP, DstPort: 443}); !ok {
+		t.Fatal("allow rule did not pass HTTPS")
+	}
+	// Implicit deny outside 10/8.
+	if ok, _ := fw.Inspect(vnet.Packet{Src: ipa("1.2.3.4"), Dst: ipa("192.168.0.1"), Proto: vnet.TCP, DstPort: 443}); ok {
+		t.Fatal("implicit deny missing")
+	}
+	if fw.Inspected != 3 || fw.Dropped != 2 {
+		t.Fatalf("counters = %d inspected, %d dropped", fw.Inspected, fw.Dropped)
+	}
+}
+
+func TestFirewallDPI(t *testing.T) {
+	var led complexity.Ledger
+	fw := NewFirewall("fw", &led)
+	fw.AddRule(FWRule{Action: vnet.Allow, Src: pfx("0.0.0.0/0"), Dst: pfx("0.0.0.0/0")}, &led)
+	fw.AddSignature("SELECT * FROM", &led)
+	ok, reason := fw.Inspect(vnet.Packet{Src: ipa("1.1.1.1"), Dst: ipa("10.0.0.1"), Payload: "q=SELECT * FROM users"})
+	if ok {
+		t.Fatal("DPI signature not matched")
+	}
+	if !strings.Contains(reason, "dpi") {
+		t.Fatalf("reason = %q", reason)
+	}
+	if ok, _ := fw.Inspect(vnet.Packet{Src: ipa("1.1.1.1"), Dst: ipa("10.0.0.1"), Payload: "hello"}); !ok {
+		t.Fatal("clean payload dropped despite allow rule")
+	}
+}

@@ -1,0 +1,89 @@
+package appliance
+
+import (
+	"strings"
+
+	"declnet/internal/addr"
+	"declnet/internal/complexity"
+	"declnet/internal/vnet"
+)
+
+// FWRule is one ordered firewall rule over the 5-tuple.
+type FWRule struct {
+	Action   vnet.Action
+	Proto    vnet.Protocol
+	Src      addr.Prefix
+	Dst      addr.Prefix
+	PortFrom int
+	PortTo   int
+}
+
+func (r FWRule) matches(pkt vnet.Packet) bool {
+	if r.Proto != vnet.AnyProto && pkt.Proto != vnet.AnyProto && r.Proto != pkt.Proto {
+		return false
+	}
+	if r.PortTo != 0 && (pkt.DstPort < r.PortFrom || pkt.DstPort > r.PortTo) {
+		return false
+	}
+	return r.Src.Contains(pkt.Src) && r.Dst.Contains(pkt.Dst)
+}
+
+// Firewall is an in-path packet filter with optional DPI signatures. It
+// implements gateway.Inspector so it can sit on a VPC's ingress chain.
+// Default policy is deny, as shipped by every firewall vendor.
+type Firewall struct {
+	FWID       string
+	rules      []FWRule
+	signatures []string
+	// Inspected and Dropped count traffic for the security experiment.
+	Inspected uint64
+	Dropped   uint64
+}
+
+// NewFirewall provisions a firewall appliance, charging the box and its
+// placement decision.
+func NewFirewall(id string, ledger *complexity.Ledger) *Firewall {
+	ledger.Resource("firewall")
+	ledger.Param("firewall", 2) // placement, size
+	ledger.Decision()           // vendor/native + appliance/managed choice (§3)
+	return &Firewall{FWID: id}
+}
+
+// AddRule appends a rule (ordered, first match wins).
+func (f *Firewall) AddRule(r FWRule, ledger *complexity.Ledger) {
+	f.rules = append(f.rules, r)
+	ledger.Param("firewall", 5) // action, proto, src, dst, ports
+}
+
+// AddSignature installs a DPI payload signature; packets whose payload
+// contains it are dropped regardless of rule verdict.
+func (f *Firewall) AddSignature(sig string, ledger *complexity.Ledger) {
+	f.signatures = append(f.signatures, sig)
+	ledger.Param("firewall", 1)
+}
+
+// Name implements gateway.Inspector.
+func (f *Firewall) Name() string { return f.FWID }
+
+// Inspect implements gateway.Inspector: DPI first, then ordered rules,
+// then implicit deny.
+func (f *Firewall) Inspect(pkt vnet.Packet) (bool, string) {
+	f.Inspected++
+	for _, sig := range f.signatures {
+		if sig != "" && strings.Contains(pkt.Payload, sig) {
+			f.Dropped++
+			return false, "dpi signature: " + sig
+		}
+	}
+	for _, r := range f.rules {
+		if r.matches(pkt) {
+			if r.Action == vnet.Allow {
+				return true, ""
+			}
+			f.Dropped++
+			return false, "rule deny"
+		}
+	}
+	f.Dropped++
+	return false, "implicit deny"
+}

@@ -1,0 +1,208 @@
+// Package appliance models the virtualized middleboxes of §2 step 5 and
+// Table 1 of the paper: the four-option load-balancer family (application/
+// network/classic/gateway), target groups with health checks, and
+// firewall/DPI appliances. These are the boxes the tenant must "select,
+// place in their virtual topology, configure routing to steer traffic
+// through, and finally configure" — each constructor charges the
+// complexity ledger accordingly.
+package appliance
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"declnet/internal/complexity"
+	"declnet/internal/vnet"
+)
+
+// TargetGroup is a set of backend instances with health state.
+type TargetGroup struct {
+	ID      string
+	targets map[string]bool // instance ID -> healthy
+	// HealthCheckPath/Interval are recorded configuration (they shape the
+	// ledger charge); health transitions are driven by SetHealth.
+	HealthCheckPath     string
+	HealthCheckInterval int
+}
+
+// NewTargetGroup returns an empty group.
+func NewTargetGroup(id string) *TargetGroup {
+	return &TargetGroup{ID: id, targets: make(map[string]bool)}
+}
+
+// Register adds a backend in healthy state.
+func (g *TargetGroup) Register(instID string) {
+	g.targets[instID] = true
+}
+
+// Deregister removes a backend.
+func (g *TargetGroup) Deregister(instID string) {
+	delete(g.targets, instID)
+}
+
+// SetHealth marks a backend healthy or not.
+func (g *TargetGroup) SetHealth(instID string, healthy bool) error {
+	if _, ok := g.targets[instID]; !ok {
+		return fmt.Errorf("appliance: unknown target %q in %q", instID, g.ID)
+	}
+	g.targets[instID] = healthy
+	return nil
+}
+
+// Healthy returns the healthy backends, sorted.
+func (g *TargetGroup) Healthy() []string {
+	var out []string
+	for id, ok := range g.targets {
+		if ok {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns the number of registered backends.
+func (g *TargetGroup) Size() int { return len(g.targets) }
+
+// LBType distinguishes the four cloud load balancer products (Table 1).
+type LBType int
+
+const (
+	// ApplicationLB balances at L7 on path/host/header conditions.
+	ApplicationLB LBType = iota
+	// NetworkLB balances at L4 by flow hash.
+	NetworkLB
+	// ClassicLB supports both with a legacy rule model.
+	ClassicLB
+	// GatewayLB steers traffic through appliance chains at L3.
+	GatewayLB
+)
+
+var lbTypeNames = map[LBType]string{
+	ApplicationLB: "application", NetworkLB: "network",
+	ClassicLB: "classic", GatewayLB: "gateway",
+}
+
+func (t LBType) String() string { return lbTypeNames[t] }
+
+// L7Rule matches requests by path prefix, host, and header and forwards
+// them to a target group.
+type L7Rule struct {
+	Priority    int
+	PathPrefix  string
+	Host        string
+	HeaderKey   string
+	HeaderValue string
+	TargetGroup string
+}
+
+func (r L7Rule) matches(req Request) bool {
+	if r.PathPrefix != "" && !strings.HasPrefix(req.Path, r.PathPrefix) {
+		return false
+	}
+	if r.Host != "" && req.Host != r.Host {
+		return false
+	}
+	if r.HeaderKey != "" && req.Headers[r.HeaderKey] != r.HeaderValue {
+		return false
+	}
+	return true
+}
+
+// Request is the L7 view of a connection for ALB-style matching.
+type Request struct {
+	Path    string
+	Host    string
+	Headers map[string]string
+	// Flow identifies the underlying 5-tuple for L4 hashing.
+	Flow vnet.Packet
+}
+
+// LoadBalancer is one provisioned load balancer box.
+type LoadBalancer struct {
+	ID   string
+	Type LBType
+
+	groups  map[string]*TargetGroup
+	rules   []L7Rule // ALB/classic
+	def     string   // default target group ID (NLB/classic/fallback)
+	rrIndex int
+}
+
+// NewLoadBalancer provisions a load balancer, charging the ledger the way
+// Table 1 itemizes it (rules, health checks, target groups, AZs...).
+func NewLoadBalancer(id string, typ LBType, ledger *complexity.Ledger) *LoadBalancer {
+	ledger.Resource("load-balancer-" + typ.String())
+	ledger.Param("load-balancer-"+typ.String(), 4) // scheme, AZs, listeners, idle timeout
+	ledger.Decision()                              // the 4-way product choice (5-level decision tree, §3)
+	return &LoadBalancer{ID: id, Type: typ, groups: make(map[string]*TargetGroup)}
+}
+
+// AddTargetGroup attaches a target group, charging its configuration.
+func (lb *LoadBalancer) AddTargetGroup(g *TargetGroup, ledger *complexity.Ledger) {
+	lb.groups[g.ID] = g
+	ledger.Resource("target-group")
+	ledger.Param("target-group", 3) // protocol/port, health check, thresholds
+}
+
+// AddRule installs an L7 rule (ALB/classic only).
+func (lb *LoadBalancer) AddRule(r L7Rule, ledger *complexity.Ledger) error {
+	if lb.Type == NetworkLB || lb.Type == GatewayLB {
+		return fmt.Errorf("appliance: %s LB does not support L7 rules", lb.Type)
+	}
+	if _, ok := lb.groups[r.TargetGroup]; !ok {
+		return fmt.Errorf("appliance: rule references unknown target group %q", r.TargetGroup)
+	}
+	lb.rules = append(lb.rules, r)
+	sort.SliceStable(lb.rules, func(i, j int) bool { return lb.rules[i].Priority < lb.rules[j].Priority })
+	ledger.Param("load-balancer-"+lb.Type.String(), 3) // condition, priority, action
+	return nil
+}
+
+// SetDefault sets the target group used when no rule matches (and the only
+// group for NLB).
+func (lb *LoadBalancer) SetDefault(groupID string, ledger *complexity.Ledger) error {
+	if _, ok := lb.groups[groupID]; !ok {
+		return fmt.Errorf("appliance: unknown target group %q", groupID)
+	}
+	lb.def = groupID
+	ledger.Param("load-balancer-"+lb.Type.String(), 1)
+	return nil
+}
+
+// Route picks a backend instance for the request, or an error when no
+// healthy target exists. ALB matches rules by priority then round-robins
+// within the group; NLB hashes the flow 5-tuple for stickiness.
+func (lb *LoadBalancer) Route(req Request) (string, error) {
+	groupID := lb.def
+	if lb.Type == ApplicationLB || lb.Type == ClassicLB {
+		for _, r := range lb.rules {
+			if r.matches(req) {
+				groupID = r.TargetGroup
+				break
+			}
+		}
+	}
+	if groupID == "" {
+		return "", fmt.Errorf("appliance: %s has no default target group", lb.ID)
+	}
+	g := lb.groups[groupID]
+	healthy := g.Healthy()
+	if len(healthy) == 0 {
+		return "", fmt.Errorf("appliance: no healthy targets in %q", groupID)
+	}
+	switch lb.Type {
+	case NetworkLB, GatewayLB:
+		h := fnv.New32a()
+		fmt.Fprintf(h, "%s:%d-%s:%d-%d", req.Flow.Src, req.Flow.SrcPort, req.Flow.Dst, req.Flow.DstPort, req.Flow.Proto)
+		return healthy[int(h.Sum32())%len(healthy)], nil
+	default:
+		lb.rrIndex++
+		return healthy[lb.rrIndex%len(healthy)], nil
+	}
+}
+
+// Groups returns the attached target groups by ID.
+func (lb *LoadBalancer) Groups() map[string]*TargetGroup { return lb.groups }

@@ -1,0 +1,279 @@
+package cloudapi
+
+import (
+	"fmt"
+
+	"declnet/internal/appliance"
+	"declnet/internal/gateway"
+	"declnet/internal/vnet"
+)
+
+// AWS is the aws-like facade: VPC-centric, two-call gateway attachment,
+// stateful security groups authorized rule-by-rule, explicit route tables,
+// and elastic IPs allocated then associated.
+type AWS struct {
+	env    *Env
+	Region string
+	seq    int
+}
+
+// NewAWS returns the facade for one region.
+func NewAWS(env *Env, region string) *AWS { return &AWS{env: env, Region: region} }
+
+func (a *AWS) id(kind string) string {
+	a.seq++
+	return fmt.Sprintf("%s-%s-%04d", kind, a.Region, a.seq)
+}
+
+// VpcOptions are the knobs CreateVpc demands up front (§2 step 1: "a
+// particular choice leads to a separate path down the decision tree").
+type VpcOptions struct {
+	EnableDNSSupport   bool
+	EnableDNSHostnames bool
+	InstanceTenancy    string // "default" | "dedicated"
+}
+
+// CreateVpc provisions a VPC.
+func (a *AWS) CreateVpc(name, cidrBlock string, opts VpcOptions) (*vnet.VPC, error) {
+	p, err := parseCIDR(cidrBlock)
+	if err != nil {
+		return nil, err
+	}
+	v := vnet.NewVPC(name, p, a.env.Ledger)
+	if err := a.env.Fabric.AddVPC(v); err != nil {
+		return nil, err
+	}
+	a.env.Ledger.Param("aws:vpc", 3) // dns support, dns hostnames, tenancy
+	a.env.Ledger.Decision()          // IPv4-vs-IPv6 / tenancy decision tree
+	return v, nil
+}
+
+// CreateSubnet carves a subnet in an availability zone.
+func (a *AWS) CreateSubnet(vpc *vnet.VPC, name, cidrBlock, az string, mapPublicIPOnLaunch bool) error {
+	p, err := parseCIDR(cidrBlock)
+	if err != nil {
+		return err
+	}
+	if _, err := vpc.AddSubnet(name, p, mapPublicIPOnLaunch); err != nil {
+		return err
+	}
+	a.env.Ledger.Param("aws:subnet", 2) // az, map-public-ip
+	return nil
+}
+
+// CreateInternetGateway provisions a detached IGW; AttachInternetGateway
+// must follow (two calls for one box, as in EC2).
+func (a *AWS) CreateInternetGateway() string {
+	id := a.id("igw")
+	a.env.Ledger.Param("aws:internet-gateway", 1)
+	return id
+}
+
+// AttachInternetGateway binds the IGW to a VPC.
+func (a *AWS) AttachInternetGateway(igwID string, vpc *vnet.VPC) error {
+	if _, err := a.env.Fabric.CreateIGW(igwID, vpc.ID); err != nil {
+		return err
+	}
+	a.env.Ledger.Step()
+	return nil
+}
+
+// CreateNatGateway provisions a NAT gateway (which implicitly consumes an
+// elastic IP allocation, charged).
+func (a *AWS) CreateNatGateway(vpc *vnet.VPC, subnetID string) (*gateway.NATGateway, error) {
+	n, err := a.env.Fabric.CreateNAT(a.id("nat"), vpc.ID, subnetID)
+	if err != nil {
+		return nil, err
+	}
+	a.env.Ledger.Param("aws:nat-gateway", 2) // connectivity type, allocation id
+	return n, nil
+}
+
+// CreateRoute installs one route into a subnet's table.
+func (a *AWS) CreateRoute(vpc *vnet.VPC, subnetID, destCIDR string, target vnet.Target) error {
+	p, err := parseCIDR(destCIDR)
+	if err != nil {
+		return err
+	}
+	if err := vpc.AddRoute(subnetID, p, target); err != nil {
+		return err
+	}
+	a.env.Ledger.Param("aws:route", 2)
+	return nil
+}
+
+// CreateSecurityGroup provisions an empty (deny-all) group;
+// AuthorizeSecurityGroupIngress/Egress add rules one call each.
+func (a *AWS) CreateSecurityGroup(vpc *vnet.VPC, name, description string) error {
+	if err := vpc.AddSecurityGroup(&vnet.SecurityGroup{ID: name}); err != nil {
+		return err
+	}
+	a.env.Ledger.Param("aws:security-group", 1) // description
+	_ = description
+	return nil
+}
+
+// AuthorizeSecurityGroupIngress appends one ingress rule.
+func (a *AWS) AuthorizeSecurityGroupIngress(vpc *vnet.VPC, sgName string, rule vnet.SGRule) error {
+	return a.authorize(vpc, sgName, rule, true)
+}
+
+// AuthorizeSecurityGroupEgress appends one egress rule.
+func (a *AWS) AuthorizeSecurityGroupEgress(vpc *vnet.VPC, sgName string, rule vnet.SGRule) error {
+	return a.authorize(vpc, sgName, rule, false)
+}
+
+func (a *AWS) authorize(vpc *vnet.VPC, sgName string, rule vnet.SGRule, ingress bool) error {
+	sg := findSG(vpc, sgName)
+	if sg == nil {
+		return fmt.Errorf("cloudapi: unknown security group %q", sgName)
+	}
+	if ingress {
+		sg.Ingress = append(sg.Ingress, rule)
+	} else {
+		sg.Egress = append(sg.Egress, rule)
+	}
+	a.env.Ledger.Step()
+	a.env.Ledger.Param("aws:security-group", 4) // proto, ports, source, direction
+	return nil
+}
+
+// RunInstance launches a VM in a subnet with security groups.
+func (a *AWS) RunInstance(vpc *vnet.VPC, name, subnetID string, securityGroups ...string) (*vnet.Instance, error) {
+	inst, err := vpc.LaunchInstance(name, subnetID, securityGroups...)
+	if err != nil {
+		return nil, err
+	}
+	a.env.Ledger.Param("aws:instance", 2) // ami-ish, type-ish (networking share)
+	return inst, nil
+}
+
+// AllocateAddress + AssociateAddress give an instance a public IP in the
+// EC2 two-step dance.
+func (a *AWS) AllocateAddress() string {
+	id := a.id("eipalloc")
+	a.env.Ledger.Param("aws:elastic-ip", 1)
+	return id
+}
+
+// AssociateAddress binds the allocation to an instance.
+func (a *AWS) AssociateAddress(allocID string, vpc *vnet.VPC, instanceID string) error {
+	if _, err := a.env.Fabric.AssignPublicIP(vpc.ID, instanceID); err != nil {
+		return err
+	}
+	a.env.Ledger.Step()
+	_ = allocID
+	return nil
+}
+
+// CreateTransitGateway provisions a regional TGW.
+func (a *AWS) CreateTransitGateway(asn int) (*gateway.TGW, error) {
+	t, err := a.env.Fabric.CreateTGW(a.id("tgw"), a.Region)
+	if err != nil {
+		return nil, err
+	}
+	a.env.Ledger.Param("aws:transit-gateway", 4) // ASN, default assoc/prop, DNS
+	_ = asn
+	return t, nil
+}
+
+// CreateTransitGatewayAttachment attaches a VPC, site (VPN), or peer TGW.
+func (a *AWS) CreateTransitGatewayAttachment(tgw *gateway.TGW, kind gateway.AttachmentKind, refID string) (string, error) {
+	id := a.id("tgw-attach")
+	if err := a.env.Fabric.AttachToTGW(tgw.ID, id, kind, refID); err != nil {
+		return "", err
+	}
+	a.env.Ledger.Param("aws:tgw-attachment", 2)
+	return id, nil
+}
+
+// CreateTransitGatewayRoute installs a static TGW route.
+func (a *AWS) CreateTransitGatewayRoute(tgw *gateway.TGW, destCIDR, attachmentID string) error {
+	p, err := parseCIDR(destCIDR)
+	if err != nil {
+		return err
+	}
+	if err := a.env.Fabric.TGWRoute(tgw.ID, p, attachmentID); err != nil {
+		return err
+	}
+	a.env.Ledger.Param("aws:tgw-route", 2)
+	return nil
+}
+
+// EnableTransitGatewayRoutePropagation turns on propagation from
+// attachments.
+func (a *AWS) EnableTransitGatewayRoutePropagation(tgw *gateway.TGW) error {
+	if err := a.env.Fabric.PropagateTGWRoutes(tgw.ID); err != nil {
+		return err
+	}
+	a.env.Ledger.Step()
+	return nil
+}
+
+// CreateVpnGateway/CreateCustomerGateway/CreateVpnConnection: three calls
+// for one tunnel, as in EC2. The facade exposes the triple as separate
+// steps so the step count is honest.
+func (a *AWS) CreateVpnGateway() string {
+	a.env.Ledger.Param("aws:vpn-gateway", 1) // ASN
+	return a.id("vgw")
+}
+
+// CreateCustomerGateway registers the on-prem end.
+func (a *AWS) CreateCustomerGateway(siteID string) string {
+	a.env.Ledger.Param("aws:customer-gateway", 2) // IP, ASN
+	_ = siteID
+	return a.id("cgw")
+}
+
+// CreateVpnConnection ties VGW and CGW together and actually builds the
+// fabric object.
+func (a *AWS) CreateVpnConnection(vgwID string, vpc *vnet.VPC, siteID string) (*gateway.VGW, error) {
+	g, err := a.env.Fabric.CreateVGW(vgwID, vpc.ID, siteID)
+	if err != nil {
+		return nil, err
+	}
+	a.env.Ledger.Param("aws:vpn-connection", 4) // static/dynamic, tunnel opts, PSKs
+	return g, nil
+}
+
+// CreateVpcPeeringConnection requests a peering; AcceptVpcPeeringConnection
+// completes it (two calls, two tenants' worth of coordination).
+func (a *AWS) CreateVpcPeeringConnection(requester, accepter *vnet.VPC) (string, error) {
+	id := a.id("pcx")
+	if _, err := a.env.Fabric.CreatePeering(id, requester.ID, accepter.ID); err != nil {
+		return "", err
+	}
+	a.env.Ledger.Param("aws:vpc-peering", 2)
+	return id, nil
+}
+
+// AcceptVpcPeeringConnection is the accepter-side step.
+func (a *AWS) AcceptVpcPeeringConnection(pcxID string) {
+	a.env.Ledger.Step()
+	_ = pcxID
+}
+
+// CreateLoadBalancer provisions one of the four products; the choice is a
+// charged decision (the paper's five-level decision tree, §3(2)).
+func (a *AWS) CreateLoadBalancer(typ appliance.LBType) *appliance.LoadBalancer {
+	lb := appliance.NewLoadBalancer(a.id("lb"), typ, a.env.Ledger)
+	a.env.Ledger.Param("aws:load-balancer", 2) // scheme, subnets
+	return lb
+}
+
+// CreateNetworkFirewall provisions a firewall appliance and steers the
+// VPC's ingress through it.
+func (a *AWS) CreateNetworkFirewall(vpc *vnet.VPC) (*appliance.Firewall, error) {
+	fw := appliance.NewFirewall(a.id("anfw"), a.env.Ledger)
+	if err := a.env.Fabric.AttachInspector(vpc.ID, fw); err != nil {
+		return nil, err
+	}
+	a.env.Ledger.Param("aws:network-firewall", 3) // policy, subnets, logging
+	return fw, nil
+}
+
+// findSG locates a security group by scanning instances' VPC: vnet does
+// not export its map, so the facades go through a narrow helper.
+func findSG(vpc *vnet.VPC, name string) *vnet.SecurityGroup {
+	return vpc.SecurityGroup(name)
+}

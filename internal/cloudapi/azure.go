@@ -1,0 +1,404 @@
+package cloudapi
+
+import (
+	"fmt"
+
+	"declnet/internal/appliance"
+	"declnet/internal/gateway"
+	"declnet/internal/vnet"
+)
+
+// Azure is the azure-like facade. Its shapes differ from AWS on purpose:
+// virtual networks take a *list* of address spaces, security rules live in
+// priority-ordered NSGs associated to subnets, public IPs are standalone
+// resources wired through NICs, and VPN needs a virtual network gateway
+// plus a local network gateway plus a connection object.
+type Azure struct {
+	env      *Env
+	Location string
+	seq      int
+	// nsgs staged before association, keyed by name.
+	nsgs map[string]*stagedNSG
+	// stagedNICs holds NICs created but not yet bound to a VM.
+	stagedNICs []stagedNIC
+	// peerings tracks half-open peering directions (Azure needs one call
+	// per side).
+	peerings map[string]bool
+}
+
+type stagedNSG struct {
+	rules []azureRule
+}
+
+type azureRule struct {
+	priority  int
+	direction string // "Inbound" | "Outbound"
+	access    vnet.Action
+	proto     vnet.Protocol
+	portRange [2]int
+	prefix    string
+}
+
+// NewAzure returns the facade for one location.
+func NewAzure(env *Env, location string) *Azure {
+	return &Azure{env: env, Location: location, nsgs: make(map[string]*stagedNSG)}
+}
+
+func (z *Azure) id(kind string) string {
+	z.seq++
+	return fmt.Sprintf("%s-%s-%04d", kind, z.Location, z.seq)
+}
+
+// CreateVirtualNetwork provisions a VNet. Azure takes multiple address
+// spaces; the simulation uses the first and charges for all of them.
+func (z *Azure) CreateVirtualNetwork(name string, addressSpaces []string) (*vnet.VPC, error) {
+	if len(addressSpaces) == 0 {
+		return nil, fmt.Errorf("cloudapi: virtual network needs at least one address space")
+	}
+	p, err := parseCIDR(addressSpaces[0])
+	if err != nil {
+		return nil, err
+	}
+	v := vnet.NewVPC(name, p, z.env.Ledger)
+	if err := z.env.Fabric.AddVPC(v); err != nil {
+		return nil, err
+	}
+	z.env.Ledger.Param("azure:virtual-network", 1+len(addressSpaces)) // location + spaces
+	z.env.Ledger.Decision()
+	return v, nil
+}
+
+// AddSubnet carves a subnet (no AZ concept at the subnet level — a real
+// divergence from AWS that trips up multi-cloud tooling).
+func (z *Azure) AddSubnet(v *vnet.VPC, name, addressPrefix string) error {
+	p, err := parseCIDR(addressPrefix)
+	if err != nil {
+		return err
+	}
+	if _, err := v.AddSubnet(name, p, false); err != nil {
+		return err
+	}
+	z.env.Ledger.Param("azure:subnet", 1)
+	return nil
+}
+
+// CreateNetworkSecurityGroup stages an empty NSG.
+func (z *Azure) CreateNetworkSecurityGroup(name string) error {
+	if _, ok := z.nsgs[name]; ok {
+		return fmt.Errorf("cloudapi: duplicate NSG %q", name)
+	}
+	z.nsgs[name] = &stagedNSG{}
+	z.env.Ledger.Resource("azure:network-security-group")
+	z.env.Ledger.Param("azure:network-security-group", 1)
+	return nil
+}
+
+// AddSecurityRule appends a priority-ordered rule to a staged NSG.
+// portRange uses [from,to]; direction is "Inbound" or "Outbound".
+func (z *Azure) AddSecurityRule(nsgName string, priority int, direction string, access vnet.Action, proto vnet.Protocol, portFrom, portTo int, addressPrefix string) error {
+	nsg, ok := z.nsgs[nsgName]
+	if !ok {
+		return fmt.Errorf("cloudapi: unknown NSG %q", nsgName)
+	}
+	nsg.rules = append(nsg.rules, azureRule{
+		priority: priority, direction: direction, access: access,
+		proto: proto, portRange: [2]int{portFrom, portTo}, prefix: addressPrefix,
+	})
+	z.env.Ledger.Step()
+	z.env.Ledger.Param("azure:security-rule", 6) // priority, direction, access, proto, ports, prefix
+	return nil
+}
+
+// AssociateNSGToSubnet compiles the staged NSG into the subnet's NACL
+// (Azure NSGs-on-subnets behave like stateless-ish ordered filters; the
+// simulation maps them to the NACL slot) and into a matching stateful
+// group for NIC-level semantics.
+func (z *Azure) AssociateNSGToSubnet(v *vnet.VPC, nsgName, subnetName string) error {
+	nsg, ok := z.nsgs[nsgName]
+	if !ok {
+		return fmt.Errorf("cloudapi: unknown NSG %q", nsgName)
+	}
+	acl := &vnet.NACL{ID: nsgName}
+	for _, r := range nsg.rules {
+		p, err := parseCIDR(r.prefix)
+		if err != nil {
+			return err
+		}
+		rule := vnet.NACLRule{Num: r.priority, Action: r.access, Proto: r.proto,
+			PortFrom: r.portRange[0], PortTo: r.portRange[1], CIDR: p}
+		if r.direction == "Inbound" {
+			acl.Ingress = append(acl.Ingress, rule)
+		} else {
+			acl.Egress = append(acl.Egress, rule)
+		}
+	}
+	if err := v.SetNACL(subnetName, acl); err != nil {
+		return err
+	}
+	z.env.Ledger.Step()
+	return nil
+}
+
+// CreateNSGBackedSecurityGroup compiles a staged NSG into an instance-level
+// stateful group (NIC association flavor).
+func (z *Azure) CreateNSGBackedSecurityGroup(v *vnet.VPC, nsgName string) error {
+	nsg, ok := z.nsgs[nsgName]
+	if !ok {
+		return fmt.Errorf("cloudapi: unknown NSG %q", nsgName)
+	}
+	sg := &vnet.SecurityGroup{ID: nsgName}
+	for _, r := range nsg.rules {
+		if r.access != vnet.Allow {
+			continue // stateful layer keeps only allows; denies live in the NACL mapping
+		}
+		p, err := parseCIDR(r.prefix)
+		if err != nil {
+			return err
+		}
+		rule := vnet.SGRule{Proto: r.proto, PortFrom: r.portRange[0], PortTo: r.portRange[1], Source: p}
+		if r.direction == "Inbound" {
+			sg.Ingress = append(sg.Ingress, rule)
+		} else {
+			sg.Egress = append(sg.Egress, rule)
+		}
+	}
+	if err := v.AddSecurityGroup(sg); err != nil {
+		return err
+	}
+	z.env.Ledger.Step()
+	return nil
+}
+
+// UpdateNSGBackedSecurityGroup recompiles a staged NSG's current rules
+// into the already-registered stateful group (Azure rule edits apply in
+// place; the facade mirrors that).
+func (z *Azure) UpdateNSGBackedSecurityGroup(v *vnet.VPC, nsgName string) error {
+	nsg, ok := z.nsgs[nsgName]
+	if !ok {
+		return fmt.Errorf("cloudapi: unknown NSG %q", nsgName)
+	}
+	sg := v.SecurityGroup(nsgName)
+	if sg == nil {
+		return fmt.Errorf("cloudapi: NSG %q not yet compiled into %q", nsgName, v.ID)
+	}
+	sg.Ingress, sg.Egress = nil, nil
+	for _, r := range nsg.rules {
+		if r.access != vnet.Allow {
+			continue
+		}
+		p, err := parseCIDR(r.prefix)
+		if err != nil {
+			return err
+		}
+		rule := vnet.SGRule{Proto: r.proto, PortFrom: r.portRange[0], PortTo: r.portRange[1], Source: p}
+		if r.direction == "Inbound" {
+			sg.Ingress = append(sg.Ingress, rule)
+		} else {
+			sg.Egress = append(sg.Egress, rule)
+		}
+	}
+	z.env.Ledger.Step()
+	return nil
+}
+
+// CreatePublicIPAddress provisions a standalone public IP resource.
+func (z *Azure) CreatePublicIPAddress(sku string) string {
+	id := z.id("pip")
+	z.env.Ledger.Resource("azure:public-ip")
+	z.env.Ledger.Param("azure:public-ip", 2) // sku, allocation method
+	_ = sku
+	return id
+}
+
+// CreateNetworkInterface wires subnet + NSG + optional public IP; the VM
+// comes separately. Returns the NIC id to pass to CreateVM.
+func (z *Azure) CreateNetworkInterface(v *vnet.VPC, subnetName string, nsgGroups []string, publicIPID string) (string, error) {
+	id := z.id("nic")
+	z.env.Ledger.Resource("azure:network-interface")
+	z.env.Ledger.Param("azure:network-interface", 3) // subnet, nsg, ip-config
+	// The NIC is realized at CreateVM time; stash intent in the ID.
+	z.stagedNICs = append(z.stagedNICs, stagedNIC{id: id, vpc: v, subnet: subnetName, groups: nsgGroups, pip: publicIPID})
+	return id, nil
+}
+
+type stagedNIC struct {
+	id     string
+	vpc    *vnet.VPC
+	subnet string
+	groups []string
+	pip    string
+}
+
+// CreateVM launches a VM bound to a previously created NIC.
+func (z *Azure) CreateVM(name, nicID string) (*vnet.Instance, error) {
+	for i, nic := range z.stagedNICs {
+		if nic.id != nicID {
+			continue
+		}
+		inst, err := nic.vpc.LaunchInstance(name, nic.subnet, nic.groups...)
+		if err != nil {
+			return nil, err
+		}
+		if nic.pip != "" {
+			if _, err := z.env.Fabric.AssignPublicIP(nic.vpc.ID, name); err != nil {
+				return nil, err
+			}
+		}
+		z.stagedNICs = append(z.stagedNICs[:i], z.stagedNICs[i+1:]...)
+		z.env.Ledger.Param("azure:virtual-machine", 1)
+		return inst, nil
+	}
+	return nil, fmt.Errorf("cloudapi: unknown NIC %q", nicID)
+}
+
+// CreateRouteTable + AddUserRoute + AssociateRouteTable mirror Azure UDRs.
+func (z *Azure) CreateRouteTable(name string) string {
+	z.env.Ledger.Resource("azure:route-table")
+	z.env.Ledger.Param("azure:route-table", 1)
+	return name
+}
+
+// AddUserRoute appends a user-defined route to the staged table and
+// immediately applies it to the subnet it will be associated with; Azure
+// separates these, so the facade charges two steps across the pair.
+func (z *Azure) AddUserRoute(v *vnet.VPC, subnetName, prefix string, target vnet.Target) error {
+	p, err := parseCIDR(prefix)
+	if err != nil {
+		return err
+	}
+	if err := v.AddRoute(subnetName, p, target); err != nil {
+		return err
+	}
+	z.env.Ledger.Param("azure:route", 3) // name, prefix, next hop type
+	return nil
+}
+
+// CreateVirtualNetworkGateway provisions the VNet end of a VPN (slow,
+// expensive box in real Azure; here it charges accordingly).
+func (z *Azure) CreateVirtualNetworkGateway() string {
+	z.env.Ledger.Resource("azure:virtual-network-gateway")
+	z.env.Ledger.Param("azure:virtual-network-gateway", 4) // sku, vpn type, generation, subnet
+	return z.id("vnetgw")
+}
+
+// CreateLocalNetworkGateway registers the on-prem end.
+func (z *Azure) CreateLocalNetworkGateway(siteID string) string {
+	z.env.Ledger.Resource("azure:local-network-gateway")
+	z.env.Ledger.Param("azure:local-network-gateway", 2) // address, prefixes
+	_ = siteID
+	return z.id("localgw")
+}
+
+// CreateConnection ties the two gateways into a working tunnel.
+func (z *Azure) CreateConnection(vnetGwID string, v *vnet.VPC, siteID string) (*gateway.VGW, error) {
+	g, err := z.env.Fabric.CreateVGW(vnetGwID, v.ID, siteID)
+	if err != nil {
+		return nil, err
+	}
+	z.env.Ledger.Param("azure:connection", 3) // type, PSK, protocol
+	return g, nil
+}
+
+// CreateVnetPeering peers two VNets; Azure requires one call per
+// direction, so callers invoke this twice (charged each time). The fabric
+// object is created on the first call.
+func (z *Azure) CreateVnetPeering(from, to *vnet.VPC, allowForwardedTraffic bool) (string, error) {
+	id := "peer-" + from.ID + "-" + to.ID
+	rev := "peer-" + to.ID + "-" + from.ID
+	z.env.Ledger.Param("azure:vnet-peering", 3) // forwarded, gateway transit, access
+	if _, ok := z.peerings[rev]; ok {
+		z.env.Ledger.Step()
+		return rev, nil // second direction completes the existing peering
+	}
+	if z.peerings == nil {
+		z.peerings = make(map[string]bool)
+	}
+	if _, err := z.env.Fabric.CreatePeering(id, from.ID, to.ID); err != nil {
+		return "", err
+	}
+	z.peerings[id] = true
+	_ = allowForwardedTraffic
+	return id, nil
+}
+
+// peerings tracks half-open peering directions.
+var _ = (*Azure)(nil)
+
+// CreateVirtualWANHub provisions a regional hub — the Azure-side analog
+// of a transit gateway, with its own vocabulary and knobs.
+func (z *Azure) CreateVirtualWANHub(region string) (*gateway.TGW, error) {
+	t, err := z.env.Fabric.CreateTGW(z.id("vhub"), region)
+	if err != nil {
+		return nil, err
+	}
+	z.env.Ledger.Param("azure:virtual-wan-hub", 3) // address prefix, sku, routing intent
+	return t, nil
+}
+
+// ConnectVNetToHub attaches a VNet to a hub and propagates its prefix.
+func (z *Azure) ConnectVNetToHub(hub *gateway.TGW, v *vnet.VPC) (string, error) {
+	id := z.id("hubconn")
+	if err := z.env.Fabric.AttachToTGW(hub.ID, id, gateway.AttachVPC, v.ID); err != nil {
+		return "", err
+	}
+	if err := z.env.Fabric.PropagateTGWRoutes(hub.ID); err != nil {
+		return "", err
+	}
+	z.env.Ledger.Param("azure:hub-connection", 2)
+	return id, nil
+}
+
+// ConnectSiteToHub attaches an on-prem site to a hub over VPN.
+func (z *Azure) ConnectSiteToHub(hub *gateway.TGW, siteID string) (string, error) {
+	id := z.id("siteconn")
+	if err := z.env.Fabric.AttachToTGW(hub.ID, id, gateway.AttachSite, siteID); err != nil {
+		return "", err
+	}
+	if err := z.env.Fabric.PropagateTGWRoutes(hub.ID); err != nil {
+		return "", err
+	}
+	z.env.Ledger.Param("azure:vpn-site", 3)
+	return id, nil
+}
+
+// HubRoute installs a static route on a hub (needed across hub/TGW
+// peerings, which never propagate).
+func (z *Azure) HubRoute(hub *gateway.TGW, destCIDR, connectionID string) error {
+	p, err := parseCIDR(destCIDR)
+	if err != nil {
+		return err
+	}
+	if err := z.env.Fabric.TGWRoute(hub.ID, p, connectionID); err != nil {
+		return err
+	}
+	z.env.Ledger.Param("azure:hub-route", 2)
+	return nil
+}
+
+// PeerHubs connects a hub to a remote TGW/hub (cross-cloud transit).
+func (z *Azure) PeerHubs(hub *gateway.TGW, remote *gateway.TGW) (string, error) {
+	id := z.id("hubpeer")
+	if err := z.env.Fabric.AttachToTGW(hub.ID, id, gateway.AttachPeer, remote.ID); err != nil {
+		return "", err
+	}
+	z.env.Ledger.Param("azure:hub-peering", 2)
+	return id, nil
+}
+
+// CreateLoadBalancer provisions an Azure LB/AppGW-equivalent product.
+func (z *Azure) CreateLoadBalancer(typ appliance.LBType, sku string) *appliance.LoadBalancer {
+	lb := appliance.NewLoadBalancer(z.id("lb"), typ, z.env.Ledger)
+	z.env.Ledger.Param("azure:load-balancer", 3) // sku, frontend config, backend pool
+	_ = sku
+	return lb
+}
+
+// CreateAzureFirewall provisions a firewall and steers a VNet through it.
+func (z *Azure) CreateAzureFirewall(v *vnet.VPC) (*appliance.Firewall, error) {
+	fw := appliance.NewFirewall(z.id("azfw"), z.env.Ledger)
+	if err := z.env.Fabric.AttachInspector(v.ID, fw); err != nil {
+		return nil, err
+	}
+	z.env.Ledger.Param("azure:firewall", 3) // policy, subnet, public ip
+	return fw, nil
+}

@@ -1,0 +1,45 @@
+// Package cloudapi provides per-provider SDK facades over the shared
+// baseline machinery (vnet, gateway, appliance). The facades are
+// deliberately *divergent* — different operation names, different
+// parameter shapes, different defaults, different numbers of calls for the
+// same outcome — because that fragmentation is precisely the tenant
+// experience §2–§3 of the paper describes ("each cloud exposes slightly
+// different versions of these low-level abstractions, provisioned and
+// configured uniquely").
+//
+// All three facades build into one shared gateway.Fabric so a multi-cloud
+// deployment remains end-to-end evaluable, while each facade charges the
+// tenant's complexity ledger using its own provider-prefixed concept
+// vocabulary. The ledger's distinct-concept count is therefore a direct
+// measure of cross-cloud fragmentation.
+package cloudapi
+
+import (
+	"fmt"
+
+	"declnet/internal/addr"
+	"declnet/internal/complexity"
+	"declnet/internal/gateway"
+)
+
+// Env is the shared environment the facades build into: one fabric (the
+// tenant's whole deployment) and one tenant-visible complexity ledger.
+type Env struct {
+	Fabric *gateway.Fabric
+	Ledger *complexity.Ledger
+}
+
+// NewEnv returns a fresh environment.
+func NewEnv() *Env {
+	var led complexity.Ledger
+	return &Env{Fabric: gateway.NewFabric(&led), Ledger: &led}
+}
+
+// parseCIDR is a helper shared by the facades.
+func parseCIDR(s string) (addr.Prefix, error) {
+	p, err := addr.ParsePrefix(s)
+	if err != nil {
+		return addr.Prefix{}, fmt.Errorf("cloudapi: %w", err)
+	}
+	return p, nil
+}

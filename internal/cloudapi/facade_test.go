@@ -1,0 +1,330 @@
+package cloudapi
+
+import (
+	"strings"
+	"testing"
+
+	"declnet/internal/addr"
+	"declnet/internal/appliance"
+	"declnet/internal/gateway"
+	"declnet/internal/vnet"
+)
+
+func TestAzurePublicIPAndInternetPath(t *testing.T) {
+	env := NewEnv()
+	az := NewAzure(env, "eastus")
+	v, _ := az.CreateVirtualNetwork("vnet", []string{"10.0.0.0/16"})
+	az.AddSubnet(v, "default", "10.0.1.0/24")
+	az.CreateNetworkSecurityGroup("nsg")
+	az.AddSecurityRule("nsg", 100, "Inbound", vnet.Allow, vnet.TCP, 443, 443, "0.0.0.0/0")
+	az.AddSecurityRule("nsg", 110, "Outbound", vnet.Allow, vnet.AnyProto, 1, 65535, "0.0.0.0/0")
+	az.AssociateNSGToSubnet(v, "nsg", "default")
+	az.CreateNSGBackedSecurityGroup(v, "nsg")
+	pip := az.CreatePublicIPAddress("standard")
+	if pip == "" {
+		t.Fatal("empty public IP resource id")
+	}
+	nic, err := az.CreateNetworkInterface(v, "default", []string{"nsg"}, pip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := az.CreateVM("vm-1", nic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm.PublicIP == 0 {
+		t.Fatal("VM with public IP config got none")
+	}
+	// Inbound from the internet needs an IGW + public route — Azure's
+	// default outbound model is approximated with an explicit gateway.
+	if _, err := env.Fabric.CreateIGW("igw-az", v.ID); err != nil {
+		t.Fatal(err)
+	}
+	rt := az.CreateRouteTable("udr")
+	if rt == "" {
+		t.Fatal("empty route table id")
+	}
+	if err := az.AddUserRoute(v, "default", "0.0.0.0/0", vnet.Target{Kind: vnet.TIGW, ID: "igw-az"}); err != nil {
+		t.Fatal(err)
+	}
+	verdict := env.Fabric.Evaluate(gateway.Source{Kind: gateway.FromInternet},
+		vnet.Packet{Src: addr.MustParseIP("203.0.113.5"), Dst: vm.PublicIP, Proto: vnet.TCP, DstPort: 443})
+	if !verdict.Delivered {
+		t.Fatalf("internet -> Azure VM failed: %v", verdict)
+	}
+}
+
+func TestAzureVPNTriple(t *testing.T) {
+	env := NewEnv()
+	az := NewAzure(env, "eastus")
+	v, _ := az.CreateVirtualNetwork("vnet", []string{"10.0.0.0/16"})
+	az.AddSubnet(v, "default", "10.0.1.0/24")
+	if _, err := env.Fabric.AddSite("hq", addr.MustParsePrefix("192.168.0.0/16")); err != nil {
+		t.Fatal(err)
+	}
+	gwID := az.CreateVirtualNetworkGateway()
+	lgw := az.CreateLocalNetworkGateway("hq")
+	if gwID == "" || lgw == "" {
+		t.Fatal("gateway ids empty")
+	}
+	vg, err := az.CreateConnection(gwID, v, "hq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vg.SiteID != "hq" {
+		t.Fatalf("connection site = %q", vg.SiteID)
+	}
+	// Provider vocabulary recorded.
+	found := false
+	for _, c := range env.Ledger.Concepts() {
+		if c == "azure:virtual-network-gateway" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("VPN concepts not recorded")
+	}
+}
+
+func TestAzureVnetPeeringBothDirections(t *testing.T) {
+	env := NewEnv()
+	az := NewAzure(env, "eastus")
+	va, _ := az.CreateVirtualNetwork("vnet-a", []string{"10.0.0.0/16"})
+	vb, _ := az.CreateVirtualNetwork("vnet-b", []string{"10.1.0.0/16"})
+	id1, err := az.CreateVnetPeering(va, vb, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := az.CreateVnetPeering(vb, va, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 != id2 {
+		t.Fatalf("second direction returned %q, want completion of %q", id2, id1)
+	}
+}
+
+func TestAzureLBAndFirewall(t *testing.T) {
+	env := NewEnv()
+	az := NewAzure(env, "eastus")
+	v, _ := az.CreateVirtualNetwork("vnet", []string{"10.0.0.0/16"})
+	lb := az.CreateLoadBalancer(appliance.NetworkLB, "standard")
+	if lb == nil {
+		t.Fatal("nil LB")
+	}
+	fw, err := az.CreateAzureFirewall(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fw.Name() == "" {
+		t.Fatal("unnamed firewall")
+	}
+	if env.Ledger.BoxesOf("load-balancer-network") != 1 || env.Ledger.BoxesOf("firewall") != 1 {
+		t.Fatalf("boxes not charged: %s", env.Ledger)
+	}
+}
+
+func TestAzureHubErrorsAndRoutes(t *testing.T) {
+	env := NewEnv()
+	az := NewAzure(env, "eastus")
+	v, _ := az.CreateVirtualNetwork("vnet", []string{"10.0.0.0/16"})
+	az.AddSubnet(v, "s", "10.0.1.0/24")
+	hub, err := az.CreateVirtualWANHub("eastus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := az.ConnectVNetToHub(hub, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := az.HubRoute(hub, "192.168.0.0/16", conn); err != nil {
+		t.Fatal(err)
+	}
+	if err := az.HubRoute(hub, "not-a-cidr", conn); err == nil {
+		t.Fatal("bad CIDR accepted")
+	}
+	if _, err := env.Fabric.AddSite("hq", addr.MustParsePrefix("192.168.0.0/16")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := az.ConnectSiteToHub(hub, "hq"); err != nil {
+		t.Fatal(err)
+	}
+	hub2, _ := az.CreateVirtualWANHub("westus")
+	if _, err := az.PeerHubs(hub, hub2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAzureValidationErrors(t *testing.T) {
+	env := NewEnv()
+	az := NewAzure(env, "eastus")
+	if _, err := az.CreateVirtualNetwork("v", nil); err == nil {
+		t.Fatal("empty address spaces accepted")
+	}
+	if _, err := az.CreateVirtualNetwork("v", []string{"zzz"}); err == nil {
+		t.Fatal("bad address space accepted")
+	}
+	v, _ := az.CreateVirtualNetwork("vnet", []string{"10.0.0.0/16"})
+	if err := az.AddSubnet(v, "s", "zzz"); err == nil {
+		t.Fatal("bad subnet accepted")
+	}
+	if err := az.AddSecurityRule("ghost", 1, "Inbound", vnet.Allow, vnet.TCP, 1, 2, "0.0.0.0/0"); err == nil {
+		t.Fatal("rule on unknown NSG accepted")
+	}
+	if err := az.AssociateNSGToSubnet(v, "ghost", "s"); err == nil {
+		t.Fatal("association of unknown NSG accepted")
+	}
+	if err := az.CreateNSGBackedSecurityGroup(v, "ghost"); err == nil {
+		t.Fatal("compile of unknown NSG accepted")
+	}
+	if err := az.UpdateNSGBackedSecurityGroup(v, "ghost"); err == nil {
+		t.Fatal("update of unknown NSG accepted")
+	}
+	az.CreateNetworkSecurityGroup("nsg")
+	if err := az.CreateNetworkSecurityGroup("nsg"); err == nil {
+		t.Fatal("duplicate NSG accepted")
+	}
+	if err := az.UpdateNSGBackedSecurityGroup(v, "nsg"); err == nil {
+		t.Fatal("update before compile accepted")
+	}
+}
+
+func TestGCPVPNAndRoutes(t *testing.T) {
+	env := NewEnv()
+	gcp := NewGCP(env, "proj")
+	v, _ := gcp.CreateNetwork("net", "10.0.0.0/16", false)
+	gcp.CreateSubnetwork("net", "sub", "r", "10.0.1.0/24")
+	if _, err := env.Fabric.AddSite("hq", addr.MustParsePrefix("192.168.0.0/16")); err != nil {
+		t.Fatal(err)
+	}
+	vg, err := gcp.CreateCloudRouterVPN("net", "hq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gcp.CreateRoute("net", "sub", "192.168.0.0/16", vnet.Target{Kind: vnet.TVGW, ID: vg.ID}); err != nil {
+		t.Fatal(err)
+	}
+	all := addr.MustParsePrefix("0.0.0.0/0")
+	gcp.CreateFirewallRule("net", "out", "any", vnet.SGRule{Source: all}, false)
+	gcp.CreateFirewallRule("net", "in", "any", vnet.SGRule{Source: all}, true)
+	inst, _ := gcp.CreateInstance("net", "vm", "sub", "any")
+	verdict := env.Fabric.Evaluate(
+		gateway.Source{Kind: gateway.FromInstance, VPCID: v.ID, InstanceID: "vm"},
+		vnet.Packet{Src: inst.PrivateIP, Dst: addr.MustParseIP("192.168.1.1"), Proto: vnet.TCP, DstPort: 22})
+	if !verdict.Delivered {
+		t.Fatalf("GCP -> site over cloud router VPN failed: %v", verdict)
+	}
+}
+
+func TestGCPAccessConfigAndDefaultIGW(t *testing.T) {
+	env := NewEnv()
+	gcp := NewGCP(env, "proj")
+	_, err := gcp.CreateNetwork("net", "10.0.0.0/16", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gcp.CreateSubnetwork("net", "sub", "r", "10.0.1.0/24")
+	all := addr.MustParsePrefix("0.0.0.0/0")
+	gcp.CreateFirewallRule("net", "in", "web", vnet.SGRule{Proto: vnet.TCP, PortFrom: 443, PortTo: 443, Source: all}, true)
+	gcp.CreateFirewallRule("net", "out", "web", vnet.SGRule{Source: all}, false)
+	inst, _ := gcp.CreateInstance("net", "vm", "sub", "web")
+	if err := gcp.AddDefaultInternetGateway("net"); err != nil {
+		t.Fatal(err)
+	}
+	if err := gcp.AddAccessConfig("net", "vm"); err != nil {
+		t.Fatal(err)
+	}
+	if inst.PublicIP == 0 {
+		t.Fatal("access config granted no external IP")
+	}
+	verdict := env.Fabric.Evaluate(gateway.Source{Kind: gateway.FromInternet},
+		vnet.Packet{Src: addr.MustParseIP("203.0.113.9"), Dst: inst.PublicIP, Proto: vnet.TCP, DstPort: 443})
+	if !verdict.Delivered {
+		t.Fatalf("internet -> GCP instance failed: %v", verdict)
+	}
+	lb := gcp.CreateLoadBalancer(appliance.ApplicationLB)
+	if lb == nil {
+		t.Fatal("nil GCP LB")
+	}
+}
+
+func TestGCPValidationErrors(t *testing.T) {
+	env := NewEnv()
+	gcp := NewGCP(env, "proj")
+	if _, err := gcp.CreateNetwork("net", "zzz", false); err == nil {
+		t.Fatal("bad range accepted")
+	}
+	if err := gcp.CreateSubnetwork("ghost", "s", "r", "10.0.0.0/24"); err == nil {
+		t.Fatal("subnet on unknown network accepted")
+	}
+	if err := gcp.CreateFirewallRule("ghost", "n", "t", vnet.SGRule{}, true); err == nil {
+		t.Fatal("rule on unknown network accepted")
+	}
+	if _, err := gcp.CreateInstance("ghost", "vm", "s"); err == nil {
+		t.Fatal("instance on unknown network accepted")
+	}
+	if err := gcp.AddAccessConfig("ghost", "vm"); err == nil {
+		t.Fatal("access config on unknown network accepted")
+	}
+	if err := gcp.AddDefaultInternetGateway("ghost"); err == nil {
+		t.Fatal("default IGW on unknown network accepted")
+	}
+	if err := gcp.AddNetworkPeering("ghost", "also-ghost"); err == nil {
+		t.Fatal("peering of unknown networks accepted")
+	}
+	if err := gcp.CreateRoute("ghost", "s", "10.0.0.0/8", vnet.Target{}); err == nil {
+		t.Fatal("route on unknown network accepted")
+	}
+	if _, err := gcp.CreateCloudRouterVPN("ghost", "hq"); err == nil {
+		t.Fatal("VPN on unknown network accepted")
+	}
+}
+
+func TestAWSLoadBalancerAndFirewall(t *testing.T) {
+	env := NewEnv()
+	aws := NewAWS(env, "us-east-1")
+	v, _ := aws.CreateVpc("vpc", "10.0.0.0/16", VpcOptions{})
+	lb := aws.CreateLoadBalancer(appliance.ClassicLB)
+	if lb == nil {
+		t.Fatal("nil classic LB")
+	}
+	fw, err := aws.CreateNetworkFirewall(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(fw.Name(), "anfw") {
+		t.Fatalf("firewall name = %q", fw.Name())
+	}
+	if env.Ledger.BoxesOf("load-balancer-classic") != 1 {
+		t.Fatal("classic LB not charged")
+	}
+}
+
+func TestAWSValidationErrors(t *testing.T) {
+	env := NewEnv()
+	aws := NewAWS(env, "r")
+	if _, err := aws.CreateVpc("v", "bad", VpcOptions{}); err == nil {
+		t.Fatal("bad CIDR accepted")
+	}
+	v, _ := aws.CreateVpc("v", "10.0.0.0/16", VpcOptions{})
+	if err := aws.CreateSubnet(v, "s", "bad", "az", false); err == nil {
+		t.Fatal("bad subnet CIDR accepted")
+	}
+	aws.CreateSubnet(v, "s", "10.0.1.0/24", "az", false)
+	if err := aws.CreateRoute(v, "s", "bad", vnet.Target{}); err == nil {
+		t.Fatal("bad route CIDR accepted")
+	}
+	if err := aws.AuthorizeSecurityGroupIngress(v, "ghost", vnet.SGRule{}); err == nil {
+		t.Fatal("rule on unknown SG accepted")
+	}
+	if err := aws.AssociateAddress("alloc", v, "ghost"); err == nil {
+		t.Fatal("associate to unknown instance accepted")
+	}
+	tgw, _ := aws.CreateTransitGateway(64512)
+	if err := aws.CreateTransitGatewayRoute(tgw, "bad", "att"); err == nil {
+		t.Fatal("bad TGW route CIDR accepted")
+	}
+	if _, err := aws.CreateTransitGatewayAttachment(tgw, gateway.AttachVPC, "ghost"); err == nil {
+		t.Fatal("attachment to unknown VPC accepted")
+	}
+}

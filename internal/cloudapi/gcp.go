@@ -1,0 +1,235 @@
+package cloudapi
+
+import (
+	"fmt"
+
+	"declnet/internal/appliance"
+	"declnet/internal/gateway"
+	"declnet/internal/vnet"
+)
+
+// GCP is the gcp-like facade, divergent in its own ways: networks are
+// global objects with regional subnetworks, firewall rules are
+// network-scoped and select instances by *tag* rather than by group
+// attachment, and peering needs a call from each side.
+type GCP struct {
+	env     *Env
+	Project string
+	seq     int
+	// tagRules accumulates firewall rules per network so tags can be
+	// resolved when instances are created later.
+	networks map[string]*gcpNetwork
+	// halfPeerings tracks one-sided peering requests until the far side
+	// calls AddNetworkPeering too.
+	halfPeerings map[string]bool
+}
+
+type gcpNetwork struct {
+	vpc *vnet.VPC
+	// tagSGs maps tag -> synthesized security group ID.
+	tagSGs map[string]string
+}
+
+// NewGCP returns the facade for one project.
+func NewGCP(env *Env, project string) *GCP {
+	return &GCP{env: env, Project: project, networks: make(map[string]*gcpNetwork)}
+}
+
+func (g *GCP) id(kind string) string {
+	g.seq++
+	return fmt.Sprintf("%s-%s-%04d", kind, g.Project, g.seq)
+}
+
+// CreateNetwork provisions a global VPC network. autoCreateSubnetworks
+// mirrors GCP's auto mode (charged as a decision either way).
+func (g *GCP) CreateNetwork(name string, ipv4Range string, autoCreateSubnetworks bool) (*vnet.VPC, error) {
+	p, err := parseCIDR(ipv4Range)
+	if err != nil {
+		return nil, err
+	}
+	v := vnet.NewVPC(name, p, g.env.Ledger)
+	if err := g.env.Fabric.AddVPC(v); err != nil {
+		return nil, err
+	}
+	g.networks[name] = &gcpNetwork{vpc: v, tagSGs: make(map[string]string)}
+	g.env.Ledger.Param("gcp:network", 2) // routing mode, auto-subnet mode
+	g.env.Ledger.Decision()
+	_ = autoCreateSubnetworks
+	return v, nil
+}
+
+// CreateSubnetwork carves a regional subnet of a network.
+func (g *GCP) CreateSubnetwork(networkName, name, region, ipCidrRange string) error {
+	nw, ok := g.networks[networkName]
+	if !ok {
+		return fmt.Errorf("cloudapi: unknown network %q", networkName)
+	}
+	p, err := parseCIDR(ipCidrRange)
+	if err != nil {
+		return err
+	}
+	if _, err := nw.vpc.AddSubnet(name, p, false); err != nil {
+		return err
+	}
+	g.env.Ledger.Param("gcp:subnetwork", 3) // region, private access, flow logs
+	return nil
+}
+
+// CreateFirewallRule installs a network-scoped rule selecting instances by
+// target tag. The facade synthesizes one security group per tag and adds
+// the rule to it; CreateInstance attaches the tag's group.
+func (g *GCP) CreateFirewallRule(networkName, name string, targetTag string, rule vnet.SGRule, ingress bool) error {
+	nw, ok := g.networks[networkName]
+	if !ok {
+		return fmt.Errorf("cloudapi: unknown network %q", networkName)
+	}
+	sgID, ok := nw.tagSGs[targetTag]
+	if !ok {
+		sgID = "tag:" + targetTag
+		if err := nw.vpc.AddSecurityGroup(&vnet.SecurityGroup{ID: sgID}); err != nil {
+			return err
+		}
+		nw.tagSGs[targetTag] = sgID
+	}
+	sg := nw.vpc.SecurityGroup(sgID)
+	if ingress {
+		sg.Ingress = append(sg.Ingress, rule)
+	} else {
+		sg.Egress = append(sg.Egress, rule)
+	}
+	g.env.Ledger.Param("gcp:firewall-rule", 5) // direction, priority, ranges, tags, allowed
+	g.env.Ledger.Step()
+	_ = name
+	return nil
+}
+
+// CreateInstance launches a VM with network tags (which bind the firewall
+// rules targeting those tags).
+func (g *GCP) CreateInstance(networkName, name, subnetName string, tags ...string) (*vnet.Instance, error) {
+	nw, ok := g.networks[networkName]
+	if !ok {
+		return nil, fmt.Errorf("cloudapi: unknown network %q", networkName)
+	}
+	groups := make([]string, 0, len(tags))
+	for _, tag := range tags {
+		sgID, ok := nw.tagSGs[tag]
+		if !ok {
+			// A tag with no rules behaves as deny-all; synthesize empty.
+			sgID = "tag:" + tag
+			if err := nw.vpc.AddSecurityGroup(&vnet.SecurityGroup{ID: sgID}); err != nil {
+				return nil, err
+			}
+			nw.tagSGs[tag] = sgID
+		}
+		groups = append(groups, sgID)
+	}
+	inst, err := nw.vpc.LaunchInstance(name, subnetName, groups...)
+	if err != nil {
+		return nil, err
+	}
+	g.env.Ledger.Param("gcp:instance", 1+len(tags))
+	return inst, nil
+}
+
+// AddAccessConfig gives an instance an external IP (GCP's one-call flavor).
+func (g *GCP) AddAccessConfig(networkName, instName string) error {
+	nw, ok := g.networks[networkName]
+	if !ok {
+		return fmt.Errorf("cloudapi: unknown network %q", networkName)
+	}
+	if _, err := g.env.Fabric.AssignPublicIP(nw.vpc.ID, instName); err != nil {
+		return err
+	}
+	g.env.Ledger.Param("gcp:access-config", 1)
+	return nil
+}
+
+// AddDefaultInternetGateway installs the implicit GCP default route and an
+// IGW-equivalent (GCP has no IGW object; the facade charges the route).
+func (g *GCP) AddDefaultInternetGateway(networkName string) error {
+	nw, ok := g.networks[networkName]
+	if !ok {
+		return fmt.Errorf("cloudapi: unknown network %q", networkName)
+	}
+	igwID := g.id("default-igw")
+	if _, err := g.env.Fabric.CreateIGW(igwID, nw.vpc.ID); err != nil {
+		return err
+	}
+	all, _ := parseCIDR("0.0.0.0/0")
+	for name := range nw.vpc.Subnets() {
+		if err := nw.vpc.AddRoute(name, all, vnet.Target{Kind: vnet.TIGW, ID: igwID}); err != nil {
+			return err
+		}
+	}
+	g.env.Ledger.Param("gcp:route", 2)
+	return nil
+}
+
+// CreateRoute installs a custom route in a network's subnet (GCP routes
+// are network-scoped; the facade applies them to the named subnetwork).
+func (g *GCP) CreateRoute(networkName, subnetName, destRange string, target vnet.Target) error {
+	nw, ok := g.networks[networkName]
+	if !ok {
+		return fmt.Errorf("cloudapi: unknown network %q", networkName)
+	}
+	p, err := parseCIDR(destRange)
+	if err != nil {
+		return err
+	}
+	if err := nw.vpc.AddRoute(subnetName, p, target); err != nil {
+		return err
+	}
+	g.env.Ledger.Param("gcp:route", 3) // dest range, next hop, priority
+	return nil
+}
+
+// AddNetworkPeering peers two networks; GCP needs one call from each side
+// and only activates the peering when both exist.
+func (g *GCP) AddNetworkPeering(fromNetwork, toNetwork string) error {
+	from, ok := g.networks[fromNetwork]
+	if !ok {
+		return fmt.Errorf("cloudapi: unknown network %q", fromNetwork)
+	}
+	to, ok := g.networks[toNetwork]
+	if !ok {
+		return fmt.Errorf("cloudapi: unknown network %q", toNetwork)
+	}
+	g.env.Ledger.Param("gcp:network-peering", 2)
+	id := "gpeer-" + toNetwork + "-" + fromNetwork
+	if g.halfPeerings == nil {
+		g.halfPeerings = make(map[string]bool)
+	}
+	if g.halfPeerings[id] {
+		if _, err := g.env.Fabric.CreatePeering("gpeer-"+fromNetwork+"-"+toNetwork, from.vpc.ID, to.vpc.ID); err != nil {
+			return err
+		}
+		return nil
+	}
+	g.halfPeerings["gpeer-"+fromNetwork+"-"+toNetwork] = true
+	return nil
+}
+
+// CreateCloudRouterVPN provisions a Cloud-Router-fronted VPN to a site in
+// one facade call wrapping three GCP objects (router, tunnel, peer),
+// charged as such.
+func (g *GCP) CreateCloudRouterVPN(networkName, siteID string) (*gateway.VGW, error) {
+	nw, ok := g.networks[networkName]
+	if !ok {
+		return nil, fmt.Errorf("cloudapi: unknown network %q", networkName)
+	}
+	g.env.Ledger.Resource("gcp:cloud-router")
+	g.env.Ledger.Param("gcp:cloud-router", 2) // ASN, advertise mode
+	g.env.Ledger.Resource("gcp:vpn-tunnel")
+	g.env.Ledger.Param("gcp:vpn-tunnel", 3) // peer IP, shared secret, IKE version
+	return g.env.Fabric.CreateVGW(g.id("gvpn"), nw.vpc.ID, siteID)
+}
+
+// CreateLoadBalancer provisions a GCP LB flavor.
+func (g *GCP) CreateLoadBalancer(typ appliance.LBType) *appliance.LoadBalancer {
+	lb := appliance.NewLoadBalancer(g.id("glb"), typ, g.env.Ledger)
+	g.env.Ledger.Param("gcp:load-balancer", 3) // forwarding rule, proxy, url map
+	return lb
+}
+
+// halfPeerings tracks one-sided peering requests until the far side calls.
+var _ = (*GCP)(nil)

@@ -1,0 +1,194 @@
+// Package complexity quantifies the tenant-facing burden the paper argues
+// against: how many virtual network "boxes" a deployment needs, how many
+// configuration parameters were set, how many provisioning steps and
+// decisions were taken, and how much of it has to change when workloads
+// move between clouds (§2, §3, and the Fig-1 claim in §5 of the paper).
+//
+// Both the baseline cloud facades and the declarative control plane write
+// to a Ledger as tenants call them; experiments diff and print ledgers.
+package complexity
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Ledger accumulates complexity counts. The zero value is ready to use.
+type Ledger struct {
+	resources map[string]int  // boxes by kind: "vpc", "subnet", "tgw", ...
+	params    map[string]int  // parameters set, by resource kind
+	steps     int             // provisioning API calls issued
+	decisions int             // planning choices (option selection, sizing)
+	concepts  map[string]bool // distinct abstraction names the tenant met
+}
+
+func (l *Ledger) init() {
+	if l.resources == nil {
+		l.resources = make(map[string]int)
+		l.params = make(map[string]int)
+		l.concepts = make(map[string]bool)
+	}
+}
+
+// Resource records creation of one box of the given kind.
+func (l *Ledger) Resource(kind string) {
+	l.init()
+	l.resources[kind]++
+	l.concepts[kind] = true
+	l.steps++
+}
+
+// Param records setting n configuration parameters on a resource kind.
+func (l *Ledger) Param(kind string, n int) {
+	l.init()
+	l.params[kind] += n
+	l.concepts[kind] = true
+}
+
+// Step records one provisioning API call that creates no resource
+// (attachment, route installation, association, ...).
+func (l *Ledger) Step() {
+	l.init()
+	l.steps++
+}
+
+// Decision records one planning choice the tenant had to make.
+func (l *Ledger) Decision() {
+	l.init()
+	l.decisions++
+}
+
+// Decisions adds n planning choices at once.
+func (l *Ledger) Decisions(n int) {
+	l.init()
+	l.decisions += n
+}
+
+// Boxes returns the total resource count.
+func (l *Ledger) Boxes() int {
+	var n int
+	for _, c := range l.resources {
+		n += c
+	}
+	return n
+}
+
+// BoxesOf returns the count of a particular resource kind.
+func (l *Ledger) BoxesOf(kind string) int { return l.resources[kind] }
+
+// Params returns the total parameter count.
+func (l *Ledger) Params() int {
+	var n int
+	for _, c := range l.params {
+		n += c
+	}
+	return n
+}
+
+// Steps returns the provisioning call count.
+func (l *Ledger) Steps() int { return l.steps }
+
+// DecisionCount returns the planning-choice count.
+func (l *Ledger) DecisionCount() int { return l.decisions }
+
+// Concepts returns the distinct abstraction kinds encountered, sorted.
+func (l *Ledger) Concepts() []string {
+	out := make([]string, 0, len(l.concepts))
+	for c := range l.concepts {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Kinds returns resource kinds with nonzero counts, sorted.
+func (l *Ledger) Kinds() []string {
+	out := make([]string, 0, len(l.resources))
+	for k := range l.resources {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot captures the ledger for later diffing.
+type Snapshot struct {
+	Resources map[string]int
+	Params    map[string]int
+	Steps     int
+	Decisions int
+}
+
+// Snapshot returns a copy of the current counts.
+func (l *Ledger) Snapshot() Snapshot {
+	l.init()
+	s := Snapshot{
+		Resources: make(map[string]int, len(l.resources)),
+		Params:    make(map[string]int, len(l.params)),
+		Steps:     l.steps,
+		Decisions: l.decisions,
+	}
+	for k, v := range l.resources {
+		s.Resources[k] = v
+	}
+	for k, v := range l.params {
+		s.Params[k] = v
+	}
+	return s
+}
+
+// Diff describes the change between two snapshots — the "how much did the
+// tenant have to touch" measure behind the migration experiment (E8).
+type Diff struct {
+	ResourcesChanged int
+	ParamsChanged    int
+	StepsTaken       int
+	DecisionsTaken   int
+}
+
+// Since computes the change from an earlier snapshot to the ledger's
+// current state. Counts are absolute deltas, so teardown churn (removing
+// boxes) also registers as change.
+func (l *Ledger) Since(prev Snapshot) Diff {
+	cur := l.Snapshot()
+	var d Diff
+	seen := make(map[string]bool)
+	for k, v := range cur.Resources {
+		d.ResourcesChanged += abs(v - prev.Resources[k])
+		seen[k] = true
+	}
+	for k, v := range prev.Resources {
+		if !seen[k] {
+			d.ResourcesChanged += v
+		}
+	}
+	seen = make(map[string]bool)
+	for k, v := range cur.Params {
+		d.ParamsChanged += abs(v - prev.Params[k])
+		seen[k] = true
+	}
+	for k, v := range prev.Params {
+		if !seen[k] {
+			d.ParamsChanged += v
+		}
+	}
+	d.StepsTaken = cur.Steps - prev.Steps
+	d.DecisionsTaken = cur.Decisions - prev.Decisions
+	return d
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// String summarizes the ledger.
+func (l *Ledger) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "boxes=%d params=%d steps=%d decisions=%d concepts=%d",
+		l.Boxes(), l.Params(), l.Steps(), l.DecisionCount(), len(l.concepts))
+	return b.String()
+}

@@ -1,0 +1,105 @@
+package complexity
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLedgerCounts(t *testing.T) {
+	var l Ledger
+	l.Resource("vpc")
+	l.Resource("vpc")
+	l.Resource("subnet")
+	l.Param("vpc", 3)
+	l.Param("subnet", 2)
+	l.Step()
+	l.Decision()
+	l.Decisions(2)
+
+	if l.Boxes() != 3 {
+		t.Fatalf("Boxes = %d, want 3", l.Boxes())
+	}
+	if l.BoxesOf("vpc") != 2 {
+		t.Fatalf("BoxesOf(vpc) = %d, want 2", l.BoxesOf("vpc"))
+	}
+	if l.Params() != 5 {
+		t.Fatalf("Params = %d, want 5", l.Params())
+	}
+	if l.Steps() != 4 { // 3 resources + 1 explicit step
+		t.Fatalf("Steps = %d, want 4", l.Steps())
+	}
+	if l.DecisionCount() != 3 {
+		t.Fatalf("Decisions = %d, want 3", l.DecisionCount())
+	}
+}
+
+func TestLedgerConceptsSorted(t *testing.T) {
+	var l Ledger
+	l.Resource("zebra")
+	l.Param("alpha", 1)
+	got := l.Concepts()
+	if len(got) != 2 || got[0] != "alpha" || got[1] != "zebra" {
+		t.Fatalf("Concepts = %v", got)
+	}
+	kinds := l.Kinds()
+	if len(kinds) != 1 || kinds[0] != "zebra" {
+		t.Fatalf("Kinds = %v", kinds)
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var l Ledger
+	if l.Boxes() != 0 || l.Params() != 0 || l.Steps() != 0 {
+		t.Fatal("zero ledger not empty")
+	}
+	_ = l.Snapshot() // must not panic
+}
+
+func TestSnapshotDiff(t *testing.T) {
+	var l Ledger
+	l.Resource("vpc")
+	l.Param("vpc", 4)
+	before := l.Snapshot()
+
+	l.Resource("tgw")
+	l.Param("tgw", 6)
+	l.Param("vpc", 2)
+	l.Step()
+	l.Decision()
+
+	d := l.Since(before)
+	if d.ResourcesChanged != 1 {
+		t.Fatalf("ResourcesChanged = %d, want 1", d.ResourcesChanged)
+	}
+	if d.ParamsChanged != 8 {
+		t.Fatalf("ParamsChanged = %d, want 8", d.ParamsChanged)
+	}
+	if d.StepsTaken != 2 { // tgw resource + explicit step
+		t.Fatalf("StepsTaken = %d, want 2", d.StepsTaken)
+	}
+	if d.DecisionsTaken != 1 {
+		t.Fatalf("DecisionsTaken = %d, want 1", d.DecisionsTaken)
+	}
+}
+
+func TestDiffCountsRemovals(t *testing.T) {
+	var l Ledger
+	l.Resource("vpc")
+	snapshotWithVPC := l.Snapshot()
+
+	var fresh Ledger
+	fresh.Resource("tgw")
+	d := fresh.Since(snapshotWithVPC)
+	// One vpc disappeared, one tgw appeared: both register as change.
+	if d.ResourcesChanged != 2 {
+		t.Fatalf("ResourcesChanged = %d, want 2", d.ResourcesChanged)
+	}
+}
+
+func TestString(t *testing.T) {
+	var l Ledger
+	l.Resource("vpc")
+	if s := l.String(); !strings.Contains(s, "boxes=1") {
+		t.Fatalf("String = %q", s)
+	}
+}

@@ -1,0 +1,421 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"declnet/internal/addr"
+	"declnet/internal/netsim"
+	"declnet/internal/permit"
+	"declnet/internal/qos"
+	"declnet/internal/sim"
+	"declnet/internal/topo"
+)
+
+// Cloud is the multi-provider world a tenant sees: several Providers
+// exposing the same Table-2 verbs over one shared substrate graph. The
+// uniform interface across providers is the §5 claim that "the basic
+// interface will be constant between clouds".
+type Cloud struct {
+	Eng *sim.Engine
+	G   *topo.Graph
+	Net *netsim.Network
+
+	providers map[string]*Provider
+	// groups holds tenant-scoped, cross-provider endpoint groups
+	// (the grouping extension of §4): tenant -> group -> members.
+	groups map[string]map[string][]EIP
+	// names holds tenant-scoped service names — the §6 "abstract above
+	// details such as IP addresses entirely?" extension: tenants may
+	// address endpoints and services by name and never see an address.
+	names map[string]map[string]addr.IP
+}
+
+// NewCloud wraps a world graph in a simulation.
+func NewCloud(seed int64, g *topo.Graph) *Cloud {
+	eng := sim.New(seed)
+	return &Cloud{
+		Eng: eng, G: g, Net: netsim.New(g, eng),
+		providers: make(map[string]*Provider),
+		groups:    make(map[string]map[string][]EIP),
+		names:     make(map[string]map[string]addr.IP),
+	}
+}
+
+// AddProvider creates a provider control plane for the named cloud.
+func (c *Cloud) AddProvider(name string, cfg Config) (*Provider, error) {
+	if _, ok := c.providers[name]; ok {
+		return nil, fmt.Errorf("core: duplicate provider %q", name)
+	}
+	p, err := NewProvider(name, c.Eng, c.G, c.Net, cfg)
+	if err != nil {
+		return nil, err
+	}
+	p.resolve = func(tenant, group string) ([]EIP, bool) {
+		members, ok := c.groups[tenant][group]
+		return members, ok
+	}
+	c.providers[name] = p
+	return p, nil
+}
+
+// CreateGroup defines a tenant-scoped endpoint group whose members may
+// span providers; any provider resolves it in set_permit_list.
+func (c *Cloud) CreateGroup(tenant, name string, members ...EIP) error {
+	for _, m := range members {
+		p, ok := c.providerOfAddr(m)
+		if !ok {
+			return fmt.Errorf("core: group member %s is not a granted address", m)
+		}
+		if _, err := p.owned(tenant, m); err != nil {
+			return err
+		}
+	}
+	if c.groups[tenant] == nil {
+		c.groups[tenant] = make(map[string][]EIP)
+	}
+	c.groups[tenant][name] = append([]EIP(nil), members...)
+	return nil
+}
+
+// Provider returns a control plane by name.
+func (c *Cloud) Provider(name string) (*Provider, bool) {
+	p, ok := c.providers[name]
+	return p, ok
+}
+
+// SetBiller attaches usage metering to every provider currently in the
+// cloud (call after AddProvider).
+func (c *Cloud) SetBiller(b Biller) {
+	for _, p := range c.providers {
+		p.SetBiller(b)
+	}
+}
+
+// ProviderOf finds which provider granted an address (EIP or SIP).
+func (c *Cloud) ProviderOf(ip addr.IP) (*Provider, bool) {
+	return c.providerOfAddr(ip)
+}
+
+// providerOfAddr finds which provider granted an address (EIP or SIP).
+func (c *Cloud) providerOfAddr(ip addr.IP) (*Provider, bool) {
+	for _, p := range c.providers {
+		if _, ok := p.endpoints[ip]; ok {
+			return p, true
+		}
+		if _, ok := p.services[ip]; ok {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// Conn is one admitted connection: a live flow plus the load-balancer and
+// quota bookkeeping needed to tear it down cleanly.
+type Conn struct {
+	Flow   *netsim.Flow
+	Path   topo.Path
+	SrcEIP EIP
+	DstEIP EIP
+
+	cloud    *Cloud
+	adapter  *flowAdapter
+	enforcer *qos.Enforcer
+	release  func()
+	closed   bool
+
+	tenant string
+	class  QoSClass
+	biller Biller
+	billed bool
+}
+
+// Close ends the connection, releasing its backend slot and quota share.
+func (cn *Conn) Close() {
+	if cn.closed {
+		return
+	}
+	cn.closed = true
+	if cn.Flow != nil && !cn.Flow.Done() {
+		cn.cloud.Net.Stop(cn.Flow)
+	}
+	if cn.enforcer != nil && cn.adapter != nil {
+		cn.enforcer.Detach(cn.adapter)
+	}
+	if cn.release != nil {
+		cn.release()
+	}
+	cn.bill()
+}
+
+// bill records transferred bytes once, at completion or close.
+func (cn *Conn) bill() {
+	if cn.billed || cn.biller == nil || cn.Flow == nil {
+		return
+	}
+	cn.billed = true
+	cn.biller.AddBytes(cn.tenant, cn.cloud.Eng.Now(), cn.Flow.SentBytes(), cn.class == Reserved)
+}
+
+// flowAdapter lets the distributed limiter shape a netsim flow.
+type flowAdapter struct {
+	net    *netsim.Network
+	flow   *netsim.Flow
+	demand float64
+	vmCap  float64
+}
+
+// SetCap implements qos.RateSetter, respecting the per-VM egress cap.
+func (a *flowAdapter) SetCap(bps float64) {
+	if a.vmCap > 0 && (bps == 0 || bps > a.vmCap) {
+		bps = a.vmCap
+	}
+	a.net.SetMaxRate(a.flow, bps)
+}
+
+// Demand implements qos.RateSetter.
+func (a *flowAdapter) Demand() float64 { return a.demand }
+
+// QoSClass marks which traffic consumes the tenant's reserved regional
+// egress bandwidth — the extension the paper's §4 footnote leaves to
+// future work ("Extensions might allow the tenant to indicate what
+// portions of their traffic should consume this reserved bandwidth").
+type QoSClass int
+
+const (
+	// Reserved traffic draws on the set_qos regional guarantee (default).
+	Reserved QoSClass = iota
+	// BestEffort traffic never consumes the reservation; it takes
+	// whatever fair share the network gives it under the per-VM cap.
+	BestEffort
+)
+
+func (c QoSClass) String() string {
+	if c == BestEffort {
+		return "best-effort"
+	}
+	return "reserved"
+}
+
+// ConnectOpts tunes a connection.
+type ConnectOpts struct {
+	// SizeBytes < 0 starts a persistent flow.
+	SizeBytes float64
+	// Demand is the offered load in bits/s for quota accounting;
+	// 0 defaults to the path bottleneck.
+	Demand float64
+	// Class selects whether the flow consumes the regional reservation.
+	Class QoSClass
+	// OnDone fires for sized flows with the completion time.
+	OnDone func(fct time.Duration)
+}
+
+// Connect opens a connection from a tenant's EIP to a destination EIP or
+// SIP, running the paper's data path: (1) default-off permit admission at
+// the destination provider, (2) SIP load balancing when the target is a
+// service address, (3) potato-profile path selection, (4) per-VM and
+// regional egress enforcement. The returned Conn carries a live netsim
+// flow.
+func (c *Cloud) Connect(tenant string, src EIP, dst addr.IP, opts ConnectOpts) (*Conn, error) {
+	srcProv, ok := c.providerOfAddr(src)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown source EIP %s", src)
+	}
+	srcEp, err := srcProv.owned(tenant, src)
+	if err != nil {
+		return nil, err
+	}
+	dstProv, ok := c.providerOfAddr(dst)
+	if !ok {
+		return nil, fmt.Errorf("core: destination %s is not a granted address", dst)
+	}
+	// (1) Default-off admission, enforced by the destination's provider
+	// against the address the client targeted (EIP or SIP).
+	if !dstProv.Permits.Check(src, dst) {
+		return nil, fmt.Errorf("core: %s not permitted to reach %s (default-off)", src, dst)
+	}
+	// (2) Resolve SIP -> backend EIP via the provider's balancer.
+	dstEIP := dst
+	var release func()
+	if svc, isSIP := dstProv.services[dst]; isSIP {
+		be, err := svc.balancer.Pick()
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", dst, err)
+		}
+		dstEIP = be.EIP
+		bal := svc.balancer
+		release = func() { bal.Release(be) }
+	}
+	dstEp, ok := dstProv.endpoints[dstEIP]
+	if !ok {
+		if release != nil {
+			release()
+		}
+		return nil, fmt.Errorf("core: backend %s vanished", dstEIP)
+	}
+	// (3) Path under the tenant's transit profile.
+	policy, okPol := srcProv.potato[tenant]
+	if !okPol {
+		policy = qos.HotPotato
+	}
+	path, err := qos.PathFor(c.G, policy, srcEp.node, dstEp.node)
+	if err != nil {
+		if release != nil {
+			release()
+		}
+		return nil, err
+	}
+	// (4) Start the flow under the per-VM cap, then attach it to the
+	// regional egress limiter when it leaves the source region.
+	vmCap := srcEp.egressCap
+	if vmCap == 0 {
+		vmCap = srcProv.defaultVMEgress
+	}
+	demand := opts.Demand
+	if demand == 0 {
+		demand = path.Bottleneck()
+	}
+	if demand > vmCap {
+		demand = vmCap
+	}
+	cn := &Conn{
+		Path: path, SrcEIP: src, DstEIP: dstEIP,
+		cloud: c, release: release,
+		tenant: tenant, class: opts.Class, biller: srcProv.meter,
+	}
+	flow, err := c.Net.StartFlow(&netsim.Flow{
+		Path:    path,
+		Size:    opts.SizeBytes,
+		MaxRate: vmCap,
+		OnDone: func(fct time.Duration) {
+			cn.bill()
+			if opts.OnDone != nil {
+				opts.OnDone(fct)
+			}
+		},
+	})
+	if err != nil {
+		if release != nil {
+			release()
+		}
+		return nil, err
+	}
+	cn.Flow = flow
+	if opts.Class == Reserved && (dstEp.provider != srcEp.provider || dstEp.region != srcEp.region) {
+		// Cross-region/cloud reserved egress: subject to the tenant's
+		// regional quota when one is set. Best-effort traffic bypasses
+		// the reservation entirely (§4 footnote extension).
+		if tq, ok := srcProv.quotas[tenant][srcEp.region]; ok && tq.quota > 0 {
+			ad := &flowAdapter{net: c.Net, flow: flow, demand: demand, vmCap: vmCap}
+			enf, found := tq.enforcer[srcEp.node]
+			if !found {
+				enf = qos.NewEnforcer(string(srcEp.node))
+				tq.enforcer[srcEp.node] = enf
+				tq.limiter.AddEnforcer(enf)
+			}
+			enf.Attach(ad)
+			tq.limiter.Redistribute()
+			cn.adapter = ad
+			cn.enforcer = enf
+		}
+	}
+	return cn, nil
+}
+
+// Probe measures a round trip from a tenant EIP to a destination address,
+// subject to the same admission and path policy as Connect. It reports
+// the sampled RTT and whether the (single-datagram) probe survived loss.
+func (c *Cloud) Probe(tenant string, src EIP, dst addr.IP) (time.Duration, bool, error) {
+	srcProv, ok := c.providerOfAddr(src)
+	if !ok {
+		return 0, false, fmt.Errorf("core: unknown source EIP %s", src)
+	}
+	srcEp, err := srcProv.owned(tenant, src)
+	if err != nil {
+		return 0, false, err
+	}
+	dstProv, ok := c.providerOfAddr(dst)
+	if !ok {
+		return 0, false, fmt.Errorf("core: destination %s is not a granted address", dst)
+	}
+	if !dstProv.Permits.Check(src, dst) {
+		return 0, false, fmt.Errorf("core: %s not permitted to reach %s (default-off)", src, dst)
+	}
+	dstEIP := dst
+	if svc, isSIP := dstProv.services[dst]; isSIP {
+		be, err := svc.balancer.Pick()
+		if err != nil {
+			return 0, false, err
+		}
+		dstEIP = be.EIP
+		defer svc.balancer.Release(be)
+	}
+	dstEp := dstProv.endpoints[dstEIP]
+	policy, okPol := srcProv.potato[tenant]
+	if !okPol {
+		policy = qos.HotPotato
+	}
+	path, err := qos.PathFor(c.G, policy, srcEp.node, dstEp.node)
+	if err != nil {
+		return 0, false, err
+	}
+	rtt := c.Net.RTT(path)
+	ok = c.Net.Delivered(path) && c.Net.Delivered(path)
+	return rtt, ok, nil
+}
+
+// RegisterName binds a tenant-scoped name to one of the tenant's
+// addresses (EIP or SIP). Re-registering a name repoints it — which is
+// how a tenant cuts over a service without clients noticing.
+func (c *Cloud) RegisterName(tenant, name string, target addr.IP) error {
+	p, ok := c.providerOfAddr(target)
+	if !ok {
+		return fmt.Errorf("core: %s is not a granted address", target)
+	}
+	if err := p.ownsTarget(tenant, target); err != nil {
+		return err
+	}
+	if c.names[tenant] == nil {
+		c.names[tenant] = make(map[string]addr.IP)
+	}
+	c.names[tenant][name] = target
+	return nil
+}
+
+// ResolveName returns the address behind a tenant's name.
+func (c *Cloud) ResolveName(tenant, name string) (addr.IP, bool) {
+	ip, ok := c.names[tenant][name]
+	return ip, ok
+}
+
+// UnregisterName removes a name binding.
+func (c *Cloud) UnregisterName(tenant, name string) bool {
+	if _, ok := c.names[tenant][name]; !ok {
+		return false
+	}
+	delete(c.names[tenant], name)
+	return true
+}
+
+// ConnectName is Connect with the destination given by name.
+func (c *Cloud) ConnectName(tenant string, src EIP, name string, opts ConnectOpts) (*Conn, error) {
+	dst, ok := c.ResolveName(tenant, name)
+	if !ok {
+		return nil, fmt.Errorf("core: tenant %q has no name %q", tenant, name)
+	}
+	return c.Connect(tenant, src, dst, opts)
+}
+
+// Admitted reports whether src may currently reach dst — the pure
+// admission decision, used heavily by the security experiment.
+func (c *Cloud) Admitted(src EIP, dst addr.IP) bool {
+	dstProv, ok := c.providerOfAddr(dst)
+	if !ok {
+		return false
+	}
+	return dstProv.Permits.Check(src, dst)
+}
+
+// Ensure interface satisfaction.
+var _ qos.RateSetter = (*flowAdapter)(nil)
+var _ = permit.Entry{}

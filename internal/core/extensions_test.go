@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"declnet/internal/addr"
+	"declnet/internal/permit"
+	"declnet/internal/topo"
+)
+
+// TestBestEffortBypassesQuota covers the §4-footnote traffic-class
+// extension: best-effort flows must not consume the regional reservation.
+func TestBestEffortBypassesQuota(t *testing.T) {
+	c, w, pa, pb, _ := fig1Cloud(t)
+	src1, _ := pa.RequestEIP("acme", topo.HostID(w.CloudA, w.RegionsA[0], "az1", 1))
+	src2, _ := pa.RequestEIP("acme", topo.HostID(w.CloudA, w.RegionsA[0], "az2", 1))
+	dst, _ := pb.RequestEIP("acme", topo.HostID(w.CloudB, w.RegionsB[0], "az1", 1))
+	pb.SetPermitList("acme", dst, []permit.Entry{pfx("100.64.0.0/10")})
+	if err := pa.SetQoS("acme", w.RegionsA[0], 100e6); err != nil {
+		t.Fatal(err)
+	}
+	// Reserved flow is shaped to the quota; best-effort is not.
+	res, err := c.Connect("acme", src1, dst, ConnectOpts{SizeBytes: -1, Demand: 10e9, Class: Reserved})
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := c.Connect("acme", src2, dst, ConnectOpts{SizeBytes: -1, Demand: 10e9, Class: BestEffort})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Eng.RunUntil(c.Eng.Now() + 500*time.Millisecond)
+	if got := res.Flow.Rate(); math.Abs(got-100e6) > 2e6 {
+		t.Fatalf("reserved flow rate = %v, want ~100Mbps (the whole quota)", got)
+	}
+	// Best-effort gets the fair share of the path under the per-VM cap,
+	// far above the quota it never touched.
+	if got := be.Flow.Rate(); got < 1e9 {
+		t.Fatalf("best-effort flow rate = %v, want >1Gbps (unreserved)", got)
+	}
+	res.Close()
+	be.Close()
+}
+
+func TestQoSClassString(t *testing.T) {
+	if Reserved.String() != "reserved" || BestEffort.String() != "best-effort" {
+		t.Fatal("class names wrong")
+	}
+}
+
+// TestNamingExtension covers the §6 "abstract above addresses" extension.
+func TestNamingExtension(t *testing.T) {
+	c, w, pa, pb, _ := fig1Cloud(t)
+	client, _ := pa.RequestEIP("acme", topo.HostID(w.CloudA, w.RegionsA[0], "az1", 1))
+	be1, _ := pb.RequestEIP("acme", topo.HostID(w.CloudB, w.RegionsB[0], "az1", 1))
+	be2, _ := pb.RequestEIP("acme", topo.HostID(w.CloudB, w.RegionsB[1], "az1", 1))
+	sip, _ := pb.RequestSIP("acme")
+	pb.Bind("acme", be1, sip, 1)
+	pb.SetPermitList("acme", sip, []permit.Entry{addr.NewPrefix(client, 32)})
+	pb.SetPermitList("acme", be2, []permit.Entry{addr.NewPrefix(client, 32)})
+
+	if err := c.RegisterName("acme", "db", sip); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := c.ConnectName("acme", client, "db", ConnectOpts{SizeBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conn.DstEIP != be1 {
+		t.Fatalf("name resolved to %s, want backend %s", conn.DstEIP, be1)
+	}
+	conn.Close()
+
+	// Cutover: repoint the name at a plain EIP; clients keep working.
+	if err := c.RegisterName("acme", "db", be2); err != nil {
+		t.Fatal(err)
+	}
+	conn, err = c.ConnectName("acme", client, "db", ConnectOpts{SizeBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conn.DstEIP != be2 {
+		t.Fatalf("cutover resolved to %s, want %s", conn.DstEIP, be2)
+	}
+	conn.Close()
+
+	// Tenancy: another tenant's names are separate; foreign addresses
+	// are rejected.
+	if err := c.RegisterName("rival", "db", sip); err == nil {
+		t.Fatal("rival registered a name over acme's SIP")
+	}
+	if _, ok := c.ResolveName("rival", "db"); ok {
+		t.Fatal("rival resolved acme's name")
+	}
+	if _, err := c.ConnectName("acme", client, "ghost", ConnectOpts{}); err == nil {
+		t.Fatal("unknown name connected")
+	}
+	if !c.UnregisterName("acme", "db") {
+		t.Fatal("unregister failed")
+	}
+	if c.UnregisterName("acme", "db") {
+		t.Fatal("double unregister succeeded")
+	}
+}

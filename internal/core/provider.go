@@ -1,0 +1,492 @@
+// Package core implements the paper's primary contribution: the
+// declarative, endpoint-centric tenant networking API of Table 2 —
+// request_eip, request_sip, bind, set_permit_list, set_qos — plus the
+// extensions the paper sketches (per-EIP weights on bind, endpoint groups,
+// hot/cold-potato profiles).
+//
+// The provider side realizes each verb with the substrate packages:
+// flat EIPs are carved densely from per-region blocks (so the provider can
+// aggregate routes internally, §4 Connectivity), default-off admission is
+// enforced by package permit, SIP load balancing by package lb, regional
+// egress guarantees by package qos, and actual traffic runs as flows in
+// package netsim over the package topo world.
+//
+// Tenants never see a VPC, gateway, route table, or appliance — that is
+// the point.
+package core
+
+import (
+	"fmt"
+
+	"declnet/internal/addr"
+	"declnet/internal/lb"
+	"declnet/internal/netsim"
+	"declnet/internal/permit"
+	"declnet/internal/qos"
+	"declnet/internal/sim"
+	"declnet/internal/topo"
+)
+
+// EIP is an endpoint IP: flat, globally routable, default-off.
+type EIP = addr.IP
+
+// SIP is a service IP: globally routable, load balanced to bound EIIPs.
+type SIP = addr.IP
+
+// endpoint is the provider's record for one granted EIP.
+type endpoint struct {
+	eip       EIP
+	tenant    string
+	node      topo.NodeID // the VM/container the EIP fronts
+	provider  string
+	region    string
+	egressCap float64 // per-VM egress guarantee/cap (bits/s), 0 = provider default
+}
+
+// service is the provider's record for one granted SIP.
+type service struct {
+	sip      SIP
+	tenant   string
+	balancer *lb.Balancer
+}
+
+// regionBlocks is how the provider carves address space: each region gets
+// dense blocks so internal route aggregation works (the flexibility §4
+// says flat addressing gives providers).
+type regionBlocks struct {
+	pool *addr.HostPool
+	base addr.Prefix
+}
+
+// Provider is one cloud's control plane implementing the Table-2 API.
+// A multi-cloud world has one Provider per cloud sharing a topo.Graph and
+// a netsim.Network (the public internet connects them).
+type Provider struct {
+	Name string
+
+	eng *sim.Engine
+	g   *topo.Graph
+	net *netsim.Network
+
+	// eipBlocks and sipBlocks key by region name.
+	eipBlocks map[string]*regionBlocks
+	sipBlock  *addr.HostPool
+
+	endpoints map[EIP]*endpoint
+	services  map[SIP]*service
+
+	// Permits is the provider's enforcement engine. Exposed for
+	// experiments that measure its scale directly.
+	Permits *permit.Engine
+
+	// potato holds each tenant's transit profile (default hot, §4 QoS).
+	potato map[string]qos.PotatoPolicy
+
+	// quotas holds per-(tenant,region) egress limiters.
+	quotas map[string]map[string]*tenantQuota
+
+	// groups: the grouping extension — named EIP sets usable as permit
+	// sources (§4's "grouping mechanism ... could easily be built into
+	// our API as an extension").
+	groups map[string]map[string][]EIP // tenant -> group -> members
+
+	// defaultVMEgress is the standard per-VM egress guarantee adopted
+	// unchanged from today's clouds (§4 QoS).
+	defaultVMEgress float64
+
+	// resolve looks up tenant groups defined above the provider (the
+	// Cloud's cross-provider groups); nil outside a Cloud.
+	resolve func(tenant, group string) ([]EIP, bool)
+
+	// meter, when set, records billable usage (see package meter).
+	meter Biller
+
+	cfg Config
+}
+
+// Biller is the subset of package meter's Meter the control plane
+// records into; an interface so core does not import meter.
+type Biller interface {
+	GrantEIP(tenant string, now sim.Time)
+	ReleaseEIP(tenant string, now sim.Time)
+	GrantSIP(tenant string, now sim.Time)
+	ReleaseSIP(tenant string, now sim.Time)
+	SetQuota(tenant string, now sim.Time, totalBps float64)
+	AddBytes(tenant string, now sim.Time, bytes float64, reserved bool)
+	PermitUpdate(tenant string, now sim.Time)
+}
+
+// SetBiller attaches usage metering to this provider.
+func (p *Provider) SetBiller(b Biller) { p.meter = b }
+
+// tenantQuota is one (tenant, region) egress guarantee.
+type tenantQuota struct {
+	limiter  *qos.DistributedLimiter
+	enforcer map[topo.NodeID]*qos.Enforcer
+	quota    float64
+}
+
+// Config parameterizes a provider.
+type Config struct {
+	// EIPBase is the provider's public block, carved per region.
+	// Each region receives consecutive /16s from it.
+	EIPBase addr.Prefix
+	// SIPBase is the provider's service-address block.
+	SIPBase addr.Prefix
+	// DefaultVMEgress is the per-VM egress cap applied when the tenant
+	// sets none (bits/s).
+	DefaultVMEgress float64
+	// QuotaPeriod is the distributed limiter's control period.
+	QuotaPeriod sim.Time
+}
+
+// NewProvider returns a control plane for the named cloud over the shared
+// world. Regions are discovered from the graph's host nodes.
+func NewProvider(name string, eng *sim.Engine, g *topo.Graph, net *netsim.Network, cfg Config) (*Provider, error) {
+	if cfg.EIPBase.Len > 16 {
+		return nil, fmt.Errorf("core: EIP base %s too small to carve /16 region blocks", cfg.EIPBase)
+	}
+	if cfg.DefaultVMEgress == 0 {
+		cfg.DefaultVMEgress = 5 * topo.Gbps
+	}
+	if cfg.QuotaPeriod == 0 {
+		cfg.QuotaPeriod = 100 * 1e6 // 100ms
+	}
+	p := &Provider{
+		Name:            name,
+		eng:             eng,
+		g:               g,
+		net:             net,
+		eipBlocks:       make(map[string]*regionBlocks),
+		sipBlock:        addr.NewHostPool(cfg.SIPBase, 1),
+		endpoints:       make(map[EIP]*endpoint),
+		services:        make(map[SIP]*service),
+		Permits:         permit.NewEngine(),
+		potato:          make(map[string]qos.PotatoPolicy),
+		quotas:          make(map[string]map[string]*tenantQuota),
+		groups:          make(map[string]map[string][]EIP),
+		defaultVMEgress: cfg.DefaultVMEgress,
+	}
+	p.cfg = cfg
+	// Carve one /16 per region, in sorted region order for determinism.
+	regions := map[string]bool{}
+	for _, n := range g.NodesWhere(func(n *topo.Node) bool { return n.Kind == topo.Host && n.Provider == name }) {
+		regions[n.Region] = true
+	}
+	block := addr.NewBlockPool(cfg.EIPBase)
+	names := make([]string, 0, len(regions))
+	for r := range regions {
+		names = append(names, r)
+	}
+	sortStrings(names)
+	for _, r := range names {
+		pfx, err := block.Allocate(16)
+		if err != nil {
+			return nil, fmt.Errorf("core: carving region %s: %w", r, err)
+		}
+		p.eipBlocks[r] = &regionBlocks{pool: addr.NewHostPool(pfx, 1), base: pfx}
+	}
+	return p, nil
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// RegionBlock exposes a region's EIP prefix (experiments use it to build
+// the provider's aggregated routing view for E3).
+func (p *Provider) RegionBlock(region string) (addr.Prefix, bool) {
+	b, ok := p.eipBlocks[region]
+	if !ok {
+		return addr.Prefix{}, false
+	}
+	return b.base, true
+}
+
+// Regions returns the provider's region names, sorted.
+func (p *Provider) Regions() []string {
+	out := make([]string, 0, len(p.eipBlocks))
+	for r := range p.eipBlocks {
+		out = append(out, r)
+	}
+	sortStrings(out)
+	return out
+}
+
+// RequestEIP grants an endpoint IP to a tenant's VM (Table 2:
+// request_eip(vm_id)). The VM is a host node of this provider; its region
+// determines which dense block the flat address comes from. The endpoint
+// starts default-off: nothing can reach it until set_permit_list.
+func (p *Provider) RequestEIP(tenant string, vm topo.NodeID) (EIP, error) {
+	n, ok := p.g.Node(vm)
+	if !ok {
+		return 0, fmt.Errorf("core: unknown VM %q", vm)
+	}
+	if n.Kind != topo.Host {
+		return 0, fmt.Errorf("core: %q is not a compute endpoint", vm)
+	}
+	if n.Provider != p.Name {
+		return 0, fmt.Errorf("core: VM %q belongs to provider %q, not %q", vm, n.Provider, p.Name)
+	}
+	blocks, ok := p.eipBlocks[n.Region]
+	if !ok {
+		return 0, fmt.Errorf("core: no address block for region %q", n.Region)
+	}
+	eip, err := blocks.pool.Allocate()
+	if err != nil {
+		return 0, err
+	}
+	p.endpoints[eip] = &endpoint{
+		eip: eip, tenant: tenant, node: vm,
+		provider: p.Name, region: n.Region,
+	}
+	if p.meter != nil {
+		p.meter.GrantEIP(tenant, p.eng.Now())
+	}
+	return eip, nil
+}
+
+// ReleaseEIP returns the endpoint address and tears down its permit state.
+func (p *Provider) ReleaseEIP(tenant string, eip EIP) error {
+	ep, err := p.owned(tenant, eip)
+	if err != nil {
+		return err
+	}
+	// Drain from any SIPs it is bound to.
+	for _, svc := range p.services {
+		for _, be := range svc.balancer.Backends() {
+			if be.EIP == eip {
+				svc.balancer.Unbind(eip)
+			}
+		}
+	}
+	p.Permits.Drop(eip)
+	delete(p.endpoints, eip)
+	if p.meter != nil {
+		p.meter.ReleaseEIP(tenant, p.eng.Now())
+	}
+	return p.eipBlocks[ep.region].pool.Release(eip)
+}
+
+// RequestSIP grants a service IP (Table 2: request_sip()).
+func (p *Provider) RequestSIP(tenant string) (SIP, error) {
+	sip, err := p.sipBlock.Allocate()
+	if err != nil {
+		return 0, err
+	}
+	p.services[sip] = &service{sip: sip, tenant: tenant, balancer: lb.New(sip)}
+	if p.meter != nil {
+		p.meter.GrantSIP(tenant, p.eng.Now())
+	}
+	return sip, nil
+}
+
+// ReleaseSIP tears down a service address.
+func (p *Provider) ReleaseSIP(tenant string, sip SIP) error {
+	svc, ok := p.services[sip]
+	if !ok || svc.tenant != tenant {
+		return fmt.Errorf("core: %s is not tenant %q's SIP", sip, tenant)
+	}
+	p.Permits.Drop(sip)
+	delete(p.services, sip)
+	if p.meter != nil {
+		p.meter.ReleaseSIP(tenant, p.eng.Now())
+	}
+	return p.sipBlock.Release(sip)
+}
+
+// Bind associates an EIP with a SIP (Table 2: bind(eip, sip)) with the
+// optional weight extension; the provider owns all load balancing.
+func (p *Provider) Bind(tenant string, eip EIP, sip SIP, weight int) error {
+	if _, err := p.owned(tenant, eip); err != nil {
+		return err
+	}
+	svc, ok := p.services[sip]
+	if !ok || svc.tenant != tenant {
+		return fmt.Errorf("core: %s is not tenant %q's SIP", sip, tenant)
+	}
+	svc.balancer.Bind(eip, weight)
+	return nil
+}
+
+// Unbind removes an EIP from a SIP with connection draining.
+func (p *Provider) Unbind(tenant string, eip EIP, sip SIP) error {
+	svc, ok := p.services[sip]
+	if !ok || svc.tenant != tenant {
+		return fmt.Errorf("core: %s is not tenant %q's SIP", sip, tenant)
+	}
+	return svc.balancer.Unbind(eip)
+}
+
+// SetPermitList replaces the permit list guarding an EIP or SIP (Table 2:
+// set_permit_list(eip, permit_list)). Group references expand to their
+// current membership.
+func (p *Provider) SetPermitList(tenant string, target addr.IP, entries []permit.Entry, groupRefs ...string) error {
+	if err := p.ownsTarget(tenant, target); err != nil {
+		return err
+	}
+	all := append([]permit.Entry(nil), entries...)
+	for _, gname := range groupRefs {
+		members, ok := p.groups[tenant][gname]
+		if !ok && p.resolve != nil {
+			members, ok = p.resolve(tenant, gname)
+		}
+		if !ok {
+			return fmt.Errorf("core: unknown group %q", gname)
+		}
+		for _, m := range members {
+			all = append(all, addr.NewPrefix(m, 32))
+		}
+	}
+	p.Permits.Set(target, all)
+	if p.meter != nil {
+		p.meter.PermitUpdate(tenant, p.eng.Now())
+	}
+	return nil
+}
+
+// Permit incrementally allows one source.
+func (p *Provider) Permit(tenant string, target addr.IP, entry permit.Entry) error {
+	if err := p.ownsTarget(tenant, target); err != nil {
+		return err
+	}
+	p.Permits.Permit(target, entry)
+	if p.meter != nil {
+		p.meter.PermitUpdate(tenant, p.eng.Now())
+	}
+	return nil
+}
+
+// Revoke incrementally removes one source.
+func (p *Provider) Revoke(tenant string, target addr.IP, entry permit.Entry) error {
+	if err := p.ownsTarget(tenant, target); err != nil {
+		return err
+	}
+	p.Permits.Revoke(target, entry)
+	if p.meter != nil {
+		p.meter.PermitUpdate(tenant, p.eng.Now())
+	}
+	return nil
+}
+
+// SetQoS sets the tenant's regional egress-bandwidth allowance (Table 2:
+// set_qos(region, bandwidth)).
+func (p *Provider) SetQoS(tenant, region string, bandwidth float64) error {
+	if _, ok := p.eipBlocks[region]; !ok {
+		return fmt.Errorf("core: unknown region %q", region)
+	}
+	tq := p.quota(tenant, region)
+	tq.quota = bandwidth
+	tq.limiter.SetQuota(bandwidth)
+	if p.meter != nil {
+		var total float64
+		for _, q := range p.quotas[tenant] {
+			total += q.quota
+		}
+		p.meter.SetQuota(tenant, p.eng.Now(), total)
+	}
+	return nil
+}
+
+// SetPotato selects the tenant's transit profile (hot/cold/dedicated-
+// approximation; §4 QoS "adopt this option unchanged").
+func (p *Provider) SetPotato(tenant string, policy qos.PotatoPolicy) {
+	p.potato[tenant] = policy
+}
+
+// SetVMEgressCap overrides the per-VM egress guarantee for one endpoint.
+func (p *Provider) SetVMEgressCap(tenant string, eip EIP, bps float64) error {
+	ep, err := p.owned(tenant, eip)
+	if err != nil {
+		return err
+	}
+	ep.egressCap = bps
+	return nil
+}
+
+// CreateGroup defines or replaces a named endpoint group (extension).
+func (p *Provider) CreateGroup(tenant, name string, members ...EIP) error {
+	for _, m := range members {
+		if _, err := p.owned(tenant, m); err != nil {
+			return err
+		}
+	}
+	if p.groups[tenant] == nil {
+		p.groups[tenant] = make(map[string][]EIP)
+	}
+	p.groups[tenant][name] = append([]EIP(nil), members...)
+	return nil
+}
+
+// MarkHealth is the provider health checker's signal for a bound backend.
+func (p *Provider) MarkHealth(eip EIP, healthy bool) {
+	for _, svc := range p.services {
+		for _, be := range svc.balancer.Backends() {
+			if be.EIP == eip {
+				svc.balancer.SetHealth(eip, healthy)
+			}
+		}
+	}
+}
+
+// Endpoint resolution helpers.
+
+func (p *Provider) owned(tenant string, eip EIP) (*endpoint, error) {
+	ep, ok := p.endpoints[eip]
+	if !ok || ep.tenant != tenant {
+		return nil, fmt.Errorf("core: %s is not tenant %q's EIP", eip, tenant)
+	}
+	return ep, nil
+}
+
+func (p *Provider) ownsTarget(tenant string, target addr.IP) error {
+	if ep, ok := p.endpoints[target]; ok && ep.tenant == tenant {
+		return nil
+	}
+	if svc, ok := p.services[target]; ok && svc.tenant == tenant {
+		return nil
+	}
+	return fmt.Errorf("core: %s is not tenant %q's address", target, tenant)
+}
+
+// Lookup returns the endpoint behind an EIP.
+func (p *Provider) Lookup(eip EIP) (topo.NodeID, bool) {
+	ep, ok := p.endpoints[eip]
+	if !ok {
+		return "", false
+	}
+	return ep.node, true
+}
+
+// Service returns the balancer behind a SIP (read-only use in tests).
+func (p *Provider) Service(sip SIP) (*lb.Balancer, bool) {
+	svc, ok := p.services[sip]
+	if !ok {
+		return nil, false
+	}
+	return svc.balancer, true
+}
+
+// EndpointCount returns granted EIPs; ServiceCount granted SIPs.
+func (p *Provider) EndpointCount() int { return len(p.endpoints) }
+func (p *Provider) ServiceCount() int  { return len(p.services) }
+
+// quota lazily builds the (tenant, region) limiter.
+func (p *Provider) quota(tenant, region string) *tenantQuota {
+	if p.quotas[tenant] == nil {
+		p.quotas[tenant] = make(map[string]*tenantQuota)
+	}
+	tq, ok := p.quotas[tenant][region]
+	if !ok {
+		tq = &tenantQuota{enforcer: make(map[topo.NodeID]*qos.Enforcer)}
+		tq.limiter = qos.NewDistributedLimiter(p.eng, 0, p.cfgQuotaPeriod())
+		p.quotas[tenant][region] = tq
+	}
+	return tq
+}
+
+func (p *Provider) cfgQuotaPeriod() sim.Time { return p.cfg.QuotaPeriod }

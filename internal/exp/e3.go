@@ -1,0 +1,184 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"declnet/internal/addr"
+	"declnet/internal/metrics"
+	"declnet/internal/routing"
+	"declnet/internal/workload"
+)
+
+// E3RoutingScale answers §6(i)'s first question: "Does our assumption that
+// all endpoints are given a publicly routable address scale in terms of
+// the size of routing tables within a cloud provider?"
+//
+// It plays a launch/teardown churn trace against provider-core routing
+// schemes and reports end-state table sizes and update load:
+//
+//   - vpc routes: today's model — the core carries one route per VPC
+//     (tenants of ~250 instances each).
+//   - flat: the paper's model with a single shared address pool and the
+//     zone chosen by the scheduler — aggregation-hostile, one /32 per
+//     live endpoint survives even after an aggregation pass.
+//   - zone-pooled: the provider mitigation §4 enables ("maximize the
+//     ability to aggregate"): one dense pool per zone, so sibling /32s
+//     share a next hop and aggregation collapses them; churn holes only
+//     partially degrade it.
+//   - fresh: zone-pooled with no churn — the best case.
+func E3RoutingScale(scales []int, zones int, seed int64) (*metrics.Table, error) {
+	if zones < 1 {
+		zones = 8
+	}
+	const instancesPerVPC = 250
+	t := &metrics.Table{
+		Title: "E3: provider core routing-table scale under churn (§6(i))",
+		Columns: []string{"live endpoints", "vpc routes", "flat /32s",
+			"zone-pooled agg", "fresh agg", "agg gain", "updates"},
+	}
+	for _, n := range scales {
+		res, err := e3Run(n, zones, instancesPerVPC, seed)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(res.live, res.vpcRoutes, res.flatRoutes, res.zoneAggRoutes,
+			res.freshAggRoutes,
+			fmt.Sprintf("%.1fx", float64(res.flatRoutes)/float64(max(res.zoneAggRoutes, 1))),
+			res.updates)
+	}
+	t.Notes = append(t.Notes,
+		"vpc routes assume ~250 instances per VPC as in large tenant deployments",
+		"flat = shared pool + scheduler-chosen zone (aggregation-hostile)",
+		"zone-pooled = per-zone dense pools with churn holes; fresh = same without churn")
+	return t, nil
+}
+
+type e3Result struct {
+	live           int
+	vpcRoutes      int
+	flatRoutes     int
+	zoneAggRoutes  int
+	freshAggRoutes int
+	updates        uint64
+}
+
+func e3Run(target, zones, perVPC int, seed int64) (e3Result, error) {
+	// Scale the churn horizon so roughly `target` endpoints are live at
+	// the end: with launch rate L and mean lifetime T, steady state is
+	// L*T; pick T = 60s and run for 3 lifetimes.
+	lifetime := 60 * time.Second
+	rate := float64(target) / lifetime.Seconds()
+	trace := workload.ChurnTrace(seed, workload.ChurnConfig{
+		Tenants:      10,
+		LaunchRate:   rate,
+		MeanLifetime: lifetime,
+		Horizon:      3 * lifetime,
+	})
+
+	// Scheme A — flat shared pool, scheduler round-robins zones.
+	sharedPool := addr.NewHostPool(addr.MustParsePrefix("100.64.0.0/12"), 0)
+	flat := &routing.Table{}
+	flatByInstance := make(map[string]addr.IP)
+
+	// Scheme B — per-zone dense pools.
+	zoneBlocks := addr.NewBlockPool(addr.MustParsePrefix("104.0.0.0/12"))
+	zonePools := make([]*addr.HostPool, zones)
+	for z := range zonePools {
+		blk, err := zoneBlocks.Allocate(16)
+		if err != nil {
+			return e3Result{}, err
+		}
+		zonePools[z] = addr.NewHostPool(blk, 0)
+	}
+	zoned := &routing.Table{}
+	zonedByInstance := make(map[string]struct {
+		ip   addr.IP
+		zone int
+	})
+
+	nextZone := 0
+	var updates uint64
+	for _, ev := range trace {
+		zone := nextZone % zones
+		switch ev.Kind {
+		case workload.Launch:
+			nextZone++
+			ip, err := sharedPool.Allocate()
+			if err != nil {
+				return e3Result{}, err
+			}
+			flat.Install(addr.NewPrefix(ip, 32), routing.NextHop{ID: zoneName(zone)})
+			flatByInstance[ev.Instance] = ip
+
+			zip, err := zonePools[zone].Allocate()
+			if err != nil {
+				return e3Result{}, err
+			}
+			zoned.Install(addr.NewPrefix(zip, 32), routing.NextHop{ID: zoneName(zone)})
+			zonedByInstance[ev.Instance] = struct {
+				ip   addr.IP
+				zone int
+			}{zip, zone}
+			updates++
+		case workload.Teardown:
+			if ip, ok := flatByInstance[ev.Instance]; ok {
+				flat.Withdraw(addr.NewPrefix(ip, 32))
+				sharedPool.Release(ip)
+				delete(flatByInstance, ev.Instance)
+			}
+			if rec, ok := zonedByInstance[ev.Instance]; ok {
+				zoned.Withdraw(addr.NewPrefix(rec.ip, 32))
+				zonePools[rec.zone].Release(rec.ip)
+				delete(zonedByInstance, ev.Instance)
+			}
+			updates++
+		}
+	}
+
+	live := len(flatByInstance)
+	flatAgg := routing.Aggregate(flat.Routes())
+	zoneAgg := routing.Aggregate(zoned.Routes())
+
+	// Fresh zone-pooled allocation of the same endpoint count: the best
+	// case the provider's allocator can reach.
+	freshBlocks := addr.NewBlockPool(addr.MustParsePrefix("108.0.0.0/12"))
+	var freshRoutes []routing.Route
+	for z := 0; z < zones; z++ {
+		blk, err := freshBlocks.Allocate(16)
+		if err != nil {
+			return e3Result{}, err
+		}
+		p := addr.NewHostPool(blk, 0)
+		for i := 0; i < live/zones; i++ {
+			ip, err := p.Allocate()
+			if err != nil {
+				return e3Result{}, err
+			}
+			freshRoutes = append(freshRoutes, routing.Route{
+				Prefix: addr.NewPrefix(ip, 32),
+				Hop:    routing.NextHop{ID: zoneName(z)},
+			})
+		}
+	}
+	freshAgg := routing.Aggregate(freshRoutes)
+
+	vpcs := (live + perVPC - 1) / perVPC
+	return e3Result{
+		live:           live,
+		vpcRoutes:      vpcs,
+		flatRoutes:     len(flatAgg), // shared-pool aggregation barely helps; report post-agg
+		zoneAggRoutes:  len(zoneAgg),
+		freshAggRoutes: len(freshAgg),
+		updates:        updates,
+	}, nil
+}
+
+func zoneName(z int) string { return fmt.Sprintf("zone-%d", z) }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,360 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"declnet/internal/addr"
+	"declnet/internal/core"
+	"declnet/internal/gateway"
+	"declnet/internal/vnet"
+)
+
+func TestBaselineFig1Functional(t *testing.T) {
+	b, err := BuildBaselineFig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spark -> DB across clouds via TGW peering.
+	if v := b.SparkToDB(); !v.Delivered {
+		t.Fatalf("spark->db: %v", v)
+	}
+	// Spark -> on-prem alert manager via TGW site attachment.
+	v := b.Env.Fabric.Evaluate(
+		gateway.Source{Kind: gateway.FromInstance, VPCID: b.Analytics.ID, InstanceID: b.Spark1.ID},
+		vnet.Packet{Src: b.Spark1.PrivateIP, Dst: mustIP("192.168.1.10"), Proto: vnet.TCP, DstPort: 443})
+	if !v.Delivered {
+		t.Fatalf("spark->onprem: %v", v)
+	}
+	// On-prem -> DB (site routes through TGW-A over the peering to hub-B).
+	v = b.Env.Fabric.Evaluate(
+		gateway.Source{Kind: gateway.FromSite, SiteID: "hq"},
+		vnet.Packet{Src: mustIP("192.168.1.10"), Dst: b.DB1.PrivateIP, Proto: vnet.TCP, DstPort: 5432})
+	if !v.Delivered {
+		t.Fatalf("onprem->db: %v", v)
+	}
+	// The DPI firewall on the db VNet still blocks hostile payloads.
+	v = b.Env.Fabric.Evaluate(
+		gateway.Source{Kind: gateway.FromInstance, VPCID: b.Analytics.ID, InstanceID: b.Spark1.ID},
+		vnet.Packet{Src: b.Spark1.PrivateIP, Dst: b.DB1.PrivateIP, Proto: vnet.TCP, DstPort: 5432,
+			Payload: "x'; DROP TABLE users; --"})
+	if v.Delivered {
+		t.Fatal("DPI firewall did not block hostile payload")
+	}
+	// Paper claim anchor: exactly 6 VPCs.
+	if got := b.Env.Ledger.BoxesOf("vpc"); got != 6 {
+		t.Fatalf("VPC count = %d, want 6 (Fig. 1)", got)
+	}
+}
+
+func mustIP(s string) addr.IP { return addr.MustParseIP(s) }
+
+func TestDeclarativeFig1Functional(t *testing.T) {
+	d, err := BuildDeclarativeFig1(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SparkToDB(); err != nil {
+		t.Fatal(err)
+	}
+	// Alerts (on-prem) may reach the DB service too.
+	conn, err := d.Cloud.Connect(Tenant, d.Alerts, d.DBService, core.ConnectOpts{SizeBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	// Spark cannot reach the on-prem endpoint the other way unless
+	// permitted — web is not on alerts' list.
+	if d.Cloud.Admitted(d.WebSrv, d.Alerts) {
+		t.Fatal("web admitted to alerts without permit entry")
+	}
+	if d.TotalAPICalls() == 0 || d.TotalAPICalls() > 30 {
+		t.Fatalf("API calls = %d, want a small number", d.TotalAPICalls())
+	}
+}
+
+func TestE1(t *testing.T) {
+	tb, err := E1BoxCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := tb.Text()
+	if !strings.Contains(text, "virtual networks") {
+		t.Fatalf("table missing rows:\n%s", text)
+	}
+	// The headline: baseline boxes >> 0, declarative boxes == 0.
+	for _, row := range tb.Rows {
+		if row[0] == "total network boxes" {
+			if row[2] != "0" {
+				t.Fatalf("declarative boxes = %s, want 0", row[2])
+			}
+			if row[1] == "0" {
+				t.Fatal("baseline boxes = 0")
+			}
+		}
+	}
+}
+
+func TestE2(t *testing.T) {
+	tb, err := E2Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) < 10 {
+		t.Fatalf("catalog rows = %d, want >= 10 component kinds", len(tb.Rows))
+	}
+	seen := map[string]bool{}
+	for _, r := range tb.Rows {
+		seen[r[0]] = true
+	}
+	for _, want := range []string{"vpc", "transit-gateway", "nat-gateway", "security-group"} {
+		if !seen[want] {
+			t.Fatalf("catalog missing %q", want)
+		}
+	}
+}
+
+func TestE3SmallScale(t *testing.T) {
+	tb, err := E3RoutingScale([]int{500}, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	row := tb.Rows[0]
+	live, _ := strconv.Atoi(row[0])
+	vpcRoutes, _ := strconv.Atoi(row[1])
+	flat, _ := strconv.Atoi(row[2])
+	zoneAgg, _ := strconv.Atoi(row[3])
+	fresh, _ := strconv.Atoi(row[4])
+	if live < 100 {
+		t.Fatalf("live = %d, churn trace too small", live)
+	}
+	if vpcRoutes >= flat {
+		t.Fatal("VPC aggregation not smaller than flat /32s")
+	}
+	if zoneAgg >= flat {
+		t.Fatal("zone-pooled aggregation did not shrink the table")
+	}
+	if fresh > zoneAgg {
+		t.Fatal("fresh allocation aggregates worse than churned")
+	}
+}
+
+func TestE4SmallScale(t *testing.T) {
+	tb, err := E4PermitScale([]int{500}, 4, 20*time.Millisecond, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := tb.Rows[0]
+	entries, _ := strconv.Atoi(row[1])
+	if entries < 500*4/2 {
+		t.Fatalf("entries = %d, want >= fanout*endpoints/2", entries)
+	}
+	stale, _ := strconv.Atoi(row[4])
+	if stale == 0 {
+		t.Fatal("no stale admits observed mid-propagation; staleness model broken")
+	}
+}
+
+func TestE5SmallScale(t *testing.T) {
+	tb, err := E5QuotaEnforce([]int{20}, []simTimes{100 * time.Millisecond}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	meanErr, _ := strconv.ParseFloat(tb.Rows[0][2], 64)
+	if meanErr > 50 {
+		t.Fatalf("mean enforcement error = %v%%, limiter broken", meanErr)
+	}
+}
+
+type simTimes = time.Duration
+
+func TestE6Shape(t *testing.T) {
+	tb, err := E6QoSPotato(100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Extract p50 RTT per transport for the cloudA->cloudB pair.
+	rtt := map[string]time.Duration{}
+	for _, row := range tb.Rows {
+		if row[0] != "cloudA->cloudB" {
+			continue
+		}
+		d, err := time.ParseDuration(row[2])
+		if err != nil {
+			t.Fatalf("bad duration %q", row[2])
+		}
+		rtt[row[1]] = d
+	}
+	// Shape: dedicated <= cold < hot on median RTT.
+	if !(rtt["dedicated"] <= rtt["cold"]) {
+		t.Fatalf("dedicated (%v) slower than cold (%v)", rtt["dedicated"], rtt["cold"])
+	}
+	if !(rtt["cold"] < rtt["hot"]) {
+		t.Fatalf("cold (%v) not faster than hot (%v)", rtt["cold"], rtt["hot"])
+	}
+	// The paper's conjecture: cold within a modest factor of dedicated.
+	if rtt["cold"] > 3*rtt["dedicated"] {
+		t.Fatalf("cold potato (%v) not a plausible approximation of dedicated (%v)", rtt["cold"], rtt["dedicated"])
+	}
+}
+
+func TestE7Shape(t *testing.T) {
+	tb, err := E7Security(5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	find := func(attack string) []string {
+		for _, r := range tb.Rows {
+			if r[0] == attack {
+				return r
+			}
+		}
+		t.Fatalf("missing attack row %q", attack)
+		return nil
+	}
+	atoi := func(s string) int { v, _ := strconv.Atoi(s); return v }
+	// DDoS: both models block at network layer, fully.
+	ddos := find("volumetric-ddos")
+	if atoi(ddos[2]) != 5 || atoi(ddos[5]) != 5 {
+		t.Fatalf("ddos not network-blocked in both models: %v", ddos)
+	}
+	// Payload exploit: baseline blocks via DPI, declarative leaks (the
+	// acknowledged §4 gap: no custom middleboxes).
+	exp := find("payload-exploit")
+	if atoi(exp[2]) != 5 {
+		t.Fatalf("baseline DPI did not block exploits: %v", exp)
+	}
+	if atoi(exp[7]) != 5 {
+		t.Fatalf("declarative model should leak payload exploits to the app: %v", exp)
+	}
+	// Lateral movement: CIDR trust lets the compromised bastion through
+	// the baseline's network layer (the app gateway catches it), while
+	// per-EIP permit lists stop it at the network.
+	lat := find("lateral-movement")
+	if atoi(lat[2]) != 0 {
+		t.Fatalf("baseline CIDR trust should admit lateral movement through the network: %v", lat)
+	}
+	if atoi(lat[3]) != 5 {
+		t.Fatalf("baseline should catch lateral movement only at the app layer: %v", lat)
+	}
+	if atoi(lat[5]) != 5 {
+		t.Fatalf("declarative permit list should network-block lateral movement: %v", lat)
+	}
+	// No category leaks past both layers in both models except the
+	// declarative payload-exploit gap.
+	for _, r := range tb.Rows {
+		if r[0] == "payload-exploit" {
+			continue
+		}
+		if atoi(r[4]) != 0 {
+			t.Fatalf("baseline fully leaked %s: %v", r[0], r)
+		}
+		if atoi(r[7]) != 0 {
+			t.Fatalf("declarative fully leaked %s: %v", r[0], r)
+		}
+	}
+}
+
+func TestE8Shape(t *testing.T) {
+	tb, err := E8Migration(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string][2]int{}
+	for _, r := range tb.Rows {
+		a, _ := strconv.Atoi(r[1])
+		b, _ := strconv.Atoi(r[2])
+		vals[r[0]] = [2]int{a, b}
+	}
+	steps := vals["provisioning steps"]
+	if steps[1] >= steps[0] {
+		t.Fatalf("declarative migration (%d steps) not cheaper than baseline (%d)", steps[1], steps[0])
+	}
+	if vals["new concepts learned"][0] == 0 {
+		t.Fatal("baseline migration learned no new concepts; fragmentation model broken")
+	}
+	if vals["new concepts learned"][1] != 0 {
+		t.Fatal("declarative migration should need no new concepts")
+	}
+}
+
+func TestE9Shape(t *testing.T) {
+	tb, err := E9Potato(100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For every client region, cold p50 <= hot p50 (backbone beats
+	// transit), and delivery(cold) >= delivery(hot).
+	type m struct {
+		p50      time.Duration
+		delivery float64
+	}
+	got := map[string]map[string]m{}
+	for _, r := range tb.Rows {
+		if got[r[0]] == nil {
+			got[r[0]] = map[string]m{}
+		}
+		d, _ := time.ParseDuration(r[2])
+		del, _ := strconv.ParseFloat(r[4], 64)
+		got[r[0]][r[1]] = m{d, del}
+	}
+	for region, byPolicy := range got {
+		// Intra-cloud clients legitimately take the same backbone path
+		// under both profiles; allow jitter-level noise.
+		if byPolicy["cold"].p50 > byPolicy["hot"].p50+2*time.Millisecond {
+			t.Fatalf("%s: cold (%v) slower than hot (%v)", region, byPolicy["cold"].p50, byPolicy["hot"].p50)
+		}
+		if byPolicy["cold"].delivery < byPolicy["hot"].delivery-0.5 {
+			t.Fatalf("%s: cold delivery below hot", region)
+		}
+	}
+}
+
+func TestE10Shape(t *testing.T) {
+	tb, err := E10Availability(100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string][2]string{}
+	for _, r := range tb.Rows {
+		vals[r[0]] = [2]string{r[1], r[2]}
+	}
+	// Equivalent availability: both error rates nonzero (failures before
+	// detection) and within 2x of each other.
+	be, _ := strconv.ParseFloat(vals["error rate %"][0], 64)
+	de, _ := strconv.ParseFloat(vals["error rate %"][1], 64)
+	if be == 0 || de == 0 {
+		t.Fatalf("error rates = %v/%v; failure window not modeled", be, de)
+	}
+	if de > 2*be+1 || be > 2*de+1 {
+		t.Fatalf("availability not comparable: baseline %v%%, declarative %v%%", be, de)
+	}
+	// Zero tenant config on the declarative side.
+	if vals["tenant config params"][1] != "0" || vals["tenant boxes"][1] != "0" {
+		t.Fatal("declarative side should need zero tenant configuration")
+	}
+	if vals["tenant config params"][0] == "0" {
+		t.Fatal("baseline LB should charge configuration")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 10 {
+		t.Fatalf("registry size = %d, want 10", len(all))
+	}
+	if _, err := ByID("E7"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("E99"); err == nil {
+		t.Fatal("unknown experiment found")
+	}
+}

@@ -1,0 +1,60 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"declnet/internal/metrics"
+	"declnet/internal/sim"
+)
+
+// Experiment is one runnable experiment with defaults chosen so the whole
+// suite finishes in seconds; benches sweep wider.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func() (*metrics.Table, error)
+}
+
+// All returns the experiment registry in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", "Fig-1 boxes & knobs", E1BoxCount},
+		{"E2", "component catalog (Table 1)", E2Catalog},
+		{"E3", "routing-table scalability", func() (*metrics.Table, error) {
+			return E3RoutingScale([]int{1000, 5000, 20000}, 8, 42)
+		}},
+		{"E4", "permit-list scalability", func() (*metrics.Table, error) {
+			return E4PermitScale([]int{1000, 5000, 20000}, 8, 50*time.Millisecond, 42)
+		}},
+		{"E5", "egress-quota enforcement", func() (*metrics.Table, error) {
+			return E5QuotaEnforce([]int{50, 200, 1000},
+				[]sim.Time{10 * time.Millisecond, 100 * time.Millisecond, 500 * time.Millisecond}, 42)
+		}},
+		{"E6", "dedicated vs potato QoS", func() (*metrics.Table, error) {
+			return E6QoSPotato(500, 42)
+		}},
+		{"E7", "security equivalence", func() (*metrics.Table, error) {
+			return E7Security(10, 42)
+		}},
+		{"E8", "cross-cloud migration", func() (*metrics.Table, error) {
+			return E8Migration(42)
+		}},
+		{"E9", "hot vs cold potato", func() (*metrics.Table, error) {
+			return E9Potato(300, 42)
+		}},
+		{"E10", "SIP availability", func() (*metrics.Table, error) {
+			return E10Availability(200, 42)
+		}},
+	}
+}
+
+// ByID finds one experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("exp: unknown experiment %q", id)
+}

@@ -1,0 +1,288 @@
+package gateway
+
+import (
+	"fmt"
+
+	"declnet/internal/vnet"
+)
+
+// SourceKind identifies where a packet enters the fabric.
+type SourceKind int
+
+const (
+	// FromInstance originates at a tenant instance inside a VPC.
+	FromInstance SourceKind = iota
+	// FromInternet originates at an arbitrary public address.
+	FromInternet
+	// FromSite originates inside an on-prem site.
+	FromSite
+)
+
+// Source locates a packet's origin. VPC private addresses may overlap
+// across VPCs, so origin is explicit rather than inferred from Src.
+type Source struct {
+	Kind       SourceKind
+	VPCID      string // FromInstance
+	InstanceID string // FromInstance
+	SiteID     string // FromSite
+}
+
+// Evaluate pushes the packet through the fabric from the given source and
+// reports where it lands or which component drops it. Only the connection-
+// initiator direction is evaluated; stateful components (SGs, NAT) admit
+// replies implicitly and stateless ones (NACLs) are charged in both
+// directions at the boundary they guard.
+func (f *Fabric) Evaluate(src Source, pkt vnet.Packet) vnet.Verdict {
+	switch src.Kind {
+	case FromInstance:
+		return f.fromInstance(src, pkt)
+	case FromInternet:
+		return f.fromInternet(pkt, nil)
+	case FromSite:
+		return f.fromSite(src.SiteID, pkt, nil)
+	default:
+		return vnet.Denied("fabric", "unknown source kind", nil)
+	}
+}
+
+func (f *Fabric) fromInstance(src Source, pkt vnet.Packet) vnet.Verdict {
+	v, ok := f.vpcs[src.VPCID]
+	if !ok {
+		return vnet.Denied("fabric", fmt.Sprintf("unknown VPC %q", src.VPCID), nil)
+	}
+	inst, ok := v.Instance(src.InstanceID)
+	if !ok {
+		return vnet.Denied("fabric", fmt.Sprintf("unknown instance %q", src.InstanceID), nil)
+	}
+	hops := []string{"instance:" + inst.ID}
+	// Egress checks at the source (SG + NACL). Peer groups matter only for
+	// intra-VPC SG-reference rules.
+	if at, ok := v.CanEgress(inst, pkt, v.GroupsOf(pkt.Dst)); !ok {
+		return vnet.Denied(at, "egress denied", hops)
+	}
+	tgt, ok := v.RouteFor(inst, pkt.Dst)
+	if !ok {
+		return vnet.Denied("no-route:"+src.VPCID, fmt.Sprintf("no route to %s", pkt.Dst), hops)
+	}
+	hops = append(hops, tgt.String())
+	switch tgt.Kind {
+	case vnet.TLocal:
+		return f.deliverLocal(v, pkt, hops)
+	case vnet.TPeering:
+		return f.viaPeering(src.VPCID, tgt.ID, pkt, hops)
+	case vnet.TTGW:
+		return f.viaTGW(tgt.ID, pkt, hops, 0)
+	case vnet.TIGW:
+		return f.viaIGW(v, inst, tgt.ID, pkt, hops)
+	case vnet.TEgressIGW:
+		// Outbound through an egress-only gateway: source keeps a private
+		// address but is let out; replies only (no inbound initiation).
+		return f.fromInternet(pkt, hops)
+	case vnet.TNAT:
+		return f.viaNAT(tgt.ID, pkt, hops)
+	case vnet.TVGW:
+		return f.viaVGW(tgt.ID, pkt, hops)
+	case vnet.TBlackhole:
+		return vnet.Denied("blackhole", "blackhole route", hops)
+	default:
+		return vnet.Denied("fabric", "unroutable target", hops)
+	}
+}
+
+// deliverLocal completes delivery to a private address inside v.
+func (f *Fabric) deliverLocal(v *vnet.VPC, pkt vnet.Packet, hops []string) vnet.Verdict {
+	dst, ok := v.InstanceByIP(pkt.Dst)
+	if !ok {
+		return vnet.Denied("no-host:"+v.ID, fmt.Sprintf("%s not present in %s", pkt.Dst, v.ID), hops)
+	}
+	if at, ok := v.CanIngress(dst, pkt, v.GroupsOf(pkt.Src)); !ok {
+		return vnet.Denied(at, "ingress denied", hops)
+	}
+	hops = append(hops, "instance:"+dst.ID)
+	return vnet.Deliver(hops)
+}
+
+// enterVPC runs the inspection chain and then local delivery — the shared
+// tail of every path that terminates inside a VPC.
+func (f *Fabric) enterVPC(vpcID string, pkt vnet.Packet, hops []string) vnet.Verdict {
+	v := f.vpcs[vpcID]
+	for _, insp := range f.inspectors[vpcID] {
+		hops = append(hops, "inspect:"+insp.Name())
+		if ok, reason := insp.Inspect(pkt); !ok {
+			return vnet.Denied("firewall:"+insp.Name(), reason, hops)
+		}
+	}
+	return f.deliverLocal(v, pkt, hops)
+}
+
+func (f *Fabric) viaPeering(fromVPC, pcxID string, pkt vnet.Packet, hops []string) vnet.Verdict {
+	pcx, ok := f.peerings[pcxID]
+	if !ok {
+		return vnet.Denied("fabric", fmt.Sprintf("unknown peering %q", pcxID), hops)
+	}
+	var peerID string
+	switch fromVPC {
+	case pcx.AVPC:
+		peerID = pcx.BVPC
+	case pcx.BVPC:
+		peerID = pcx.AVPC
+	default:
+		return vnet.Denied("pcx:"+pcxID, "peering does not include source VPC", hops)
+	}
+	peer := f.vpcs[peerID]
+	// Non-transitive: delivery must land in the peer VPC itself.
+	if !peer.CIDR.Contains(pkt.Dst) {
+		return vnet.Denied("pcx:"+pcxID, "destination outside peer VPC (peering is non-transitive)", hops)
+	}
+	return f.enterVPC(peerID, pkt, hops)
+}
+
+// maxTGWHops bounds TGW-to-TGW forwarding; real deployments chain at most
+// a few regional hubs (Fig. 1 has two).
+const maxTGWHops = 4
+
+func (f *Fabric) viaTGW(tgwID string, pkt vnet.Packet, hops []string, depth int) vnet.Verdict {
+	if depth >= maxTGWHops {
+		return vnet.Denied("tgw:"+tgwID, "TGW forwarding loop", hops)
+	}
+	t, ok := f.tgws[tgwID]
+	if !ok {
+		return vnet.Denied("fabric", fmt.Sprintf("unknown TGW %q", tgwID), hops)
+	}
+	attachID, ok := t.rt.Lookup(pkt.Dst)
+	if !ok {
+		return vnet.Denied("tgw:"+tgwID, fmt.Sprintf("no TGW route to %s", pkt.Dst), hops)
+	}
+	a := t.attachments[attachID]
+	hops = append(hops, fmt.Sprintf("tgw:%s->%s:%s", tgwID, a.Kind, a.RefID))
+	switch a.Kind {
+	case AttachVPC:
+		v := f.vpcs[a.RefID]
+		if !v.CIDR.Contains(pkt.Dst) {
+			return vnet.Denied("tgw:"+tgwID, "route points at VPC not owning destination", hops)
+		}
+		return f.enterVPC(a.RefID, pkt, hops)
+	case AttachSite:
+		return f.deliverSite(a.RefID, pkt, hops)
+	case AttachPeer:
+		return f.viaTGW(a.RefID, pkt, hops, depth+1)
+	default:
+		return vnet.Denied("tgw:"+tgwID, "unknown attachment kind", hops)
+	}
+}
+
+func (f *Fabric) viaIGW(v *vnet.VPC, inst *vnet.Instance, igwID string, pkt vnet.Packet, hops []string) vnet.Verdict {
+	g, ok := f.igws[igwID]
+	if !ok || g.VPCID != v.ID {
+		return vnet.Denied("fabric", fmt.Sprintf("IGW %q not attached to %q", igwID, v.ID), hops)
+	}
+	if inst.PublicIP == 0 {
+		return vnet.Denied("igw:"+igwID, "instance has no public IP (needs NAT)", hops)
+	}
+	// Source NAT to the instance's public address.
+	pkt.Src = inst.PublicIP
+	return f.fromInternet(pkt, hops)
+}
+
+func (f *Fabric) viaNAT(natID string, pkt vnet.Packet, hops []string) vnet.Verdict {
+	n, ok := f.nats[natID]
+	if !ok {
+		return vnet.Denied("fabric", fmt.Sprintf("unknown NAT %q", natID), hops)
+	}
+	port, err := n.AllocatePort()
+	if err != nil {
+		return vnet.Denied("nat:"+natID, err.Error(), hops)
+	}
+	pkt.Src = n.PublicIP
+	pkt.SrcPort = port
+	// The NAT's own subnet must route to an IGW; charge the hop and send.
+	return f.fromInternet(pkt, hops)
+}
+
+func (f *Fabric) viaVGW(vgwID string, pkt vnet.Packet, hops []string) vnet.Verdict {
+	g, ok := f.vgws[vgwID]
+	if !ok {
+		return vnet.Denied("fabric", fmt.Sprintf("unknown VGW %q", vgwID), hops)
+	}
+	return f.deliverSite(g.SiteID, pkt, hops)
+}
+
+func (f *Fabric) deliverSite(siteID string, pkt vnet.Packet, hops []string) vnet.Verdict {
+	s, ok := f.sites[siteID]
+	if !ok {
+		return vnet.Denied("fabric", fmt.Sprintf("unknown site %q", siteID), hops)
+	}
+	if !s.CIDR.Contains(pkt.Dst) {
+		return vnet.Denied("site:"+siteID, "destination outside site CIDR", hops)
+	}
+	hops = append(hops, "site:"+siteID)
+	return vnet.Deliver(hops)
+}
+
+// fromInternet delivers a packet arriving from public address space.
+func (f *Fabric) fromInternet(pkt vnet.Packet, hops []string) vnet.Verdict {
+	hops = append(hops, "internet")
+	b, ok := f.publicIPs[pkt.Dst]
+	if !ok {
+		return vnet.Denied("internet", fmt.Sprintf("%s is not a tenant public address", pkt.Dst), hops)
+	}
+	v := f.vpcs[b.vpcID]
+	dst, ok := v.Instance(b.instID)
+	if !ok {
+		return vnet.Denied("internet", "stale public binding", hops)
+	}
+	// The VPC needs an IGW for inbound delivery.
+	var igw *IGW
+	for _, g := range f.igws {
+		if g.VPCID == b.vpcID {
+			igw = g
+			break
+		}
+	}
+	if igw == nil {
+		return vnet.Denied("internet", fmt.Sprintf("VPC %q has no IGW", b.vpcID), hops)
+	}
+	hops = append(hops, "igw:"+igw.ID)
+	// The destination's subnet must route back out the IGW (public
+	// subnet); otherwise there is no return path and clouds drop inbound.
+	sn, _ := v.Subnet(dst.SubnetID)
+	if tgt, ok := sn.RT.Lookup(pkt.Src); !ok || tgt.Kind != vnet.TIGW {
+		return vnet.Denied("igw:"+igw.ID, "destination subnet is not public (no IGW return route)", hops)
+	}
+	// DNAT public -> private, then normal VPC entry.
+	pkt.Dst = dst.PrivateIP
+	return f.enterVPC(b.vpcID, pkt, hops)
+}
+
+// fromSite evaluates a packet leaving an on-prem site.
+func (f *Fabric) fromSite(siteID string, pkt vnet.Packet, hops []string) vnet.Verdict {
+	s, ok := f.sites[siteID]
+	if !ok {
+		return vnet.Denied("fabric", fmt.Sprintf("unknown site %q", siteID), nil)
+	}
+	hops = append(hops, "site:"+siteID)
+	tgt, ok := s.rt.Lookup(pkt.Dst)
+	if !ok {
+		return vnet.Denied("no-route:"+siteID, fmt.Sprintf("site has no route to %s", pkt.Dst), hops)
+	}
+	hops = append(hops, tgt.String())
+	switch tgt.Kind {
+	case vnet.TVGW:
+		g, ok := f.vgws[tgt.ID]
+		if !ok {
+			return vnet.Denied("fabric", fmt.Sprintf("unknown VGW %q", tgt.ID), hops)
+		}
+		v := f.vpcs[g.VPCID]
+		if !v.CIDR.Contains(pkt.Dst) {
+			return vnet.Denied("vgw:"+g.ID, "destination outside VPN-attached VPC", hops)
+		}
+		return f.enterVPC(g.VPCID, pkt, hops)
+	case vnet.TTGW:
+		return f.viaTGW(tgt.ID, pkt, hops, 0)
+	case vnet.TIGW:
+		// Site egress to the public internet.
+		return f.fromInternet(pkt, hops)
+	default:
+		return vnet.Denied("site:"+siteID, "unsupported site route target", hops)
+	}
+}

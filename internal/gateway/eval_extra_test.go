@@ -1,0 +1,186 @@
+package gateway
+
+import (
+	"strings"
+	"testing"
+
+	"declnet/internal/complexity"
+	"declnet/internal/vnet"
+)
+
+func TestEgressOnlyIGWOutboundOnly(t *testing.T) {
+	f, ia, _ := twoVPCFabric(t)
+	// Destination with proper public exposure in vpc-b.
+	f.CreateIGW("igw-b", "vpc-b")
+	vb, _ := f.VPC("vpc-b")
+	vb.AddRoute("sn", anywhere(), vnet.Target{Kind: vnet.TIGW, ID: "igw-b"})
+	pubB, _ := f.AssignPublicIP("vpc-b", "i-b")
+	// vpc-a gets only an egress-only gateway.
+	if _, err := f.CreateEgressIGW("eigw-a", "vpc-a"); err != nil {
+		t.Fatal(err)
+	}
+	va, _ := f.VPC("vpc-a")
+	va.AddRoute("sn", anywhere(), vnet.Target{Kind: vnet.TEgressIGW, ID: "eigw-a"})
+	// Outbound initiation works (stateful reply implied)...
+	v := f.Evaluate(Source{Kind: FromInstance, VPCID: "vpc-a", InstanceID: "i-a"},
+		vnet.Packet{Src: ia.PrivateIP, Dst: pubB, Proto: vnet.TCP, DstPort: 443})
+	if !v.Delivered {
+		t.Fatalf("egress-only outbound failed: %v", v)
+	}
+	// ...but i-a has no public binding, so nothing can initiate inbound.
+	in := f.Evaluate(Source{Kind: FromInternet},
+		vnet.Packet{Src: pubB, Dst: ia.PrivateIP, Proto: vnet.TCP, DstPort: 22})
+	if in.Delivered {
+		t.Fatal("inbound initiation through egress-only path delivered")
+	}
+}
+
+func TestNATExhaustionDropsInPath(t *testing.T) {
+	f, _, _ := twoVPCFabric(t)
+	f.CreateIGW("igw-b", "vpc-b")
+	vb, _ := f.VPC("vpc-b")
+	vb.AddRoute("sn", anywhere(), vnet.Target{Kind: vnet.TIGW, ID: "igw-b"})
+	pubB, _ := f.AssignPublicIP("vpc-b", "i-b")
+	nat, err := f.CreateNAT("nat-a", "vpc-a", "sn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, _ := f.VPC("vpc-a")
+	va.AddRoute("sn", anywhere(), vnet.Target{Kind: vnet.TNAT, ID: "nat-a"})
+	ia, _ := va.Instance("i-a")
+	// Exhaust the translation range.
+	for {
+		if _, err := nat.AllocatePort(); err != nil {
+			break
+		}
+	}
+	v := f.Evaluate(Source{Kind: FromInstance, VPCID: "vpc-a", InstanceID: "i-a"},
+		vnet.Packet{Src: ia.PrivateIP, Dst: pubB, Proto: vnet.TCP, DstPort: 443})
+	if v.Delivered {
+		t.Fatal("packet delivered through exhausted NAT")
+	}
+	if !strings.HasPrefix(v.DeniedAt, "nat:") {
+		t.Fatalf("denied at %q, want nat", v.DeniedAt)
+	}
+}
+
+func TestSiteEgressToInternet(t *testing.T) {
+	f, _, _ := twoVPCFabric(t)
+	f.CreateIGW("igw-a", "vpc-a")
+	va, _ := f.VPC("vpc-a")
+	va.AddRoute("sn", anywhere(), vnet.Target{Kind: vnet.TIGW, ID: "igw-a"})
+	pubA, _ := f.AssignPublicIP("vpc-a", "i-a")
+	site, _ := f.AddSite("hq", pfx("192.168.0.0/16"))
+	site.AddRoute(anywhere(), vnet.Target{Kind: vnet.TIGW, ID: "edge"})
+	v := f.Evaluate(Source{Kind: FromSite, SiteID: "hq"},
+		vnet.Packet{Src: ipa("192.168.1.1"), Dst: pubA, Proto: vnet.TCP, DstPort: 443})
+	if !v.Delivered {
+		t.Fatalf("site -> internet -> VPC failed: %v", v)
+	}
+}
+
+func TestBlackholeRoute(t *testing.T) {
+	f, ia, _ := twoVPCFabric(t)
+	va, _ := f.VPC("vpc-a")
+	va.AddRoute("sn", pfx("203.0.113.0/24"), vnet.Target{Kind: vnet.TBlackhole})
+	v := f.Evaluate(Source{Kind: FromInstance, VPCID: "vpc-a", InstanceID: "i-a"},
+		vnet.Packet{Src: ia.PrivateIP, Dst: ipa("203.0.113.5"), Proto: vnet.TCP, DstPort: 443})
+	if v.Delivered || v.DeniedAt != "blackhole" {
+		t.Fatalf("blackhole route verdict: %v", v)
+	}
+}
+
+func TestTGWRouteToWrongVPC(t *testing.T) {
+	f, ia, _ := twoVPCFabric(t)
+	f.CreateTGW("tgw", "east")
+	f.AttachToTGW("tgw", "att-b", AttachVPC, "vpc-b")
+	// Misconfigured static route: 10.9/16 does not belong to vpc-b.
+	f.TGWRoute("tgw", pfx("10.9.0.0/16"), "att-b")
+	va, _ := f.VPC("vpc-a")
+	va.AddRoute("sn", pfx("10.9.0.0/16"), vnet.Target{Kind: vnet.TTGW, ID: "tgw"})
+	v := f.Evaluate(Source{Kind: FromInstance, VPCID: "vpc-a", InstanceID: "i-a"},
+		vnet.Packet{Src: ia.PrivateIP, Dst: ipa("10.9.1.1"), Proto: vnet.TCP, DstPort: 443})
+	if v.Delivered {
+		t.Fatal("TGW delivered to VPC not owning the destination")
+	}
+}
+
+func TestSiteRouteValidation(t *testing.T) {
+	f, _, _ := twoVPCFabric(t)
+	site, _ := f.AddSite("hq", pfx("192.168.0.0/16"))
+	// Unsupported site target kind.
+	site.AddRoute(pfx("10.0.0.0/16"), vnet.Target{Kind: vnet.TNAT, ID: "x"})
+	v := f.Evaluate(Source{Kind: FromSite, SiteID: "hq"},
+		vnet.Packet{Src: ipa("192.168.1.1"), Dst: ipa("10.0.1.4"), Proto: vnet.TCP, DstPort: 22})
+	if v.Delivered {
+		t.Fatal("unsupported site route target delivered")
+	}
+	// Site delivery outside CIDR refused.
+	f.CreateVGW("vgw", "vpc-a", "hq")
+	va, _ := f.VPC("vpc-a")
+	ia, _ := va.Instance("i-a")
+	va.AddRoute("sn", pfx("172.16.0.0/12"), vnet.Target{Kind: vnet.TVGW, ID: "vgw"})
+	out := f.Evaluate(Source{Kind: FromInstance, VPCID: "vpc-a", InstanceID: "i-a"},
+		vnet.Packet{Src: ia.PrivateIP, Dst: ipa("172.16.1.1"), Proto: vnet.TCP, DstPort: 22})
+	if out.Delivered {
+		t.Fatal("VGW delivered outside site CIDR")
+	}
+}
+
+func TestDuplicateGatewayIDs(t *testing.T) {
+	f, _, _ := twoVPCFabric(t)
+	if _, err := f.CreateIGW("igw", "vpc-a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.CreateIGW("igw", "vpc-a"); err == nil {
+		t.Fatal("duplicate IGW accepted")
+	}
+	if _, err := f.CreateTGW("tgw", "e"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.CreateTGW("tgw", "e"); err == nil {
+		t.Fatal("duplicate TGW accepted")
+	}
+	if _, err := f.AddSite("hq", pfx("192.168.0.0/16")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.AddSite("hq", pfx("192.168.0.0/16")); err == nil {
+		t.Fatal("duplicate site accepted")
+	}
+	if err := f.AttachToTGW("tgw", "a1", AttachVPC, "vpc-a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AttachToTGW("tgw", "a1", AttachVPC, "vpc-b"); err == nil {
+		t.Fatal("duplicate attachment accepted")
+	}
+	if err := f.AttachToTGW("tgw", "a2", AttachSite, "ghost"); err == nil {
+		t.Fatal("attachment to unknown site accepted")
+	}
+	if err := f.AttachToTGW("tgw", "a3", AttachPeer, "ghost"); err == nil {
+		t.Fatal("attachment to unknown peer accepted")
+	}
+	if err := f.TGWRoute("tgw", pfx("10.0.0.0/8"), "ghost"); err == nil {
+		t.Fatal("route via unknown attachment accepted")
+	}
+	if err := f.TGWRoute("ghost", pfx("10.0.0.0/8"), "a1"); err == nil {
+		t.Fatal("route on unknown TGW accepted")
+	}
+	var led complexity.Ledger
+	_ = led
+}
+
+func TestAssignPublicIPValidation(t *testing.T) {
+	f, _, _ := twoVPCFabric(t)
+	if _, err := f.AssignPublicIP("ghost", "i-a"); err == nil {
+		t.Fatal("unknown VPC accepted")
+	}
+	if _, err := f.AssignPublicIP("vpc-a", "ghost"); err == nil {
+		t.Fatal("unknown instance accepted")
+	}
+	if _, err := f.AssignPublicIP("vpc-a", "i-a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.AssignPublicIP("vpc-a", "i-a"); err == nil {
+		t.Fatal("double public IP accepted")
+	}
+}

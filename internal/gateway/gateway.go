@@ -1,0 +1,438 @@
+// Package gateway implements the baseline's inter-network plumbing from §2
+// of the paper: internet gateways, egress-only gateways, NAT gateways,
+// virtual private gateways (VPN to on-prem sites), transit gateways with
+// route tables and attachments, and VPC peering connections. A Fabric ties
+// gateways and VPCs together and answers the reachability question a real
+// packet would: can this packet get from here to there, and which box
+// drops it if not?
+//
+// Semantics follow AWS where the paper references it: peering is
+// non-transitive, security groups are stateful, NACLs stateless, NAT is
+// egress-only with port allocation, transit gateways are region-scoped and
+// connect to each other only via explicit TGW peering with static routes.
+package gateway
+
+import (
+	"fmt"
+
+	"declnet/internal/addr"
+	"declnet/internal/complexity"
+	"declnet/internal/routing"
+	"declnet/internal/vnet"
+)
+
+// IGW is an internet gateway: the VPC's door to public addresses.
+type IGW struct {
+	ID    string
+	VPCID string
+}
+
+// EgressIGW allows IPv6-style outbound-only internet access; inbound
+// connection initiation through it is dropped.
+type EgressIGW struct {
+	ID    string
+	VPCID string
+}
+
+// NATGateway translates private sources to its public address, allocating
+// a distinct public port per flow. Egress-only by construction.
+type NATGateway struct {
+	ID       string
+	VPCID    string
+	SubnetID string
+	PublicIP addr.IP
+
+	nextPort int
+	freed    []int
+	active   map[int]bool
+}
+
+// AllocatePort reserves a translation port; it fails when the 1024..65535
+// range is exhausted (the real operational limit of a NAT gateway).
+func (n *NATGateway) AllocatePort() (int, error) {
+	if len(n.freed) > 0 {
+		p := n.freed[0]
+		n.freed = n.freed[1:]
+		n.active[p] = true
+		return p, nil
+	}
+	if n.nextPort > 65535 {
+		return 0, fmt.Errorf("gateway: NAT %s port range exhausted", n.ID)
+	}
+	p := n.nextPort
+	n.nextPort++
+	n.active[p] = true
+	return p, nil
+}
+
+// ReleasePort returns a translation port to the pool.
+func (n *NATGateway) ReleasePort(p int) error {
+	if !n.active[p] {
+		return fmt.Errorf("gateway: NAT %s release of unallocated port %d", n.ID, p)
+	}
+	delete(n.active, p)
+	n.freed = append(n.freed, p)
+	return nil
+}
+
+// ActivePorts reports the number of in-use translation ports.
+func (n *NATGateway) ActivePorts() int { return len(n.active) }
+
+// Site is an on-premises network reachable over VPN or TGW attachments.
+type Site struct {
+	ID   string
+	CIDR addr.Prefix
+	// rt routes traffic leaving the site: prefix -> gateway target.
+	rt *vnet.RouteTable
+}
+
+// AddRoute installs an egress route at the site's edge router.
+func (s *Site) AddRoute(p addr.Prefix, t vnet.Target) { s.rt.AddRoute(p, t) }
+
+// VGW is a virtual private gateway: a VPN endpoint connecting one VPC to
+// one site.
+type VGW struct {
+	ID     string
+	VPCID  string
+	SiteID string
+}
+
+// AttachmentKind classifies what a TGW attachment points at.
+type AttachmentKind int
+
+const (
+	// AttachVPC attaches a VPC.
+	AttachVPC AttachmentKind = iota
+	// AttachSite attaches an on-prem site over VPN.
+	AttachSite
+	// AttachPeer attaches another TGW (inter-region/inter-cloud peering).
+	AttachPeer
+)
+
+func (k AttachmentKind) String() string {
+	switch k {
+	case AttachVPC:
+		return "vpc"
+	case AttachSite:
+		return "site"
+	default:
+		return "peer"
+	}
+}
+
+// Attachment is one TGW attachment.
+type Attachment struct {
+	ID    string
+	Kind  AttachmentKind
+	RefID string // VPC ID, site ID, or peer TGW ID
+}
+
+// TGW is a transit gateway: a regional hub router interconnecting VPCs,
+// sites, and peer TGWs through its own route table.
+type TGW struct {
+	ID     string
+	Region string
+
+	attachments map[string]Attachment
+	rt          routing.Trie[string] // prefix -> attachment ID
+}
+
+// RouteCount returns the TGW table size.
+func (t *TGW) RouteCount() int { return t.rt.Len() }
+
+// Peering is a private connection between exactly two VPCs.
+// Transitivity is deliberately absent, as in real clouds.
+type Peering struct {
+	ID   string
+	AVPC string
+	BVPC string
+}
+
+// Inspector is an in-path middlebox (firewall/DPI appliance) attached to a
+// VPC's ingress. Inspect returns false with a reason to drop the packet.
+type Inspector interface {
+	Name() string
+	Inspect(pkt vnet.Packet) (ok bool, reason string)
+}
+
+// publicBinding resolves a public IP to the instance behind it.
+type publicBinding struct {
+	vpcID  string
+	instID string
+}
+
+// Fabric is the assembled baseline network: all VPCs, gateways, sites, and
+// public address bindings of one tenant deployment (possibly spanning
+// several providers — the fabric doesn't care, just like the tenant's
+// spreadsheet doesn't).
+type Fabric struct {
+	vpcs     map[string]*vnet.VPC
+	igws     map[string]*IGW
+	eigws    map[string]*EgressIGW
+	nats     map[string]*NATGateway
+	vgws     map[string]*VGW
+	tgws     map[string]*TGW
+	peerings map[string]*Peering
+	sites    map[string]*Site
+
+	publicIPs  map[addr.IP]publicBinding
+	publicPool *addr.HostPool
+	inspectors map[string][]Inspector
+
+	ledger *complexity.Ledger
+}
+
+// NewFabric returns an empty fabric charging the given ledger. Public
+// addresses are handed out from the documentation range 203.0.113.0/24
+// scaled up to /16 for big experiments.
+func NewFabric(ledger *complexity.Ledger) *Fabric {
+	return &Fabric{
+		vpcs:       make(map[string]*vnet.VPC),
+		igws:       make(map[string]*IGW),
+		eigws:      make(map[string]*EgressIGW),
+		nats:       make(map[string]*NATGateway),
+		vgws:       make(map[string]*VGW),
+		tgws:       make(map[string]*TGW),
+		peerings:   make(map[string]*Peering),
+		sites:      make(map[string]*Site),
+		publicIPs:  make(map[addr.IP]publicBinding),
+		publicPool: addr.NewHostPool(addr.MustParsePrefix("198.18.0.0/16"), 1),
+		inspectors: make(map[string][]Inspector),
+		ledger:     ledger,
+	}
+}
+
+// Ledger returns the fabric's complexity ledger.
+func (f *Fabric) Ledger() *complexity.Ledger { return f.ledger }
+
+// AddVPC registers an existing VPC with the fabric.
+func (f *Fabric) AddVPC(v *vnet.VPC) error {
+	if _, ok := f.vpcs[v.ID]; ok {
+		return fmt.Errorf("gateway: duplicate VPC %q", v.ID)
+	}
+	f.vpcs[v.ID] = v
+	return nil
+}
+
+// VPC returns a registered VPC.
+func (f *Fabric) VPC(id string) (*vnet.VPC, bool) {
+	v, ok := f.vpcs[id]
+	return v, ok
+}
+
+// CreateIGW provisions an internet gateway on a VPC.
+func (f *Fabric) CreateIGW(id, vpcID string) (*IGW, error) {
+	if _, ok := f.vpcs[vpcID]; !ok {
+		return nil, fmt.Errorf("gateway: unknown VPC %q", vpcID)
+	}
+	if _, ok := f.igws[id]; ok {
+		return nil, fmt.Errorf("gateway: duplicate IGW %q", id)
+	}
+	g := &IGW{ID: id, VPCID: vpcID}
+	f.igws[id] = g
+	f.ledger.Resource("internet-gateway")
+	f.ledger.Param("internet-gateway", 1) // VPC attachment
+	return g, nil
+}
+
+// CreateEgressIGW provisions an egress-only internet gateway.
+func (f *Fabric) CreateEgressIGW(id, vpcID string) (*EgressIGW, error) {
+	if _, ok := f.vpcs[vpcID]; !ok {
+		return nil, fmt.Errorf("gateway: unknown VPC %q", vpcID)
+	}
+	g := &EgressIGW{ID: id, VPCID: vpcID}
+	f.eigws[id] = g
+	f.ledger.Resource("egress-only-igw")
+	f.ledger.Param("egress-only-igw", 1)
+	return g, nil
+}
+
+// CreateNAT provisions a NAT gateway in a subnet, allocating its public
+// address.
+func (f *Fabric) CreateNAT(id, vpcID, subnetID string) (*NATGateway, error) {
+	v, ok := f.vpcs[vpcID]
+	if !ok {
+		return nil, fmt.Errorf("gateway: unknown VPC %q", vpcID)
+	}
+	if _, ok := v.Subnet(subnetID); !ok {
+		return nil, fmt.Errorf("gateway: unknown subnet %q in %q", subnetID, vpcID)
+	}
+	pub, err := f.publicPool.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	n := &NATGateway{ID: id, VPCID: vpcID, SubnetID: subnetID, PublicIP: pub,
+		nextPort: 1024, active: make(map[int]bool)}
+	f.nats[id] = n
+	f.ledger.Resource("nat-gateway")
+	f.ledger.Param("nat-gateway", 2) // subnet, elastic IP
+	return n, nil
+}
+
+// AddSite registers an on-prem network.
+func (f *Fabric) AddSite(id string, cidr addr.Prefix) (*Site, error) {
+	if _, ok := f.sites[id]; ok {
+		return nil, fmt.Errorf("gateway: duplicate site %q", id)
+	}
+	s := &Site{ID: id, CIDR: cidr, rt: &vnet.RouteTable{ID: id + "-rt"}}
+	f.sites[id] = s
+	return s, nil
+}
+
+// Site returns a registered site.
+func (f *Fabric) Site(id string) (*Site, bool) {
+	s, ok := f.sites[id]
+	return s, ok
+}
+
+// CreateVGW provisions a VPN gateway pair connecting a VPC and a site
+// (collapsing VGW + customer gateway + VPN connection into one box trio,
+// charged accordingly).
+func (f *Fabric) CreateVGW(id, vpcID, siteID string) (*VGW, error) {
+	if _, ok := f.vpcs[vpcID]; !ok {
+		return nil, fmt.Errorf("gateway: unknown VPC %q", vpcID)
+	}
+	if _, ok := f.sites[siteID]; !ok {
+		return nil, fmt.Errorf("gateway: unknown site %q", siteID)
+	}
+	g := &VGW{ID: id, VPCID: vpcID, SiteID: siteID}
+	f.vgws[id] = g
+	f.ledger.Resource("vpn-gateway")
+	f.ledger.Resource("customer-gateway")
+	f.ledger.Resource("vpn-connection")
+	f.ledger.Param("vpn-connection", 4) // tunnel options, PSK, routing type, inside CIDRs
+	return g, nil
+}
+
+// CreateTGW provisions a regional transit gateway.
+func (f *Fabric) CreateTGW(id, region string) (*TGW, error) {
+	if _, ok := f.tgws[id]; ok {
+		return nil, fmt.Errorf("gateway: duplicate TGW %q", id)
+	}
+	t := &TGW{ID: id, Region: region, attachments: make(map[string]Attachment)}
+	f.tgws[id] = t
+	f.ledger.Resource("transit-gateway")
+	f.ledger.Param("transit-gateway", 3) // ASN, route-table mode, MTU
+	return t, nil
+}
+
+// AttachToTGW creates an attachment on a TGW.
+func (f *Fabric) AttachToTGW(tgwID, attachID string, kind AttachmentKind, refID string) error {
+	t, ok := f.tgws[tgwID]
+	if !ok {
+		return fmt.Errorf("gateway: unknown TGW %q", tgwID)
+	}
+	switch kind {
+	case AttachVPC:
+		if _, ok := f.vpcs[refID]; !ok {
+			return fmt.Errorf("gateway: TGW attachment to unknown VPC %q", refID)
+		}
+	case AttachSite:
+		if _, ok := f.sites[refID]; !ok {
+			return fmt.Errorf("gateway: TGW attachment to unknown site %q", refID)
+		}
+	case AttachPeer:
+		if _, ok := f.tgws[refID]; !ok {
+			return fmt.Errorf("gateway: TGW attachment to unknown peer TGW %q", refID)
+		}
+	}
+	if _, ok := t.attachments[attachID]; ok {
+		return fmt.Errorf("gateway: duplicate attachment %q on %q", attachID, tgwID)
+	}
+	t.attachments[attachID] = Attachment{ID: attachID, Kind: kind, RefID: refID}
+	f.ledger.Resource("tgw-attachment")
+	f.ledger.Param("tgw-attachment", 2) // resource ref, route-table association
+	return nil
+}
+
+// TGWRoute installs a static route on a TGW's route table.
+func (f *Fabric) TGWRoute(tgwID string, p addr.Prefix, attachID string) error {
+	t, ok := f.tgws[tgwID]
+	if !ok {
+		return fmt.Errorf("gateway: unknown TGW %q", tgwID)
+	}
+	if _, ok := t.attachments[attachID]; !ok {
+		return fmt.Errorf("gateway: unknown attachment %q on %q", attachID, tgwID)
+	}
+	t.rt.Insert(p, attachID)
+	f.ledger.Step()
+	f.ledger.Param("transit-gateway", 2) // prefix + attachment
+	return nil
+}
+
+// PropagateTGWRoutes installs routes for the CIDRs of every attached VPC
+// and site (route propagation, one step per learned route). Peer TGW
+// attachments do not propagate — as in real clouds, those need static
+// routes, which is exactly the cross-region complexity §2 bemoans.
+func (f *Fabric) PropagateTGWRoutes(tgwID string) error {
+	t, ok := f.tgws[tgwID]
+	if !ok {
+		return fmt.Errorf("gateway: unknown TGW %q", tgwID)
+	}
+	for _, a := range t.attachments {
+		switch a.Kind {
+		case AttachVPC:
+			t.rt.Insert(f.vpcs[a.RefID].CIDR, a.ID)
+			f.ledger.Step()
+		case AttachSite:
+			t.rt.Insert(f.sites[a.RefID].CIDR, a.ID)
+			f.ledger.Step()
+		}
+	}
+	return nil
+}
+
+// CreatePeering provisions a VPC peering connection.
+func (f *Fabric) CreatePeering(id, aVPC, bVPC string) (*Peering, error) {
+	va, ok := f.vpcs[aVPC]
+	if !ok {
+		return nil, fmt.Errorf("gateway: unknown VPC %q", aVPC)
+	}
+	vb, ok := f.vpcs[bVPC]
+	if !ok {
+		return nil, fmt.Errorf("gateway: unknown VPC %q", bVPC)
+	}
+	if va.CIDR.Overlaps(vb.CIDR) {
+		return nil, fmt.Errorf("gateway: cannot peer overlapping VPCs %s and %s", va.CIDR, vb.CIDR)
+	}
+	p := &Peering{ID: id, AVPC: aVPC, BVPC: bVPC}
+	f.peerings[id] = p
+	f.ledger.Resource("vpc-peering")
+	f.ledger.Param("vpc-peering", 2) // requester/accepter
+	return p, nil
+}
+
+// AssignPublicIP allocates an internet-routable address for an instance
+// (requires the VPC to have an IGW to be reachable, checked at delivery).
+func (f *Fabric) AssignPublicIP(vpcID, instID string) (addr.IP, error) {
+	v, ok := f.vpcs[vpcID]
+	if !ok {
+		return 0, fmt.Errorf("gateway: unknown VPC %q", vpcID)
+	}
+	inst, ok := v.Instance(instID)
+	if !ok {
+		return 0, fmt.Errorf("gateway: unknown instance %q", instID)
+	}
+	if inst.PublicIP != 0 {
+		return 0, fmt.Errorf("gateway: instance %q already has a public IP", instID)
+	}
+	pub, err := f.publicPool.Allocate()
+	if err != nil {
+		return 0, err
+	}
+	inst.PublicIP = pub
+	f.publicIPs[pub] = publicBinding{vpcID: vpcID, instID: instID}
+	f.ledger.Resource("elastic-ip")
+	f.ledger.Param("elastic-ip", 1)
+	return pub, nil
+}
+
+// AttachInspector adds a middlebox to a VPC's ingress inspection chain.
+func (f *Fabric) AttachInspector(vpcID string, insp Inspector) error {
+	if _, ok := f.vpcs[vpcID]; !ok {
+		return fmt.Errorf("gateway: unknown VPC %q", vpcID)
+	}
+	f.inspectors[vpcID] = append(f.inspectors[vpcID], insp)
+	f.ledger.Step() // routing/steering configuration to put it in path
+	return nil
+}

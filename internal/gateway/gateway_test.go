@@ -1,0 +1,449 @@
+package gateway
+
+import (
+	"strings"
+	"testing"
+
+	"declnet/internal/addr"
+	"declnet/internal/complexity"
+	"declnet/internal/vnet"
+)
+
+func pfx(s string) addr.Prefix { return addr.MustParsePrefix(s) }
+func ipa(s string) addr.IP     { return addr.MustParseIP(s) }
+func anywhere() addr.Prefix    { return pfx("0.0.0.0/0") }
+
+// openSG allows everything in and out; tests tighten where relevant.
+func openSG(id string) *vnet.SecurityGroup {
+	return &vnet.SecurityGroup{
+		ID:      id,
+		Ingress: []vnet.SGRule{{Source: anywhere()}},
+		Egress:  []vnet.SGRule{{Source: anywhere()}},
+	}
+}
+
+// twoVPCFabric builds vpc-a (10.0/16) and vpc-b (10.1/16), each with one
+// subnet and one instance with an open SG.
+func twoVPCFabric(t *testing.T) (*Fabric, *vnet.Instance, *vnet.Instance) {
+	t.Helper()
+	var led complexity.Ledger
+	f := NewFabric(&led)
+	va := vnet.NewVPC("vpc-a", pfx("10.0.0.0/16"), &led)
+	vb := vnet.NewVPC("vpc-b", pfx("10.1.0.0/16"), &led)
+	for _, v := range []*vnet.VPC{va, vb} {
+		if err := f.AddVPC(v); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := v.AddSubnet("sn", addr.NewPrefix(v.CIDR.Addr, 24), true); err != nil {
+			t.Fatal(err)
+		}
+		if err := v.AddSecurityGroup(openSG("open")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ia, err := va.LaunchInstance("i-a", "sn", "open")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, err := vb.LaunchInstance("i-b", "sn", "open")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, ia, ib
+}
+
+func TestIntraVPCDelivery(t *testing.T) {
+	f, ia, _ := twoVPCFabric(t)
+	va, _ := f.VPC("vpc-a")
+	ia2, _ := va.LaunchInstance("i-a2", "sn", "open")
+	v := f.Evaluate(Source{Kind: FromInstance, VPCID: "vpc-a", InstanceID: "i-a"},
+		vnet.Packet{Src: ia.PrivateIP, Dst: ia2.PrivateIP, Proto: vnet.TCP, DstPort: 80})
+	if !v.Delivered {
+		t.Fatalf("intra-VPC delivery failed: %v", v)
+	}
+}
+
+func TestCrossVPCWithoutPeeringDenied(t *testing.T) {
+	f, ia, ib := twoVPCFabric(t)
+	v := f.Evaluate(Source{Kind: FromInstance, VPCID: "vpc-a", InstanceID: "i-a"},
+		vnet.Packet{Src: ia.PrivateIP, Dst: ib.PrivateIP, Proto: vnet.TCP, DstPort: 80})
+	if v.Delivered {
+		t.Fatalf("cross-VPC delivered without peering: %v", v)
+	}
+	if !strings.HasPrefix(v.DeniedAt, "no-route") {
+		t.Fatalf("denied at %q, want no-route", v.DeniedAt)
+	}
+}
+
+func TestPeeringDelivery(t *testing.T) {
+	f, ia, ib := twoVPCFabric(t)
+	if _, err := f.CreatePeering("pcx-1", "vpc-a", "vpc-b"); err != nil {
+		t.Fatal(err)
+	}
+	va, _ := f.VPC("vpc-a")
+	// Route both ways (only a->b needed for initiator, but realistic).
+	if err := va.AddRoute("sn", pfx("10.1.0.0/16"), vnet.Target{Kind: vnet.TPeering, ID: "pcx-1"}); err != nil {
+		t.Fatal(err)
+	}
+	v := f.Evaluate(Source{Kind: FromInstance, VPCID: "vpc-a", InstanceID: "i-a"},
+		vnet.Packet{Src: ia.PrivateIP, Dst: ib.PrivateIP, Proto: vnet.TCP, DstPort: 80})
+	if !v.Delivered {
+		t.Fatalf("peered delivery failed: %v", v)
+	}
+	_ = ib
+}
+
+func TestPeeringNonTransitive(t *testing.T) {
+	// a peered to b; c's CIDR routed via the a-b peering must be refused.
+	f, ia, _ := twoVPCFabric(t)
+	var led complexity.Ledger
+	vc := vnet.NewVPC("vpc-c", pfx("10.2.0.0/16"), &led)
+	f.AddVPC(vc)
+	vc.AddSubnet("sn", pfx("10.2.0.0/24"), false)
+	vc.AddSecurityGroup(openSG("open"))
+	ic, _ := vc.LaunchInstance("i-c", "sn", "open")
+	f.CreatePeering("pcx-1", "vpc-a", "vpc-b")
+	va, _ := f.VPC("vpc-a")
+	// Misconfigured transitive route: c via the a-b peering.
+	va.AddRoute("sn", pfx("10.2.0.0/16"), vnet.Target{Kind: vnet.TPeering, ID: "pcx-1"})
+	v := f.Evaluate(Source{Kind: FromInstance, VPCID: "vpc-a", InstanceID: "i-a"},
+		vnet.Packet{Src: ia.PrivateIP, Dst: ic.PrivateIP, Proto: vnet.TCP, DstPort: 80})
+	if v.Delivered {
+		t.Fatal("peering behaved transitively")
+	}
+	if v.DeniedAt != "pcx:pcx-1" {
+		t.Fatalf("denied at %q, want pcx:pcx-1", v.DeniedAt)
+	}
+}
+
+func TestPeeringOverlapRefused(t *testing.T) {
+	var led complexity.Ledger
+	f := NewFabric(&led)
+	va := vnet.NewVPC("vpc-a", pfx("10.0.0.0/16"), &led)
+	vb := vnet.NewVPC("vpc-b", pfx("10.0.0.0/16"), &led)
+	f.AddVPC(va)
+	f.AddVPC(vb)
+	if _, err := f.CreatePeering("pcx", "vpc-a", "vpc-b"); err == nil {
+		t.Fatal("peering of overlapping VPCs accepted")
+	}
+}
+
+func TestIGWPublicDelivery(t *testing.T) {
+	f, ia, ib := twoVPCFabric(t)
+	for _, vpc := range []string{"vpc-a", "vpc-b"} {
+		if _, err := f.CreateIGW("igw-"+vpc, vpc); err != nil {
+			t.Fatal(err)
+		}
+		v, _ := f.VPC(vpc)
+		if err := v.AddRoute("sn", anywhere(), vnet.Target{Kind: vnet.TIGW, ID: "igw-" + vpc}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pubA, err := f.AssignPublicIP("vpc-a", "i-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pubB, err := f.AssignPublicIP("vpc-b", "i-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a -> b over public addressing.
+	v := f.Evaluate(Source{Kind: FromInstance, VPCID: "vpc-a", InstanceID: "i-a"},
+		vnet.Packet{Src: ia.PrivateIP, Dst: pubB, Proto: vnet.TCP, DstPort: 443})
+	if !v.Delivered {
+		t.Fatalf("public-path delivery failed: %v", v)
+	}
+	sawInternet := false
+	for _, h := range v.Hops {
+		if h == "internet" {
+			sawInternet = true
+		}
+	}
+	if !sawInternet {
+		t.Fatalf("public path did not cross the internet: %v", v.Hops)
+	}
+	_ = pubA
+	_ = ib
+}
+
+func TestIGWWithoutPublicIPDenied(t *testing.T) {
+	f, ia, _ := twoVPCFabric(t)
+	f.CreateIGW("igw-a", "vpc-a")
+	va, _ := f.VPC("vpc-a")
+	va.AddRoute("sn", anywhere(), vnet.Target{Kind: vnet.TIGW, ID: "igw-a"})
+	v := f.Evaluate(Source{Kind: FromInstance, VPCID: "vpc-a", InstanceID: "i-a"},
+		vnet.Packet{Src: ia.PrivateIP, Dst: ipa("93.184.216.34"), Proto: vnet.TCP, DstPort: 443})
+	if v.Delivered || !strings.HasPrefix(v.DeniedAt, "igw:") {
+		t.Fatalf("IGW egress without public IP: %v", v)
+	}
+}
+
+func TestInternetToPrivateSubnetDenied(t *testing.T) {
+	// Destination has a public IP but its subnet lacks an IGW route
+	// (private subnet): inbound must be dropped for want of return path.
+	f, _, _ := twoVPCFabric(t)
+	f.CreateIGW("igw-a", "vpc-a")
+	pub, _ := f.AssignPublicIP("vpc-a", "i-a")
+	v := f.Evaluate(Source{Kind: FromInternet},
+		vnet.Packet{Src: ipa("203.0.113.7"), Dst: pub, Proto: vnet.TCP, DstPort: 443})
+	if v.Delivered {
+		t.Fatalf("inbound to private subnet delivered: %v", v)
+	}
+}
+
+func TestInternetDelivery(t *testing.T) {
+	f, _, _ := twoVPCFabric(t)
+	f.CreateIGW("igw-a", "vpc-a")
+	va, _ := f.VPC("vpc-a")
+	va.AddRoute("sn", anywhere(), vnet.Target{Kind: vnet.TIGW, ID: "igw-a"})
+	pub, _ := f.AssignPublicIP("vpc-a", "i-a")
+	v := f.Evaluate(Source{Kind: FromInternet},
+		vnet.Packet{Src: ipa("203.0.113.7"), Dst: pub, Proto: vnet.TCP, DstPort: 443})
+	if !v.Delivered {
+		t.Fatalf("inbound public delivery failed: %v", v)
+	}
+	// Unknown public destination.
+	v = f.Evaluate(Source{Kind: FromInternet},
+		vnet.Packet{Src: ipa("203.0.113.7"), Dst: ipa("198.18.99.99"), Proto: vnet.TCP, DstPort: 443})
+	if v.Delivered {
+		t.Fatal("delivery to unbound public address")
+	}
+}
+
+func TestNATEgress(t *testing.T) {
+	f, ia, _ := twoVPCFabric(t)
+	f.CreateIGW("igw-b", "vpc-b")
+	vb, _ := f.VPC("vpc-b")
+	vb.AddRoute("sn", anywhere(), vnet.Target{Kind: vnet.TIGW, ID: "igw-b"})
+	pubB, _ := f.AssignPublicIP("vpc-b", "i-b")
+
+	nat, err := f.CreateNAT("nat-a", "vpc-a", "sn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, _ := f.VPC("vpc-a")
+	va.AddRoute("sn", anywhere(), vnet.Target{Kind: vnet.TNAT, ID: "nat-a"})
+	v := f.Evaluate(Source{Kind: FromInstance, VPCID: "vpc-a", InstanceID: "i-a"},
+		vnet.Packet{Src: ia.PrivateIP, Dst: pubB, Proto: vnet.TCP, SrcPort: 5555, DstPort: 443})
+	if !v.Delivered {
+		t.Fatalf("NAT egress failed: %v", v)
+	}
+	if nat.ActivePorts() != 1 {
+		t.Fatalf("NAT active ports = %d, want 1", nat.ActivePorts())
+	}
+}
+
+func TestNATPortLifecycle(t *testing.T) {
+	var led complexity.Ledger
+	f := NewFabric(&led)
+	v := vnet.NewVPC("v", pfx("10.0.0.0/16"), &led)
+	f.AddVPC(v)
+	v.AddSubnet("sn", pfx("10.0.0.0/24"), true)
+	nat, _ := f.CreateNAT("n", "v", "sn")
+	p1, err := nat.AllocatePort()
+	if err != nil || p1 != 1024 {
+		t.Fatalf("first port = %d,%v", p1, err)
+	}
+	p2, _ := nat.AllocatePort()
+	if p2 == p1 {
+		t.Fatal("duplicate port allocated")
+	}
+	if err := nat.ReleasePort(p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := nat.ReleasePort(p1); err == nil {
+		t.Fatal("double release succeeded")
+	}
+	p3, _ := nat.AllocatePort()
+	if p3 != p1 {
+		t.Fatalf("released port not reused: %d", p3)
+	}
+}
+
+func TestVGWSiteDelivery(t *testing.T) {
+	f, ia, _ := twoVPCFabric(t)
+	site, err := f.AddSite("hq", pfx("192.168.0.0/16"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.CreateVGW("vgw-1", "vpc-a", "hq"); err != nil {
+		t.Fatal(err)
+	}
+	va, _ := f.VPC("vpc-a")
+	va.AddRoute("sn", pfx("192.168.0.0/16"), vnet.Target{Kind: vnet.TVGW, ID: "vgw-1"})
+	v := f.Evaluate(Source{Kind: FromInstance, VPCID: "vpc-a", InstanceID: "i-a"},
+		vnet.Packet{Src: ia.PrivateIP, Dst: ipa("192.168.1.10"), Proto: vnet.TCP, DstPort: 5432})
+	if !v.Delivered {
+		t.Fatalf("VPN delivery to site failed: %v", v)
+	}
+	// Reverse: site -> VPC over the VGW.
+	site.AddRoute(pfx("10.0.0.0/16"), vnet.Target{Kind: vnet.TVGW, ID: "vgw-1"})
+	v = f.Evaluate(Source{Kind: FromSite, SiteID: "hq"},
+		vnet.Packet{Src: ipa("192.168.1.10"), Dst: ia.PrivateIP, Proto: vnet.TCP, DstPort: 22})
+	if !v.Delivered {
+		t.Fatalf("site->VPC delivery failed: %v", v)
+	}
+}
+
+func TestTGWHubAndSpoke(t *testing.T) {
+	f, ia, ib := twoVPCFabric(t)
+	if _, err := f.CreateTGW("tgw-1", "east"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AttachToTGW("tgw-1", "att-a", AttachVPC, "vpc-a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AttachToTGW("tgw-1", "att-b", AttachVPC, "vpc-b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.PropagateTGWRoutes("tgw-1"); err != nil {
+		t.Fatal(err)
+	}
+	va, _ := f.VPC("vpc-a")
+	va.AddRoute("sn", pfx("10.1.0.0/16"), vnet.Target{Kind: vnet.TTGW, ID: "tgw-1"})
+	v := f.Evaluate(Source{Kind: FromInstance, VPCID: "vpc-a", InstanceID: "i-a"},
+		vnet.Packet{Src: ia.PrivateIP, Dst: ib.PrivateIP, Proto: vnet.TCP, DstPort: 80})
+	if !v.Delivered {
+		t.Fatalf("TGW hub delivery failed: %v", v)
+	}
+	tg, _ := f.tgws["tgw-1"]
+	if tg.RouteCount() != 2 {
+		t.Fatalf("TGW routes = %d, want 2", tg.RouteCount())
+	}
+}
+
+func TestTGWPeeringAcrossRegions(t *testing.T) {
+	// vpc-a -- tgw-east == tgw-west -- vpc-b, with static inter-TGW routes.
+	f, ia, ib := twoVPCFabric(t)
+	f.CreateTGW("tgw-e", "east")
+	f.CreateTGW("tgw-w", "west")
+	f.AttachToTGW("tgw-e", "att-a", AttachVPC, "vpc-a")
+	f.AttachToTGW("tgw-w", "att-b", AttachVPC, "vpc-b")
+	f.AttachToTGW("tgw-e", "att-peer-w", AttachPeer, "tgw-w")
+	f.AttachToTGW("tgw-w", "att-peer-e", AttachPeer, "tgw-e")
+	f.PropagateTGWRoutes("tgw-e")
+	f.PropagateTGWRoutes("tgw-w")
+	// Static routes across the peering (propagation doesn't cross TGWs).
+	if err := f.TGWRoute("tgw-e", pfx("10.1.0.0/16"), "att-peer-w"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.TGWRoute("tgw-w", pfx("10.0.0.0/16"), "att-peer-e"); err != nil {
+		t.Fatal(err)
+	}
+	va, _ := f.VPC("vpc-a")
+	va.AddRoute("sn", pfx("10.1.0.0/16"), vnet.Target{Kind: vnet.TTGW, ID: "tgw-e"})
+	v := f.Evaluate(Source{Kind: FromInstance, VPCID: "vpc-a", InstanceID: "i-a"},
+		vnet.Packet{Src: ia.PrivateIP, Dst: ib.PrivateIP, Proto: vnet.TCP, DstPort: 80})
+	if !v.Delivered {
+		t.Fatalf("cross-region TGW delivery failed: %v", v)
+	}
+	_ = ib
+}
+
+func TestTGWLoopGuard(t *testing.T) {
+	f, ia, _ := twoVPCFabric(t)
+	f.CreateTGW("tgw-1", "east")
+	f.CreateTGW("tgw-2", "west")
+	f.AttachToTGW("tgw-1", "p2", AttachPeer, "tgw-2")
+	f.AttachToTGW("tgw-2", "p1", AttachPeer, "tgw-1")
+	// Misconfigured: each TGW routes the prefix at the other.
+	f.TGWRoute("tgw-1", pfx("10.9.0.0/16"), "p2")
+	f.TGWRoute("tgw-2", pfx("10.9.0.0/16"), "p1")
+	va, _ := f.VPC("vpc-a")
+	va.AddRoute("sn", pfx("10.9.0.0/16"), vnet.Target{Kind: vnet.TTGW, ID: "tgw-1"})
+	v := f.Evaluate(Source{Kind: FromInstance, VPCID: "vpc-a", InstanceID: "i-a"},
+		vnet.Packet{Src: ia.PrivateIP, Dst: ipa("10.9.1.1"), Proto: vnet.TCP, DstPort: 80})
+	if v.Delivered {
+		t.Fatal("routing loop delivered a packet")
+	}
+	if !strings.Contains(v.Reason, "loop") {
+		t.Fatalf("reason = %q, want loop detection", v.Reason)
+	}
+}
+
+func TestSGBlocksAtDestination(t *testing.T) {
+	f, ia, _ := twoVPCFabric(t)
+	va, _ := f.VPC("vpc-a")
+	va.AddSecurityGroup(&vnet.SecurityGroup{
+		ID:      "db",
+		Ingress: []vnet.SGRule{{Proto: vnet.TCP, PortFrom: 5432, PortTo: 5432, Source: pfx("10.0.0.0/16")}},
+	})
+	db, _ := va.LaunchInstance("i-db", "sn", "db")
+	ok := f.Evaluate(Source{Kind: FromInstance, VPCID: "vpc-a", InstanceID: "i-a"},
+		vnet.Packet{Src: ia.PrivateIP, Dst: db.PrivateIP, Proto: vnet.TCP, DstPort: 5432})
+	if !ok.Delivered {
+		t.Fatalf("allowed port denied: %v", ok)
+	}
+	bad := f.Evaluate(Source{Kind: FromInstance, VPCID: "vpc-a", InstanceID: "i-a"},
+		vnet.Packet{Src: ia.PrivateIP, Dst: db.PrivateIP, Proto: vnet.TCP, DstPort: 22})
+	if bad.Delivered {
+		t.Fatal("SG let through a non-allowed port")
+	}
+	if !strings.HasPrefix(bad.DeniedAt, "sg-ingress") {
+		t.Fatalf("denied at %q", bad.DeniedAt)
+	}
+}
+
+type denyPayload struct{ word string }
+
+func (d denyPayload) Name() string { return "dpi" }
+func (d denyPayload) Inspect(pkt vnet.Packet) (bool, string) {
+	if strings.Contains(pkt.Payload, d.word) {
+		return false, "signature match: " + d.word
+	}
+	return true, ""
+}
+
+func TestInspectorChain(t *testing.T) {
+	f, ia, ib := twoVPCFabric(t)
+	f.CreatePeering("pcx-1", "vpc-a", "vpc-b")
+	va, _ := f.VPC("vpc-a")
+	va.AddRoute("sn", pfx("10.1.0.0/16"), vnet.Target{Kind: vnet.TPeering, ID: "pcx-1"})
+	if err := f.AttachInspector("vpc-b", denyPayload{word: "exploit"}); err != nil {
+		t.Fatal(err)
+	}
+	bad := f.Evaluate(Source{Kind: FromInstance, VPCID: "vpc-a", InstanceID: "i-a"},
+		vnet.Packet{Src: ia.PrivateIP, Dst: ib.PrivateIP, Proto: vnet.TCP, DstPort: 80, Payload: "run exploit now"})
+	if bad.Delivered {
+		t.Fatal("DPI inspector did not block payload")
+	}
+	good := f.Evaluate(Source{Kind: FromInstance, VPCID: "vpc-a", InstanceID: "i-a"},
+		vnet.Packet{Src: ia.PrivateIP, Dst: ib.PrivateIP, Proto: vnet.TCP, DstPort: 80, Payload: "hello"})
+	if !good.Delivered {
+		t.Fatalf("clean payload blocked: %v", good)
+	}
+}
+
+func TestLedgerChargesGateways(t *testing.T) {
+	f, _, _ := twoVPCFabric(t)
+	f.CreateIGW("igw", "vpc-a")
+	f.CreateNAT("nat", "vpc-a", "sn")
+	f.AddSite("hq", pfx("192.168.0.0/16"))
+	f.CreateVGW("vgw", "vpc-a", "hq")
+	f.CreateTGW("tgw", "east")
+	f.AttachToTGW("tgw", "att", AttachVPC, "vpc-a")
+	f.CreatePeering("pcx", "vpc-a", "vpc-b")
+	led := f.Ledger()
+	for _, kind := range []string{"internet-gateway", "nat-gateway", "vpn-gateway",
+		"vpn-connection", "transit-gateway", "tgw-attachment", "vpc-peering"} {
+		if led.BoxesOf(kind) != 1 {
+			t.Errorf("BoxesOf(%s) = %d, want 1", kind, led.BoxesOf(kind))
+		}
+	}
+}
+
+func TestEvaluateUnknowns(t *testing.T) {
+	f, _, _ := twoVPCFabric(t)
+	v := f.Evaluate(Source{Kind: FromInstance, VPCID: "nope", InstanceID: "i"}, vnet.Packet{})
+	if v.Delivered {
+		t.Fatal("unknown VPC delivered")
+	}
+	v = f.Evaluate(Source{Kind: FromInstance, VPCID: "vpc-a", InstanceID: "nope"}, vnet.Packet{})
+	if v.Delivered {
+		t.Fatal("unknown instance delivered")
+	}
+	v = f.Evaluate(Source{Kind: FromSite, SiteID: "nope"}, vnet.Packet{})
+	if v.Delivered {
+		t.Fatal("unknown site delivered")
+	}
+}

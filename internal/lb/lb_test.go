@@ -1,0 +1,263 @@
+package lb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"declnet/internal/addr"
+)
+
+func ipa(s string) addr.IP { return addr.MustParseIP(s) }
+
+func TestPickEqualWeights(t *testing.T) {
+	b := New(ipa("198.19.0.1"))
+	b.Bind(ipa("198.18.0.1"), 1)
+	b.Bind(ipa("198.18.0.2"), 1)
+	counts := map[addr.IP]int{}
+	for i := 0; i < 100; i++ {
+		be, err := b.Pick()
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[be.EIP]++
+		b.Release(be)
+	}
+	if counts[ipa("198.18.0.1")] != 50 || counts[ipa("198.18.0.2")] != 50 {
+		t.Fatalf("distribution = %v", counts)
+	}
+}
+
+func TestPickWeighted(t *testing.T) {
+	b := New(ipa("198.19.0.1"))
+	b.Bind(ipa("198.18.0.1"), 3)
+	b.Bind(ipa("198.18.0.2"), 1)
+	counts := map[addr.IP]int{}
+	for i := 0; i < 400; i++ {
+		be, _ := b.Pick()
+		counts[be.EIP]++
+		b.Release(be)
+	}
+	if counts[ipa("198.18.0.1")] != 300 || counts[ipa("198.18.0.2")] != 100 {
+		t.Fatalf("weighted distribution = %v", counts)
+	}
+}
+
+func TestSmoothInterleaving(t *testing.T) {
+	// Smooth WRR with weights 2:1 must not send two consecutive picks to
+	// the weight-1 backend and must interleave (aab, aba... never bb).
+	b := New(ipa("198.19.0.1"))
+	b.Bind(ipa("198.18.0.1"), 2)
+	b.Bind(ipa("198.18.0.2"), 1)
+	var seq []addr.IP
+	for i := 0; i < 9; i++ {
+		be, _ := b.Pick()
+		seq = append(seq, be.EIP)
+		b.Release(be)
+	}
+	for i := 1; i < len(seq); i++ {
+		if seq[i] == ipa("198.18.0.2") && seq[i-1] == ipa("198.18.0.2") {
+			t.Fatalf("weight-1 backend picked twice in a row: %v", seq)
+		}
+	}
+}
+
+func TestHealthRemovesFromRotation(t *testing.T) {
+	b := New(ipa("198.19.0.1"))
+	b.Bind(ipa("198.18.0.1"), 1)
+	b.Bind(ipa("198.18.0.2"), 1)
+	if err := b.SetHealth(ipa("198.18.0.1"), false); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		be, err := b.Pick()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if be.EIP != ipa("198.18.0.2") {
+			t.Fatal("unhealthy backend picked")
+		}
+		b.Release(be)
+	}
+	if b.HealthyCount() != 1 {
+		t.Fatalf("HealthyCount = %d", b.HealthyCount())
+	}
+	// Recovery returns it to rotation.
+	b.SetHealth(ipa("198.18.0.1"), true)
+	seen := map[addr.IP]bool{}
+	for i := 0; i < 4; i++ {
+		be, _ := b.Pick()
+		seen[be.EIP] = true
+		b.Release(be)
+	}
+	if len(seen) != 2 {
+		t.Fatal("recovered backend not back in rotation")
+	}
+}
+
+func TestAllDownErrors(t *testing.T) {
+	b := New(ipa("198.19.0.1"))
+	b.Bind(ipa("198.18.0.1"), 1)
+	b.SetHealth(ipa("198.18.0.1"), false)
+	if _, err := b.Pick(); err == nil {
+		t.Fatal("pick with all backends down succeeded")
+	}
+	if b.Errors != 1 {
+		t.Fatalf("Errors = %d", b.Errors)
+	}
+}
+
+func TestDraining(t *testing.T) {
+	b := New(ipa("198.19.0.1"))
+	b.Bind(ipa("198.18.0.1"), 1)
+	b.Bind(ipa("198.18.0.2"), 1)
+	// Open a connection on .1, then unbind it.
+	var conn *Backend
+	for {
+		be, _ := b.Pick()
+		if be.EIP == ipa("198.18.0.1") {
+			conn = be
+			break
+		}
+		b.Release(be)
+	}
+	if err := b.Unbind(ipa("198.18.0.1")); err != nil {
+		t.Fatal(err)
+	}
+	// Draining backend takes no new connections...
+	for i := 0; i < 5; i++ {
+		be, _ := b.Pick()
+		if be.EIP == ipa("198.18.0.1") {
+			t.Fatal("draining backend picked")
+		}
+		b.Release(be)
+	}
+	// ...but survives until its last connection releases.
+	if len(b.Backends()) != 2 {
+		t.Fatalf("draining backend removed early: %v", b.Backends())
+	}
+	b.Release(conn)
+	if len(b.Backends()) != 1 {
+		t.Fatal("drained backend not removed after last release")
+	}
+}
+
+func TestUnbindIdleRemovesImmediately(t *testing.T) {
+	b := New(ipa("198.19.0.1"))
+	b.Bind(ipa("198.18.0.1"), 1)
+	if err := b.Unbind(ipa("198.18.0.1")); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Backends()) != 0 {
+		t.Fatal("idle backend not removed on unbind")
+	}
+	if err := b.Unbind(ipa("198.18.0.1")); err == nil {
+		t.Fatal("double unbind succeeded")
+	}
+}
+
+func TestRebindResetsDrainAndWeight(t *testing.T) {
+	b := New(ipa("198.19.0.1"))
+	b.Bind(ipa("198.18.0.1"), 1)
+	be, _ := b.Pick() // keep one active so unbind drains
+	b.Unbind(ipa("198.18.0.1"))
+	b.Bind(ipa("198.18.0.1"), 5) // tenant re-binds; drain cancels
+	if got := b.Backends()[0]; got.Weight != 5 || !got.Healthy() {
+		t.Fatalf("rebind state = weight %d healthy %v", got.Weight, got.Healthy())
+	}
+	b.Release(be)
+	if len(b.Backends()) != 1 {
+		t.Fatal("re-bound backend removed by stale drain")
+	}
+}
+
+func TestWeightClamp(t *testing.T) {
+	b := New(ipa("198.19.0.1"))
+	b.Bind(ipa("198.18.0.1"), 0)
+	if b.Backends()[0].Weight != 1 {
+		t.Fatal("weight 0 not clamped to 1")
+	}
+	if err := b.SetHealth(ipa("9.9.9.9"), true); err == nil {
+		t.Fatal("SetHealth on unknown backend succeeded")
+	}
+}
+
+func TestPickP2CBalancesByLoad(t *testing.T) {
+	b := New(ipa("198.19.0.1"))
+	for i := 0; i < 4; i++ {
+		b.Bind(addr.IP(0xC6120001+uint32(i)), 1)
+	}
+	rng := rand.New(rand.NewSource(1))
+	rnd := func(n int) int { return rng.Intn(n) }
+	// Open 400 long-lived connections; P2C must keep the spread tight.
+	var conns []*Backend
+	for i := 0; i < 400; i++ {
+		be, err := b.PickP2C(rnd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns = append(conns, be)
+	}
+	min, max := 1<<30, 0
+	for _, be := range b.Backends() {
+		if be.Active() < min {
+			min = be.Active()
+		}
+		if be.Active() > max {
+			max = be.Active()
+		}
+	}
+	if max-min > 10 {
+		t.Fatalf("P2C imbalance: min=%d max=%d", min, max)
+	}
+	for _, be := range conns {
+		b.Release(be)
+	}
+}
+
+func TestPickP2CAllDown(t *testing.T) {
+	b := New(ipa("198.19.0.1"))
+	b.Bind(ipa("198.18.0.1"), 1)
+	b.SetHealth(ipa("198.18.0.1"), false)
+	if _, err := b.PickP2C(func(n int) int { return 0 }); err == nil {
+		t.Fatal("P2C with all backends down succeeded")
+	}
+}
+
+// Property: over any weight assignment, pick counts over one full cycle
+// (sum of weights) match the weights exactly.
+func TestQuickWRRProportionality(t *testing.T) {
+	f := func(ws []uint8) bool {
+		if len(ws) == 0 || len(ws) > 12 {
+			return true
+		}
+		b := New(ipa("198.19.0.1"))
+		total := 0
+		want := map[addr.IP]int{}
+		for i, w := range ws {
+			weight := 1 + int(w%7)
+			eip := addr.IP(0xC6120000 + uint32(i)) // 198.18.x
+			b.Bind(eip, weight)
+			total += weight
+			want[eip] = weight
+		}
+		got := map[addr.IP]int{}
+		for i := 0; i < total; i++ {
+			be, err := b.Pick()
+			if err != nil {
+				return false
+			}
+			got[be.EIP]++
+			b.Release(be)
+		}
+		for eip, w := range want {
+			if got[eip] != w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,111 @@
+package meter
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestEIPSecondsIntegration(t *testing.T) {
+	m := New()
+	m.GrantEIP("acme", 0)
+	m.GrantEIP("acme", 10*time.Second)
+	m.ReleaseEIP("acme", 30*time.Second)
+	u := m.Snapshot("acme", 60*time.Second)
+	// One EIP for 60s, a second for 20s => 80 eip-seconds.
+	if math.Abs(u.EIPSeconds-80) > 1e-9 {
+		t.Fatalf("EIPSeconds = %v, want 80", u.EIPSeconds)
+	}
+	if u.SIPSeconds != 0 {
+		t.Fatalf("SIPSeconds = %v", u.SIPSeconds)
+	}
+}
+
+func TestQuotaIntegration(t *testing.T) {
+	m := New()
+	m.SetQuota("acme", 0, 2e9)              // 2 Gbps from t=0
+	m.SetQuota("acme", 30*time.Second, 1e9) // drop to 1 Gbps at t=30
+	u := m.Snapshot("acme", 60*time.Second) // until t=60
+	want := 2.0*30 + 1.0*30                 // gbps-seconds
+	if math.Abs(u.QuotaGbpsSeconds-want) > 1e-9 {
+		t.Fatalf("QuotaGbpsSeconds = %v, want %v", u.QuotaGbpsSeconds, want)
+	}
+}
+
+func TestBytesByClass(t *testing.T) {
+	m := New()
+	m.AddBytes("acme", time.Second, 5e9, true)
+	m.AddBytes("acme", 2*time.Second, 20e9, false)
+	u := m.Snapshot("acme", 3*time.Second)
+	if u.ReservedBytes != 5e9 || u.BestEffortBytes != 20e9 {
+		t.Fatalf("bytes = %v/%v", u.ReservedBytes, u.BestEffortBytes)
+	}
+}
+
+func TestReleaseClamps(t *testing.T) {
+	m := New()
+	m.ReleaseEIP("acme", 0)
+	m.ReleaseSIP("acme", 0)
+	u := m.Snapshot("acme", time.Hour)
+	if u.EIPSeconds != 0 || u.SIPSeconds != 0 {
+		t.Fatal("negative holdings integrated")
+	}
+}
+
+func TestTenantsSorted(t *testing.T) {
+	m := New()
+	m.GrantEIP("zeta", 0)
+	m.GrantEIP("acme", 0)
+	got := m.Tenants()
+	if len(got) != 2 || got[0] != "acme" || got[1] != "zeta" {
+		t.Fatalf("Tenants = %v", got)
+	}
+}
+
+func TestPriceInvoice(t *testing.T) {
+	u := Usage{
+		EIPSeconds:       10 * 3600, // 10 eip-hours
+		SIPSeconds:       2 * 3600,
+		QuotaGbpsSeconds: 5 * 3600,
+		ReservedBytes:    100e9, // 100 GB
+		BestEffortBytes:  500e9,
+		PermitUpdates:    2000,
+	}
+	inv := Price("acme", u, StandardTier())
+	want := 10*0.005 + 2*0.025 + 5*0.50 + 100*0.08 + 500*0.02 + 2*0.10
+	if math.Abs(inv.Total-want) > 1e-9 {
+		t.Fatalf("Total = %v, want %v", inv.Total, want)
+	}
+	if len(inv.Lines) != 6 {
+		t.Fatalf("lines = %d", len(inv.Lines))
+	}
+	// Premium shifts the balance: cheaper reserved GB, pricier addresses.
+	prem := Price("acme", u, PremiumTier())
+	if prem.Lines[3].Amount >= inv.Lines[3].Amount {
+		t.Fatal("premium reserved transfer not cheaper")
+	}
+	if prem.Lines[0].Amount <= inv.Lines[0].Amount {
+		t.Fatal("premium EIPs not pricier")
+	}
+}
+
+func TestInvoiceTable(t *testing.T) {
+	inv := Price("acme", Usage{ReservedBytes: 1e9}, StandardTier())
+	out := inv.Table().Text()
+	for _, want := range []string{"invoice: acme", "reserved transfer", "TOTAL"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPermitUpdateCount(t *testing.T) {
+	m := New()
+	for i := 0; i < 5; i++ {
+		m.PermitUpdate("acme", time.Duration(i)*time.Second)
+	}
+	if u := m.Snapshot("acme", 10*time.Second); u.PermitUpdates != 5 {
+		t.Fatalf("PermitUpdates = %d", u.PermitUpdates)
+	}
+}

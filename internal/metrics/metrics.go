@@ -1,0 +1,399 @@
+// Package metrics provides light-weight measurement primitives used by the
+// simulator and the experiment harness: log-bucketed histograms with
+// percentile queries, running counters, and fixed-interval time series.
+//
+// Everything here is allocation-conscious but favors clarity over raw
+// speed; the simulator's bottleneck is the fluid-flow solver, not metrics.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram records float64 samples in logarithmic buckets, giving
+// percentile estimates with bounded relative error (~5% with the default
+// growth factor) over an unbounded range. The zero value is ready to use.
+type Histogram struct {
+	counts []uint64 // bucket i covers [base*g^i, base*g^(i-1))
+	zero   uint64   // samples <= 0 or < base
+	n      uint64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+const (
+	histBase   = 1e-9 // smallest distinguishable positive sample
+	histGrowth = 1.1
+)
+
+var histLogGrowth = math.Log(histGrowth)
+
+func bucketOf(v float64) int {
+	// Work in log space to avoid overflow of v/histBase for huge v.
+	b := (math.Log(v) - math.Log(histBase)) / histLogGrowth
+	if b < 0 {
+		return 0
+	}
+	if b > maxBucket {
+		return maxBucket
+	}
+	return int(b)
+}
+
+// maxBucket caps the bucket index; bucket 7800 covers ~1e314, beyond any
+// finite float64 sample magnitude we care to distinguish.
+const maxBucket = 7800
+
+func bucketUpper(i int) float64 {
+	return histBase * math.Pow(histGrowth, float64(i+1))
+}
+
+// Observe records one sample. Non-finite samples are ignored.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if h.n == 0 || v > h.max {
+		h.max = v
+	}
+	h.n++
+	h.sum += v
+	if v < histBase {
+		h.zero++
+		return
+	}
+	b := bucketOf(v)
+	if b >= len(h.counts) {
+		grown := make([]uint64, b+1)
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	h.counts[b]++
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Sum returns the sum of all recorded samples.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Mean returns the arithmetic mean, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (h *Histogram) Min() float64 { return h.min }
+
+// Max returns the largest sample, or 0 with no samples.
+func (h *Histogram) Max() float64 { return h.max }
+
+// Quantile returns an estimate of the q-quantile (0 <= q <= 1). With no
+// samples it returns 0. Estimates use each bucket's upper bound, so they
+// are conservative (never below the true quantile by more than one bucket).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(h.n)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64 = h.zero
+	if rank <= seen {
+		return 0
+	}
+	for i, c := range h.counts {
+		seen += c
+		if rank <= seen {
+			u := bucketUpper(i)
+			if u > h.max {
+				u = h.max
+			}
+			return u
+		}
+	}
+	return h.max
+}
+
+// P50, P90, P99 are shorthands for common quantiles.
+func (h *Histogram) P50() float64 { return h.Quantile(0.50) }
+func (h *Histogram) P90() float64 { return h.Quantile(0.90) }
+func (h *Histogram) P99() float64 { return h.Quantile(0.99) }
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other.n == 0 {
+		return
+	}
+	if h.n == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if h.n == 0 || other.max > h.max {
+		h.max = other.max
+	}
+	h.n += other.n
+	h.sum += other.sum
+	h.zero += other.zero
+	if len(other.counts) > len(h.counts) {
+		grown := make([]uint64, len(other.counts))
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+}
+
+// Reset clears all recorded samples.
+func (h *Histogram) Reset() {
+	h.counts = h.counts[:0]
+	h.zero, h.n = 0, 0
+	h.sum, h.min, h.max = 0, 0, 0
+}
+
+// String summarizes the distribution for logs and experiment tables.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g p50=%.4g p90=%.4g p99=%.4g max=%.4g",
+		h.n, h.Mean(), h.P50(), h.P90(), h.P99(), h.Max())
+}
+
+// Counter is a monotonically increasing count. The zero value is ready.
+type Counter struct{ v uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v++ }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Series accumulates (x, y) points, typically (virtual time, value), for
+// experiment output. The zero value is ready to use.
+type Series struct {
+	Name string
+	Xs   []float64
+	Ys   []float64
+}
+
+// Add appends one point.
+func (s *Series) Add(x, y float64) {
+	s.Xs = append(s.Xs, x)
+	s.Ys = append(s.Ys, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.Xs) }
+
+// MeanY returns the mean of the Y values, or 0 when empty.
+func (s *Series) MeanY() float64 {
+	if len(s.Ys) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, y := range s.Ys {
+		sum += y
+	}
+	return sum / float64(len(s.Ys))
+}
+
+// MaxY returns the maximum Y value, or 0 when empty.
+func (s *Series) MaxY() float64 {
+	if len(s.Ys) == 0 {
+		return 0
+	}
+	m := s.Ys[0]
+	for _, y := range s.Ys[1:] {
+		if y > m {
+			m = y
+		}
+	}
+	return m
+}
+
+// Summary computes exact order statistics over a small sample set. Unlike
+// Histogram it stores every sample; use it when exactness matters more
+// than memory (experiment outputs, not hot paths). The zero value is ready.
+type Summary struct {
+	samples []float64
+	sorted  bool
+}
+
+// Observe records one sample.
+func (s *Summary) Observe(v float64) {
+	s.samples = append(s.samples, v)
+	s.sorted = false
+}
+
+// Count returns the number of samples.
+func (s *Summary) Count() int { return len(s.samples) }
+
+// Mean returns the arithmetic mean, or 0 when empty.
+func (s *Summary) Mean() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.samples {
+		sum += v
+	}
+	return sum / float64(len(s.samples))
+}
+
+// Quantile returns the exact q-quantile using the nearest-rank method,
+// or 0 when empty.
+func (s *Summary) Quantile(q float64) float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.samples)
+		s.sorted = true
+	}
+	if q <= 0 {
+		return s.samples[0]
+	}
+	if q >= 1 {
+		return s.samples[len(s.samples)-1]
+	}
+	rank := int(math.Ceil(q*float64(len(s.samples)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return s.samples[rank]
+}
+
+// Min and Max return exact extremes, or 0 when empty.
+func (s *Summary) Min() float64 { return s.Quantile(0) }
+func (s *Summary) Max() float64 { return s.Quantile(1) }
+
+// Stddev returns the population standard deviation, or 0 when empty.
+func (s *Summary) Stddev() float64 {
+	n := len(s.samples)
+	if n == 0 {
+		return 0
+	}
+	mean := s.Mean()
+	var ss float64
+	for _, v := range s.samples {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// Table is a simple rows-and-columns result container that every
+// experiment returns; it renders as aligned text or GitHub markdown.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends one row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == math.Trunc(v) && math.Abs(v) < 1e12:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	case math.Abs(v) >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+// Text renders the table as aligned plain text.
+func (t *Table) Text() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as GitHub-flavored markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Columns)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n_%s_\n", n)
+	}
+	return b.String()
+}

@@ -1,0 +1,258 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d, want 100", h.Count())
+	}
+	if got, want := h.Mean(), 50.5; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Mean = %v, want %v", got, want)
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Fatalf("Min,Max = %v,%v; want 1,100", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(1))
+	exact := make([]float64, 0, 10000)
+	for i := 0; i < 10000; i++ {
+		v := rng.ExpFloat64() * 100
+		h.Observe(v)
+		exact = append(exact, v)
+	}
+	sort.Float64s(exact)
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		want := exact[int(q*float64(len(exact)))-1]
+		got := h.Quantile(q)
+		// Log-bucketed histogram should be within one bucket (factor 1.1),
+		// plus slack for the conservative upper-bound estimate.
+		if got < want*0.90 || got > want*1.15 {
+			t.Errorf("Quantile(%v) = %v, want within 10%%/15%% of %v", q, got, want)
+		}
+	}
+}
+
+func TestHistogramEmptyAndClamp(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	h.Observe(5)
+	if h.Quantile(-1) != h.Quantile(0) {
+		t.Fatal("quantile below 0 not clamped")
+	}
+	if h.Quantile(2) != h.Quantile(1) {
+		t.Fatal("quantile above 1 not clamped")
+	}
+}
+
+func TestHistogramZeroSamples(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(0)
+	h.Observe(10)
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("median of {0,0,10} = %v, want 0", got)
+	}
+	if got := h.Quantile(0.99); got < 10*0.9 {
+		t.Fatalf("p99 of {0,0,10} = %v, want ~10", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 50; i++ {
+		a.Observe(1)
+		b.Observe(1000)
+	}
+	a.Merge(&b)
+	if a.Count() != 100 {
+		t.Fatalf("merged count = %d, want 100", a.Count())
+	}
+	if a.Min() != 1 || a.Max() != 1000 {
+		t.Fatalf("merged extremes = %v,%v", a.Min(), a.Max())
+	}
+	med := a.Quantile(0.5)
+	if med > 2 {
+		t.Fatalf("merged median = %v, want ~1", med)
+	}
+}
+
+func TestHistogramMergeEmpty(t *testing.T) {
+	var a, b Histogram
+	a.Observe(5)
+	a.Merge(&b) // empty other must be a no-op
+	if a.Count() != 1 || a.Max() != 5 {
+		t.Fatal("merge with empty histogram changed state")
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Observe(3)
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	var h Histogram
+	h.Observe(1)
+	if s := h.String(); !strings.Contains(s, "n=1") {
+		t.Fatalf("String = %q, want to contain n=1", s)
+	}
+}
+
+// Property: quantile is monotone nondecreasing in q.
+func TestQuickQuantileMonotone(t *testing.T) {
+	f := func(vals []float64, q1, q2 float64) bool {
+		var h Histogram
+		for _, v := range vals {
+			h.Observe(math.Abs(v))
+		}
+		a, b := math.Mod(math.Abs(q1), 1), math.Mod(math.Abs(q2), 1)
+		if a > b {
+			a, b = b, a
+		}
+		return h.Quantile(a) <= h.Quantile(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("Counter = %d, want 5", c.Value())
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Add(0, 10)
+	s.Add(1, 20)
+	s.Add(2, 30)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if s.MeanY() != 20 {
+		t.Fatalf("MeanY = %v, want 20", s.MeanY())
+	}
+	if s.MaxY() != 30 {
+		t.Fatalf("MaxY = %v, want 30", s.MaxY())
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	var s Series
+	if s.MeanY() != 0 || s.MaxY() != 0 {
+		t.Fatal("empty series should report zeros")
+	}
+}
+
+func TestSummaryExactQuantiles(t *testing.T) {
+	var s Summary
+	for i := 100; i >= 1; i-- {
+		s.Observe(float64(i))
+	}
+	if s.Count() != 100 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	if got := s.Quantile(0.5); got != 50 {
+		t.Fatalf("median = %v, want 50", got)
+	}
+	if s.Min() != 1 || s.Max() != 100 {
+		t.Fatalf("extremes = %v,%v", s.Min(), s.Max())
+	}
+	if got := s.Mean(); got != 50.5 {
+		t.Fatalf("Mean = %v, want 50.5", got)
+	}
+}
+
+func TestSummaryObserveAfterQuantile(t *testing.T) {
+	var s Summary
+	s.Observe(2)
+	_ = s.Quantile(0.5)
+	s.Observe(1) // must re-sort on next query
+	if got := s.Min(); got != 1 {
+		t.Fatalf("Min after interleaved Observe = %v, want 1", got)
+	}
+}
+
+func TestSummaryStddev(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Observe(v)
+	}
+	if got := s.Stddev(); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("Stddev = %v, want 2", got)
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Quantile(0.5) != 0 || s.Stddev() != 0 {
+		t.Fatal("empty summary should report zeros")
+	}
+}
+
+func TestTableText(t *testing.T) {
+	tb := Table{Title: "demo", Columns: []string{"name", "value"}}
+	tb.AddRow("alpha", 3.14159)
+	tb.AddRow("b", 42)
+	tb.Notes = append(tb.Notes, "hello")
+	out := tb.Text()
+	for _, want := range []string{"demo", "alpha", "3.14", "42", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := Table{Title: "demo", Columns: []string{"a", "b"}}
+	tb.AddRow(1, 2)
+	out := tb.Markdown()
+	if !strings.Contains(out, "| a | b |") || !strings.Contains(out, "| 1 | 2 |") {
+		t.Fatalf("Markdown output malformed:\n%s", out)
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tb := Table{Columns: []string{"v"}}
+	tb.AddRow(1000.0)
+	tb.AddRow(123.456)
+	tb.AddRow(1.23456)
+	tb.AddRow(0.000123)
+	rows := tb.Rows
+	if rows[0][0] != "1000" {
+		t.Errorf("integral float = %q, want 1000", rows[0][0])
+	}
+	if rows[1][0] != "123.5" {
+		t.Errorf("large float = %q, want 123.5", rows[1][0])
+	}
+	if rows[2][0] != "1.23" {
+		t.Errorf("unit float = %q, want 1.23", rows[2][0])
+	}
+	if rows[3][0] != "0.000123" {
+		t.Errorf("small float = %q, want 0.000123", rows[3][0])
+	}
+}

@@ -1,0 +1,375 @@
+// Package netsim is the flow-level data plane: it carries flows over paths
+// through a topo.Graph inside a discrete-event simulation, assigning each
+// flow its max-min fair share of every link it crosses and recomputing
+// shares whenever the flow set changes.
+//
+// The fluid-flow approximation (no per-packet events) is what makes the
+// paper's experiments tractable at multi-cloud scale; every experiment in
+// this repository compares relative path and policy quality, for which
+// steady-state fair-share rates plus propagation/jitter/loss models are
+// the established abstraction.
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"declnet/internal/sim"
+	"declnet/internal/topo"
+)
+
+// Flow is a unit of bulk transfer or a persistent demand on the network.
+type Flow struct {
+	ID string
+	// Path is the link sequence the flow occupies.
+	Path topo.Path
+	// Size is the number of bytes to transfer; <0 means a persistent flow
+	// that runs until Stop.
+	Size float64
+	// MaxRate caps the flow's rate in bits/s (0 = uncapped). Egress
+	// guarantees and token-bucket policers set this.
+	MaxRate float64
+	// Weight scales the flow's fair share (default 1).
+	Weight float64
+
+	// OnDone fires when a sized flow completes, with its completion time.
+	OnDone func(fct time.Duration)
+
+	started   sim.Time
+	remaining float64 // bits
+	rate      float64 // current assigned bits/s
+	sent      float64 // bits delivered so far
+	done      bool
+}
+
+// Rate returns the flow's currently assigned rate in bits/s.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// SentBytes returns how many bytes the flow has delivered so far.
+func (f *Flow) SentBytes() float64 { return f.sent / 8 }
+
+// Done reports whether a sized flow has completed.
+func (f *Flow) Done() bool { return f.done }
+
+// Network simulates flows over a graph.
+type Network struct {
+	G   *topo.Graph
+	Eng *sim.Engine
+
+	flows      map[string]*Flow
+	nextID     int
+	lastUpdate sim.Time
+	completion *sim.Event
+
+	// Recomputes counts fair-share recomputations, a solver-cost metric.
+	Recomputes uint64
+}
+
+// New returns a network over g driven by eng.
+func New(g *topo.Graph, eng *sim.Engine) *Network {
+	return &Network{G: g, Eng: eng, flows: make(map[string]*Flow)}
+}
+
+// StartFlow begins transferring sizeBytes over path. The returned flow's
+// OnDone (if set) fires at completion. A negative sizeBytes starts a
+// persistent flow. Weight defaults to 1 when non-positive.
+func (n *Network) StartFlow(f *Flow) (*Flow, error) {
+	if len(f.Path) == 0 {
+		return nil, fmt.Errorf("netsim: flow with empty path")
+	}
+	if f.Weight <= 0 {
+		f.Weight = 1
+	}
+	if f.ID == "" {
+		n.nextID++
+		f.ID = fmt.Sprintf("flow-%d", n.nextID)
+	}
+	if _, ok := n.flows[f.ID]; ok {
+		return nil, fmt.Errorf("netsim: duplicate flow id %q", f.ID)
+	}
+	f.started = n.Eng.Now()
+	if f.Size >= 0 {
+		f.remaining = f.Size * 8
+	} else {
+		f.remaining = math.Inf(1)
+	}
+	n.advance()
+	n.flows[f.ID] = f
+	n.reshare()
+	return f, nil
+}
+
+// Stop removes a flow (persistent or not) without firing OnDone.
+func (n *Network) Stop(f *Flow) {
+	if _, ok := n.flows[f.ID]; !ok {
+		return
+	}
+	n.advance()
+	delete(n.flows, f.ID)
+	n.reshare()
+}
+
+// SetMaxRate changes a flow's rate cap and redistributes shares.
+func (n *Network) SetMaxRate(f *Flow, cap float64) {
+	n.advance()
+	f.MaxRate = cap
+	n.reshare()
+}
+
+// Active returns the number of in-flight flows.
+func (n *Network) Active() int { return len(n.flows) }
+
+// advance integrates delivered bits for all flows up to now.
+func (n *Network) advance() {
+	now := n.Eng.Now()
+	dt := (now - n.lastUpdate).Seconds()
+	if dt <= 0 {
+		n.lastUpdate = now
+		return
+	}
+	for _, f := range n.flows {
+		if f.rate > 0 {
+			bits := f.rate * dt
+			if bits > f.remaining {
+				bits = f.remaining
+			}
+			f.remaining -= bits
+			f.sent += bits
+		}
+	}
+	n.lastUpdate = now
+}
+
+// reshare recomputes weighted max-min fair rates via progressive filling
+// and reschedules the next completion event.
+func (n *Network) reshare() {
+	n.Recomputes++
+	// Residual capacity per link and the set of unfrozen flows per link.
+	type linkState struct {
+		residual float64
+		weight   float64 // total weight of unfrozen flows on the link
+	}
+	links := make(map[*topo.Link]*linkState)
+	unfrozen := make(map[*Flow]bool, len(n.flows))
+	for _, f := range n.flows {
+		f.rate = 0
+		// Flows crossing a failed link stall at rate 0 and occupy no
+		// capacity anywhere; they resume when the link is restored.
+		stalled := false
+		for _, l := range f.Path {
+			if !l.Up() {
+				stalled = true
+				break
+			}
+		}
+		if stalled {
+			continue
+		}
+		unfrozen[f] = true
+		for _, l := range f.Path {
+			st, ok := links[l]
+			if !ok {
+				st = &linkState{residual: l.Capacity}
+				links[l] = st
+			}
+			st.weight += f.Weight
+		}
+	}
+	for len(unfrozen) > 0 {
+		// The binding constraint is either the tightest link's fair share
+		// or the smallest per-flow cap.
+		share := math.Inf(1)
+		for l, st := range links {
+			if st.weight <= 0 {
+				delete(links, l)
+				continue
+			}
+			if s := st.residual / st.weight; s < share {
+				share = s
+			}
+		}
+		var capped *Flow
+		for f := range unfrozen {
+			if f.MaxRate > 0 {
+				perWeight := f.MaxRate / f.Weight
+				if perWeight < share {
+					share = perWeight
+					capped = f
+				}
+			}
+		}
+		if math.IsInf(share, 1) {
+			// No constraining link or cap (can happen only when every
+			// remaining flow traverses only links that already lost all
+			// weight — not expected, but terminate defensively).
+			for f := range unfrozen {
+				f.rate = 0
+				delete(unfrozen, f)
+			}
+			break
+		}
+		if capped != nil {
+			// Freeze just the capped flow at its cap.
+			capped.rate = capped.MaxRate
+			for _, l := range capped.Path {
+				st := links[l]
+				st.residual -= capped.rate
+				if st.residual < 0 {
+					st.residual = 0
+				}
+				st.weight -= capped.Weight
+			}
+			delete(unfrozen, capped)
+			continue
+		}
+		// Freeze every unfrozen flow crossing a saturated link.
+		froze := false
+		for l, st := range links {
+			if st.weight <= 0 {
+				continue
+			}
+			if st.residual/st.weight > share+1e-12 {
+				continue
+			}
+			// Link l saturates at this share: freeze its unfrozen flows.
+			for f := range unfrozen {
+				onLink := false
+				for _, fl := range f.Path {
+					if fl == l {
+						onLink = true
+						break
+					}
+				}
+				if !onLink {
+					continue
+				}
+				f.rate = share * f.Weight
+				for _, fl := range f.Path {
+					fst := links[fl]
+					fst.residual -= f.rate
+					if fst.residual < 0 {
+						fst.residual = 0
+					}
+					fst.weight -= f.Weight
+				}
+				delete(unfrozen, f)
+				froze = true
+			}
+		}
+		if !froze {
+			// Numerical corner: give everyone the share and stop.
+			for f := range unfrozen {
+				f.rate = share * f.Weight
+				delete(unfrozen, f)
+			}
+		}
+	}
+	n.scheduleCompletion()
+}
+
+// scheduleCompletion arms one event at the earliest sized-flow completion.
+func (n *Network) scheduleCompletion() {
+	if n.completion != nil {
+		n.completion.Cancel()
+		n.completion = nil
+	}
+	soonest := math.Inf(1)
+	for _, f := range n.flows {
+		if math.IsInf(f.remaining, 1) || f.rate <= 0 {
+			continue
+		}
+		if t := f.remaining / f.rate; t < soonest {
+			soonest = t
+		}
+	}
+	if math.IsInf(soonest, 1) {
+		return
+	}
+	// Round up to whole nanoseconds and never schedule at zero delay:
+	// float rounding can leave a sliver of remaining bits, and a 0-delay
+	// event would re-fire at the same virtual time without progress.
+	delay := sim.Time(math.Ceil(soonest * float64(time.Second)))
+	if delay < 1 {
+		delay = 1
+	}
+	n.completion = n.Eng.After(delay, n.finishDue)
+}
+
+// finishDue completes every flow that has drained, then reshapes.
+func (n *Network) finishDue() {
+	n.advance()
+	var finished []*Flow
+	for _, f := range n.flows {
+		if f.remaining <= 1e-6 { // bits; tolerance for float integration
+			finished = append(finished, f)
+		}
+	}
+	for _, f := range finished {
+		delete(n.flows, f.ID)
+		f.done = true
+	}
+	n.reshare()
+	for _, f := range finished {
+		if f.OnDone != nil {
+			// Transfer completion additionally experiences the path's
+			// one-way propagation delay for the final bytes to land.
+			fct := n.Eng.Now() - f.started + f.Path.Delay()
+			f.OnDone(fct)
+		}
+	}
+}
+
+// FailLink takes both directions of a physical link out of service:
+// affected flows stall at rate 0 (bytes already in flight are kept) and
+// new path computations route around it.
+func (n *Network) FailLink(pairID string) error {
+	n.advance()
+	if err := n.G.SetPairUp(pairID, false); err != nil {
+		return err
+	}
+	n.reshare()
+	return nil
+}
+
+// RestoreLink returns a failed link to service; stalled flows resume.
+func (n *Network) RestoreLink(pairID string) error {
+	n.advance()
+	if err := n.G.SetPairUp(pairID, true); err != nil {
+		return err
+	}
+	n.reshare()
+	return nil
+}
+
+// OneWayDelay samples the path's one-way latency: propagation plus a
+// uniform jitter draw per link.
+func (n *Network) OneWayDelay(p topo.Path) time.Duration {
+	d := p.Delay()
+	for _, l := range p {
+		if l.Jitter > 0 {
+			d += time.Duration(n.Eng.Rand().Int63n(int64(l.Jitter)))
+		}
+	}
+	return d
+}
+
+// Delivered samples whether a single datagram survives the path. A path
+// crossing a failed link never delivers.
+func (n *Network) Delivered(p topo.Path) bool {
+	for _, l := range p {
+		if !l.Up() {
+			return false
+		}
+		if l.Loss > 0 && n.Eng.Rand().Float64() < l.Loss {
+			return false
+		}
+	}
+	return true
+}
+
+// RTT samples a round trip over the path (forward and reverse jitter drawn
+// independently; the reverse path is assumed symmetric).
+func (n *Network) RTT(p topo.Path) time.Duration {
+	return n.OneWayDelay(p) + n.OneWayDelay(p)
+}

@@ -1,0 +1,295 @@
+// Package permit implements the provider-side in-network access control of
+// §4 of the paper: every endpoint IP is "public but default-off", and only
+// sources explicitly enumerated in the tenant's permit-list may reach it.
+// The engine answers the scalability question of §6(i) — "does a (dynamic)
+// shared permit-list between tenants and cloud providers scale?" — so it
+// tracks lookup cost, memory, update churn, and (via ReplicaSet)
+// propagation staleness across distributed enforcement points.
+package permit
+
+import (
+	"fmt"
+
+	"declnet/internal/addr"
+	"declnet/internal/routing"
+	"declnet/internal/sim"
+)
+
+// Entry is one permit-list element: a source prefix (a /32 permits a
+// single EIP).
+type Entry = addr.Prefix
+
+// List is the permit state guarding one destination EIP. Exact /32s are
+// kept in a hash set for O(1) hits; shorter prefixes go to an LPM trie.
+type List struct {
+	exact    map[addr.IP]bool
+	prefixes routing.Trie[bool]
+	version  uint64
+}
+
+// NewList returns an empty (deny-everything) list.
+func NewList() *List {
+	return &List{exact: make(map[addr.IP]bool)}
+}
+
+// Add permits one source entry.
+func (l *List) Add(e Entry) {
+	if e.Len == 32 {
+		l.exact[e.Addr] = true
+	} else {
+		l.prefixes.Insert(e, true)
+	}
+	l.version++
+}
+
+// Remove revokes one source entry, reporting whether it was present.
+func (l *List) Remove(e Entry) bool {
+	var ok bool
+	if e.Len == 32 {
+		ok = l.exact[e.Addr]
+		delete(l.exact, e.Addr)
+	} else {
+		ok = l.prefixes.Delete(e)
+	}
+	if ok {
+		l.version++
+	}
+	return ok
+}
+
+// Permits reports whether src may reach the guarded endpoint.
+func (l *List) Permits(src addr.IP) bool {
+	if l.exact[src] {
+		return true
+	}
+	_, ok := l.prefixes.Lookup(src)
+	return ok
+}
+
+// Len returns the number of entries.
+func (l *List) Len() int { return len(l.exact) + l.prefixes.Len() }
+
+// Version increments on every mutation; replicas compare versions.
+func (l *List) Version() uint64 { return l.version }
+
+// Entries returns all entries (exact /32s plus prefixes), unordered
+// between the two classes but deterministic within the trie.
+func (l *List) Entries() []Entry {
+	out := make([]Entry, 0, l.Len())
+	for ip := range l.exact {
+		out = append(out, addr.NewPrefix(ip, 32))
+	}
+	out = append(out, l.prefixes.Prefixes()...)
+	return out
+}
+
+// Clone deep-copies the list.
+func (l *List) Clone() *List {
+	c := NewList()
+	for ip := range l.exact {
+		c.exact[ip] = true
+	}
+	l.prefixes.Walk(func(p addr.Prefix, _ bool) bool {
+		c.prefixes.Insert(p, true)
+		return true
+	})
+	c.version = l.version
+	return c
+}
+
+// Engine is one enforcement point's view of all tenants' permit lists,
+// keyed by destination EIP. Default-off: an EIP with no list drops
+// everything.
+type Engine struct {
+	lists map[addr.IP]*List
+	// Lookups and Updates count enforcement work for the E4 experiment.
+	Lookups uint64
+	Updates uint64
+}
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine {
+	return &Engine{lists: make(map[addr.IP]*List)}
+}
+
+// Set replaces the permit list for dst (the set_permit_list API verb).
+func (e *Engine) Set(dst addr.IP, entries []Entry) {
+	l := NewList()
+	for _, en := range entries {
+		l.Add(en)
+	}
+	e.lists[dst] = l
+	e.Updates++
+}
+
+// Permit adds one entry to dst's list, creating the list if needed.
+func (e *Engine) Permit(dst addr.IP, en Entry) {
+	l, ok := e.lists[dst]
+	if !ok {
+		l = NewList()
+		e.lists[dst] = l
+	}
+	l.Add(en)
+	e.Updates++
+}
+
+// Revoke removes one entry from dst's list.
+func (e *Engine) Revoke(dst addr.IP, en Entry) bool {
+	l, ok := e.lists[dst]
+	if !ok {
+		return false
+	}
+	e.Updates++
+	return l.Remove(en)
+}
+
+// Drop removes dst's entire list (endpoint teardown).
+func (e *Engine) Drop(dst addr.IP) {
+	delete(e.lists, dst)
+	e.Updates++
+}
+
+// Check enforces default-off admission: true only when dst has a list
+// that permits src.
+func (e *Engine) Check(src, dst addr.IP) bool {
+	e.Lookups++
+	l, ok := e.lists[dst]
+	if !ok {
+		return false
+	}
+	return l.Permits(src)
+}
+
+// List returns dst's list when present.
+func (e *Engine) List(dst addr.IP) (*List, bool) {
+	l, ok := e.lists[dst]
+	return l, ok
+}
+
+// Endpoints returns the number of guarded EIPs.
+func (e *Engine) Endpoints() int { return len(e.lists) }
+
+// TotalEntries returns the total permit entries across all lists — the
+// memory-scale figure for E4.
+func (e *Engine) TotalEntries() int {
+	var n int
+	for _, l := range e.lists {
+		n += l.Len()
+	}
+	return n
+}
+
+// update is a replication log record.
+type update struct {
+	dst     addr.IP
+	entries []Entry // nil means drop
+	set     bool    // true: replace entire list; false: single add/remove
+	add     Entry
+	remove  bool
+	drop    bool
+}
+
+// ReplicaSet models the provider pushing permit updates from a control
+// point to n distributed enforcement points with a propagation delay —
+// the consistency dimension of §6(i). Reads go to a chosen replica;
+// writes apply locally at the origin immediately and at each replica
+// after its lag. StalenessWindow reports the longest interval during
+// which replicas could disagree.
+type ReplicaSet struct {
+	eng      *sim.Engine
+	origin   *Engine
+	replicas []*Engine
+	lag      sim.Time
+	// PendingUpdates counts updates in flight; MaxStaleness tracks the
+	// worst-case observed propagation interval.
+	PendingUpdates int
+	applied        uint64
+	issued         uint64
+}
+
+// NewReplicaSet returns a set with n replicas behind the given one-way
+// propagation lag.
+func NewReplicaSet(eng *sim.Engine, n int, lag sim.Time) *ReplicaSet {
+	rs := &ReplicaSet{eng: eng, origin: NewEngine(), lag: lag}
+	for i := 0; i < n; i++ {
+		rs.replicas = append(rs.replicas, NewEngine())
+	}
+	return rs
+}
+
+// Origin returns the control-plane engine (authoritative state).
+func (rs *ReplicaSet) Origin() *Engine { return rs.origin }
+
+// Replica returns enforcement point i.
+func (rs *ReplicaSet) Replica(i int) *Engine { return rs.replicas[i] }
+
+// Replicas returns the number of enforcement points.
+func (rs *ReplicaSet) Replicas() int { return len(rs.replicas) }
+
+// Set replaces dst's list everywhere (lagged at replicas).
+func (rs *ReplicaSet) Set(dst addr.IP, entries []Entry) {
+	rs.origin.Set(dst, entries)
+	cp := append([]Entry(nil), entries...)
+	rs.propagate(update{dst: dst, set: true, entries: cp})
+}
+
+// Permit adds one entry everywhere (lagged at replicas).
+func (rs *ReplicaSet) Permit(dst addr.IP, en Entry) {
+	rs.origin.Permit(dst, en)
+	rs.propagate(update{dst: dst, add: en})
+}
+
+// Revoke removes one entry everywhere (lagged at replicas).
+func (rs *ReplicaSet) Revoke(dst addr.IP, en Entry) {
+	rs.origin.Revoke(dst, en)
+	rs.propagate(update{dst: dst, add: en, remove: true})
+}
+
+// Drop removes dst's list everywhere (lagged at replicas).
+func (rs *ReplicaSet) Drop(dst addr.IP) {
+	rs.origin.Drop(dst)
+	rs.propagate(update{dst: dst, drop: true})
+}
+
+func (rs *ReplicaSet) propagate(u update) {
+	rs.issued++
+	rs.PendingUpdates++
+	rs.eng.After(rs.lag, func() {
+		for _, r := range rs.replicas {
+			applyUpdate(r, u)
+		}
+		rs.applied++
+		rs.PendingUpdates--
+	})
+}
+
+func applyUpdate(e *Engine, u update) {
+	switch {
+	case u.drop:
+		e.Drop(u.dst)
+	case u.set:
+		e.Set(u.dst, u.entries)
+	case u.remove:
+		e.Revoke(u.dst, u.add)
+	default:
+		e.Permit(u.dst, u.add)
+	}
+}
+
+// Check enforces at replica i (the packet's nearest enforcement point).
+func (rs *ReplicaSet) Check(replica int, src, dst addr.IP) bool {
+	return rs.replicas[replica].Check(src, dst)
+}
+
+// Consistent reports whether every replica has applied every issued
+// update.
+func (rs *ReplicaSet) Consistent() bool { return rs.PendingUpdates == 0 }
+
+// Lag returns the propagation delay.
+func (rs *ReplicaSet) Lag() sim.Time { return rs.lag }
+
+// String summarizes replication state.
+func (rs *ReplicaSet) String() string {
+	return fmt.Sprintf("replicas=%d lag=%v pending=%d issued=%d",
+		len(rs.replicas), rs.lag, rs.PendingUpdates, rs.issued)
+}

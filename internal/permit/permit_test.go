@@ -1,0 +1,231 @@
+package permit
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"declnet/internal/addr"
+	"declnet/internal/sim"
+)
+
+func ipa(s string) addr.IP     { return addr.MustParseIP(s) }
+func pfx(s string) addr.Prefix { return addr.MustParsePrefix(s) }
+
+func TestDefaultOff(t *testing.T) {
+	e := NewEngine()
+	if e.Check(ipa("1.2.3.4"), ipa("198.18.0.1")) {
+		t.Fatal("endpoint with no permit list accepted traffic (default-off violated)")
+	}
+	e.Set(ipa("198.18.0.1"), nil)
+	if e.Check(ipa("1.2.3.4"), ipa("198.18.0.1")) {
+		t.Fatal("empty permit list accepted traffic")
+	}
+}
+
+func TestExactAndPrefixEntries(t *testing.T) {
+	e := NewEngine()
+	dst := ipa("198.18.0.1")
+	e.Set(dst, []Entry{pfx("203.0.113.7/32"), pfx("10.0.0.0/8")})
+	if !e.Check(ipa("203.0.113.7"), dst) {
+		t.Fatal("exact /32 entry not honored")
+	}
+	if e.Check(ipa("203.0.113.8"), dst) {
+		t.Fatal("adjacent address admitted by /32 entry")
+	}
+	if !e.Check(ipa("10.200.1.1"), dst) {
+		t.Fatal("prefix entry not honored")
+	}
+	if e.Check(ipa("11.0.0.1"), dst) {
+		t.Fatal("address outside all entries admitted")
+	}
+}
+
+func TestPermitRevoke(t *testing.T) {
+	e := NewEngine()
+	dst := ipa("198.18.0.1")
+	e.Permit(dst, pfx("192.0.2.1/32"))
+	if !e.Check(ipa("192.0.2.1"), dst) {
+		t.Fatal("permitted source rejected")
+	}
+	if !e.Revoke(dst, pfx("192.0.2.1/32")) {
+		t.Fatal("revoke of present entry failed")
+	}
+	if e.Check(ipa("192.0.2.1"), dst) {
+		t.Fatal("revoked source admitted")
+	}
+	if e.Revoke(dst, pfx("192.0.2.1/32")) {
+		t.Fatal("double revoke succeeded")
+	}
+	if e.Revoke(ipa("9.9.9.9"), pfx("1.1.1.1/32")) {
+		t.Fatal("revoke on unknown dst succeeded")
+	}
+}
+
+func TestDropEndpoint(t *testing.T) {
+	e := NewEngine()
+	dst := ipa("198.18.0.1")
+	e.Permit(dst, pfx("0.0.0.0/0"))
+	e.Drop(dst)
+	if e.Check(ipa("1.1.1.1"), dst) {
+		t.Fatal("dropped endpoint still admits traffic")
+	}
+	if e.Endpoints() != 0 {
+		t.Fatalf("Endpoints = %d after drop", e.Endpoints())
+	}
+}
+
+func TestCounters(t *testing.T) {
+	e := NewEngine()
+	dst := ipa("198.18.0.1")
+	e.Set(dst, []Entry{pfx("10.0.0.0/8"), pfx("1.1.1.1/32")})
+	e.Check(ipa("10.0.0.1"), dst)
+	e.Check(ipa("2.2.2.2"), dst)
+	if e.Lookups != 2 || e.Updates != 1 {
+		t.Fatalf("Lookups,Updates = %d,%d", e.Lookups, e.Updates)
+	}
+	if e.TotalEntries() != 2 {
+		t.Fatalf("TotalEntries = %d", e.TotalEntries())
+	}
+}
+
+func TestListCloneAndEntries(t *testing.T) {
+	l := NewList()
+	l.Add(pfx("10.0.0.0/8"))
+	l.Add(pfx("192.0.2.1/32"))
+	c := l.Clone()
+	l.Remove(pfx("10.0.0.0/8"))
+	if !c.Permits(ipa("10.5.5.5")) {
+		t.Fatal("clone shares state with original")
+	}
+	if len(c.Entries()) != 2 {
+		t.Fatalf("Entries = %v", c.Entries())
+	}
+	if c.Version() != 2 {
+		t.Fatalf("clone Version = %d, want 2", c.Version())
+	}
+}
+
+// Property: the engine agrees with a naive oracle over arbitrary
+// add/remove/check sequences.
+func TestQuickEngineMatchesOracle(t *testing.T) {
+	f := func(ops []uint32, probes []uint32) bool {
+		e := NewEngine()
+		oracle := make(map[addr.IP][]Entry)
+		dst := ipa("198.18.0.1")
+		for _, op := range ops {
+			en := addr.NewPrefix(addr.IP(op), 8+int(op%25)) // /8../32
+			if op%3 == 0 {
+				e.Revoke(dst, en)
+				list := oracle[dst]
+				for i, x := range list {
+					if x == en {
+						oracle[dst] = append(list[:i], list[i+1:]...)
+						break
+					}
+				}
+			} else {
+				e.Permit(dst, en)
+				found := false
+				for _, x := range oracle[dst] {
+					if x == en {
+						found = true
+						break
+					}
+				}
+				if !found {
+					oracle[dst] = append(oracle[dst], en)
+				}
+			}
+		}
+		for _, pr := range probes {
+			src := addr.IP(pr)
+			want := false
+			for _, en := range oracle[dst] {
+				if en.Contains(src) {
+					want = true
+					break
+				}
+			}
+			if e.Check(src, dst) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplicaPropagationLag(t *testing.T) {
+	eng := sim.New(1)
+	rs := NewReplicaSet(eng, 3, 50*time.Millisecond)
+	dst := ipa("198.18.0.1")
+	src := ipa("203.0.113.7")
+	rs.Permit(dst, pfx("203.0.113.7/32"))
+	// Origin sees it immediately; replicas do not.
+	if !rs.Origin().Check(src, dst) {
+		t.Fatal("origin missing immediate update")
+	}
+	if rs.Check(0, src, dst) {
+		t.Fatal("replica saw update before propagation lag")
+	}
+	if rs.Consistent() {
+		t.Fatal("Consistent() true with update in flight")
+	}
+	eng.RunUntil(49 * time.Millisecond)
+	if rs.Check(1, src, dst) {
+		t.Fatal("replica saw update 1ms early")
+	}
+	eng.RunUntil(51 * time.Millisecond)
+	for i := 0; i < rs.Replicas(); i++ {
+		if !rs.Check(i, src, dst) {
+			t.Fatalf("replica %d missing update after lag", i)
+		}
+	}
+	if !rs.Consistent() {
+		t.Fatal("Consistent() false after propagation")
+	}
+}
+
+func TestReplicaRevokeWindow(t *testing.T) {
+	// The dangerous window: a revoked source is still admitted at
+	// replicas until propagation completes — the staleness E4 quantifies.
+	eng := sim.New(1)
+	rs := NewReplicaSet(eng, 2, 20*time.Millisecond)
+	dst := ipa("198.18.0.1")
+	src := ipa("203.0.113.7")
+	rs.Permit(dst, pfx("203.0.113.7/32"))
+	eng.RunUntil(25 * time.Millisecond)
+	rs.Revoke(dst, pfx("203.0.113.7/32"))
+	if !rs.Check(0, src, dst) {
+		t.Fatal("revoke visible at replica instantly (no lag modeled)")
+	}
+	eng.RunUntil(50 * time.Millisecond)
+	if rs.Check(0, src, dst) {
+		t.Fatal("revoke never propagated")
+	}
+}
+
+func TestReplicaSetAndDrop(t *testing.T) {
+	eng := sim.New(1)
+	rs := NewReplicaSet(eng, 2, 10*time.Millisecond)
+	dst := ipa("198.18.0.9")
+	rs.Set(dst, []Entry{pfx("10.0.0.0/8")})
+	eng.Run()
+	if !rs.Check(1, ipa("10.1.1.1"), dst) {
+		t.Fatal("Set did not propagate")
+	}
+	rs.Drop(dst)
+	eng.Run()
+	if rs.Check(1, ipa("10.1.1.1"), dst) {
+		t.Fatal("Drop did not propagate")
+	}
+	if rs.String() == "" {
+		t.Fatal("empty String()")
+	}
+	if rs.Lag() != 10*time.Millisecond {
+		t.Fatalf("Lag = %v", rs.Lag())
+	}
+}

@@ -1,0 +1,101 @@
+package permit
+
+import (
+	"sort"
+
+	"declnet/internal/addr"
+)
+
+// The paper's security section rests on in-network enforcement absorbing
+// "network resource-exhaustion attacks such as DDoS", pointing at the
+// cloud scrubbing services of its references [20, 31]. Shield is that
+// layer: it watches default-off denials per source, and sources that hammer
+// the fabric past a threshold are greylisted — dropped at the outermost
+// edge without even a permit-list lookup, which is how real scrubbers
+// shed volumetric load.
+
+// Shield wraps an Engine with per-source denial accounting and
+// greylisting. The zero value is unusable; call NewShield.
+type Shield struct {
+	eng       *Engine
+	threshold uint64
+	denials   map[addr.IP]uint64
+	grey      map[addr.IP]bool
+
+	// Greylisted counts packets shed by the greylist (cheap drops);
+	// Denied counts default-off denials that charged a full lookup.
+	Greylisted uint64
+	Denied     uint64
+}
+
+// NewShield guards engine e, greylisting sources after threshold
+// denials. threshold < 1 is clamped to 1.
+func NewShield(e *Engine, threshold uint64) *Shield {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &Shield{
+		eng:       e,
+		threshold: threshold,
+		denials:   make(map[addr.IP]uint64),
+		grey:      make(map[addr.IP]bool),
+	}
+}
+
+// Engine returns the wrapped enforcement engine.
+func (s *Shield) Engine() *Engine { return s.eng }
+
+// Check runs greylist-then-permit admission for one packet.
+func (s *Shield) Check(src, dst addr.IP) bool {
+	if s.grey[src] {
+		s.Greylisted++
+		return false
+	}
+	if s.eng.Check(src, dst) {
+		return true
+	}
+	s.Denied++
+	s.denials[src]++
+	if s.denials[src] >= s.threshold {
+		s.grey[src] = true
+	}
+	return false
+}
+
+// IsGreylisted reports whether a source has been shed to the greylist.
+func (s *Shield) IsGreylisted(src addr.IP) bool { return s.grey[src] }
+
+// Pardon removes a source from the greylist and resets its count
+// (operator action after a false positive or an attack subsides).
+func (s *Shield) Pardon(src addr.IP) {
+	delete(s.grey, src)
+	delete(s.denials, src)
+}
+
+// Offender pairs a source with its denial count.
+type Offender struct {
+	Src     addr.IP
+	Denials uint64
+}
+
+// TopOffenders returns up to k sources by denial count, descending (ties
+// broken by address for determinism) — the operator's attack dashboard.
+func (s *Shield) TopOffenders(k int) []Offender {
+	out := make([]Offender, 0, len(s.denials))
+	for src, n := range s.denials {
+		out = append(out, Offender{Src: src, Denials: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Denials != out[j].Denials {
+			return out[i].Denials > out[j].Denials
+		}
+		return out[i].Src < out[j].Src
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// GreylistSize reports how many sources are currently shed.
+func (s *Shield) GreylistSize() int { return len(s.grey) }

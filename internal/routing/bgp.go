@@ -1,0 +1,253 @@
+package routing
+
+import (
+	"fmt"
+	"sort"
+
+	"declnet/internal/addr"
+)
+
+// Speaker is a BGP-lite router: it originates prefixes, peers with other
+// speakers, and selects best paths by shortest AS-path (here: hop count)
+// with deterministic tie-breaking on the advertising peer's name. This is
+// the machinery behind the baseline's transit gateways and VPN gateways —
+// exactly the "inter-domain technologies such as BGP" the paper says
+// tenants are forced to confront (§1).
+type Speaker struct {
+	Name  string
+	peers map[string]*Speaker
+	// adjIn holds the best advertisement heard per (prefix, peer).
+	adjIn map[adjKey]advert
+	// origin prefixes are locally attached networks.
+	origin map[addr.Prefix]bool
+	table  Table
+	// Messages counts advertisements processed, a convergence-cost metric.
+	Messages uint64
+}
+
+type adjKey struct {
+	p    addr.Prefix
+	peer string
+}
+
+type advert struct {
+	path []string // speaker names, origin last
+}
+
+// NewSpeaker returns a named speaker with no peers or routes.
+func NewSpeaker(name string) *Speaker {
+	return &Speaker{
+		Name:   name,
+		peers:  make(map[string]*Speaker),
+		adjIn:  make(map[adjKey]advert),
+		origin: make(map[addr.Prefix]bool),
+	}
+}
+
+// Peer connects two speakers bidirectionally and exchanges current state.
+func Peer(a, b *Speaker) {
+	if a == b {
+		return
+	}
+	a.peers[b.Name] = b
+	b.peers[a.Name] = a
+	a.flushTo(b)
+	b.flushTo(a)
+}
+
+// Unpeer disconnects two speakers and withdraws routes learned over the
+// session from both sides.
+func Unpeer(a, b *Speaker) {
+	delete(a.peers, b.Name)
+	delete(b.peers, a.Name)
+	a.dropFrom(b.Name)
+	b.dropFrom(a.Name)
+}
+
+// Originate announces a locally attached prefix to all peers.
+func (s *Speaker) Originate(p addr.Prefix) {
+	if s.origin[p] {
+		return
+	}
+	s.origin[p] = true
+	s.reselect(p)
+	for _, peer := range s.sortedPeers() {
+		peer.receive(s.Name, p, []string{s.Name})
+	}
+}
+
+// WithdrawOrigin removes a locally attached prefix everywhere.
+func (s *Speaker) WithdrawOrigin(p addr.Prefix) {
+	if !s.origin[p] {
+		return
+	}
+	delete(s.origin, p)
+	s.reselect(p)
+	for _, peer := range s.sortedPeers() {
+		peer.withdraw(s.Name, p)
+	}
+}
+
+// Table exposes the speaker's selected routes.
+func (s *Speaker) Table() *Table { return &s.table }
+
+// receive processes one advertisement from peer from.
+func (s *Speaker) receive(from string, p addr.Prefix, path []string) {
+	s.Messages++
+	// Loop prevention: reject paths that already contain us.
+	for _, hop := range path {
+		if hop == s.Name {
+			return
+		}
+	}
+	prev, had := s.adjIn[adjKey{p, from}]
+	if had && pathsEqual(prev.path, path) {
+		return // duplicate, damp it
+	}
+	cp := make([]string, len(path))
+	copy(cp, path)
+	s.adjIn[adjKey{p, from}] = advert{path: cp}
+	s.reselectAndPropagate(p)
+}
+
+// withdraw processes a withdrawal from peer from.
+func (s *Speaker) withdraw(from string, p addr.Prefix) {
+	s.Messages++
+	if _, ok := s.adjIn[adjKey{p, from}]; !ok {
+		return
+	}
+	delete(s.adjIn, adjKey{p, from})
+	s.reselectAndPropagate(p)
+}
+
+// best returns the selected path for p (nil when unreachable) and the peer
+// it was learned from ("" when locally originated).
+func (s *Speaker) best(p addr.Prefix) ([]string, string) {
+	if s.origin[p] {
+		return []string{s.Name}, ""
+	}
+	var bestPath []string
+	var bestPeer string
+	for k, adv := range s.adjIn {
+		if k.p != p {
+			continue
+		}
+		if bestPath == nil ||
+			len(adv.path) < len(bestPath) ||
+			(len(adv.path) == len(bestPath) && k.peer < bestPeer) {
+			bestPath, bestPeer = adv.path, k.peer
+		}
+	}
+	return bestPath, bestPeer
+}
+
+func (s *Speaker) reselect(p addr.Prefix) ([]string, string) {
+	path, peer := s.best(p)
+	switch {
+	case path == nil:
+		s.table.Withdraw(p)
+	case peer == "":
+		s.table.Install(p, NextHop{ID: "local", Metric: 0, Origin: "connected"})
+	default:
+		// Force-install: selection already picked the winner.
+		s.table.Withdraw(p)
+		s.table.Install(p, NextHop{ID: peer, Metric: len(path), Origin: "propagated"})
+	}
+	return path, peer
+}
+
+func (s *Speaker) reselectAndPropagate(p addr.Prefix) {
+	path, from := s.reselect(p)
+	for _, peer := range s.sortedPeers() {
+		if peer.Name == from {
+			continue // split horizon
+		}
+		if path == nil {
+			peer.withdraw(s.Name, p)
+		} else {
+			peer.receive(s.Name, p, append([]string{s.Name}, path...))
+		}
+	}
+}
+
+// flushTo sends s's full selected state to a new peer.
+func (s *Speaker) flushTo(peer *Speaker) {
+	type entry struct {
+		p    addr.Prefix
+		path []string
+	}
+	var entries []entry
+	for p := range s.origin {
+		entries = append(entries, entry{p, []string{s.Name}})
+	}
+	seen := make(map[addr.Prefix]bool)
+	for k := range s.adjIn {
+		seen[k.p] = true
+	}
+	for p := range seen {
+		if s.origin[p] {
+			continue
+		}
+		if path, from := s.best(p); path != nil && from != peer.Name {
+			entries = append(entries, entry{p, append([]string{s.Name}, path...)})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].p.Addr != entries[j].p.Addr {
+			return entries[i].p.Addr < entries[j].p.Addr
+		}
+		return entries[i].p.Len < entries[j].p.Len
+	})
+	for _, e := range entries {
+		peer.receive(s.Name, e.p, e.path)
+	}
+}
+
+// dropFrom withdraws all state learned from a disconnected peer.
+func (s *Speaker) dropFrom(peer string) {
+	var affected []addr.Prefix
+	for k := range s.adjIn {
+		if k.peer == peer {
+			affected = append(affected, k.p)
+		}
+	}
+	sort.Slice(affected, func(i, j int) bool { return affected[i].Addr < affected[j].Addr })
+	for _, p := range affected {
+		delete(s.adjIn, adjKey{p, peer})
+		s.reselectAndPropagate(p)
+	}
+}
+
+func (s *Speaker) sortedPeers() []*Speaker {
+	names := make([]string, 0, len(s.peers))
+	for n := range s.peers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Speaker, len(names))
+	for i, n := range names {
+		out[i] = s.peers[n]
+	}
+	return out
+}
+
+func pathsEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PathTo returns the selected AS path from s toward ip, for diagnostics.
+func (s *Speaker) PathTo(ip addr.IP) (string, bool) {
+	hop, ok := s.table.Lookup(ip)
+	if !ok {
+		return "", false
+	}
+	return fmt.Sprintf("%s->%s", s.Name, hop.ID), true
+}

@@ -1,0 +1,170 @@
+package routing
+
+import (
+	"testing"
+
+	"declnet/internal/addr"
+)
+
+func TestSpeakerDirectPeering(t *testing.T) {
+	a, b := NewSpeaker("a"), NewSpeaker("b")
+	a.Originate(pfx("10.0.0.0/16"))
+	Peer(a, b)
+	hop, ok := b.Table().Lookup(ip("10.0.1.1"))
+	if !ok || hop.ID != "a" {
+		t.Fatalf("b's route = %v,%v; want via a", hop, ok)
+	}
+	if hop.Origin != "propagated" {
+		t.Fatalf("origin = %q", hop.Origin)
+	}
+}
+
+func TestSpeakerOriginateAfterPeering(t *testing.T) {
+	a, b := NewSpeaker("a"), NewSpeaker("b")
+	Peer(a, b)
+	a.Originate(pfx("10.0.0.0/16"))
+	if _, ok := b.Table().Lookup(ip("10.0.1.1")); !ok {
+		t.Fatal("late origination did not propagate")
+	}
+}
+
+func TestSpeakerTransit(t *testing.T) {
+	// a -- mid -- c: c should learn a's prefix through mid.
+	a, mid, c := NewSpeaker("a"), NewSpeaker("mid"), NewSpeaker("c")
+	Peer(a, mid)
+	Peer(mid, c)
+	a.Originate(pfx("10.0.0.0/16"))
+	hop, ok := c.Table().Lookup(ip("10.0.0.1"))
+	if !ok || hop.ID != "mid" {
+		t.Fatalf("c's route = %v,%v; want via mid", hop, ok)
+	}
+	if hop.Metric != 2 {
+		t.Fatalf("metric = %d, want 2 (path length a->mid)", hop.Metric)
+	}
+}
+
+func TestSpeakerShortestPathWins(t *testing.T) {
+	// Diamond: src peers with long chain and a direct shortcut.
+	src, x, y, dst := NewSpeaker("src"), NewSpeaker("x"), NewSpeaker("y"), NewSpeaker("dst")
+	Peer(src, x)
+	Peer(x, y)
+	Peer(y, dst)
+	src.Originate(pfx("10.0.0.0/16"))
+	// dst currently reaches via y (3 hops); now add the shortcut.
+	Peer(src, dst)
+	hop, ok := dst.Table().Lookup(ip("10.0.0.1"))
+	if !ok || hop.ID != "src" {
+		t.Fatalf("dst's route = %v,%v; want direct via src", hop, ok)
+	}
+}
+
+func TestSpeakerWithdraw(t *testing.T) {
+	a, b, c := NewSpeaker("a"), NewSpeaker("b"), NewSpeaker("c")
+	Peer(a, b)
+	Peer(b, c)
+	a.Originate(pfx("10.0.0.0/16"))
+	a.WithdrawOrigin(pfx("10.0.0.0/16"))
+	if _, ok := c.Table().Lookup(ip("10.0.0.1")); ok {
+		t.Fatal("withdrawn prefix still reachable at c")
+	}
+	if _, ok := b.Table().Lookup(ip("10.0.0.1")); ok {
+		t.Fatal("withdrawn prefix still reachable at b")
+	}
+}
+
+func TestSpeakerUnpeerFailover(t *testing.T) {
+	// Triangle: c can reach a directly or via b. Cutting the direct
+	// session must fail over to the b path.
+	a, b, c := NewSpeaker("a"), NewSpeaker("b"), NewSpeaker("c")
+	Peer(a, b)
+	Peer(b, c)
+	Peer(a, c)
+	a.Originate(pfx("10.0.0.0/16"))
+	if hop, _ := c.Table().Lookup(ip("10.0.0.1")); hop.ID != "a" {
+		t.Fatalf("pre-failover route via %s, want a", hop.ID)
+	}
+	Unpeer(a, c)
+	hop, ok := c.Table().Lookup(ip("10.0.0.1"))
+	if !ok || hop.ID != "b" {
+		t.Fatalf("post-failover route = %v,%v; want via b", hop, ok)
+	}
+}
+
+func TestSpeakerLoopFree(t *testing.T) {
+	// Full mesh of 4 with one origin; no advertisement storm (loop
+	// prevention + duplicate damping must terminate) and all converge.
+	spk := []*Speaker{NewSpeaker("s0"), NewSpeaker("s1"), NewSpeaker("s2"), NewSpeaker("s3")}
+	for i := range spk {
+		for j := i + 1; j < len(spk); j++ {
+			Peer(spk[i], spk[j])
+		}
+	}
+	spk[0].Originate(pfx("10.0.0.0/16"))
+	for i := 1; i < len(spk); i++ {
+		hop, ok := spk[i].Table().Lookup(ip("10.0.0.1"))
+		if !ok {
+			t.Fatalf("s%d did not converge", i)
+		}
+		if hop.ID != "s0" {
+			t.Fatalf("s%d routes via %s, want direct s0", i, hop.ID)
+		}
+	}
+	var total uint64
+	for _, s := range spk {
+		total += s.Messages
+	}
+	if total > 1000 {
+		t.Fatalf("message storm: %d messages for one prefix in a 4-mesh", total)
+	}
+}
+
+func TestSpeakerLocalPreferredOverLearned(t *testing.T) {
+	a, b := NewSpeaker("a"), NewSpeaker("b")
+	p := pfx("10.0.0.0/16")
+	a.Originate(p)
+	Peer(a, b)
+	b.Originate(p) // b also attaches the prefix locally
+	hop, ok := b.Table().Get(p)
+	if !ok || hop.ID != "local" {
+		t.Fatalf("b's route = %v,%v; want local", hop, ok)
+	}
+}
+
+func TestSpeakerPathTo(t *testing.T) {
+	a, b := NewSpeaker("a"), NewSpeaker("b")
+	a.Originate(pfx("10.0.0.0/16"))
+	Peer(a, b)
+	got, ok := b.PathTo(ip("10.0.0.1"))
+	if !ok || got != "b->a" {
+		t.Fatalf("PathTo = %q,%v", got, ok)
+	}
+	if _, ok := b.PathTo(ip("1.1.1.1")); ok {
+		t.Fatal("PathTo for unknown destination succeeded")
+	}
+}
+
+func TestSpeakerChainConvergence(t *testing.T) {
+	// A long chain converges end to end; metric equals hop distance.
+	const n = 12
+	spk := make([]*Speaker, n)
+	for i := range spk {
+		spk[i] = NewSpeaker("s" + string(rune('a'+i)))
+	}
+	for i := 1; i < n; i++ {
+		Peer(spk[i-1], spk[i])
+	}
+	spk[0].Originate(pfx("172.16.0.0/12"))
+	hop, ok := spk[n-1].Table().Lookup(ip("172.16.5.5"))
+	if !ok {
+		t.Fatal("end of chain did not converge")
+	}
+	if hop.Metric != n-1 {
+		t.Fatalf("end metric = %d, want %d", hop.Metric, n-1)
+	}
+	// Withdrawal must also traverse the chain.
+	spk[0].WithdrawOrigin(pfx("172.16.0.0/12"))
+	if _, ok := spk[n-1].Table().Lookup(ip("172.16.5.5")); ok {
+		t.Fatal("withdrawal did not traverse the chain")
+	}
+	_ = addr.Prefix{}
+}

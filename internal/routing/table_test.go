@@ -1,0 +1,130 @@
+package routing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"declnet/internal/addr"
+)
+
+func TestTableInstallMetric(t *testing.T) {
+	var tbl Table
+	tbl.Install(pfx("10.0.0.0/8"), NextHop{ID: "a", Metric: 5})
+	tbl.Install(pfx("10.0.0.0/8"), NextHop{ID: "b", Metric: 3})
+	if hop, _ := tbl.Lookup(ip("10.1.1.1")); hop.ID != "b" {
+		t.Fatalf("lower metric did not win: %v", hop)
+	}
+	tbl.Install(pfx("10.0.0.0/8"), NextHop{ID: "c", Metric: 9})
+	if hop, _ := tbl.Lookup(ip("10.1.1.1")); hop.ID != "b" {
+		t.Fatalf("higher metric replaced route: %v", hop)
+	}
+	// Equal metric favors the newcomer.
+	tbl.Install(pfx("10.0.0.0/8"), NextHop{ID: "d", Metric: 3})
+	if hop, _ := tbl.Lookup(ip("10.1.1.1")); hop.ID != "d" {
+		t.Fatalf("equal metric did not replace: %v", hop)
+	}
+}
+
+func TestTableWithdrawChurn(t *testing.T) {
+	var tbl Table
+	tbl.Install(pfx("10.0.0.0/8"), NextHop{ID: "a"})
+	if !tbl.Withdraw(pfx("10.0.0.0/8")) {
+		t.Fatal("withdraw failed")
+	}
+	if tbl.Withdraw(pfx("10.0.0.0/8")) {
+		t.Fatal("double withdraw succeeded")
+	}
+	if tbl.Churn != 2 {
+		t.Fatalf("Churn = %d, want 2", tbl.Churn)
+	}
+	if tbl.Len() != 0 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+}
+
+func TestAggregateSiblings(t *testing.T) {
+	routes := []Route{
+		{pfx("10.0.0.0/25"), NextHop{ID: "gw"}},
+		{pfx("10.0.0.128/25"), NextHop{ID: "gw"}},
+		{pfx("10.0.1.0/25"), NextHop{ID: "gw"}},
+		{pfx("10.0.1.128/25"), NextHop{ID: "gw"}},
+	}
+	agg := Aggregate(routes)
+	if len(agg) != 1 {
+		t.Fatalf("aggregated to %d routes, want 1: %v", len(agg), agg)
+	}
+	if agg[0].Prefix != pfx("10.0.0.0/23") {
+		t.Fatalf("aggregate = %s, want 10.0.0.0/23", agg[0].Prefix)
+	}
+	if agg[0].Hop.Origin != "aggregated" {
+		t.Fatalf("origin = %q", agg[0].Hop.Origin)
+	}
+}
+
+func TestAggregateDifferentHops(t *testing.T) {
+	routes := []Route{
+		{pfx("10.0.0.0/25"), NextHop{ID: "gw1"}},
+		{pfx("10.0.0.128/25"), NextHop{ID: "gw2"}},
+	}
+	agg := Aggregate(routes)
+	if len(agg) != 2 {
+		t.Fatalf("merged routes with different hops: %v", agg)
+	}
+}
+
+func TestAggregateNonSiblings(t *testing.T) {
+	// Adjacent but not buddies: 10.0.0.128/25 and 10.0.1.0/25 cannot merge.
+	routes := []Route{
+		{pfx("10.0.0.128/25"), NextHop{ID: "gw"}},
+		{pfx("10.0.1.0/25"), NextHop{ID: "gw"}},
+	}
+	if agg := Aggregate(routes); len(agg) != 2 {
+		t.Fatalf("merged non-sibling prefixes: %v", agg)
+	}
+}
+
+// Property: aggregation preserves forwarding semantics for addresses
+// covered by the original table when the input covers whole subtrees
+// (as the provider's dense allocator guarantees).
+func TestQuickAggregatePreservesLookups(t *testing.T) {
+	f := func(blocks []uint16, probes []uint32) bool {
+		// Build a dense covering: consecutive /28s under 10.0.0.0/16
+		// assigned round-robin to two gateways in runs, so some merge.
+		var routes []Route
+		for i, b := range blocks {
+			base := addr.IP(0x0A000000) | addr.IP(uint32(b)<<4)
+			gw := "gw" + string(rune('A'+(i/4)%2))
+			routes = append(routes, Route{addr.NewPrefix(base, 28), NextHop{ID: gw}})
+		}
+		before := NewTableFrom(routes)
+		after := NewTableFrom(Aggregate(routes))
+		if after.Len() > before.Len() {
+			return false // aggregation must never grow the table
+		}
+		for _, pr := range probes {
+			q := addr.IP(0x0A000000) | addr.IP(pr&0x0000FFFF)
+			bHop, bOK := before.Lookup(q)
+			aHop, aOK := after.Lookup(q)
+			if bOK != aOK {
+				return false
+			}
+			if bOK && bHop.ID != aHop.ID {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewTableFromResetsChurn(t *testing.T) {
+	tbl := NewTableFrom([]Route{{pfx("10.0.0.0/8"), NextHop{ID: "a"}}})
+	if tbl.Churn != 0 {
+		t.Fatalf("fresh table churn = %d", tbl.Churn)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+}

@@ -1,0 +1,211 @@
+package routing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"declnet/internal/addr"
+)
+
+func pfx(s string) addr.Prefix { return addr.MustParsePrefix(s) }
+func ip(s string) addr.IP      { return addr.MustParseIP(s) }
+
+func TestTrieInsertLookup(t *testing.T) {
+	var tr Trie[string]
+	tr.Insert(pfx("10.0.0.0/8"), "coarse")
+	tr.Insert(pfx("10.1.0.0/16"), "mid")
+	tr.Insert(pfx("10.1.2.0/24"), "fine")
+
+	cases := []struct {
+		ip   string
+		want string
+	}{
+		{"10.1.2.3", "fine"},
+		{"10.1.3.1", "mid"},
+		{"10.9.9.9", "coarse"},
+	}
+	for _, c := range cases {
+		got, ok := tr.Lookup(ip(c.ip))
+		if !ok || got != c.want {
+			t.Errorf("Lookup(%s) = %q,%v; want %q", c.ip, got, ok, c.want)
+		}
+	}
+	if _, ok := tr.Lookup(ip("11.0.0.1")); ok {
+		t.Error("lookup outside table succeeded")
+	}
+	if tr.Len() != 3 {
+		t.Errorf("Len = %d, want 3", tr.Len())
+	}
+}
+
+func TestTrieDefaultRoute(t *testing.T) {
+	var tr Trie[string]
+	tr.Insert(pfx("0.0.0.0/0"), "default")
+	got, ok := tr.Lookup(ip("203.0.113.9"))
+	if !ok || got != "default" {
+		t.Fatalf("default route lookup = %q,%v", got, ok)
+	}
+}
+
+func TestTrieHostRoute(t *testing.T) {
+	var tr Trie[string]
+	tr.Insert(pfx("192.168.1.7/32"), "host")
+	if got, ok := tr.Lookup(ip("192.168.1.7")); !ok || got != "host" {
+		t.Fatalf("host route = %q,%v", got, ok)
+	}
+	if _, ok := tr.Lookup(ip("192.168.1.8")); ok {
+		t.Fatal("adjacent host matched /32")
+	}
+}
+
+func TestTrieReplace(t *testing.T) {
+	var tr Trie[int]
+	tr.Insert(pfx("10.0.0.0/8"), 1)
+	tr.Insert(pfx("10.0.0.0/8"), 2)
+	if tr.Len() != 1 {
+		t.Fatalf("Len after replace = %d", tr.Len())
+	}
+	if got, _ := tr.Get(pfx("10.0.0.0/8")); got != 2 {
+		t.Fatalf("Get after replace = %d", got)
+	}
+}
+
+func TestTrieDelete(t *testing.T) {
+	var tr Trie[string]
+	tr.Insert(pfx("10.0.0.0/8"), "a")
+	tr.Insert(pfx("10.1.0.0/16"), "b")
+	if !tr.Delete(pfx("10.1.0.0/16")) {
+		t.Fatal("Delete of present prefix failed")
+	}
+	if tr.Delete(pfx("10.1.0.0/16")) {
+		t.Fatal("double delete succeeded")
+	}
+	if tr.Delete(pfx("10.2.0.0/16")) {
+		t.Fatal("delete of absent prefix succeeded")
+	}
+	if got, ok := tr.Lookup(ip("10.1.2.3")); !ok || got != "a" {
+		t.Fatalf("fallback after delete = %q,%v", got, ok)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestTrieDeleteKeepsDescendants(t *testing.T) {
+	var tr Trie[string]
+	tr.Insert(pfx("10.0.0.0/8"), "parent")
+	tr.Insert(pfx("10.1.0.0/16"), "child")
+	tr.Delete(pfx("10.0.0.0/8"))
+	if got, ok := tr.Lookup(ip("10.1.5.5")); !ok || got != "child" {
+		t.Fatalf("child lost after parent delete: %q,%v", got, ok)
+	}
+}
+
+func TestTrieGetExact(t *testing.T) {
+	var tr Trie[string]
+	tr.Insert(pfx("10.0.0.0/8"), "a")
+	if _, ok := tr.Get(pfx("10.0.0.0/9")); ok {
+		t.Fatal("Get of non-installed child prefix succeeded")
+	}
+	if got, ok := tr.Get(pfx("10.0.0.0/8")); !ok || got != "a" {
+		t.Fatalf("Get exact = %q,%v", got, ok)
+	}
+}
+
+func TestTrieWalkOrder(t *testing.T) {
+	var tr Trie[int]
+	ins := []string{"10.2.0.0/16", "10.0.0.0/8", "192.168.0.0/16", "10.1.0.0/16"}
+	for i, s := range ins {
+		tr.Insert(pfx(s), i)
+	}
+	got := tr.Prefixes()
+	want := []string{"10.0.0.0/8", "10.1.0.0/16", "10.2.0.0/16", "192.168.0.0/16"}
+	if len(got) != len(want) {
+		t.Fatalf("Prefixes len = %d", len(got))
+	}
+	for i := range want {
+		if got[i].String() != want[i] {
+			t.Fatalf("walk order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTrieWalkEarlyStop(t *testing.T) {
+	var tr Trie[int]
+	for i := 0; i < 10; i++ {
+		tr.Insert(addr.NewPrefix(addr.IP(i)<<24, 8), i)
+	}
+	count := 0
+	tr.Walk(func(addr.Prefix, int) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("walk visited %d, want 3", count)
+	}
+}
+
+// Property: trie LPM agrees with a linear-scan oracle.
+func TestQuickTrieMatchesOracle(t *testing.T) {
+	f := func(seeds []uint32, probes []uint32) bool {
+		var tr Trie[int]
+		type route struct {
+			p addr.Prefix
+			v int
+		}
+		var routes []route
+		for i, s := range seeds {
+			p := addr.NewPrefix(addr.IP(s), int(s%33))
+			tr.Insert(p, i)
+			// Linear oracle keeps the latest value per prefix.
+			replaced := false
+			for j := range routes {
+				if routes[j].p == p {
+					routes[j].v = i
+					replaced = true
+					break
+				}
+			}
+			if !replaced {
+				routes = append(routes, route{p, i})
+			}
+		}
+		for _, probe := range probes {
+			q := addr.IP(probe)
+			bestLen, bestVal, found := -1, 0, false
+			for _, r := range routes {
+				if r.p.Contains(q) && r.p.Len > bestLen {
+					bestLen, bestVal, found = r.p.Len, r.v, true
+				}
+			}
+			got, ok := tr.Lookup(q)
+			if ok != found || (ok && got != bestVal) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: insert then delete restores emptiness (prune correctness).
+func TestQuickTrieDeleteRestores(t *testing.T) {
+	f := func(seeds []uint32) bool {
+		var tr Trie[int]
+		ps := make([]addr.Prefix, 0, len(seeds))
+		for i, s := range seeds {
+			p := addr.NewPrefix(addr.IP(s), int(s%33))
+			tr.Insert(p, i)
+			ps = append(ps, p)
+		}
+		for _, p := range ps {
+			tr.Delete(p)
+		}
+		return tr.Len() == 0 && len(tr.Prefixes()) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

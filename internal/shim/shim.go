@@ -1,0 +1,247 @@
+// Package shim implements the Table-2 API *on top of today's cloud
+// abstractions* — the deployment story of the paper's §5: "We have
+// created an initial prototype of our API on top of existing cloud APIs
+// for both Azure and AWS... the tenant sees many fewer network 'boxes'
+// and does not have to deal with the complexity of constructing their
+// network."
+//
+// The shim drives the aws-like facade underneath: one hidden VPC per
+// tenant, public addresses for every endpoint, security-group rewrites
+// for permit lists, and a load balancer per service IP. The tenant-facing
+// surface is exactly the five verbs; the boxes still exist, but they are
+// the shim's problem. Contrast with internal/core, where the provider
+// implements the same verbs natively with no tenant boxes at all — the
+// migration path §3 sketches ("can be deployed alongside existing
+// solutions allowing tenants to choose whether and when to migrate").
+package shim
+
+import (
+	"fmt"
+
+	"declnet/internal/addr"
+	"declnet/internal/appliance"
+	"declnet/internal/cloudapi"
+	"declnet/internal/gateway"
+	"declnet/internal/vnet"
+)
+
+// tenantNet is the hidden per-tenant substrate the shim maintains.
+type tenantNet struct {
+	vpc    *vnet.VPC
+	igwID  string
+	nextID int
+}
+
+// endpoint records one granted EIP's backing instance.
+type endpoint struct {
+	tenant   string
+	instance string
+	private  addr.IP
+	public   addr.IP
+	sgID     string
+}
+
+// service records one granted SIP's backing load balancer.
+type service struct {
+	tenant  string
+	lb      *appliance.LoadBalancer
+	group   *appliance.TargetGroup
+	public  addr.IP
+	permits map[addr.IP]bool
+}
+
+// Shim is the Table-2 control plane over legacy abstractions.
+type Shim struct {
+	env *cloudapi.Env
+	aws *cloudapi.AWS
+
+	planner *addr.Planner
+	tenants map[string]*tenantNet
+	eips    map[addr.IP]*endpoint
+	sips    map[addr.IP]*service
+	sipPool *addr.HostPool
+}
+
+// New returns a shim over a fresh legacy environment in one region.
+func New() *Shim {
+	env := cloudapi.NewEnv()
+	return &Shim{
+		env:     env,
+		aws:     cloudapi.NewAWS(env, "shim-region"),
+		planner: addr.NewPlanner(addr.RFC1918()),
+		tenants: make(map[string]*tenantNet),
+		eips:    make(map[addr.IP]*endpoint),
+		sips:    make(map[addr.IP]*service),
+		sipPool: addr.NewHostPool(addr.MustParsePrefix("198.19.0.0/16"), 1),
+	}
+}
+
+// Env exposes the legacy environment (experiments read its ledger to
+// count the boxes the shim hides).
+func (s *Shim) Env() *cloudapi.Env { return s.env }
+
+// net lazily builds the tenant's hidden VPC: CIDR from the planner, one
+// subnet, an attached internet gateway, and a default route.
+func (s *Shim) net(tenant string) (*tenantNet, error) {
+	if tn, ok := s.tenants[tenant]; ok {
+		return tn, nil
+	}
+	cidr, err := s.planner.Plan("shim-"+tenant, 4096)
+	if err != nil {
+		return nil, err
+	}
+	vpc, err := s.aws.CreateVpc("shim-"+tenant, cidr.String(), cloudapi.VpcOptions{EnableDNSSupport: true})
+	if err != nil {
+		return nil, err
+	}
+	sub := addr.NewPrefix(cidr.Addr, cidr.Len+1) // half the VPC as one subnet
+	if err := s.aws.CreateSubnet(vpc, "sn", sub.String(), "az1", true); err != nil {
+		return nil, err
+	}
+	igw := s.aws.CreateInternetGateway()
+	if err := s.aws.AttachInternetGateway(igw, vpc); err != nil {
+		return nil, err
+	}
+	if err := s.aws.CreateRoute(vpc, "sn", "0.0.0.0/0", vnet.Target{Kind: vnet.TIGW, ID: igw}); err != nil {
+		return nil, err
+	}
+	tn := &tenantNet{vpc: vpc, igwID: igw}
+	s.tenants[tenant] = tn
+	return tn, nil
+}
+
+// RequestEIP grants a "flat, default-off" endpoint address by launching a
+// legacy instance behind a deny-all security group and handing back its
+// public IP.
+func (s *Shim) RequestEIP(tenant string) (addr.IP, error) {
+	tn, err := s.net(tenant)
+	if err != nil {
+		return 0, err
+	}
+	tn.nextID++
+	name := fmt.Sprintf("%s-i-%d", tenant, tn.nextID)
+	sgID := "sg-" + name
+	if err := s.aws.CreateSecurityGroup(tn.vpc, sgID, "shim permit list"); err != nil {
+		return 0, err
+	}
+	// Egress open (the paper's model polices ingress via permit lists).
+	if err := s.aws.AuthorizeSecurityGroupEgress(tn.vpc, sgID, vnet.SGRule{Source: addr.MustParsePrefix("0.0.0.0/0")}); err != nil {
+		return 0, err
+	}
+	inst, err := s.aws.RunInstance(tn.vpc, name, "sn", sgID)
+	if err != nil {
+		return 0, err
+	}
+	alloc := s.aws.AllocateAddress()
+	if err := s.aws.AssociateAddress(alloc, tn.vpc, name); err != nil {
+		return 0, err
+	}
+	s.eips[inst.PublicIP] = &endpoint{
+		tenant: tenant, instance: name,
+		private: inst.PrivateIP, public: inst.PublicIP, sgID: sgID,
+	}
+	return inst.PublicIP, nil
+}
+
+// SetPermitList rewrites the endpoint's hidden security group so its
+// ingress rules are exactly the given sources — set_permit_list over SGs.
+func (s *Shim) SetPermitList(tenant string, target addr.IP, sources []addr.Prefix) error {
+	if ep, ok := s.eips[target]; ok {
+		if ep.tenant != tenant {
+			return fmt.Errorf("shim: %s is not tenant %q's EIP", target, tenant)
+		}
+		tn := s.tenants[tenant]
+		sg := tn.vpc.SecurityGroup(ep.sgID)
+		sg.Ingress = nil
+		for _, src := range sources {
+			sg.Ingress = append(sg.Ingress, vnet.SGRule{Source: src})
+			s.env.Ledger.Step()
+			s.env.Ledger.Param("aws:security-group", 4)
+		}
+		return nil
+	}
+	if svc, ok := s.sips[target]; ok {
+		if svc.tenant != tenant {
+			return fmt.Errorf("shim: %s is not tenant %q's SIP", target, tenant)
+		}
+		svc.permits = make(map[addr.IP]bool)
+		for _, src := range sources {
+			if src.Len != 32 {
+				return fmt.Errorf("shim: LB permit lists support /32 entries only, got %s", src)
+			}
+			svc.permits[src.Addr] = true
+		}
+		return nil
+	}
+	return fmt.Errorf("shim: %s is not a granted address", target)
+}
+
+// RequestSIP grants a service address backed by a hidden load balancer.
+func (s *Shim) RequestSIP(tenant string) (addr.IP, error) {
+	if _, err := s.net(tenant); err != nil {
+		return 0, err
+	}
+	pub, err := s.sipPool.Allocate()
+	if err != nil {
+		return 0, err
+	}
+	lb := s.aws.CreateLoadBalancer(appliance.ApplicationLB)
+	group := appliance.NewTargetGroup("tg-" + pub.String())
+	lb.AddTargetGroup(group, s.env.Ledger)
+	if err := lb.SetDefault(group.ID, s.env.Ledger); err != nil {
+		return 0, err
+	}
+	s.sips[pub] = &service{tenant: tenant, lb: lb, group: group, public: pub,
+		permits: make(map[addr.IP]bool)}
+	return pub, nil
+}
+
+// Bind registers an EIP's backing instance with the SIP's hidden load
+// balancer.
+func (s *Shim) Bind(tenant string, eip, sip addr.IP) error {
+	ep, ok := s.eips[eip]
+	if !ok || ep.tenant != tenant {
+		return fmt.Errorf("shim: %s is not tenant %q's EIP", eip, tenant)
+	}
+	svc, ok := s.sips[sip]
+	if !ok || svc.tenant != tenant {
+		return fmt.Errorf("shim: %s is not tenant %q's SIP", sip, tenant)
+	}
+	svc.group.Register(ep.instance)
+	s.env.Ledger.Step()
+	return nil
+}
+
+// Verdict reports a shim admission decision.
+type Verdict struct {
+	Delivered bool
+	Backend   string // instance that would serve a SIP-directed packet
+	Detail    string
+}
+
+// Evaluate answers "may src reach dst" over the legacy substrate: for
+// EIPs, a real packet walk through the hidden VPC's IGW and security
+// group; for SIPs, the permit set plus a load-balancer route.
+func (s *Shim) Evaluate(src, dst addr.IP) Verdict {
+	if ep, ok := s.eips[dst]; ok {
+		v := s.env.Fabric.Evaluate(gateway.Source{Kind: gateway.FromInternet},
+			vnet.Packet{Src: src, Dst: ep.public, Proto: vnet.TCP, DstPort: 443})
+		return Verdict{Delivered: v.Delivered, Detail: v.String()}
+	}
+	if svc, ok := s.sips[dst]; ok {
+		if !svc.permits[src] {
+			return Verdict{Detail: "denied: source not in service permit list"}
+		}
+		backend, err := svc.lb.Route(appliance.Request{Path: "/",
+			Flow: vnet.Packet{Src: src, Dst: dst, Proto: vnet.TCP, DstPort: 443}})
+		if err != nil {
+			return Verdict{Detail: "denied: " + err.Error()}
+		}
+		return Verdict{Delivered: true, Backend: backend}
+	}
+	return Verdict{Detail: "denied: unknown destination"}
+}
+
+// HiddenBoxes reports how many legacy boxes the shim is quietly managing —
+// the §5 point: the tenant sees none of them.
+func (s *Shim) HiddenBoxes() int { return s.env.Ledger.Boxes() }

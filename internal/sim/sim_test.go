@@ -1,0 +1,291 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrder(t *testing.T) {
+	e := New(1)
+	var got []int
+	e.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
+	e.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	e.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	if n := e.Run(); n != 3 {
+		t.Fatalf("fired %d events, want 3", n)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30*time.Millisecond {
+		t.Fatalf("clock = %v, want 30ms", e.Now())
+	}
+}
+
+func TestFIFOAtEqualTime(t *testing.T) {
+	e := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("equal-time events fired out of order: %v", got)
+		}
+	}
+}
+
+func TestAfterRelative(t *testing.T) {
+	e := New(1)
+	var at Time
+	e.After(time.Second, func() {
+		e.After(2*time.Second, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 3*time.Second {
+		t.Fatalf("nested After fired at %v, want 3s", at)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New(1)
+	fired := false
+	ev := e.Schedule(time.Second, func() { fired = true })
+	ev.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+}
+
+func TestCancelNilSafe(t *testing.T) {
+	var ev *Event
+	ev.Cancel() // must not panic
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New(1)
+	var got []Time
+	for _, d := range []Time{time.Second, 2 * time.Second, 3 * time.Second} {
+		d := d
+		e.Schedule(d, func() { got = append(got, d) })
+	}
+	if n := e.RunUntil(2 * time.Second); n != 2 {
+		t.Fatalf("RunUntil fired %d, want 2", n)
+	}
+	if e.Now() != 2*time.Second {
+		t.Fatalf("clock = %v, want 2s", e.Now())
+	}
+	if n := e.Run(); n != 1 {
+		t.Fatalf("resumed run fired %d, want 1", n)
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	e := New(1)
+	e.RunUntil(5 * time.Second)
+	if e.Now() != 5*time.Second {
+		t.Fatalf("idle clock = %v, want 5s", e.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := New(1)
+	count := 0
+	e.Schedule(time.Second, func() { count++; e.Stop() })
+	e.Schedule(2*time.Second, func() { count++ })
+	e.Run()
+	if count != 1 {
+		t.Fatalf("fired %d events after Stop, want 1", count)
+	}
+	e.Run()
+	if count != 2 {
+		t.Fatalf("fired %d events after resume, want 2", count)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := New(1)
+	e.Schedule(time.Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.Schedule(0, func() {})
+	})
+	e.Run()
+}
+
+func TestTicker(t *testing.T) {
+	e := New(1)
+	var times []Time
+	var tk *Ticker
+	tk = e.Every(time.Second, func() {
+		times = append(times, e.Now())
+		if len(times) == 3 {
+			tk.Stop()
+		}
+	})
+	e.Run()
+	if len(times) != 3 {
+		t.Fatalf("ticker fired %d times, want 3", len(times))
+	}
+	for i, want := range []Time{time.Second, 2 * time.Second, 3 * time.Second} {
+		if times[i] != want {
+			t.Fatalf("tick %d at %v, want %v", i, times[i], want)
+		}
+	}
+}
+
+func TestTickerPanicsOnBadPeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero ticker period did not panic")
+		}
+	}()
+	New(1).Every(0, func() {})
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int64 {
+		e := New(42)
+		var draws []int64
+		var step func()
+		step = func() {
+			draws = append(draws, e.Rand().Int63())
+			if len(draws) < 50 {
+				e.After(Time(e.Rand().Intn(1000))*time.Microsecond, step)
+			}
+		}
+		e.After(0, step)
+		e.Run()
+		return draws
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at draw %d", i)
+		}
+	}
+}
+
+// Property: for any set of scheduled delays, events fire in nondecreasing
+// time order and the engine fires exactly one event per schedule.
+func TestQuickOrdering(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := New(7)
+		var fired []Time
+		for _, d := range delays {
+			e.After(Time(d)*time.Millisecond, func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCancelRemovesFromQueue(t *testing.T) {
+	e := New(1)
+	ev := e.Schedule(time.Hour, func() {})
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d", e.Pending())
+	}
+	ev.Cancel()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after cancel = %d", e.Pending())
+	}
+	ev.Cancel() // double cancel is a no-op
+	// A canceled far-future user event must not keep Run grinding
+	// through daemon ticks to reach its timestamp.
+	ticks := 0
+	e.EveryDaemon(time.Second, func() { ticks++ })
+	e.Schedule(2500*time.Millisecond, func() {})
+	far := e.Schedule(1000*time.Hour, func() { t.Error("canceled event fired") })
+	far.Cancel()
+	e.Run()
+	if ticks != 2 {
+		t.Fatalf("daemon ticks = %d, want 2 (run must end at 2.5s)", ticks)
+	}
+}
+
+func TestDaemonDoesNotKeepRunAlive(t *testing.T) {
+	e := New(1)
+	ticks := 0
+	e.EveryDaemon(time.Second, func() { ticks++ })
+	fired := false
+	e.Schedule(2500*time.Millisecond, func() { fired = true })
+	// Run must terminate: the user event at 2.5s is the last thing that
+	// matters; the perpetual daemon ticker fires only until then.
+	e.Run()
+	if !fired {
+		t.Fatal("user event did not fire")
+	}
+	if ticks != 2 {
+		t.Fatalf("daemon ticks = %d, want 2 (at 1s and 2s)", ticks)
+	}
+}
+
+func TestDaemonOnlyRunReturnsImmediately(t *testing.T) {
+	e := New(1)
+	e.EveryDaemon(time.Second, func() { t.Fatal("daemon fired with no user work") })
+	if n := e.Run(); n != 0 {
+		t.Fatalf("fired %d events, want 0", n)
+	}
+}
+
+func TestDaemonFiresUnderDeadline(t *testing.T) {
+	e := New(1)
+	ticks := 0
+	e.EveryDaemon(time.Second, func() { ticks++ })
+	e.RunUntil(3500 * time.Millisecond)
+	if ticks != 3 {
+		t.Fatalf("daemon ticks under deadline = %d, want 3", ticks)
+	}
+}
+
+func TestScheduleDaemonEvent(t *testing.T) {
+	e := New(1)
+	ran := false
+	e.ScheduleDaemon(time.Second, func() { ran = true })
+	e.Run()
+	if ran {
+		t.Fatal("daemon-only Run fired the daemon event")
+	}
+	e.RunUntil(2 * time.Second)
+	if !ran {
+		t.Fatal("daemon event did not fire under a deadline")
+	}
+}
+
+func TestFiredPending(t *testing.T) {
+	e := New(1)
+	e.Schedule(time.Second, func() {})
+	e.Schedule(2*time.Second, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if e.Fired() != 2 || e.Pending() != 0 {
+		t.Fatalf("Fired,Pending = %d,%d; want 2,0", e.Fired(), e.Pending())
+	}
+}

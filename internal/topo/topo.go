@@ -1,0 +1,394 @@
+// Package topo models the physical substrate the paper's scenarios run
+// over: multiple cloud providers with regions and WAN backbones, the public
+// internet between them, internet exchange points (IXPs), on-premises
+// datacenters, and dedicated connections (the Direct-Connect/ExpressRoute/
+// MPLS class of links from §2 step 4 of the paper).
+//
+// The graph is directed (each physical link is a pair of directed edges) so
+// asymmetric provisioning is expressible. Link attributes carry everything
+// the flow-level simulator in package netsim needs: capacity, propagation
+// delay, jitter bound, and loss probability.
+package topo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// NodeKind classifies graph nodes.
+type NodeKind int
+
+const (
+	// Host is a VM/container endpoint.
+	Host NodeKind = iota
+	// ZoneFabric abstracts a zone's top-of-rack/aggregation layers.
+	ZoneFabric
+	// RegionRouter is a region's core router inside a provider.
+	RegionRouter
+	// BorderRouter is a provider exit/entry point to the public internet.
+	BorderRouter
+	// BackboneRouter is an interior node of a provider's private WAN.
+	BackboneRouter
+	// IXPRouter is a router at an internet exchange / colocation facility.
+	IXPRouter
+	// InternetCore is an abstract public-internet transit node.
+	InternetCore
+	// OnPremRouter is the edge router of a private datacenter.
+	OnPremRouter
+)
+
+var nodeKindNames = map[NodeKind]string{
+	Host: "host", ZoneFabric: "zone", RegionRouter: "region",
+	BorderRouter: "border", BackboneRouter: "backbone", IXPRouter: "ixp",
+	InternetCore: "inet", OnPremRouter: "onprem",
+}
+
+func (k NodeKind) String() string { return nodeKindNames[k] }
+
+// LinkKind classifies links, which is what QoS path policy keys on.
+type LinkKind int
+
+const (
+	// Access connects hosts to their zone fabric.
+	Access LinkKind = iota
+	// Fabric connects zone fabrics to region routers.
+	Fabric
+	// Backbone is a provider's private inter-region WAN link.
+	Backbone
+	// Transit is a public-internet link (border<->inet, inet<->inet).
+	Transit
+	// Dedicated is a provisioned private circuit (DX/ER/MPLS class).
+	Dedicated
+	// XConn is an intra-facility cross-connect at an IXP.
+	XConn
+)
+
+var linkKindNames = map[LinkKind]string{
+	Access: "access", Fabric: "fabric", Backbone: "backbone",
+	Transit: "transit", Dedicated: "dedicated", XConn: "xconn",
+}
+
+func (k LinkKind) String() string { return linkKindNames[k] }
+
+// NodeID names a node uniquely within a graph.
+type NodeID string
+
+// Node is a vertex of the substrate graph.
+type Node struct {
+	ID       NodeID
+	Kind     NodeKind
+	Provider string // cloud provider name; "" for internet/IXP nodes
+	Region   string // region name within the provider; "" when N/A
+	Zone     string // availability zone; "" when N/A
+}
+
+// Link is a directed edge with transmission characteristics.
+type Link struct {
+	ID       string
+	From, To NodeID
+	Kind     LinkKind
+	// Capacity is the link rate in bits per second.
+	Capacity float64
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// Jitter is the bound of uniformly distributed extra delay.
+	Jitter time.Duration
+	// Loss is the per-traversal packet loss probability in [0,1).
+	Loss float64
+	// down marks a failed link; set through Graph.SetLinkUp.
+	down bool
+}
+
+// Up reports whether the link is in service.
+func (l *Link) Up() bool { return !l.down }
+
+// Graph is the substrate topology. Construct with New and the Add methods;
+// it is not safe for concurrent mutation.
+type Graph struct {
+	nodes map[NodeID]*Node
+	links map[string]*Link
+	out   map[NodeID][]*Link
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		nodes: make(map[NodeID]*Node),
+		links: make(map[string]*Link),
+		out:   make(map[NodeID][]*Link),
+	}
+}
+
+// AddNode inserts a node; duplicate IDs are an error.
+func (g *Graph) AddNode(n Node) (*Node, error) {
+	if _, ok := g.nodes[n.ID]; ok {
+		return nil, fmt.Errorf("topo: duplicate node %q", n.ID)
+	}
+	cp := n
+	g.nodes[n.ID] = &cp
+	return &cp, nil
+}
+
+// MustAddNode is AddNode for builders; it panics on error.
+func (g *Graph) MustAddNode(n Node) *Node {
+	node, err := g.AddNode(n)
+	if err != nil {
+		panic(err)
+	}
+	return node
+}
+
+// Node returns the node with the given ID.
+func (g *Graph) Node(id NodeID) (*Node, bool) {
+	n, ok := g.nodes[id]
+	return n, ok
+}
+
+// Nodes returns all nodes sorted by ID.
+func (g *Graph) Nodes() []*Node {
+	out := make([]*Node, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// NodesWhere returns all nodes matching the predicate, sorted by ID.
+func (g *Graph) NodesWhere(pred func(*Node) bool) []*Node {
+	var out []*Node
+	for _, n := range g.nodes {
+		if pred(n) {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// AddLink inserts one directed link. Endpoints must exist.
+func (g *Graph) AddLink(l Link) (*Link, error) {
+	if _, ok := g.nodes[l.From]; !ok {
+		return nil, fmt.Errorf("topo: link %q from unknown node %q", l.ID, l.From)
+	}
+	if _, ok := g.nodes[l.To]; !ok {
+		return nil, fmt.Errorf("topo: link %q to unknown node %q", l.ID, l.To)
+	}
+	if _, ok := g.links[l.ID]; ok {
+		return nil, fmt.Errorf("topo: duplicate link %q", l.ID)
+	}
+	if l.Capacity <= 0 {
+		return nil, fmt.Errorf("topo: link %q has non-positive capacity", l.ID)
+	}
+	if l.Loss < 0 || l.Loss >= 1 {
+		return nil, fmt.Errorf("topo: link %q has loss %v outside [0,1)", l.ID, l.Loss)
+	}
+	cp := l
+	g.links[l.ID] = &cp
+	g.out[l.From] = append(g.out[l.From], &cp)
+	return &cp, nil
+}
+
+// Connect adds a symmetric pair of directed links with shared attributes,
+// naming them "<id>:fwd" and "<id>:rev".
+func (g *Graph) Connect(id string, a, b NodeID, kind LinkKind, capacity float64, delay, jitter time.Duration, loss float64) error {
+	if _, err := g.AddLink(Link{ID: id + ":fwd", From: a, To: b, Kind: kind,
+		Capacity: capacity, Delay: delay, Jitter: jitter, Loss: loss}); err != nil {
+		return err
+	}
+	_, err := g.AddLink(Link{ID: id + ":rev", From: b, To: a, Kind: kind,
+		Capacity: capacity, Delay: delay, Jitter: jitter, Loss: loss})
+	return err
+}
+
+// MustConnect is Connect for builders; it panics on error.
+func (g *Graph) MustConnect(id string, a, b NodeID, kind LinkKind, capacity float64, delay, jitter time.Duration, loss float64) {
+	if err := g.Connect(id, a, b, kind, capacity, delay, jitter, loss); err != nil {
+		panic(err)
+	}
+}
+
+// Link returns the link with the given ID.
+func (g *Graph) Link(id string) (*Link, bool) {
+	l, ok := g.links[id]
+	return l, ok
+}
+
+// SetLinkUp fails or restores one directed link. Use SetPairUp for the
+// usual case of a whole physical link.
+func (g *Graph) SetLinkUp(id string, up bool) error {
+	l, ok := g.links[id]
+	if !ok {
+		return fmt.Errorf("topo: unknown link %q", id)
+	}
+	l.down = !up
+	return nil
+}
+
+// SetPairUp fails or restores both directions of a link created with
+// Connect (ids "<id>:fwd" and "<id>:rev").
+func (g *Graph) SetPairUp(id string, up bool) error {
+	if err := g.SetLinkUp(id+":fwd", up); err != nil {
+		return err
+	}
+	return g.SetLinkUp(id+":rev", up)
+}
+
+// Links returns all links sorted by ID.
+func (g *Graph) Links() []*Link {
+	out := make([]*Link, 0, len(g.links))
+	for _, l := range g.links {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Out returns the links leaving node id.
+func (g *Graph) Out(id NodeID) []*Link { return g.out[id] }
+
+// Path is an ordered sequence of links from a source to a destination.
+type Path []*Link
+
+// Delay returns the total propagation delay along the path.
+func (p Path) Delay() time.Duration {
+	var d time.Duration
+	for _, l := range p {
+		d += l.Delay
+	}
+	return d
+}
+
+// Jitter returns the total jitter bound along the path.
+func (p Path) Jitter() time.Duration {
+	var d time.Duration
+	for _, l := range p {
+		d += l.Jitter
+	}
+	return d
+}
+
+// DeliveryProb returns the probability a packet survives every hop.
+func (p Path) DeliveryProb() float64 {
+	prob := 1.0
+	for _, l := range p {
+		prob *= 1 - l.Loss
+	}
+	return prob
+}
+
+// Bottleneck returns the smallest link capacity along the path, or 0 for
+// an empty path.
+func (p Path) Bottleneck() float64 {
+	if len(p) == 0 {
+		return 0
+	}
+	min := p[0].Capacity
+	for _, l := range p[1:] {
+		if l.Capacity < min {
+			min = l.Capacity
+		}
+	}
+	return min
+}
+
+// Nodes returns the node sequence the path visits (len(p)+1 entries), or
+// nil for an empty path.
+func (p Path) Nodes() []NodeID {
+	if len(p) == 0 {
+		return nil
+	}
+	out := make([]NodeID, 0, len(p)+1)
+	out = append(out, p[0].From)
+	for _, l := range p {
+		out = append(out, l.To)
+	}
+	return out
+}
+
+// PathOpts constrains path search.
+type PathOpts struct {
+	// Forbid excludes links of the given kinds.
+	Forbid map[LinkKind]bool
+	// AvoidCost adds a large penalty to links of the given kinds instead
+	// of excluding them (soft avoidance; used by cold-potato routing to
+	// prefer backbone over transit without partitioning).
+	Avoid map[LinkKind]bool
+}
+
+// avoidPenalty must dominate any realistic path delay so avoided links are
+// taken only when no alternative exists.
+const avoidPenalty = 10 * time.Second
+
+// ShortestPath returns the minimum-delay path from src to dst honoring the
+// options, or an error when dst is unreachable. Dijkstra over link delay
+// (plus penalties) with deterministic tie-breaking on link ID.
+func (g *Graph) ShortestPath(src, dst NodeID, opts PathOpts) (Path, error) {
+	if _, ok := g.nodes[src]; !ok {
+		return nil, fmt.Errorf("topo: unknown source %q", src)
+	}
+	if _, ok := g.nodes[dst]; !ok {
+		return nil, fmt.Errorf("topo: unknown destination %q", dst)
+	}
+	dist := map[NodeID]time.Duration{src: 0}
+	prev := map[NodeID]*Link{}
+	visited := map[NodeID]bool{}
+	for {
+		// Extract the unvisited node with the smallest distance. Linear
+		// scan keeps the code simple; graphs here are hundreds of nodes.
+		var cur NodeID
+		best := time.Duration(math.MaxInt64)
+		found := false
+		for id, d := range dist {
+			if !visited[id] && (d < best || (d == best && (!found || id < cur))) {
+				cur, best, found = id, d, true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("topo: %q unreachable from %q", dst, src)
+		}
+		if cur == dst {
+			break
+		}
+		visited[cur] = true
+		links := append([]*Link(nil), g.out[cur]...)
+		sort.Slice(links, func(i, j int) bool { return links[i].ID < links[j].ID })
+		for _, l := range links {
+			if l.down || opts.Forbid[l.Kind] {
+				continue
+			}
+			w := l.Delay
+			if opts.Avoid[l.Kind] {
+				w += avoidPenalty
+			}
+			nd := dist[cur] + w
+			if old, ok := dist[l.To]; !ok || nd < old {
+				dist[l.To] = nd
+				prev[l.To] = l
+			}
+		}
+	}
+	// Reconstruct.
+	var path Path
+	for at := dst; at != src; {
+		l := prev[at]
+		if l == nil {
+			return nil, fmt.Errorf("topo: no path from %q to %q", src, dst)
+		}
+		path = append(path, l)
+		at = l.From
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, nil
+}
+
+// HostsOf returns the host nodes of a provider region, sorted by ID.
+func (g *Graph) HostsOf(provider, region string) []*Node {
+	return g.NodesWhere(func(n *Node) bool {
+		return n.Kind == Host && n.Provider == provider && n.Region == region
+	})
+}

@@ -1,0 +1,89 @@
+// Package vnet models the baseline tenant-facing virtual network layer the
+// paper describes in §2: VPCs with CIDRs and subnets, stateful security
+// groups, stateless network ACLs, and per-subnet route tables whose routes
+// point at gateway abstractions. Package gateway builds the inter-VPC
+// fabric on top; package cloudapi wraps both in per-provider facades.
+//
+// Every constructor and setter records its cost in a complexity.Ledger —
+// the raw material for the paper's "boxes and knobs" experiments.
+package vnet
+
+import (
+	"fmt"
+
+	"declnet/internal/addr"
+)
+
+// Protocol is the transport protocol of a packet or rule.
+type Protocol int
+
+const (
+	// AnyProto matches every protocol in rules.
+	AnyProto Protocol = iota
+	TCP
+	UDP
+	ICMP
+)
+
+var protoNames = map[Protocol]string{AnyProto: "any", TCP: "tcp", UDP: "udp", ICMP: "icmp"}
+
+func (p Protocol) String() string { return protoNames[p] }
+
+// Packet is the unit the reachability evaluator pushes through the fabric.
+// Payload carries application-level content for DPI appliances to scan.
+type Packet struct {
+	Src     addr.IP
+	Dst     addr.IP
+	Proto   Protocol
+	SrcPort int
+	DstPort int
+	Payload string
+}
+
+func (p Packet) String() string {
+	return fmt.Sprintf("%s:%d->%s:%d/%s", p.Src, p.SrcPort, p.Dst, p.DstPort, p.Proto)
+}
+
+// Action is a rule verdict.
+type Action int
+
+const (
+	Deny Action = iota
+	Allow
+)
+
+func (a Action) String() string {
+	if a == Allow {
+		return "allow"
+	}
+	return "deny"
+}
+
+// Verdict is the outcome of pushing a packet through the fabric.
+type Verdict struct {
+	Delivered bool
+	// DeniedAt identifies the component that dropped the packet
+	// ("sg:web", "nacl:subnet-1", "no-route", "firewall:fw-1", ...).
+	DeniedAt string
+	// Reason is a human-readable explanation.
+	Reason string
+	// Hops lists the components traversed, for diagnostics and tests.
+	Hops []string
+}
+
+// Delivered returns a success verdict with the given hops.
+func Deliver(hops []string) Verdict {
+	return Verdict{Delivered: true, Hops: hops}
+}
+
+// Denied returns a drop verdict.
+func Denied(at, reason string, hops []string) Verdict {
+	return Verdict{DeniedAt: at, Reason: reason, Hops: hops}
+}
+
+func (v Verdict) String() string {
+	if v.Delivered {
+		return "delivered"
+	}
+	return fmt.Sprintf("denied at %s: %s", v.DeniedAt, v.Reason)
+}

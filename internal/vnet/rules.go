@@ -1,0 +1,120 @@
+package vnet
+
+import (
+	"sort"
+
+	"declnet/internal/addr"
+)
+
+// SGRule is one security-group rule. Security groups are allow-only and
+// stateful: only the connection initiator's direction is evaluated;
+// return traffic is implicitly permitted (as in EC2).
+type SGRule struct {
+	Proto    Protocol
+	PortFrom int
+	PortTo   int
+	// Source restricts matching peers by prefix. For ingress rules this
+	// is the remote source; for egress rules the remote destination.
+	Source addr.Prefix
+	// SourceSG, when non-empty, matches peers that are members of the
+	// referenced group instead of a prefix (the common "app tier allows
+	// web tier" pattern).
+	SourceSG string
+}
+
+func (r SGRule) matches(proto Protocol, port int, peer addr.IP, peerGroups map[string]bool) bool {
+	if r.Proto != AnyProto && proto != AnyProto && r.Proto != proto {
+		return false
+	}
+	if r.PortTo != 0 && (port < r.PortFrom || port > r.PortTo) {
+		return false
+	}
+	if r.SourceSG != "" {
+		return peerGroups[r.SourceSG]
+	}
+	return r.Source.Contains(peer)
+}
+
+// SecurityGroup is a stateful allow-list attached to instances.
+type SecurityGroup struct {
+	ID      string
+	Ingress []SGRule
+	Egress  []SGRule
+}
+
+// AllowsIngress reports whether traffic to port from peer may enter.
+func (sg *SecurityGroup) AllowsIngress(proto Protocol, port int, peer addr.IP, peerGroups map[string]bool) bool {
+	for _, r := range sg.Ingress {
+		if r.matches(proto, port, peer, peerGroups) {
+			return true
+		}
+	}
+	return false
+}
+
+// AllowsEgress reports whether traffic toward peer:port may leave.
+func (sg *SecurityGroup) AllowsEgress(proto Protocol, port int, peer addr.IP, peerGroups map[string]bool) bool {
+	for _, r := range sg.Egress {
+		if r.matches(proto, port, peer, peerGroups) {
+			return true
+		}
+	}
+	return false
+}
+
+// NACLRule is one numbered network-ACL rule. NACLs are ordered
+// allow-or-deny lists evaluated lowest number first, and stateless: both
+// directions of a connection are checked independently (as in EC2).
+type NACLRule struct {
+	Num      int
+	Action   Action
+	Proto    Protocol
+	PortFrom int
+	PortTo   int
+	CIDR     addr.Prefix
+}
+
+// NACL is a stateless subnet-level ACL.
+type NACL struct {
+	ID      string
+	Ingress []NACLRule
+	Egress  []NACLRule
+}
+
+func evalNACL(rules []NACLRule, proto Protocol, port int, peer addr.IP) Action {
+	sorted := append([]NACLRule(nil), rules...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Num < sorted[j].Num })
+	for _, r := range sorted {
+		if r.Proto != AnyProto && proto != AnyProto && r.Proto != proto {
+			continue
+		}
+		if r.PortTo != 0 && (port < r.PortFrom || port > r.PortTo) {
+			continue
+		}
+		if !r.CIDR.Contains(peer) {
+			continue
+		}
+		return r.Action
+	}
+	return Deny // implicit final deny, as in EC2
+}
+
+// AllowsIngress evaluates the ingress direction against the remote peer.
+func (n *NACL) AllowsIngress(proto Protocol, port int, peer addr.IP) bool {
+	return evalNACL(n.Ingress, proto, port, peer) == Allow
+}
+
+// AllowsEgress evaluates the egress direction against the remote peer.
+func (n *NACL) AllowsEgress(proto Protocol, port int, peer addr.IP) bool {
+	return evalNACL(n.Egress, proto, port, peer) == Allow
+}
+
+// AllowAllNACL returns a permissive NACL (the cloud default).
+func AllowAllNACL(id string) *NACL {
+	all := addr.MustParsePrefix("0.0.0.0/0")
+	return &NACL{
+		ID:      id,
+		Ingress: []NACLRule{{Num: 100, Action: Allow, CIDR: all}},
+		Egress:  []NACLRule{{Num: 100, Action: Allow, CIDR: all}},
+	}
+}

@@ -1,0 +1,246 @@
+package vnet
+
+import (
+	"testing"
+
+	"declnet/internal/addr"
+	"declnet/internal/complexity"
+)
+
+func pfx(s string) addr.Prefix { return addr.MustParsePrefix(s) }
+func ipa(s string) addr.IP     { return addr.MustParseIP(s) }
+
+func anywhere() addr.Prefix { return pfx("0.0.0.0/0") }
+
+func testVPC(t *testing.T) (*VPC, *complexity.Ledger) {
+	t.Helper()
+	var led complexity.Ledger
+	v := NewVPC("vpc-1", pfx("10.0.0.0/16"), &led)
+	if _, err := v.AddSubnet("sn-1", pfx("10.0.1.0/24"), false); err != nil {
+		t.Fatal(err)
+	}
+	return v, &led
+}
+
+func TestSubnetValidation(t *testing.T) {
+	v, _ := testVPC(t)
+	if _, err := v.AddSubnet("bad", pfx("192.168.0.0/24"), false); err == nil {
+		t.Fatal("subnet outside VPC CIDR accepted")
+	}
+	if _, err := v.AddSubnet("overlap", pfx("10.0.1.128/25"), false); err == nil {
+		t.Fatal("overlapping subnet accepted")
+	}
+	if _, err := v.AddSubnet("sn-1", pfx("10.0.9.0/24"), false); err == nil {
+		t.Fatal("duplicate subnet ID accepted")
+	}
+}
+
+func TestLaunchInstanceAddressing(t *testing.T) {
+	v, _ := testVPC(t)
+	v.AddSecurityGroup(&SecurityGroup{ID: "sg-a"})
+	i1, err := v.LaunchInstance("i-1", "sn-1", "sg-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First 4 addresses reserved: .0-.3, so first instance gets .4.
+	if i1.PrivateIP != ipa("10.0.1.4") {
+		t.Fatalf("first instance IP = %s, want 10.0.1.4", i1.PrivateIP)
+	}
+	if _, err := v.LaunchInstance("i-1", "sn-1"); err == nil {
+		t.Fatal("duplicate instance ID accepted")
+	}
+	if _, err := v.LaunchInstance("i-2", "missing"); err == nil {
+		t.Fatal("unknown subnet accepted")
+	}
+	if _, err := v.LaunchInstance("i-3", "sn-1", "missing-sg"); err == nil {
+		t.Fatal("unknown security group accepted")
+	}
+	got, ok := v.InstanceByIP(i1.PrivateIP)
+	if !ok || got.ID != "i-1" {
+		t.Fatalf("InstanceByIP = %v,%v", got, ok)
+	}
+}
+
+func TestTerminateInstanceReleasesIP(t *testing.T) {
+	v, _ := testVPC(t)
+	i1, _ := v.LaunchInstance("i-1", "sn-1")
+	ip := i1.PrivateIP
+	if err := v.TerminateInstance("i-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.TerminateInstance("i-1"); err == nil {
+		t.Fatal("double terminate succeeded")
+	}
+	if _, ok := v.InstanceByIP(ip); ok {
+		t.Fatal("terminated instance still resolvable by IP")
+	}
+	i2, _ := v.LaunchInstance("i-2", "sn-1")
+	if i2.PrivateIP != ip {
+		t.Fatalf("released IP not reused: got %s, want %s", i2.PrivateIP, ip)
+	}
+}
+
+func TestSGStatefulSemantics(t *testing.T) {
+	v, _ := testVPC(t)
+	// Web SG: ingress 443 from anywhere, egress nothing.
+	v.AddSecurityGroup(&SecurityGroup{
+		ID:      "web",
+		Ingress: []SGRule{{Proto: TCP, PortFrom: 443, PortTo: 443, Source: anywhere()}},
+	})
+	inst, _ := v.LaunchInstance("i-1", "sn-1", "web")
+	in := Packet{Src: ipa("203.0.113.5"), Dst: inst.PrivateIP, Proto: TCP, DstPort: 443}
+	if at, ok := v.CanIngress(inst, in, nil); !ok {
+		t.Fatalf("allowed ingress denied at %s", at)
+	}
+	bad := Packet{Src: ipa("203.0.113.5"), Dst: inst.PrivateIP, Proto: TCP, DstPort: 22}
+	if _, ok := v.CanIngress(inst, bad, nil); ok {
+		t.Fatal("port 22 ingress allowed by 443-only SG")
+	}
+	// Egress denied (no egress rules) — initiator direction only.
+	out := Packet{Src: inst.PrivateIP, Dst: ipa("1.1.1.1"), Proto: TCP, DstPort: 80}
+	if _, ok := v.CanEgress(inst, out, nil); ok {
+		t.Fatal("egress allowed with no egress rules")
+	}
+}
+
+func TestSGReferenceRule(t *testing.T) {
+	v, _ := testVPC(t)
+	v.AddSecurityGroup(&SecurityGroup{ID: "web", Egress: []SGRule{{Source: anywhere()}}})
+	v.AddSecurityGroup(&SecurityGroup{
+		ID:      "app",
+		Ingress: []SGRule{{Proto: TCP, PortFrom: 8080, PortTo: 8080, SourceSG: "web"}},
+	})
+	web, _ := v.LaunchInstance("i-web", "sn-1", "web")
+	app, _ := v.LaunchInstance("i-app", "sn-1", "app")
+	pkt := Packet{Src: web.PrivateIP, Dst: app.PrivateIP, Proto: TCP, DstPort: 8080}
+	if _, ok := v.CanIngress(app, pkt, v.GroupsOf(web.PrivateIP)); !ok {
+		t.Fatal("SG-reference rule did not match member of web")
+	}
+	// A non-member source with the same port is denied.
+	if _, ok := v.CanIngress(app, Packet{Src: ipa("10.0.1.99"), Dst: app.PrivateIP, Proto: TCP, DstPort: 8080}, nil); ok {
+		t.Fatal("SG-reference rule matched non-member")
+	}
+}
+
+func TestSGAnyProtoAndPortRange(t *testing.T) {
+	var sg SecurityGroup
+	sg.Ingress = []SGRule{{Proto: AnyProto, PortFrom: 1000, PortTo: 2000, Source: pfx("10.0.0.0/8")}}
+	if !sg.AllowsIngress(UDP, 1500, ipa("10.9.9.9"), nil) {
+		t.Fatal("AnyProto rule rejected UDP")
+	}
+	if sg.AllowsIngress(UDP, 2500, ipa("10.9.9.9"), nil) {
+		t.Fatal("out-of-range port allowed")
+	}
+	if sg.AllowsIngress(UDP, 1500, ipa("11.0.0.1"), nil) {
+		t.Fatal("out-of-prefix source allowed")
+	}
+	// PortTo == 0 means all ports.
+	sg.Ingress = []SGRule{{Source: anywhere()}}
+	if !sg.AllowsIngress(TCP, 9999, ipa("1.2.3.4"), nil) {
+		t.Fatal("all-ports rule rejected")
+	}
+}
+
+func TestNACLOrderingAndStatelessness(t *testing.T) {
+	acl := &NACL{
+		ID: "acl",
+		Ingress: []NACLRule{
+			{Num: 200, Action: Allow, CIDR: anywhere()},
+			{Num: 100, Action: Deny, Proto: TCP, PortFrom: 22, PortTo: 22, CIDR: anywhere()},
+		},
+		Egress: []NACLRule{{Num: 100, Action: Allow, CIDR: anywhere()}},
+	}
+	// Rule 100 (deny 22) must be evaluated before rule 200 (allow all).
+	if acl.AllowsIngress(TCP, 22, ipa("1.2.3.4")) {
+		t.Fatal("deny rule 100 not applied first")
+	}
+	if !acl.AllowsIngress(TCP, 443, ipa("1.2.3.4")) {
+		t.Fatal("allow rule 200 not applied")
+	}
+}
+
+func TestNACLImplicitDeny(t *testing.T) {
+	acl := &NACL{ID: "empty"}
+	if acl.AllowsIngress(TCP, 80, ipa("1.2.3.4")) {
+		t.Fatal("empty NACL allowed traffic (implicit deny missing)")
+	}
+}
+
+func TestAllowAllNACL(t *testing.T) {
+	acl := AllowAllNACL("x")
+	if !acl.AllowsIngress(UDP, 53, ipa("8.8.8.8")) || !acl.AllowsEgress(TCP, 1, ipa("1.1.1.1")) {
+		t.Fatal("AllowAllNACL denied traffic")
+	}
+}
+
+func TestRouteTableLPM(t *testing.T) {
+	rt := &RouteTable{ID: "rt"}
+	rt.AddRoute(pfx("0.0.0.0/0"), Target{Kind: TIGW, ID: "igw-1"})
+	rt.AddRoute(pfx("10.0.0.0/16"), Target{Kind: TLocal})
+	rt.AddRoute(pfx("10.1.0.0/16"), Target{Kind: TPeering, ID: "pcx-1"})
+	cases := []struct {
+		dst  string
+		want string
+	}{
+		{"10.0.5.5", "local"},
+		{"10.1.5.5", "pcx:pcx-1"},
+		{"8.8.8.8", "igw:igw-1"},
+	}
+	for _, c := range cases {
+		tgt, ok := rt.Lookup(ipa(c.dst))
+		if !ok || tgt.String() != c.want {
+			t.Errorf("Lookup(%s) = %v,%v; want %s", c.dst, tgt, ok, c.want)
+		}
+	}
+	if rt.Len() != 3 {
+		t.Fatalf("Len = %d", rt.Len())
+	}
+}
+
+func TestRouteFor(t *testing.T) {
+	v, _ := testVPC(t)
+	inst, _ := v.LaunchInstance("i-1", "sn-1")
+	tgt, ok := v.RouteFor(inst, ipa("10.0.2.9"))
+	if !ok || tgt.Kind != TLocal {
+		t.Fatalf("intra-VPC route = %v,%v; want local", tgt, ok)
+	}
+	if _, ok := v.RouteFor(inst, ipa("8.8.8.8")); ok {
+		t.Fatal("route to internet resolved without an IGW route")
+	}
+}
+
+func TestComplexityAccounting(t *testing.T) {
+	v, led := testVPC(t)
+	v.AddSecurityGroup(&SecurityGroup{ID: "sg", Ingress: []SGRule{{Source: anywhere()}}})
+	v.AddRoute("sn-1", pfx("0.0.0.0/0"), Target{Kind: TIGW, ID: "igw-1"})
+	v.SetNACL("sn-1", AllowAllNACL("custom"))
+	if led.BoxesOf("vpc") != 1 || led.BoxesOf("subnet") != 1 ||
+		led.BoxesOf("security-group") != 1 || led.BoxesOf("nacl") != 1 {
+		t.Fatalf("box accounting wrong: %s", led)
+	}
+	if led.Params() == 0 || led.Steps() == 0 || led.DecisionCount() == 0 {
+		t.Fatalf("parameter/step accounting empty: %s", led)
+	}
+	_ = v
+}
+
+func TestVerdictHelpers(t *testing.T) {
+	d := Deliver([]string{"a"})
+	if !d.Delivered || d.String() != "delivered" {
+		t.Fatal("Deliver verdict wrong")
+	}
+	n := Denied("sg:x", "no rule", []string{"a"})
+	if n.Delivered || n.DeniedAt != "sg:x" {
+		t.Fatal("Denied verdict wrong")
+	}
+	if n.String() == "" {
+		t.Fatal("empty verdict string")
+	}
+}
+
+func TestPacketString(t *testing.T) {
+	p := Packet{Src: ipa("10.0.0.1"), Dst: ipa("10.0.0.2"), Proto: TCP, SrcPort: 1234, DstPort: 80}
+	if p.String() != "10.0.0.1:1234->10.0.0.2:80/tcp" {
+		t.Fatalf("Packet.String = %q", p.String())
+	}
+}

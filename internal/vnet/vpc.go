@@ -1,0 +1,317 @@
+package vnet
+
+import (
+	"fmt"
+
+	"declnet/internal/addr"
+	"declnet/internal/complexity"
+	"declnet/internal/routing"
+)
+
+// TargetKind classifies where a VPC route points.
+type TargetKind int
+
+const (
+	// TLocal delivers within the VPC.
+	TLocal TargetKind = iota
+	// TIGW sends to the VPC's internet gateway.
+	TIGW
+	// TEgressIGW sends to an egress-only internet gateway.
+	TEgressIGW
+	// TNAT sends to a NAT gateway.
+	TNAT
+	// TPeering sends over a VPC peering connection.
+	TPeering
+	// TTGW sends to a transit gateway attachment.
+	TTGW
+	// TVGW sends to a virtual private gateway (VPN to on-prem).
+	TVGW
+	// TBlackhole drops.
+	TBlackhole
+)
+
+var targetNames = map[TargetKind]string{
+	TLocal: "local", TIGW: "igw", TEgressIGW: "eigw", TNAT: "nat",
+	TPeering: "pcx", TTGW: "tgw", TVGW: "vgw", TBlackhole: "blackhole",
+}
+
+func (k TargetKind) String() string { return targetNames[k] }
+
+// Target is a route destination.
+type Target struct {
+	Kind TargetKind
+	ID   string // gateway/peering identifier; "" for local and blackhole
+}
+
+func (t Target) String() string {
+	if t.ID == "" {
+		return t.Kind.String()
+	}
+	return fmt.Sprintf("%s:%s", t.Kind, t.ID)
+}
+
+// RouteTable maps destination prefixes to targets via LPM.
+type RouteTable struct {
+	ID   string
+	trie routing.Trie[Target]
+}
+
+// AddRoute installs prefix -> target.
+func (rt *RouteTable) AddRoute(p addr.Prefix, t Target) {
+	rt.trie.Insert(p, t)
+}
+
+// Lookup resolves dst to a target.
+func (rt *RouteTable) Lookup(dst addr.IP) (Target, bool) {
+	return rt.trie.Lookup(dst)
+}
+
+// Len returns the number of routes.
+func (rt *RouteTable) Len() int { return rt.trie.Len() }
+
+// Subnet is a CIDR slice of a VPC with its own route table and NACL.
+type Subnet struct {
+	ID     string
+	CIDR   addr.Prefix
+	Public bool
+	RT     *RouteTable
+	ACL    *NACL
+	pool   *addr.HostPool
+}
+
+// Instance is a VM/container endpoint inside a subnet.
+type Instance struct {
+	ID        string
+	PrivateIP addr.IP
+	// PublicIP is nonzero when the instance has an internet-routable
+	// address mapped at the IGW.
+	PublicIP addr.IP
+	SubnetID string
+	Groups   []string // security group IDs
+}
+
+// VPC is one isolated virtual network.
+type VPC struct {
+	ID   string
+	CIDR addr.Prefix
+
+	subnets   map[string]*Subnet
+	sgs       map[string]*SecurityGroup
+	instances map[string]*Instance
+	byPrivIP  map[addr.IP]*Instance
+
+	ledger *complexity.Ledger
+}
+
+// NewVPC creates a VPC, charging the ledger for the box and its CIDR and
+// addressing decisions (§2 step 1 of the paper).
+func NewVPC(id string, cidr addr.Prefix, ledger *complexity.Ledger) *VPC {
+	ledger.Resource("vpc")
+	ledger.Param("vpc", 2) // CIDR, name
+	ledger.Decision()      // sizing/addressing decision
+	return &VPC{
+		ID:        id,
+		CIDR:      cidr,
+		subnets:   make(map[string]*Subnet),
+		sgs:       make(map[string]*SecurityGroup),
+		instances: make(map[string]*Instance),
+		byPrivIP:  make(map[addr.IP]*Instance),
+		ledger:    ledger,
+	}
+}
+
+// Ledger returns the complexity ledger this VPC charges.
+func (v *VPC) Ledger() *complexity.Ledger { return v.ledger }
+
+// AddSubnet carves a subnet with a default-local route table and a
+// permissive NACL (cloud defaults).
+func (v *VPC) AddSubnet(id string, cidr addr.Prefix, public bool) (*Subnet, error) {
+	if !v.CIDR.ContainsPrefix(cidr) {
+		return nil, fmt.Errorf("vnet: subnet %s outside VPC %s CIDR %s", cidr, v.ID, v.CIDR)
+	}
+	for _, s := range v.subnets {
+		if s.CIDR.Overlaps(cidr) {
+			return nil, fmt.Errorf("vnet: subnet %s overlaps %s", cidr, s.CIDR)
+		}
+	}
+	if _, ok := v.subnets[id]; ok {
+		return nil, fmt.Errorf("vnet: duplicate subnet %q", id)
+	}
+	rt := &RouteTable{ID: id + "-rt"}
+	rt.AddRoute(v.CIDR, Target{Kind: TLocal})
+	s := &Subnet{
+		ID: id, CIDR: cidr, Public: public,
+		RT:   rt,
+		ACL:  AllowAllNACL(id + "-acl"),
+		pool: addr.NewHostPool(cidr, 4), // clouds reserve the first addresses
+	}
+	v.subnets[id] = s
+	v.ledger.Resource("subnet")
+	v.ledger.Param("subnet", 3) // CIDR, AZ/publicness, route table assoc
+	v.ledger.Resource("route-table")
+	v.ledger.Param("route-table", 1)
+	return s, nil
+}
+
+// Subnet returns a subnet by ID.
+func (v *VPC) Subnet(id string) (*Subnet, bool) {
+	s, ok := v.subnets[id]
+	return s, ok
+}
+
+// Subnets returns the subnet map (read-only use).
+func (v *VPC) Subnets() map[string]*Subnet { return v.subnets }
+
+// AddSecurityGroup registers a security group, charging per rule.
+func (v *VPC) AddSecurityGroup(sg *SecurityGroup) error {
+	if _, ok := v.sgs[sg.ID]; ok {
+		return fmt.Errorf("vnet: duplicate security group %q", sg.ID)
+	}
+	v.sgs[sg.ID] = sg
+	v.ledger.Resource("security-group")
+	v.ledger.Param("security-group", len(sg.Ingress)+len(sg.Egress))
+	return nil
+}
+
+// SecurityGroup returns a registered group by ID, or nil when absent.
+func (v *VPC) SecurityGroup(id string) *SecurityGroup { return v.sgs[id] }
+
+// SetNACL replaces a subnet's NACL, charging per rule.
+func (v *VPC) SetNACL(subnetID string, acl *NACL) error {
+	s, ok := v.subnets[subnetID]
+	if !ok {
+		return fmt.Errorf("vnet: unknown subnet %q", subnetID)
+	}
+	s.ACL = acl
+	v.ledger.Resource("nacl")
+	v.ledger.Param("nacl", len(acl.Ingress)+len(acl.Egress))
+	return nil
+}
+
+// AddRoute installs a route in a subnet's table (one provisioning step +
+// parameters, per the paper's step-3 complexity).
+func (v *VPC) AddRoute(subnetID string, p addr.Prefix, t Target) error {
+	s, ok := v.subnets[subnetID]
+	if !ok {
+		return fmt.Errorf("vnet: unknown subnet %q", subnetID)
+	}
+	s.RT.AddRoute(p, t)
+	v.ledger.Step()
+	v.ledger.Param("route-table", 2) // prefix + target
+	return nil
+}
+
+// LaunchInstance allocates an address in the subnet and registers the
+// instance with its security groups.
+func (v *VPC) LaunchInstance(id, subnetID string, groups ...string) (*Instance, error) {
+	s, ok := v.subnets[subnetID]
+	if !ok {
+		return nil, fmt.Errorf("vnet: unknown subnet %q", subnetID)
+	}
+	if _, ok := v.instances[id]; ok {
+		return nil, fmt.Errorf("vnet: duplicate instance %q", id)
+	}
+	for _, g := range groups {
+		if _, ok := v.sgs[g]; !ok {
+			return nil, fmt.Errorf("vnet: unknown security group %q", g)
+		}
+	}
+	ip, err := s.pool.Allocate()
+	if err != nil {
+		return nil, fmt.Errorf("launching %q: %w", id, err)
+	}
+	inst := &Instance{ID: id, PrivateIP: ip, SubnetID: subnetID, Groups: groups}
+	v.instances[id] = inst
+	v.byPrivIP[ip] = inst
+	v.ledger.Param("instance-nic", 1+len(groups)) // subnet choice + SG attachments
+	return inst, nil
+}
+
+// TerminateInstance releases the instance and its address.
+func (v *VPC) TerminateInstance(id string) error {
+	inst, ok := v.instances[id]
+	if !ok {
+		return fmt.Errorf("vnet: unknown instance %q", id)
+	}
+	s := v.subnets[inst.SubnetID]
+	if err := s.pool.Release(inst.PrivateIP); err != nil {
+		return err
+	}
+	delete(v.instances, id)
+	delete(v.byPrivIP, inst.PrivateIP)
+	return nil
+}
+
+// Instance returns an instance by ID.
+func (v *VPC) Instance(id string) (*Instance, bool) {
+	i, ok := v.instances[id]
+	return i, ok
+}
+
+// InstanceByIP returns the instance owning a private address.
+func (v *VPC) InstanceByIP(ip addr.IP) (*Instance, bool) {
+	i, ok := v.byPrivIP[ip]
+	return i, ok
+}
+
+// Instances returns the instance map (read-only use).
+func (v *VPC) Instances() map[string]*Instance { return v.instances }
+
+// groupSet returns the instance's security-group membership as a set, for
+// SG-reference rule matching.
+func (v *VPC) groupSet(inst *Instance) map[string]bool {
+	set := make(map[string]bool, len(inst.Groups))
+	for _, g := range inst.Groups {
+		set[g] = true
+	}
+	return set
+}
+
+// CanEgress checks the initiator direction out of an instance: security
+// groups (any group allowing suffices) then the subnet NACL.
+func (v *VPC) CanEgress(inst *Instance, pkt Packet, peerGroups map[string]bool) (string, bool) {
+	allowed := false
+	for _, g := range inst.Groups {
+		if v.sgs[g].AllowsEgress(pkt.Proto, pkt.DstPort, pkt.Dst, peerGroups) {
+			allowed = true
+			break
+		}
+	}
+	if !allowed {
+		return "sg-egress:" + inst.ID, false
+	}
+	s := v.subnets[inst.SubnetID]
+	if !s.ACL.AllowsEgress(pkt.Proto, pkt.DstPort, pkt.Dst) {
+		return "nacl-egress:" + s.ID, false
+	}
+	return "", true
+}
+
+// CanIngress checks delivery into an instance: subnet NACL then security
+// groups.
+func (v *VPC) CanIngress(inst *Instance, pkt Packet, peerGroups map[string]bool) (string, bool) {
+	s := v.subnets[inst.SubnetID]
+	if !s.ACL.AllowsIngress(pkt.Proto, pkt.DstPort, pkt.Src) {
+		return "nacl-ingress:" + s.ID, false
+	}
+	for _, g := range inst.Groups {
+		if v.sgs[g].AllowsIngress(pkt.Proto, pkt.DstPort, pkt.Src, peerGroups) {
+			return "", true
+		}
+	}
+	return "sg-ingress:" + inst.ID, false
+}
+
+// RouteFor resolves the packet's next target from the sender's subnet.
+func (v *VPC) RouteFor(inst *Instance, dst addr.IP) (Target, bool) {
+	return v.subnets[inst.SubnetID].RT.Lookup(dst)
+}
+
+// GroupsOf returns the group membership set of the instance that owns ip,
+// or nil when unknown. Used for cross-instance SG-reference matching.
+func (v *VPC) GroupsOf(ip addr.IP) map[string]bool {
+	if inst, ok := v.byPrivIP[ip]; ok {
+		return v.groupSet(inst)
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// AttackKind categorizes the suite the security experiment (E7, answering
+// §6(iii)) throws at both security models. The categories cover the
+// defenses §4 enumerates on each side: private address spaces, router
+// ACLs, and DPI firewalls for the baseline; permit lists and API-level
+// authentication for the proposal.
+type AttackKind int
+
+const (
+	// VolumetricDDoS floods the target from many spoofed/random sources —
+	// the "network resource-exhaustion" class permit lists must stop.
+	VolumetricDDoS AttackKind = iota
+	// PortScan probes many ports from one unauthorized source.
+	PortScan
+	// UnauthenticatedAPI reaches the service over an allowed network path
+	// but presents no credential.
+	UnauthenticatedAPI
+	// StolenScopeAPI presents a valid low-privilege credential against a
+	// high-privilege operation.
+	StolenScopeAPI
+	// MalformedAPI sends structurally invalid calls with a valid
+	// credential (fuzzing-style).
+	MalformedAPI
+	// PayloadExploit carries a known-bad payload past the transport layer
+	// — the DPI-dependent category.
+	PayloadExploit
+	// LateralMovement originates from a compromised *permitted* internal
+	// instance toward an internal service it has no business reaching.
+	LateralMovement
+)
+
+var attackNames = map[AttackKind]string{
+	VolumetricDDoS: "volumetric-ddos", PortScan: "port-scan",
+	UnauthenticatedAPI: "unauthenticated-api", StolenScopeAPI: "stolen-scope-api",
+	MalformedAPI: "malformed-api", PayloadExploit: "payload-exploit",
+	LateralMovement: "lateral-movement",
+}
+
+func (k AttackKind) String() string { return attackNames[k] }
+
+// AllAttackKinds lists the suite in a stable order.
+func AllAttackKinds() []AttackKind {
+	return []AttackKind{VolumetricDDoS, PortScan, UnauthenticatedAPI,
+		StolenScopeAPI, MalformedAPI, PayloadExploit, LateralMovement}
+}
+
+// Attack is one attack instance; the experiment adapts it to each model.
+type Attack struct {
+	Kind AttackKind
+	Name string
+	// SrcExternal marks attacks originating outside the deployment.
+	SrcExternal bool
+	// SrcCompromised marks attacks from a permitted internal instance.
+	SrcCompromised bool
+	// DstPort is the targeted port (0 = the service port).
+	DstPort int
+	// Payload carries the application bytes.
+	Payload string
+	// Bearer/WrongScope/Malformed shape the API-level part.
+	Anonymous  bool
+	WrongScope bool
+	Malformed  bool
+}
+
+// AttackSuite generates n attack instances per category.
+func AttackSuite(seed int64, perKind int) []Attack {
+	rng := rand.New(rand.NewSource(seed))
+	var out []Attack
+	for _, kind := range AllAttackKinds() {
+		for i := 0; i < perKind; i++ {
+			a := Attack{Kind: kind, Name: fmt.Sprintf("%s-%02d", kind, i+1)}
+			switch kind {
+			case VolumetricDDoS:
+				a.SrcExternal = true
+				a.DstPort = 443
+				a.Payload = "junk"
+				a.Anonymous = true
+			case PortScan:
+				a.SrcExternal = true
+				a.DstPort = 1 + rng.Intn(1023) // privileged ports, never the service port
+				a.Anonymous = true
+			case UnauthenticatedAPI:
+				a.DstPort = 443
+				a.Anonymous = true
+				a.Payload = "GET /api/orders"
+			case StolenScopeAPI:
+				a.DstPort = 443
+				a.WrongScope = true
+				a.Payload = "POST /api/admin"
+			case MalformedAPI:
+				a.DstPort = 443
+				a.Malformed = true
+				a.Payload = "POST /api/orders (missing args)"
+			case PayloadExploit:
+				a.DstPort = 443
+				a.Payload = "id=1; DROP TABLE users; --"
+			case LateralMovement:
+				a.SrcCompromised = true
+				a.DstPort = 5432
+				a.Anonymous = true
+				a.Payload = "psql connect"
+			}
+			out = append(out, a)
+		}
+	}
+	return out
+}

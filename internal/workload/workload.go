@@ -1,0 +1,176 @@
+// Package workload generates the synthetic traces the experiments consume
+// in place of the production data the paper says would be needed (§6(i):
+// "traces that include launch/teardown times for tenant instances,
+// per-instance communication patterns, etc."). All generators are seeded
+// and deterministic.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// ChurnKind is a lifecycle event type.
+type ChurnKind int
+
+const (
+	// Launch brings an instance up.
+	Launch ChurnKind = iota
+	// Teardown removes it.
+	Teardown
+)
+
+func (k ChurnKind) String() string {
+	if k == Launch {
+		return "launch"
+	}
+	return "teardown"
+}
+
+// ChurnEvent is one instance lifecycle event.
+type ChurnEvent struct {
+	At       time.Duration
+	Kind     ChurnKind
+	Instance string
+	Tenant   string
+}
+
+// ChurnConfig parameterizes a launch/teardown trace.
+type ChurnConfig struct {
+	Tenants int
+	// LaunchRate is mean launches per second across all tenants (Poisson).
+	LaunchRate float64
+	// MeanLifetime is the exponential mean instance lifetime.
+	MeanLifetime time.Duration
+	// Horizon bounds the trace.
+	Horizon time.Duration
+}
+
+// ChurnTrace generates a deterministic launch/teardown event sequence,
+// sorted by time.
+func ChurnTrace(seed int64, cfg ChurnConfig) []ChurnEvent {
+	rng := rand.New(rand.NewSource(seed))
+	if cfg.Tenants < 1 {
+		cfg.Tenants = 1
+	}
+	var events []ChurnEvent
+	var t time.Duration
+	n := 0
+	for {
+		// Poisson arrivals: exponential inter-arrival times.
+		gap := time.Duration(rng.ExpFloat64() / cfg.LaunchRate * float64(time.Second))
+		t += gap
+		if t >= cfg.Horizon {
+			break
+		}
+		n++
+		id := fmt.Sprintf("i-%06d", n)
+		tenant := fmt.Sprintf("tenant-%03d", rng.Intn(cfg.Tenants))
+		events = append(events, ChurnEvent{At: t, Kind: Launch, Instance: id, Tenant: tenant})
+		life := time.Duration(rng.ExpFloat64() * float64(cfg.MeanLifetime))
+		if end := t + life; end < cfg.Horizon {
+			events = append(events, ChurnEvent{At: end, Kind: Teardown, Instance: id, Tenant: tenant})
+		}
+	}
+	sortEvents(events)
+	return events
+}
+
+func sortEvents(ev []ChurnEvent) {
+	// Stable insertion by time keeps launch-before-teardown for equal
+	// stamps (they were appended in that order).
+	for i := 1; i < len(ev); i++ {
+		for j := i; j > 0 && ev[j].At < ev[j-1].At; j-- {
+			ev[j], ev[j-1] = ev[j-1], ev[j]
+		}
+	}
+}
+
+// Zipf draws integers in [0, n) with a Zipfian skew (s > 1); the workhorse
+// behind realistic communication matrices where a few services are hot.
+type Zipf struct {
+	z *rand.Zipf
+}
+
+// NewZipf returns a generator over [0, n).
+func NewZipf(seed int64, s float64, n uint64) *Zipf {
+	if s <= 1 {
+		s = 1.1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &Zipf{z: rand.NewZipf(rng, s, 1, n-1)}
+}
+
+// Draw returns the next index.
+func (z *Zipf) Draw() int { return int(z.z.Uint64()) }
+
+// CommPair is one directed communication relationship.
+type CommPair struct {
+	Src, Dst int
+}
+
+// CommMatrix samples k distinct peers for each of n endpoints with a
+// Zipfian preference for low-numbered (popular) endpoints.
+func CommMatrix(seed int64, n, k int, skew float64) []CommPair {
+	if n < 2 {
+		return nil
+	}
+	if k >= n {
+		k = n - 1
+	}
+	z := NewZipf(seed, skew, uint64(n))
+	var out []CommPair
+	for src := 0; src < n; src++ {
+		seen := map[int]bool{src: true}
+		for len(seen)-1 < k {
+			dst := z.Draw()
+			if seen[dst] {
+				// Fall back to linear probing so sampling terminates even
+				// under extreme skew.
+				dst = (dst + 1) % n
+				for seen[dst] {
+					dst = (dst + 1) % n
+				}
+			}
+			seen[dst] = true
+			out = append(out, CommPair{Src: src, Dst: dst})
+		}
+	}
+	return out
+}
+
+// Arrivals generates an open-loop Poisson arrival sequence with the given
+// mean rate (events/s) over the horizon.
+func Arrivals(seed int64, rate float64, horizon time.Duration) []time.Duration {
+	rng := rand.New(rand.NewSource(seed))
+	var out []time.Duration
+	var t time.Duration
+	for {
+		t += time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+		if t >= horizon {
+			return out
+		}
+		out = append(out, t)
+	}
+}
+
+// DiurnalRate evaluates a day-cycle modulated rate: base*(1+amp*sin),
+// used by long-horizon experiments to avoid steady-state artifacts.
+func DiurnalRate(base, amplitude float64, at time.Duration) float64 {
+	if amplitude < 0 {
+		amplitude = 0
+	}
+	if amplitude > 1 {
+		amplitude = 1
+	}
+	phase := 2 * math.Pi * float64(at) / float64(24*time.Hour)
+	return base * (1 + amplitude*math.Sin(phase))
+}
+
+// FlowSize draws a heavy-tailed flow size in bytes: lognormal body with
+// the given median and sigma.
+func FlowSize(rng *rand.Rand, medianBytes float64, sigma float64) float64 {
+	return medianBytes * math.Exp(rng.NormFloat64()*sigma)
+}

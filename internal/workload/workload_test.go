@@ -1,0 +1,223 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestChurnTraceShape(t *testing.T) {
+	cfg := ChurnConfig{Tenants: 5, LaunchRate: 10, MeanLifetime: 30 * time.Second, Horizon: time.Minute}
+	ev := ChurnTrace(42, cfg)
+	if len(ev) == 0 {
+		t.Fatal("empty trace")
+	}
+	launches, teardowns := 0, 0
+	live := map[string]bool{}
+	var last time.Duration
+	for _, e := range ev {
+		if e.At < last {
+			t.Fatal("trace not time-sorted")
+		}
+		last = e.At
+		if e.At >= cfg.Horizon {
+			t.Fatalf("event beyond horizon: %v", e.At)
+		}
+		switch e.Kind {
+		case Launch:
+			if live[e.Instance] {
+				t.Fatalf("double launch of %s", e.Instance)
+			}
+			live[e.Instance] = true
+			launches++
+		case Teardown:
+			if !live[e.Instance] {
+				t.Fatalf("teardown of non-live %s", e.Instance)
+			}
+			delete(live, e.Instance)
+			teardowns++
+		}
+	}
+	// ~10/s over 60s: expect within generous Poisson bounds.
+	if launches < 400 || launches > 800 {
+		t.Fatalf("launches = %d, want ~600", launches)
+	}
+	if teardowns > launches {
+		t.Fatal("more teardowns than launches")
+	}
+}
+
+func TestChurnDeterminism(t *testing.T) {
+	cfg := ChurnConfig{Tenants: 2, LaunchRate: 5, MeanLifetime: 10 * time.Second, Horizon: 20 * time.Second}
+	a := ChurnTrace(7, cfg)
+	b := ChurnTrace(7, cfg)
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d", i)
+		}
+	}
+	c := ChurnTrace(8, cfg)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestCommMatrix(t *testing.T) {
+	pairs := CommMatrix(1, 50, 3, 1.2)
+	if len(pairs) != 50*3 {
+		t.Fatalf("pairs = %d, want 150", len(pairs))
+	}
+	perSrc := map[int]map[int]bool{}
+	for _, p := range pairs {
+		if p.Src == p.Dst {
+			t.Fatal("self-communication pair")
+		}
+		if p.Dst < 0 || p.Dst >= 50 {
+			t.Fatalf("dst out of range: %d", p.Dst)
+		}
+		if perSrc[p.Src] == nil {
+			perSrc[p.Src] = map[int]bool{}
+		}
+		if perSrc[p.Src][p.Dst] {
+			t.Fatalf("duplicate peer %d for src %d", p.Dst, p.Src)
+		}
+		perSrc[p.Src][p.Dst] = true
+	}
+	// Zipf skew: endpoint 0/1 should be far more popular than endpoint 49.
+	pop := map[int]int{}
+	for _, p := range pairs {
+		pop[p.Dst]++
+	}
+	if pop[0]+pop[1] <= pop[48]+pop[49] {
+		t.Fatalf("no popularity skew: head=%d tail=%d", pop[0]+pop[1], pop[48]+pop[49])
+	}
+}
+
+func TestCommMatrixEdgeCases(t *testing.T) {
+	if CommMatrix(1, 1, 3, 1.2) != nil {
+		t.Fatal("n=1 should produce no pairs")
+	}
+	pairs := CommMatrix(1, 3, 10, 1.2) // k clamped to n-1
+	if len(pairs) != 3*2 {
+		t.Fatalf("clamped pairs = %d, want 6", len(pairs))
+	}
+}
+
+func TestArrivals(t *testing.T) {
+	ar := Arrivals(3, 100, time.Second)
+	if len(ar) < 60 || len(ar) > 150 {
+		t.Fatalf("arrivals = %d, want ~100", len(ar))
+	}
+	for i := 1; i < len(ar); i++ {
+		if ar[i] <= ar[i-1] {
+			t.Fatal("arrivals not strictly increasing")
+		}
+	}
+	if ar[len(ar)-1] >= time.Second {
+		t.Fatal("arrival beyond horizon")
+	}
+}
+
+func TestDiurnalRate(t *testing.T) {
+	base := DiurnalRate(100, 0.5, 0)
+	peak := DiurnalRate(100, 0.5, 6*time.Hour)
+	trough := DiurnalRate(100, 0.5, 18*time.Hour)
+	if math.Abs(base-100) > 1e-9 {
+		t.Fatalf("phase-0 rate = %v", base)
+	}
+	if math.Abs(peak-150) > 1e-6 || math.Abs(trough-50) > 1e-6 {
+		t.Fatalf("peak/trough = %v/%v, want 150/50", peak, trough)
+	}
+	if DiurnalRate(100, 2, 6*time.Hour) > 200 {
+		t.Fatal("amplitude not clamped")
+	}
+}
+
+func TestFlowSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var small, big int
+	for i := 0; i < 10000; i++ {
+		s := FlowSize(rng, 1e6, 2.0)
+		if s <= 0 {
+			t.Fatal("non-positive flow size")
+		}
+		if s < 1e6 {
+			small++
+		}
+		if s > 100e6 {
+			big++
+		}
+	}
+	if small < 4000 || small > 6000 {
+		t.Fatalf("median property violated: %d below median", small)
+	}
+	if big == 0 {
+		t.Fatal("no heavy tail")
+	}
+}
+
+func TestAttackSuite(t *testing.T) {
+	suite := AttackSuite(1, 3)
+	if len(suite) != len(AllAttackKinds())*3 {
+		t.Fatalf("suite size = %d", len(suite))
+	}
+	byKind := map[AttackKind]int{}
+	for _, a := range suite {
+		byKind[a.Kind]++
+		if a.Name == "" {
+			t.Fatal("unnamed attack")
+		}
+	}
+	for _, k := range AllAttackKinds() {
+		if byKind[k] != 3 {
+			t.Fatalf("kind %v count = %d", k, byKind[k])
+		}
+	}
+	// Spot-check category semantics.
+	for _, a := range suite {
+		switch a.Kind {
+		case VolumetricDDoS:
+			if !a.SrcExternal || !a.Anonymous {
+				t.Fatal("ddos must be external+anonymous")
+			}
+		case PortScan:
+			if a.DstPort == 443 || a.DstPort == 0 {
+				t.Fatalf("port scan hit the service port: %d", a.DstPort)
+			}
+		case LateralMovement:
+			if !a.SrcCompromised {
+				t.Fatal("lateral movement must be from compromised host")
+			}
+		case StolenScopeAPI:
+			if !a.WrongScope {
+				t.Fatal("stolen-scope must set WrongScope")
+			}
+		case MalformedAPI:
+			if !a.Malformed {
+				t.Fatal("malformed must set Malformed")
+			}
+		}
+	}
+	if VolumetricDDoS.String() != "volumetric-ddos" {
+		t.Fatal("attack names wrong")
+	}
+}
+
+func TestChurnKindString(t *testing.T) {
+	if Launch.String() != "launch" || Teardown.String() != "teardown" {
+		t.Fatal("churn kind names wrong")
+	}
+}
