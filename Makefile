@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test vet race bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The solver and the parallel sweep driver are the concurrency-sensitive
+# packages; run them under the race detector.
+race:
+	$(GO) test -race ./internal/netsim/... ./internal/exp/...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Tier-1 verification plus vet and the race pass.
+check: build vet test race

@@ -268,10 +268,13 @@ func BenchmarkMaxMinReshare(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	var probe *netsim.Flow
 	for i := 0; i < 199; i++ {
-		if _, err := net.StartFlow(&netsim.Flow{Path: path, Size: -1}); err != nil {
+		f, err := net.StartFlow(&netsim.Flow{Path: path, Size: -1})
+		if err != nil {
 			b.Fatal(err)
 		}
+		probe = f
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -279,8 +282,135 @@ func BenchmarkMaxMinReshare(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		probe.Rate() // force the admission solve
 		net.Stop(f)
+		probe.Rate() // force the departure solve
 	}
+	reportSolverCost(b, net)
+}
+
+// reportSolverCost attaches the solver's cost counters to a benchmark
+// that drives a netsim.Network.
+func reportSolverCost(b *testing.B, net *netsim.Network) {
+	b.ReportMetric(float64(net.Recomputes)/float64(b.N), "recomputes/op")
+	b.ReportMetric(float64(net.FlowsTouched)/float64(b.N), "flows-touched/op")
+}
+
+// benchLines builds n disjoint two-hop lines and returns one a->c path per
+// line (the sparse regime: many components, no shared links).
+func benchLines(b *testing.B, n int) (*topo.Graph, []topo.Path) {
+	b.Helper()
+	g := topo.New()
+	paths := make([]topo.Path, n)
+	for i := 0; i < n; i++ {
+		a := topo.NodeID("a" + strconv.Itoa(i))
+		m := topo.NodeID("b" + strconv.Itoa(i))
+		c := topo.NodeID("c" + strconv.Itoa(i))
+		for _, id := range []topo.NodeID{a, m, c} {
+			g.MustAddNode(topo.Node{ID: id})
+		}
+		g.MustConnect("ab"+strconv.Itoa(i), a, m, topo.Backbone, 100e6, time.Millisecond, 0, 0)
+		g.MustConnect("bc"+strconv.Itoa(i), m, c, topo.Backbone, 100e6, time.Millisecond, 0, 0)
+		p, err := g.ShortestPath(a, c, topo.PathOpts{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		paths[i] = p
+	}
+	return g, paths
+}
+
+// BenchmarkReshareIncremental measures the incremental fair-share solver
+// in its two regimes. sparse: 256 disjoint busy components, each event
+// touches one (the incremental win — compare flows-touched/op against
+// sparse-full, which forces the old full recompute). dense: every flow
+// shares one path, so the component is the whole network and incremental
+// equals full work.
+func BenchmarkReshareIncremental(b *testing.B) {
+	sparse := func(b *testing.B, forceFull bool) {
+		const lines = 256
+		g, paths := benchLines(b, lines)
+		eng := sim.New(1)
+		net := netsim.New(g, eng)
+		net.ForceFull = forceFull
+		occupants := make([]*netsim.Flow, lines)
+		for i, p := range paths {
+			f, err := net.StartFlow(&netsim.Flow{Path: p, Size: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			occupants[i] = f
+		}
+		occupants[0].Rate() // settle the admission batch
+		net.Recomputes, net.FlowsTouched, net.LinksTouched = 0, 0, 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			line := i % lines
+			f, err := net.StartFlow(&netsim.Flow{Path: paths[line], Size: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			occupants[line].Rate()
+			net.Stop(f)
+			occupants[line].Rate()
+		}
+		reportSolverCost(b, net)
+	}
+	b.Run("sparse", func(b *testing.B) { sparse(b, false) })
+	b.Run("sparse-full", func(b *testing.B) { sparse(b, true) })
+	b.Run("dense", func(b *testing.B) {
+		g, paths := benchLines(b, 1)
+		eng := sim.New(1)
+		net := netsim.New(g, eng)
+		var probe *netsim.Flow
+		for i := 0; i < 200; i++ {
+			f, err := net.StartFlow(&netsim.Flow{Path: paths[0], Size: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			probe = f
+		}
+		probe.Rate()
+		net.Recomputes, net.FlowsTouched, net.LinksTouched = 0, 0, 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f, err := net.StartFlow(&netsim.Flow{Path: paths[0], Size: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			probe.Rate()
+			net.Stop(f)
+			probe.Rate()
+		}
+		reportSolverCost(b, net)
+	})
+}
+
+// BenchmarkSweepParallel compares the experiment sweep driver's serial and
+// parallel modes on an E5 grid (four independent cells per op).
+func BenchmarkSweepParallel(b *testing.B) {
+	grid := func(b *testing.B) {
+		t, err := exp.E5QuotaEnforce([]int{50, 100},
+			[]sim.Time{50 * time.Millisecond, 100 * time.Millisecond}, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) != 4 {
+			b.Fatalf("rows = %d, want 4", len(t.Rows))
+		}
+	}
+	b.Run("serial", func(b *testing.B) {
+		exp.SetParallel(false)
+		defer exp.SetParallel(true)
+		for i := 0; i < b.N; i++ {
+			grid(b)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			grid(b)
+		}
+	})
 }
 
 // BenchmarkFabricEvaluate measures the baseline reachability evaluator on

@@ -7,6 +7,7 @@
 //	expdriver -run E3,E7      # a subset
 //	expdriver -format md      # GitHub markdown (for EXPERIMENTS.md)
 //	expdriver -list           # list experiment IDs and titles
+//	expdriver -serial         # disable parallel sweep cells
 package main
 
 import (
@@ -23,7 +24,12 @@ func main() {
 	run := flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
 	format := flag.String("format", "text", "output format: text or md")
 	list := flag.Bool("list", false, "list experiments and exit")
+	serial := flag.Bool("serial", false, "run sweep cells serially (same tables, one core)")
 	flag.Parse()
+
+	if *serial {
+		exp.SetParallel(false)
+	}
 
 	if *list {
 		for _, e := range exp.All() {

@@ -8,6 +8,7 @@ import (
 	"declnet/internal/complexity"
 	"declnet/internal/core"
 	"declnet/internal/metrics"
+	"declnet/internal/netsim"
 	"declnet/internal/sim"
 	"declnet/internal/topo"
 	"declnet/internal/vnet"
@@ -33,7 +34,7 @@ func E10Availability(requestRate float64, seed int64) (*metrics.Table, error) {
 	)
 
 	// ---- Declarative: SIP + bind, provider runs the balancer. -----------
-	declErrors, declTotal, declRecovery, err := e10Declarative(requestRate, horizon, failAt, detectionDelay, seed)
+	declErrors, declTotal, declRecovery, declNet, err := e10Declarative(requestRate, horizon, failAt, detectionDelay, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -65,6 +66,8 @@ func E10Availability(requestRate float64, seed int64) (*metrics.Table, error) {
 	t.Notes = append(t.Notes,
 		"identical failure (1 of 3 backends at t=3s) and health-detection delay (1.5s) in both models",
 		"declarative failover needs zero tenant configuration: bind() carries the intent")
+	t.AddNotef("declarative solver cost: %d recomputes, %d flows touched, %d links touched",
+		declNet.Recomputes, declNet.FlowsTouched, declNet.LinksTouched)
 	return t, nil
 }
 
@@ -75,20 +78,20 @@ func pct(part, whole int) string {
 	return fmt.Sprintf("%.2f", float64(part)/float64(whole)*100)
 }
 
-func e10Declarative(rate float64, horizon, failAt, detect time.Duration, seed int64) (errors, total int, recovery time.Duration, err error) {
+func e10Declarative(rate float64, horizon, failAt, detect time.Duration, seed int64) (errors, total int, recovery time.Duration, net *netsim.Network, err error) {
 	d, err := BuildDeclarativeFig1(seed, 3)
 	if err != nil {
-		return 0, 0, 0, err
+		return 0, 0, 0, nil, err
 	}
 	c := d.Cloud
 	w := d.World
 	// Third backend joins the SIP.
 	db3, err := d.ProvB.RequestEIP(Tenant, topo.HostID(w.CloudB, w.RegionsB[0], "az1", 3))
 	if err != nil {
-		return 0, 0, 0, err
+		return 0, 0, 0, nil, err
 	}
 	if err := d.ProvB.Bind(Tenant, db3, d.DBService, 1); err != nil {
-		return 0, 0, 0, err
+		return 0, 0, 0, nil, err
 	}
 	dead := d.DB1
 	var lastError sim.Time
@@ -124,7 +127,7 @@ func e10Declarative(rate float64, horizon, failAt, detect time.Duration, seed in
 	if lastError > failTime {
 		recovery = time.Duration(lastError - failTime)
 	}
-	return errors, total, recovery, nil
+	return errors, total, recovery, c.Net, nil
 }
 
 // e10Baseline replays the identical scenario against the tenant-built

@@ -37,11 +37,13 @@ func E3RoutingScale(scales []int, zones int, seed int64) (*metrics.Table, error)
 		Columns: []string{"live endpoints", "vpc routes", "flat /32s",
 			"zone-pooled agg", "fresh agg", "agg gain", "updates"},
 	}
-	for _, n := range scales {
-		res, err := e3Run(n, zones, instancesPerVPC, seed)
-		if err != nil {
-			return nil, err
-		}
+	results, err := sweepCells(len(scales), func(cell int) (e3Result, error) {
+		return e3Run(scales[cell], zones, instancesPerVPC, seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, res := range results {
 		t.AddRow(res.live, res.vpcRoutes, res.flatRoutes, res.zoneAggRoutes,
 			res.freshAggRoutes,
 			fmt.Sprintf("%.1fx", float64(res.flatRoutes)/float64(max(res.zoneAggRoutes, 1))),

@@ -32,11 +32,13 @@ func E4PermitScale(scales []int, fanout int, lag sim.Time, seed int64) (*metrics
 		Columns: []string{"endpoints", "entries", "updates", "lookups/us",
 			"stale admits", "lag"},
 	}
-	for _, n := range scales {
-		res, err := e4Run(n, fanout, lag, seed)
-		if err != nil {
-			return nil, err
-		}
+	results, err := sweepCells(len(scales), func(cell int) (e4Result, error) {
+		return e4Run(scales[cell], fanout, lag, seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, res := range results {
 		t.AddRow(res.endpoints, res.entries, res.updates,
 			fmt.Sprintf("%.1f", res.lookupsPerMicro), res.staleAdmits, lag.String())
 	}

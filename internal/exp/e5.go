@@ -41,15 +41,30 @@ func E5QuotaEnforce(flowCounts []int, periods []sim.Time, seed int64) (*metrics.
 		Columns: []string{"flows", "period", "mean err %", "p99 err %",
 			"overshoot %", "rounds"},
 	}
+	// Flatten the (flows, period) grid into independent cells; each builds
+	// its own engine, so the grid can run on the parallel sweep driver.
+	type cellKey struct {
+		n      int
+		period sim.Time
+	}
+	var cells []cellKey
 	for _, n := range flowCounts {
 		for _, period := range periods {
-			res := e5Run(n, period, seed)
-			t.AddRow(n, period.String(),
-				fmt.Sprintf("%.2f", res.meanErr*100),
-				fmt.Sprintf("%.2f", res.p99Err*100),
-				fmt.Sprintf("%.2f", res.overshoot*100),
-				res.rounds)
+			cells = append(cells, cellKey{n, period})
 		}
+	}
+	results, err := sweepCells(len(cells), func(cell int) (e5Result, error) {
+		return e5Run(cells[cell].n, cells[cell].period, seed), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		t.AddRow(cells[i].n, cells[i].period.String(),
+			fmt.Sprintf("%.2f", res.meanErr*100),
+			fmt.Sprintf("%.2f", res.p99Err*100),
+			fmt.Sprintf("%.2f", res.overshoot*100),
+			res.rounds)
 	}
 	t.Notes = append(t.Notes,
 		"quota 1 Gbps over 16 enforcement points; flows churn with 200ms mean holding time",

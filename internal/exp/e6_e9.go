@@ -66,6 +66,8 @@ func E6QoSPotato(probes int, seed int64) (*metrics.Table, error) {
 	t.Notes = append(t.Notes,
 		"dedicated = baseline DX/ER circuits via the exchange; cold/hot = declarative potato profiles",
 		"the paper conjectures cold-potato + egress guarantees approximates dedicated (§4, §6(ii))")
+	t.AddNotef("solver cost: %d recomputes, %d flows touched, %d links touched",
+		net.Recomputes, net.FlowsTouched, net.LinksTouched)
 	return t, nil
 }
 
@@ -164,5 +166,7 @@ func E9Potato(probes int, seed int64) (*metrics.Table, error) {
 	}
 	t.Notes = append(t.Notes,
 		"probes traverse the full declarative data path: permit admission, SIP balancing, potato path")
+	t.AddNotef("solver cost: %d recomputes, %d flows touched, %d links touched",
+		c.Net.Recomputes, c.Net.FlowsTouched, c.Net.LinksTouched)
 	return t, nil
 }

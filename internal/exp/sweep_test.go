@@ -1,0 +1,62 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"declnet/internal/metrics"
+)
+
+// The parallel sweep driver must produce byte-identical tables to a
+// serial run: every cell owns an independent engine seeded the same way,
+// and rows are emitted in cell order regardless of completion order.
+// (E4 is excluded: its lookups/us column is a wall-clock measurement.)
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	build := func() []*metrics.Table {
+		e3, err := E3RoutingScale([]int{200, 400, 600}, 4, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e5, err := E5QuotaEnforce([]int{10, 20}, []time.Duration{50 * time.Millisecond, 100 * time.Millisecond}, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return []*metrics.Table{e3, e5}
+	}
+	defer SetParallel(true)
+	SetParallel(false)
+	serial := build()
+	SetParallel(true)
+	par := build()
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i].Rows, par[i].Rows) {
+			t.Fatalf("%s: parallel rows diverge from serial:\nserial: %v\nparallel: %v",
+				serial[i].Title, serial[i].Rows, par[i].Rows)
+		}
+	}
+}
+
+func TestSweepCellsError(t *testing.T) {
+	defer SetParallel(true)
+	for _, par := range []bool{false, true} {
+		SetParallel(par)
+		_, err := sweepCells(8, func(cell int) (int, error) {
+			if cell >= 3 {
+				return 0, errCell(cell)
+			}
+			return cell, nil
+		})
+		if err == nil {
+			t.Fatalf("parallel=%v: no error surfaced", par)
+		}
+		// The lowest-index failure wins, matching serial abort semantics.
+		if err != errCell(3) {
+			t.Fatalf("parallel=%v: got %v, want cell 3's error", par, err)
+		}
+	}
+}
+
+type errCell int
+
+func (e errCell) Error() string { return "cell failed" }

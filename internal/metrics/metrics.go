@@ -325,6 +325,12 @@ func (t *Table) AddRow(cells ...any) {
 	t.Rows = append(t.Rows, row)
 }
 
+// AddNotef appends a formatted footnote to the table. Experiments use it
+// for run metadata such as solver-cost counters.
+func (t *Table) AddNotef(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
 func formatFloat(v float64) string {
 	switch {
 	case v == math.Trunc(v) && math.Abs(v) < 1e12:

@@ -1,0 +1,279 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"declnet/internal/sim"
+	"declnet/internal/topo"
+)
+
+// disjointLines builds n disjoint two-hop lines a_i--b_i--c_i, returning
+// the graph and the a->c path of each line.
+func disjointLines(t *testing.T, n int, capacity float64) (*topo.Graph, []topo.Path) {
+	t.Helper()
+	g := topo.New()
+	paths := make([]topo.Path, n)
+	for i := 0; i < n; i++ {
+		a := topo.NodeID(fmt.Sprintf("a%d", i))
+		b := topo.NodeID(fmt.Sprintf("b%d", i))
+		c := topo.NodeID(fmt.Sprintf("c%d", i))
+		for _, id := range []topo.NodeID{a, b, c} {
+			g.MustAddNode(topo.Node{ID: id})
+		}
+		g.MustConnect(fmt.Sprintf("ab%d", i), a, b, topo.Backbone, capacity, time.Millisecond, 0, 0)
+		g.MustConnect(fmt.Sprintf("bc%d", i), b, c, topo.Backbone, capacity, time.Millisecond, 0, 0)
+		p, err := g.ShortestPath(a, c, topo.PathOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths[i] = p
+	}
+	return g, paths
+}
+
+// A burst of starts at one virtual timestamp must trigger one solve, not
+// one per start (epoch batching).
+func TestEpochBatchingCoalesces(t *testing.T) {
+	g := line(t, 100e6, 100e6)
+	eng := sim.New(1)
+	n := New(g, eng)
+	const burst = 50
+	for i := 0; i < burst; i++ {
+		eng.After(time.Millisecond, func() {
+			if _, err := n.StartFlow(&Flow{Path: path(t, g, "a", "c"), Size: -1}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	eng.RunUntil(2 * time.Millisecond)
+	if n.Recomputes != 1 {
+		t.Fatalf("Recomputes = %d for a same-timestamp burst of %d starts, want 1", n.Recomputes, burst)
+	}
+	if n.FlowsTouched != burst {
+		t.Fatalf("FlowsTouched = %d, want %d", n.FlowsTouched, burst)
+	}
+}
+
+// Identical flows finishing at the same virtual nanosecond must complete
+// in one batch: one reshare, not back-to-back reshares per OnDone.
+func TestSameTimeCompletionsCoalesce(t *testing.T) {
+	g := line(t, 80e6, 80e6)
+	eng := sim.New(1)
+	n := New(g, eng)
+	const k = 8
+	done := 0
+	for i := 0; i < k; i++ {
+		if _, err := n.StartFlow(&Flow{
+			Path: path(t, g, "a", "c"), Size: 1e6,
+			OnDone: func(time.Duration) { done++ },
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Run()
+	if done != k {
+		t.Fatalf("completions = %d, want %d", done, k)
+	}
+	// One solve admits the batch, one resolves the simultaneous batch of
+	// completions (an empty network, so it visits zero flows).
+	if n.Recomputes != 2 {
+		t.Fatalf("Recomputes = %d for %d same-time completions, want 2", n.Recomputes, k)
+	}
+}
+
+// Events on one component must not touch flows in another: the dirty-set
+// solver re-solves only the connected component of the touched links.
+func TestDisjointComponentUntouched(t *testing.T) {
+	g, paths := disjointLines(t, 2, 10e6)
+	eng := sim.New(1)
+	n := New(g, eng)
+	fA, _ := n.StartFlow(&Flow{Path: paths[0], Size: -1})
+	fB, _ := n.StartFlow(&Flow{Path: paths[1], Size: -1})
+	_ = fA.Rate() // flush the admission batch
+	base := n.FlowsTouched
+
+	f2, err := n.StartFlow(&Flow{Path: paths[0], Size: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := f2.Rate(); r != 5e6 {
+		t.Fatalf("new flow rate = %v, want 5Mbps", r)
+	}
+	if got := n.FlowsTouched - base; got != 2 {
+		t.Fatalf("FlowsTouched delta = %d (component A only), want 2", got)
+	}
+	if r := fB.Rate(); r != 10e6 {
+		t.Fatalf("untouched component rate = %v, want 10Mbps", fB.Rate())
+	}
+}
+
+// randomWorld builds a 10-node chain plus a disjoint 5-node chain with
+// seeded random capacities; flows run between random node pairs so the
+// flow-link graph keeps merging and splitting components.
+func randomWorld(t *testing.T, rng *rand.Rand) (*topo.Graph, []topo.NodeID, []topo.NodeID, []string) {
+	t.Helper()
+	g := topo.New()
+	var main, side []topo.NodeID
+	var pairs []string
+	for i := 0; i < 10; i++ {
+		id := topo.NodeID(fmt.Sprintf("n%d", i))
+		g.MustAddNode(topo.Node{ID: id})
+		main = append(main, id)
+	}
+	for i := 0; i+1 < len(main); i++ {
+		id := fmt.Sprintf("l%d", i)
+		g.MustConnect(id, main[i], main[i+1], topo.Backbone,
+			float64(10+rng.Intn(90))*1e6, time.Millisecond, 0, 0)
+		pairs = append(pairs, id)
+	}
+	for i := 0; i < 5; i++ {
+		id := topo.NodeID(fmt.Sprintf("m%d", i))
+		g.MustAddNode(topo.Node{ID: id})
+		side = append(side, id)
+	}
+	for i := 0; i+1 < len(side); i++ {
+		id := fmt.Sprintf("k%d", i)
+		g.MustConnect(id, side[i], side[i+1], topo.Backbone,
+			float64(10+rng.Intn(90))*1e6, time.Millisecond, 0, 0)
+		pairs = append(pairs, id)
+	}
+	return g, main, side, pairs
+}
+
+// TestIncrementalParityRandom is the solver's property test: across 1k
+// randomized start/stop/cap/fail/restore sequences the incremental rates
+// must match the reference full solver within 1e-9 relative tolerance
+// after every solve (CheckParity verifies each flush).
+func TestIncrementalParityRandom(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			g, main, side, pairs := randomWorld(t, rng)
+			eng := sim.New(seed)
+			n := New(g, eng)
+			n.CheckParity = true
+
+			var active []*Flow
+			downLinks := map[string]bool{}
+			randPair := func(nodes []topo.NodeID) (topo.NodeID, topo.NodeID) {
+				i := rng.Intn(len(nodes))
+				j := rng.Intn(len(nodes))
+				for j == i {
+					j = rng.Intn(len(nodes))
+				}
+				if i > j {
+					i, j = j, i
+				}
+				return nodes[i], nodes[j]
+			}
+			const events = 1000
+			for i := 0; i < events; i++ {
+				op := rng.Intn(10)
+				eng.After(100*time.Microsecond, func() {
+					// Drop flows that completed on their own.
+					live := active[:0]
+					for _, f := range active {
+						if !f.Done() && f.net == n {
+							live = append(live, f)
+						}
+					}
+					active = live
+					switch {
+					case op < 4: // start
+						nodes := main
+						if rng.Intn(4) == 0 {
+							nodes = side
+						}
+						src, dst := randPair(nodes)
+						p, err := g.ShortestPath(src, dst, topo.PathOpts{})
+						if err != nil {
+							return // partitioned by a failed link
+						}
+						f := &Flow{Path: p, Size: -1, Weight: float64(1 + rng.Intn(3))}
+						if rng.Intn(2) == 0 {
+							f.Size = float64(1e5 + rng.Intn(1e7))
+						}
+						if rng.Intn(3) == 0 {
+							f.MaxRate = float64(1+rng.Intn(50)) * 1e6
+						}
+						if started, err := n.StartFlow(f); err == nil {
+							active = append(active, started)
+						}
+					case op < 6: // stop
+						if len(active) > 0 {
+							i := rng.Intn(len(active))
+							n.Stop(active[i])
+							active = append(active[:i], active[i+1:]...)
+						}
+					case op < 8: // cap change
+						if len(active) > 0 {
+							f := active[rng.Intn(len(active))]
+							cap := 0.0
+							if rng.Intn(3) > 0 {
+								cap = float64(1+rng.Intn(80)) * 1e6
+							}
+							n.SetMaxRate(f, cap)
+						}
+					case op < 9: // fail
+						id := pairs[rng.Intn(len(pairs))]
+						if !downLinks[id] {
+							if err := n.FailLink(id); err != nil {
+								t.Error(err)
+							}
+							downLinks[id] = true
+						}
+					default: // restore
+						for id := range downLinks {
+							if err := n.RestoreLink(id); err != nil {
+								t.Error(err)
+							}
+							delete(downLinks, id)
+							break
+						}
+					}
+				})
+				eng.RunUntil(eng.Now() + 100*time.Microsecond)
+			}
+			eng.Run()
+			if n.ParityMismatches != 0 {
+				t.Fatalf("%d parity mismatches over %d events; first: %s",
+					n.ParityMismatches, events, n.ParityErr)
+			}
+			if n.Recomputes == 0 {
+				t.Fatal("no solves happened; the property test exercised nothing")
+			}
+		})
+	}
+}
+
+// ForceFull must agree with the incremental solver (it is the fallback
+// mode benchmarks compare against).
+func TestForceFullMatchesIncremental(t *testing.T) {
+	g, paths := disjointLines(t, 4, 20e6)
+	eng := sim.New(1)
+	n := New(g, eng)
+	n.ForceFull = true
+	n.CheckParity = true
+	var flows []*Flow
+	for i, p := range paths {
+		f, err := n.StartFlow(&Flow{Path: p, Size: -1, Weight: float64(1 + i%2)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		flows = append(flows, f)
+	}
+	for _, f := range flows {
+		if f.Rate() == 0 {
+			t.Fatalf("flow %s got no rate under ForceFull", f.ID)
+		}
+	}
+	n.Stop(flows[0])
+	_ = flows[1].Rate()
+	if n.ParityMismatches != 0 {
+		t.Fatalf("ForceFull parity mismatches: %s", n.ParityErr)
+	}
+}

@@ -151,8 +151,13 @@ func (e *Enforcer) apply() {
 		left := len(pend) - i
 		share := remaining / float64(left)
 		grant := math.Max(math.Min(share, p.d), minGrant)
-		e.flows[p.f] = grant
-		p.f.SetCap(grant)
+		// Steady-state rounds recompute the same grants; skipping the
+		// redundant SetCap keeps the data plane's fair-share solver from
+		// resharing on no-op cap churn every control period.
+		if e.flows[p.f] != grant {
+			e.flows[p.f] = grant
+			p.f.SetCap(grant)
+		}
 		remaining -= grant
 	}
 }
