@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: build test vet race bench check
+.PHONY: build test vet race bench check fuzz
 
 build:
 	$(GO) build ./...
@@ -18,6 +19,14 @@ race:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Short fuzz pass over the wire-format parsers. Each target gets
+# $(FUZZTIME); regression corpus lives under testdata/fuzz/ so plain
+# `go test` replays past findings even without this target.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzParseIP$$' -fuzztime $(FUZZTIME) ./internal/addr/
+	$(GO) test -run '^$$' -fuzz '^FuzzParsePrefix$$' -fuzztime $(FUZZTIME) ./internal/addr/
+	$(GO) test -run '^$$' -fuzz '^FuzzParsePermitEntry$$' -fuzztime $(FUZZTIME) ./internal/api/
 
 # Tier-1 verification plus vet and the race pass.
 check: build vet test race

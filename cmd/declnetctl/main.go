@@ -16,6 +16,8 @@
 //	group <name> <eip> [eip...]
 //	transfer <src> <dst> <bytes>
 //	probe <src> <dst>
+//	fail link|node|region <target> [advance-ms]   # inject a failure
+//	heal link|node|region <target> [advance-ms]   # reverse it
 //	status
 package main
 
@@ -75,6 +77,10 @@ parsed:
 		err = c.transfer(rest)
 	case "probe":
 		err = c.probe(rest)
+	case "fail":
+		err = c.fault("fail", rest)
+	case "heal":
+		err = c.fault("heal", rest)
 	case "status":
 		err = c.status(rest)
 	default:
@@ -239,6 +245,24 @@ func (c client) probe(args []string) error {
 		return err
 	}
 	return c.call("GET", fmt.Sprintf("/v1/probe?tenant=%s&src=%s&dst=%s", c.tenant, args[0], args[1]), nil)
+}
+
+// fault drives the operator's drill verbs: an optional trailing
+// advance-ms runs the simulation forward so the provider's reaction
+// (failover, re-bind) is visible in the returned counters.
+func (c client) fault(verb string, args []string) error {
+	if err := need(args, 2, verb+" link|node|region <target> [advance-ms]"); err != nil {
+		return err
+	}
+	body := map[string]any{"kind": args[0], "target": args[1]}
+	if len(args) >= 3 {
+		ms, err := strconv.ParseFloat(args[2], 64)
+		if err != nil {
+			return fmt.Errorf("bad advance-ms %q", args[2])
+		}
+		body["advance_ms"] = ms
+	}
+	return c.call("POST", "/v1/"+verb, body)
 }
 
 func (c client) status(args []string) error {

@@ -25,6 +25,7 @@ package declnet
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"declnet/internal/addr"
@@ -128,6 +129,68 @@ func (w *World) Now() time.Duration { return w.Cloud.Eng.Now() }
 // AttachMeter turns on usage metering across all providers; pass a
 // *meter.Meter (see internal/meter) or any core.Biller.
 func (w *World) AttachMeter(b core.Biller) { w.Cloud.SetBiller(b) }
+
+// FaultPolicy parameterizes the provider's failure reactions (health-check
+// cadence, failover thresholds, re-bind backoff, permit-retry window).
+type FaultPolicy = core.FaultPolicy
+
+// FaultMonitor is the provider-side failure-reaction loop plus the fault
+// injector driving drills; see World.EnableFaults.
+type FaultMonitor = core.FaultMonitor
+
+// DefaultFaultPolicy mirrors common cloud health-check settings.
+func DefaultFaultPolicy() FaultPolicy { return core.DefaultFaultPolicy() }
+
+// EnableFaults turns on fault injection and the provider health monitor
+// that reacts to it (SIP failover, quota degradation, permit retries).
+// Idempotent; a zero policy takes the defaults.
+func (w *World) EnableFaults(policy FaultPolicy) *FaultMonitor {
+	return w.Cloud.EnableFaults(policy)
+}
+
+// Faults returns the monitor, or nil before EnableFaults.
+func (w *World) Faults() *FaultMonitor { return w.Cloud.Faults() }
+
+// Fail injects an infrastructure failure. kind is "link" (target: link
+// pair ID), "node" (target: node ID), or "region" (target:
+// "provider/region"). Faults are enabled with the default policy on first
+// use. The failure takes effect immediately; the provider reacts as
+// virtual time advances.
+func (w *World) Fail(kind, target string) error { return w.faultOp(kind, target, true) }
+
+// Heal reverses a failure injected with Fail.
+func (w *World) Heal(kind, target string) error { return w.faultOp(kind, target, false) }
+
+func (w *World) faultOp(kind, target string, fail bool) error {
+	m := w.Cloud.Faults()
+	if m == nil {
+		m = w.Cloud.EnableFaults(core.FaultPolicy{})
+	}
+	inj := m.Inj
+	switch kind {
+	case "link":
+		if fail {
+			return inj.FailLink(target)
+		}
+		return inj.RestoreLink(target)
+	case "node":
+		if fail {
+			return inj.FailNode(topo.NodeID(target))
+		}
+		return inj.RestoreNode(topo.NodeID(target))
+	case "region":
+		i := strings.IndexByte(target, '/')
+		if i <= 0 || i >= len(target)-1 {
+			return fmt.Errorf("declnet: region target %q is not provider/region", target)
+		}
+		if fail {
+			return inj.FailRegion(target[:i], target[i+1:])
+		}
+		return inj.RestoreRegion(target[:i], target[i+1:])
+	default:
+		return fmt.Errorf("declnet: unknown fault kind %q (want link, node, or region)", kind)
+	}
+}
 
 // Tenant returns a handle scoped to one tenant account. Creating the
 // handle is free; all state lives provider-side.

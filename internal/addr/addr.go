@@ -11,7 +11,6 @@ package addr
 
 import (
 	"fmt"
-	"strconv"
 	"strings"
 )
 
@@ -26,13 +25,34 @@ func ParseIP(s string) (IP, error) {
 	}
 	var ip uint32
 	for _, p := range parts {
-		v, err := strconv.Atoi(p)
-		if err != nil || v < 0 || v > 255 || (len(p) > 1 && p[0] == '0') {
+		v, ok := parseDecimal(p, 255)
+		if !ok {
 			return 0, fmt.Errorf("addr: invalid IPv4 octet %q in %q", p, s)
 		}
 		ip = ip<<8 | uint32(v)
 	}
 	return IP(ip), nil
+}
+
+// parseDecimal parses an unsigned decimal with no sign characters and no
+// leading zeros (strconv.Atoi accepts "+4" and "-0", which would make
+// String round-trips lossy).
+func parseDecimal(p string, max int) (int, bool) {
+	if len(p) == 0 || (len(p) > 1 && p[0] == '0') {
+		return 0, false
+	}
+	v := 0
+	for i := 0; i < len(p); i++ {
+		c := p[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		v = v*10 + int(c-'0')
+		if v > max {
+			return 0, false
+		}
+	}
+	return v, true
 }
 
 // MustParseIP is ParseIP for tests and static tables; it panics on error.
@@ -84,8 +104,8 @@ func ParsePrefix(s string) (Prefix, error) {
 	if err != nil {
 		return Prefix{}, err
 	}
-	length, err := strconv.Atoi(s[slash+1:])
-	if err != nil || length < 0 || length > 32 {
+	length, ok := parseDecimal(s[slash+1:], 32)
+	if !ok {
 		return Prefix{}, fmt.Errorf("addr: invalid prefix length in %q", s)
 	}
 	p := NewPrefix(ip, length)

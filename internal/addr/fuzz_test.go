@@ -1,0 +1,72 @@
+package addr
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseIP checks the core parser invariant: anything ParseIP accepts
+// must round-trip through String to the identical input. This is what
+// caught strconv.Atoi's sign tolerance ("+4", "-0" octets parsed fine
+// but rendered differently).
+func FuzzParseIP(f *testing.F) {
+	for _, seed := range []string{
+		"0.0.0.0", "1.2.3.4", "255.255.255.255", "10.0.0.1",
+		"", "1.2.3", "1.2.3.4.5", "256.0.0.1", "01.2.3.4",
+		"+4.0.0.0", "-0.0.0.1", "1.2.3.+4", "1.2.3.-0",
+		"1..3.4", " 1.2.3.4", "1.2.3.4 ", "0x1.2.3.4",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		ip, err := ParseIP(s)
+		if err != nil {
+			return
+		}
+		if got := ip.String(); got != s {
+			t.Fatalf("ParseIP(%q) accepted, but String() = %q", s, got)
+		}
+	})
+}
+
+// FuzzParsePrefix checks the CIDR parser: accepted inputs round-trip
+// exactly, carry legal lengths, have no host bits, and contain their own
+// base address.
+func FuzzParsePrefix(f *testing.F) {
+	for _, seed := range []string{
+		"0.0.0.0/0", "10.0.0.0/8", "1.2.3.4/32", "255.255.255.255/32",
+		"", "/", "1.2.3.4", "1.2.3.4/", "1.2.3.4/33", "1.2.3.4/-1",
+		"0.0.0.0/+8", "0.0.0.0/08", "1.2.3.4/31", "10.0.0.1/8",
+		"10.0.0.0/8/8", "+4.0.0.0/8",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePrefix(s)
+		if err != nil {
+			return
+		}
+		if p.Len < 0 || p.Len > 32 {
+			t.Fatalf("ParsePrefix(%q) produced illegal length %d", s, p.Len)
+		}
+		if p.Addr&^mask(p.Len) != 0 {
+			t.Fatalf("ParsePrefix(%q) left host bits set: %s", s, p)
+		}
+		if !p.Contains(p.Addr) {
+			t.Fatalf("ParsePrefix(%q): prefix does not contain its own base", s)
+		}
+		if got := p.String(); got != s {
+			t.Fatalf("ParsePrefix(%q) accepted, but String() = %q", s, got)
+		}
+		// Splitting and rejoining must preserve the prefix.
+		if p.Len < 32 {
+			lo, hi := p.Halves()
+			if lo.Parent() != p || hi.Parent() != p || lo.Sibling() != hi {
+				t.Fatalf("ParsePrefix(%q): halves/parent/sibling disagree", s)
+			}
+		}
+		if strings.Count(s, "/") != 1 {
+			t.Fatalf("ParsePrefix(%q) accepted input without exactly one slash", s)
+		}
+	})
+}

@@ -38,6 +38,8 @@ func NewServer(w *declnet.World) *Server {
 	s.mux.HandleFunc("POST /v1/groups", s.createGroup)
 	s.mux.HandleFunc("POST /v1/names", s.registerName)
 	s.mux.HandleFunc("POST /v1/transfer", s.transfer)
+	s.mux.HandleFunc("POST /v1/fail", s.fail)
+	s.mux.HandleFunc("POST /v1/heal", s.heal)
 	s.mux.HandleFunc("GET /v1/probe", s.probe)
 	s.mux.HandleFunc("GET /v1/status", s.status)
 	return s
@@ -221,10 +223,7 @@ func (s *Server) setPermitList(w http.ResponseWriter, r *http.Request) {
 	}
 	entries := make([]declnet.Prefix, 0, len(req.Entries))
 	for _, e := range req.Entries {
-		if !strings.Contains(e, "/") {
-			e += "/32"
-		}
-		p, err := declnet.ParsePrefix(e)
+		p, err := ParsePermitEntry(e)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, err)
 			return
@@ -238,6 +237,15 @@ func (s *Server) setPermitList(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+// ParsePermitEntry parses one wire-format permit entry: a CIDR, or a
+// bare IP treated as a /32.
+func ParsePermitEntry(e string) (declnet.Prefix, error) {
+	if !strings.Contains(e, "/") {
+		e += "/32"
+	}
+	return declnet.ParsePrefix(e)
 }
 
 // QoSRequest grants regional egress bandwidth (Table 2:
@@ -412,6 +420,59 @@ func (s *Server) transfer(w http.ResponseWriter, r *http.Request) {
 	}
 	s.world.Run()
 	writeJSON(w, http.StatusOK, TransferResponse{FCTMillis: float64(fct) / float64(time.Millisecond)})
+}
+
+// FaultRequest injects or heals an infrastructure failure — the
+// operator-facing face of internal/fault. Kind is "link", "node", or
+// "region"; AdvanceMillis optionally runs the simulation forward after
+// the event so the provider's reaction (failover, re-bind) can land.
+type FaultRequest struct {
+	Kind          string  `json:"kind"`
+	Target        string  `json:"target"`
+	AdvanceMillis float64 `json:"advance_ms,omitempty"`
+}
+
+// FaultResponse reports the injector's running drill counters.
+type FaultResponse struct {
+	LinkFailures   uint64 `json:"link_failures"`
+	NodeFailures   uint64 `json:"node_failures"`
+	RegionFailures uint64 `json:"region_failures"`
+	Recoveries     uint64 `json:"recoveries"`
+	Failovers      uint64 `json:"failovers"`
+	Rebinds        uint64 `json:"rebinds"`
+}
+
+func (s *Server) fail(w http.ResponseWriter, r *http.Request) { s.faultish(w, r, true) }
+func (s *Server) heal(w http.ResponseWriter, r *http.Request) { s.faultish(w, r, false) }
+
+func (s *Server) faultish(w http.ResponseWriter, r *http.Request, fail bool) {
+	req, err := decode[FaultRequest](r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	op := s.world.Heal
+	if fail {
+		op = s.world.Fail
+	}
+	if err := op(req.Kind, req.Target); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	if req.AdvanceMillis > 0 {
+		s.world.RunFor(time.Duration(req.AdvanceMillis * float64(time.Millisecond)))
+	}
+	m := s.world.Faults()
+	writeJSON(w, http.StatusOK, FaultResponse{
+		LinkFailures:   m.Inj.LinkFailures,
+		NodeFailures:   m.Inj.NodeFailures,
+		RegionFailures: m.Inj.RegionFailures,
+		Recoveries:     m.Inj.Recoveries,
+		Failovers:      m.Failovers,
+		Rebinds:        m.Rebinds,
+	})
 }
 
 // ProbeResponse reports one RTT sample.

@@ -1,0 +1,97 @@
+package api
+
+import (
+	"net/http"
+	"testing"
+
+	"declnet"
+	"declnet/internal/topo"
+)
+
+func TestFailHealEndpoints(t *testing.T) {
+	ts, w := newTestServer(t)
+	fig := w.Fig1
+
+	node := string(topo.HostID(fig.CloudB, fig.RegionsB[0], "az1", 1))
+	var resp FaultResponse
+	if code := post(t, ts, "/v1/fail", map[string]any{"kind": "node", "target": node}, &resp); code != http.StatusOK {
+		t.Fatalf("fail node: status %d", code)
+	}
+	if resp.NodeFailures != 1 {
+		t.Fatalf("NodeFailures = %d, want 1", resp.NodeFailures)
+	}
+	if w.Faults() == nil || w.Faults().Inj.NodeUp(topo.NodeID(node)) {
+		t.Fatal("node should be down after /v1/fail")
+	}
+	if code := post(t, ts, "/v1/heal", map[string]any{"kind": "node", "target": node, "advance_ms": 100.0}, &resp); code != http.StatusOK {
+		t.Fatalf("heal node: status %d", code)
+	}
+	if resp.Recoveries != 1 {
+		t.Fatalf("Recoveries = %d, want 1", resp.Recoveries)
+	}
+	if !w.Faults().Inj.NodeUp(topo.NodeID(node)) {
+		t.Fatal("node should be up after /v1/heal")
+	}
+
+	// Region verbs take provider/region targets.
+	region := fig.CloudA + "/" + fig.RegionsA[0]
+	if code := post(t, ts, "/v1/fail", map[string]any{"kind": "region", "target": region}, &resp); code != http.StatusOK {
+		t.Fatalf("fail region: status %d", code)
+	}
+	if resp.RegionFailures != 1 {
+		t.Fatalf("RegionFailures = %d, want 1", resp.RegionFailures)
+	}
+	if code := post(t, ts, "/v1/heal", map[string]any{"kind": "region", "target": region}, &resp); code != http.StatusOK {
+		t.Fatalf("heal region: status %d", code)
+	}
+
+	// Bad kinds and unknown targets are client errors.
+	if code := post(t, ts, "/v1/fail", map[string]any{"kind": "volcano", "target": "x"}, nil); code != http.StatusConflict {
+		t.Fatalf("bad kind: status %d, want 409", code)
+	}
+	if code := post(t, ts, "/v1/fail", map[string]any{"kind": "node", "target": "no-such-node"}, nil); code != http.StatusConflict {
+		t.Fatalf("unknown node: status %d, want 409", code)
+	}
+}
+
+func TestFailoverThroughAPI(t *testing.T) {
+	ts, w := newTestServer(t)
+	fig := w.Fig1
+	_ = declnet.DefaultFaultPolicy() // exercised via first /v1/fail
+
+	// Tenant sets up a SIP with two backends and permits a client.
+	var eipResp EIPResponse
+	post(t, ts, "/v1/eips", map[string]any{"tenant": "t", "vm": string(topo.HostID(fig.CloudB, fig.RegionsB[0], "az1", 1))}, &eipResp)
+	be1 := eipResp.EIP
+	post(t, ts, "/v1/eips", map[string]any{"tenant": "t", "vm": string(topo.HostID(fig.CloudB, fig.RegionsB[0], "az2", 1))}, &eipResp)
+	be2 := eipResp.EIP
+	post(t, ts, "/v1/eips", map[string]any{"tenant": "t", "vm": string(topo.HostID(fig.CloudA, fig.RegionsA[0], "az1", 1))}, &eipResp)
+	client := eipResp.EIP
+	var sipResp SIPResponse
+	post(t, ts, "/v1/sips", map[string]any{"tenant": "t", "provider": fig.CloudB}, &sipResp)
+	for _, be := range []string{be1, be2} {
+		if code := post(t, ts, "/v1/bind", map[string]any{"tenant": "t", "eip": be, "sip": sipResp.SIP, "weight": 1}, nil); code != http.StatusOK {
+			t.Fatalf("bind %s: status %d", be, code)
+		}
+	}
+	post(t, ts, "/v1/permit", map[string]any{"tenant": "t", "target": sipResp.SIP, "entries": []string{client}}, nil)
+
+	// Kill be1's host and advance past the detect delay: the monitor must
+	// have failed the SIP over (one failover, no tenant calls).
+	var resp FaultResponse
+	node := string(topo.HostID(fig.CloudB, fig.RegionsB[0], "az1", 1))
+	if code := post(t, ts, "/v1/fail", map[string]any{"kind": "node", "target": node, "advance_ms": 2000.0}, &resp); code != http.StatusOK {
+		t.Fatalf("fail: status %d", code)
+	}
+	if resp.Failovers != 1 {
+		t.Fatalf("Failovers = %d, want 1 after advancing past detect delay", resp.Failovers)
+	}
+	// Transfers through the SIP keep working off the survivor.
+	var tr TransferResponse
+	if code := post(t, ts, "/v1/transfer", map[string]any{"tenant": "t", "src": client, "dst": sipResp.SIP, "bytes": 1e6}, &tr); code != http.StatusOK {
+		t.Fatalf("transfer during failure: status %d", code)
+	}
+	if tr.FCTMillis <= 0 {
+		t.Fatal("transfer did not complete")
+	}
+}

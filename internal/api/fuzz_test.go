@@ -1,0 +1,49 @@
+package api
+
+import (
+	"strings"
+	"testing"
+
+	"declnet"
+)
+
+// FuzzParsePermitEntry covers the wire-format permit entries tenants send
+// through POST /v1/permit: CIDRs, or bare IPs promoted to /32s. Accepted
+// entries must round-trip (modulo the implied /32) and behave as permit
+// prefixes — a bare IP must permit exactly itself.
+func FuzzParsePermitEntry(f *testing.F) {
+	for _, seed := range []string{
+		"1.2.3.4", "10.0.0.0/8", "0.0.0.0/0", "255.255.255.255",
+		"", "/", "1.2.3.4/", "1.2.3.4/33", "0.0.0.0/+8",
+		"+4.0.0.0", "-0.0.0.1", "01.2.3.4", "1.2.3.4/32/32",
+		"8.8.8.8 ", "8.8.8.8\n",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePermitEntry(s)
+		if err != nil {
+			return
+		}
+		if p.Len < 0 || p.Len > 32 {
+			t.Fatalf("ParsePermitEntry(%q) produced illegal length %d", s, p.Len)
+		}
+		if strings.Contains(s, "/") {
+			if got := p.String(); got != s {
+				t.Fatalf("ParsePermitEntry(%q) accepted CIDR, but String() = %q", s, got)
+			}
+			return
+		}
+		// Bare IP: must become that exact host's /32.
+		ip, err := declnet.ParseIP(s)
+		if err != nil {
+			t.Fatalf("ParsePermitEntry(%q) accepted a bare entry ParseIP rejects", s)
+		}
+		if p.Len != 32 || p.Addr != ip {
+			t.Fatalf("ParsePermitEntry(%q) = %s, want %s/32", s, p, ip)
+		}
+		if !p.Contains(ip) {
+			t.Fatalf("ParsePermitEntry(%q): /32 does not permit its own host", s)
+		}
+	})
+}

@@ -29,6 +29,9 @@ type Cloud struct {
 	// details such as IP addresses entirely?" extension: tenants may
 	// address endpoints and services by name and never see an address.
 	names map[string]map[string]addr.IP
+
+	// monitor is the fault-reaction loop, nil until EnableFaults.
+	monitor *FaultMonitor
 }
 
 // NewCloud wraps a world graph in a simulation.
@@ -55,6 +58,7 @@ func (c *Cloud) AddProvider(name string, cfg Config) (*Provider, error) {
 		members, ok := c.groups[tenant][group]
 		return members, ok
 	}
+	p.faults = c.monitor
 	c.providers[name] = p
 	return p, nil
 }

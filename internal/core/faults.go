@@ -1,0 +1,311 @@
+package core
+
+import (
+	"declnet/internal/addr"
+	"declnet/internal/fault"
+	"declnet/internal/permit"
+	"declnet/internal/sim"
+	"declnet/internal/topo"
+)
+
+// FaultPolicy parameterizes how the provider control plane reacts to
+// infrastructure failures. All reactions are the provider's job: the
+// tenant declared a SIP with bound backends and a QoS quota, and keeps
+// exactly that through a failure — no API calls required.
+type FaultPolicy struct {
+	// HealthInterval is the health-check probe period for SIP backends
+	// and quota enforcers.
+	HealthInterval sim.Time
+	// DownAfter is how many consecutive missed probes pull a backend out
+	// of rotation (so failover latency ≈ HealthInterval * DownAfter).
+	DownAfter int
+	// RebindBackoff is the wait before re-binding a recovered backend;
+	// it doubles on every subsequent failure of the same backend (up to
+	// RebindBackoffMax) so a flapping host cannot churn the rotation.
+	RebindBackoff    sim.Time
+	RebindBackoffMax sim.Time
+	// PermitRetryInterval / PermitRetryTimeout govern permit-plane
+	// updates targeting an unreachable endpoint: the update is accepted,
+	// retried each interval, and abandoned after the timeout.
+	PermitRetryInterval sim.Time
+	PermitRetryTimeout  sim.Time
+}
+
+// DefaultFaultPolicy mirrors common cloud health-check settings:
+// 500ms probes, 2 misses to pull, 1s re-bind backoff capped at 8s,
+// permit retries every second for at most 30s.
+func DefaultFaultPolicy() FaultPolicy {
+	return FaultPolicy{
+		HealthInterval:      500 * 1e6,
+		DownAfter:           2,
+		RebindBackoff:       1e9,
+		RebindBackoffMax:    8e9,
+		PermitRetryInterval: 1e9,
+		PermitRetryTimeout:  30e9,
+	}
+}
+
+func (fp FaultPolicy) withDefaults() FaultPolicy {
+	def := DefaultFaultPolicy()
+	if fp.HealthInterval <= 0 {
+		fp.HealthInterval = def.HealthInterval
+	}
+	if fp.DownAfter <= 0 {
+		fp.DownAfter = def.DownAfter
+	}
+	if fp.RebindBackoff <= 0 {
+		fp.RebindBackoff = def.RebindBackoff
+	}
+	if fp.RebindBackoffMax < fp.RebindBackoff {
+		fp.RebindBackoffMax = def.RebindBackoffMax
+	}
+	if fp.RebindBackoffMax < fp.RebindBackoff {
+		fp.RebindBackoffMax = fp.RebindBackoff
+	}
+	if fp.PermitRetryInterval <= 0 {
+		fp.PermitRetryInterval = def.PermitRetryInterval
+	}
+	if fp.PermitRetryTimeout <= 0 {
+		fp.PermitRetryTimeout = def.PermitRetryTimeout
+	}
+	return fp
+}
+
+// DetectDelay is the worst-case time from failure to a backend leaving
+// rotation under this policy.
+func (fp FaultPolicy) DetectDelay() sim.Time {
+	return fp.HealthInterval * sim.Time(fp.DownAfter)
+}
+
+type backendKey struct {
+	provider string
+	sip      SIP
+	eip      EIP
+}
+
+// backendState is the monitor's health record for one SIP binding.
+type backendState struct {
+	misses   int      // consecutive failed probes while in rotation
+	down     bool     // pulled from rotation
+	backoff  sim.Time // current re-bind backoff (doubles per failure)
+	rebindAt sim.Time // when a recovered backend re-enters; 0 = not waiting
+}
+
+// FaultMonitor is the provider-side reaction to injected faults: a
+// periodic health sweep that fails SIP bindings over to surviving
+// backends, re-binds recovered ones with exponential backoff, and
+// degrades QoS quotas when enforcement points partition away.
+type FaultMonitor struct {
+	Inj    *fault.Injector
+	Policy FaultPolicy
+
+	cloud    *Cloud
+	backends map[backendKey]*backendState
+
+	// Counters for experiment tables and tests.
+	Failovers      uint64 // backends pulled from rotation
+	Rebinds        uint64 // backends restored to rotation
+	PermitRetries  uint64 // deferred permit-update attempts
+	PermitTimeouts uint64 // permit updates abandoned
+	LastFailoverAt sim.Time
+	LastRebindAt   sim.Time
+}
+
+// EnableFaults attaches a fault injector and starts the provider health
+// monitor. Idempotent: repeated calls return the same monitor.
+func (c *Cloud) EnableFaults(policy FaultPolicy) *FaultMonitor {
+	if c.monitor != nil {
+		return c.monitor
+	}
+	policy = policy.withDefaults()
+	m := &FaultMonitor{
+		Inj:      fault.NewInjector(c.Eng, c.G, c.Net),
+		Policy:   policy,
+		cloud:    c,
+		backends: make(map[backendKey]*backendState),
+	}
+	c.monitor = m
+	for _, p := range c.providers {
+		p.faults = m
+	}
+	// Daemon ticker: the health loop never keeps a deadline-less Run
+	// alive on its own.
+	c.Eng.EveryDaemon(policy.HealthInterval, m.tick)
+	return m
+}
+
+// Faults returns the monitor, or nil before EnableFaults.
+func (c *Cloud) Faults() *FaultMonitor { return c.monitor }
+
+// BackendDown reports whether the monitor currently holds a binding out
+// of rotation (test hook).
+func (m *FaultMonitor) BackendDown(provider string, sip SIP, eip EIP) bool {
+	st, ok := m.backends[backendKey{provider, sip, eip}]
+	return ok && st.down
+}
+
+// tick is one health sweep over every provider, in deterministic order.
+func (m *FaultMonitor) tick() {
+	now := m.cloud.Eng.Now()
+	names := make([]string, 0, len(m.cloud.providers))
+	for n := range m.cloud.providers {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	for _, pname := range names {
+		p := m.cloud.providers[pname]
+		m.sweepServices(now, p)
+		m.sweepQuotas(p)
+	}
+}
+
+// sweepServices probes every SIP backend and drives rotation health.
+func (m *FaultMonitor) sweepServices(now sim.Time, p *Provider) {
+	sips := make([]SIP, 0, len(p.services))
+	for s := range p.services {
+		sips = append(sips, s)
+	}
+	sortIPs(sips)
+	for _, sip := range sips {
+		svc := p.services[sip]
+		for _, be := range svc.balancer.Backends() {
+			node, ok := p.Lookup(be.EIP)
+			if !ok {
+				continue
+			}
+			st := m.state(p.Name, sip, be.EIP)
+			if m.Inj.Reachable(node) {
+				st.misses = 0
+				if !st.down {
+					continue
+				}
+				// Recovered: re-bind only after the backoff elapses, so a
+				// flapping backend cannot churn in and out of rotation.
+				if st.rebindAt == 0 {
+					st.rebindAt = now + st.backoff
+				}
+				if now >= st.rebindAt {
+					st.down = false
+					st.rebindAt = 0
+					svc.balancer.SetHealth(be.EIP, true)
+					m.Rebinds++
+					m.LastRebindAt = now
+				}
+				continue
+			}
+			st.rebindAt = 0
+			if st.down {
+				continue
+			}
+			st.misses++
+			if st.misses < m.Policy.DownAfter {
+				continue
+			}
+			// Pull the binding; the balancer serves from survivors only.
+			st.down = true
+			svc.balancer.SetHealth(be.EIP, false)
+			m.Failovers++
+			m.LastFailoverAt = now
+			if st.backoff == 0 {
+				st.backoff = m.Policy.RebindBackoff
+			} else if st.backoff *= 2; st.backoff > m.Policy.RebindBackoffMax {
+				st.backoff = m.Policy.RebindBackoffMax
+			}
+		}
+	}
+}
+
+// sweepQuotas marks quota enforcers on unreachable nodes down so the
+// distributed limiter re-shares the tenant's guarantee across surviving
+// regions' enforcement points (graceful degradation under partition).
+func (m *FaultMonitor) sweepQuotas(p *Provider) {
+	tenants := make([]string, 0, len(p.quotas))
+	for t := range p.quotas {
+		tenants = append(tenants, t)
+	}
+	sortStrings(tenants)
+	for _, tenant := range tenants {
+		regions := make([]string, 0, len(p.quotas[tenant]))
+		for r := range p.quotas[tenant] {
+			regions = append(regions, r)
+		}
+		sortStrings(regions)
+		for _, region := range regions {
+			tq := p.quotas[tenant][region]
+			nodes := make([]topo.NodeID, 0, len(tq.enforcer))
+			for n := range tq.enforcer {
+				nodes = append(nodes, n)
+			}
+			sortNodeIDs(nodes)
+			changed := false
+			for _, n := range nodes {
+				enf := tq.enforcer[n]
+				up := m.Inj.Reachable(n)
+				if enf.Up() != up {
+					enf.SetUp(up)
+					changed = true
+				}
+			}
+			if changed {
+				tq.limiter.Redistribute()
+			}
+		}
+	}
+}
+
+func (m *FaultMonitor) state(provider string, sip SIP, eip EIP) *backendState {
+	k := backendKey{provider, sip, eip}
+	st, ok := m.backends[k]
+	if !ok {
+		st = &backendState{}
+		m.backends[k] = st
+	}
+	return st
+}
+
+// retryPermit accepts a permit update whose target endpoint is currently
+// unreachable and keeps retrying until the endpoint's enforcement point
+// answers or the timeout expires. Regular (non-daemon) events: bounded by
+// the timeout, so a deadline-less Run still terminates.
+func (m *FaultMonitor) retryPermit(p *Provider, tenant string, target addr.IP, entries []permit.Entry, node topo.NodeID) {
+	deadline := m.cloud.Eng.Now() + m.Policy.PermitRetryTimeout
+	var attempt func()
+	attempt = func() {
+		// The target may have been released while the update was pending.
+		ep, ok := p.endpoints[target]
+		if !ok || ep.tenant != tenant {
+			return
+		}
+		if m.Inj.Reachable(node) {
+			p.Permits.Set(target, entries)
+			if p.meter != nil {
+				p.meter.PermitUpdate(tenant, m.cloud.Eng.Now())
+			}
+			return
+		}
+		if m.cloud.Eng.Now()+m.Policy.PermitRetryInterval > deadline {
+			m.PermitTimeouts++
+			return
+		}
+		m.PermitRetries++
+		m.cloud.Eng.After(m.Policy.PermitRetryInterval, attempt)
+	}
+	m.PermitRetries++
+	m.cloud.Eng.After(m.Policy.PermitRetryInterval, attempt)
+}
+
+func sortIPs(s []addr.IP) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func sortNodeIDs(s []topo.NodeID) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -101,6 +101,10 @@ type Provider struct {
 	// meter, when set, records billable usage (see package meter).
 	meter Biller
 
+	// faults, when set, makes permit updates to unreachable endpoints
+	// retry asynchronously instead of applying instantly (see faults.go).
+	faults *FaultMonitor
+
 	cfg Config
 }
 
@@ -340,6 +344,17 @@ func (p *Provider) SetPermitList(tenant string, target addr.IP, entries []permit
 		}
 		for _, m := range members {
 			all = append(all, addr.NewPrefix(m, 32))
+		}
+	}
+	// Under fault injection, an update targeting an endpoint whose
+	// enforcement point is partitioned away cannot land immediately: it
+	// is accepted and retried until the node answers or the policy's
+	// timeout expires. SIP targets are enforced at the (always-on)
+	// service frontend and never defer.
+	if p.faults != nil {
+		if ep, ok := p.endpoints[target]; ok && !p.faults.Inj.Reachable(ep.node) {
+			p.faults.retryPermit(p, tenant, target, all, ep.node)
+			return nil
 		}
 	}
 	p.Permits.Set(target, all)

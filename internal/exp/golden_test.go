@@ -1,0 +1,116 @@
+package exp
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// volatile masks cells that are measured wall-clock performance rather
+// than simulated behavior, and so cannot be byte-stable across hosts.
+// Only E4's lookup-throughput column qualifies; everything else in every
+// table must reproduce exactly.
+var volatile = map[string]*regexp.Regexp{
+	"E4": regexp.MustCompile(`\b\d+\.\d+\b`), // lookups/us, the only float in E4 rows
+}
+
+func normalize(id, text string) string {
+	re, ok := volatile[id]
+	if !ok {
+		return text
+	}
+	// Masked cells change width, which shifts the renderer's column
+	// padding; collapse runs of spaces so alignment can't fail the diff.
+	text = re.ReplaceAllString(text, "<wall-clock>")
+	return regexp.MustCompile(`[ \t]+`).ReplaceAllString(text, " ")
+}
+
+var update = flag.Bool("update", false, "rewrite the golden experiment tables under testdata/golden")
+
+// TestGoldenTables pins the rendered output of every registered experiment
+// byte-for-byte. The registry runs each experiment with a fixed seed, and
+// every table is required to be a pure function of that seed — no wall
+// clock, no map-iteration order, no host parallelism leaking into cells.
+// A diff here means either a deliberate change (re-bless with
+// `go test ./internal/exp/ -run TestGoldenTables -update`) or a lost
+// determinism guarantee, which would break reproducibility of the paper
+// tables in EXPERIMENTS.md.
+func TestGoldenTables(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			tbl, err := e.Run()
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			got := normalize(e.ID, tbl.Text())
+			path := filepath.Join("testdata", "golden", e.ID+".txt")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s output drifted from %s:\n%s", e.ID, path, diffLines(string(want), got))
+			}
+		})
+	}
+}
+
+// TestGoldenTablesStable runs one representative experiment twice in the
+// same process and requires identical bytes — the cheap canary for
+// nondeterminism that golden files alone can't catch (a drifting table
+// would be blessed as drifted).
+func TestGoldenTablesStable(t *testing.T) {
+	first, err := E11AvailabilityDrill(200, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := E11AvailabilityDrill(200, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Text() != second.Text() {
+		t.Fatalf("E11 not deterministic across runs:\n%s", diffLines(first.Text(), second.Text()))
+	}
+}
+
+// diffLines renders a minimal line-oriented diff, enough to spot which
+// cell moved without pulling in a diff dependency.
+func diffLines(want, got string) string {
+	w, g := strings.Split(want, "\n"), strings.Split(got, "\n")
+	var b strings.Builder
+	n := len(w)
+	if len(g) > n {
+		n = len(g)
+	}
+	for i := 0; i < n; i++ {
+		var wl, gl string
+		if i < len(w) {
+			wl = w[i]
+		}
+		if i < len(g) {
+			gl = g[i]
+		}
+		if wl != gl {
+			fmt.Fprintf(&b, "line %d:\n  -%s\n  +%s\n", i+1, wl, gl)
+		}
+	}
+	if b.Len() == 0 {
+		return "(no line differences — whitespace or trailing newline)"
+	}
+	return b.String()
+}

@@ -46,6 +46,9 @@ func All() []Experiment {
 		{"E10", "SIP availability", func() (*metrics.Table, error) {
 			return E10Availability(200, 42)
 		}},
+		{"E11", "availability drill (fault injection)", func() (*metrics.Table, error) {
+			return E11AvailabilityDrill(200, 42)
+		}},
 	}
 }
 

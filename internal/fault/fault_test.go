@@ -1,0 +1,226 @@
+package fault
+
+import (
+	"testing"
+	"time"
+
+	"declnet/internal/netsim"
+	"declnet/internal/sim"
+	"declnet/internal/topo"
+)
+
+// diamond builds a -- b -- d plus a -- c -- d so a..d has a backup path.
+func diamond(t *testing.T) *topo.Graph {
+	t.Helper()
+	g := topo.New()
+	for _, id := range []topo.NodeID{"a", "b", "c", "d"} {
+		g.MustAddNode(topo.Node{ID: id, Provider: "p", Region: "r1", Kind: topo.Host})
+	}
+	g.MustConnect("ab", "a", "b", topo.Backbone, 100e6, time.Millisecond, 0, 0)
+	g.MustConnect("bd", "b", "d", topo.Backbone, 100e6, time.Millisecond, 0, 0)
+	g.MustConnect("ac", "a", "c", topo.Backbone, 100e6, 2*time.Millisecond, 0, 0)
+	g.MustConnect("cd", "c", "d", topo.Backbone, 100e6, 2*time.Millisecond, 0, 0)
+	return g
+}
+
+func TestLinkFailureStallsAndRecoveryResumes(t *testing.T) {
+	g := diamond(t)
+	eng := sim.New(1)
+	net := netsim.New(g, eng)
+	inj := NewInjector(eng, g, net)
+
+	p, err := g.ShortestPath("a", "d", topo.PathOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := net.StartFlow(&netsim.Flow{Path: p, Size: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Rate() != 100e6 {
+		t.Fatalf("initial rate = %v, want 100e6", f.Rate())
+	}
+	eng.Schedule(time.Second, func() {
+		if err := inj.FailLink("bd"); err != nil {
+			t.Error(err)
+		}
+	})
+	eng.Schedule(2*time.Second, func() {
+		if f.Rate() != 0 || !f.Stalled() {
+			t.Errorf("during failure: rate=%v stalled=%v, want 0/true", f.Rate(), f.Stalled())
+		}
+	})
+	eng.Schedule(3*time.Second, func() {
+		if err := inj.RestoreLink("bd"); err != nil {
+			t.Error(err)
+		}
+	})
+	eng.RunUntil(4 * time.Second)
+	if f.Rate() != 100e6 || f.Stalled() {
+		t.Fatalf("after recovery: rate=%v stalled=%v, want 100e6/false", f.Rate(), f.Stalled())
+	}
+	if inj.LinkFailures != 1 || inj.Recoveries != 1 {
+		t.Fatalf("counters = %d failures / %d recoveries, want 1/1", inj.LinkFailures, inj.Recoveries)
+	}
+}
+
+func TestStallTimeoutKillsFlows(t *testing.T) {
+	g := diamond(t)
+	eng := sim.New(1)
+	net := netsim.New(g, eng)
+	inj := NewInjector(eng, g, net)
+	inj.StallTimeout = 500 * time.Millisecond
+
+	p, _ := g.ShortestPath("a", "d", topo.PathOpts{})
+	killed := false
+	f, err := net.StartFlow(&netsim.Flow{Path: p, Size: -1, OnKilled: func() { killed = true }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Schedule(time.Second, func() { inj.FailLink("bd") })
+	// Heal after the stall timeout has already fired.
+	eng.Schedule(2*time.Second, func() { inj.RestoreLink("bd") })
+	eng.RunUntil(3 * time.Second)
+	if !killed || !f.Done() {
+		t.Fatalf("killed=%v done=%v, want true/true", killed, f.Done())
+	}
+	if inj.FlowsKilled != 1 {
+		t.Fatalf("FlowsKilled = %d, want 1", inj.FlowsKilled)
+	}
+}
+
+func TestStallTimeoutSparesFlowsThatHeal(t *testing.T) {
+	g := diamond(t)
+	eng := sim.New(1)
+	net := netsim.New(g, eng)
+	inj := NewInjector(eng, g, net)
+	inj.StallTimeout = 2 * time.Second
+
+	p, _ := g.ShortestPath("a", "d", topo.PathOpts{})
+	f, _ := net.StartFlow(&netsim.Flow{Path: p, Size: -1})
+	eng.Schedule(time.Second, func() { inj.FailLink("bd") })
+	// Heal before the timeout: the flow must survive and resume.
+	eng.Schedule(2*time.Second, func() { inj.RestoreLink("bd") })
+	eng.RunUntil(4 * time.Second)
+	if f.Done() || f.Rate() != 100e6 {
+		t.Fatalf("done=%v rate=%v, want false/100e6", f.Done(), f.Rate())
+	}
+	if inj.FlowsKilled != 0 {
+		t.Fatalf("FlowsKilled = %d, want 0", inj.FlowsKilled)
+	}
+}
+
+func TestNodeFailureComposesWithRegionFailure(t *testing.T) {
+	g := diamond(t)
+	eng := sim.New(1)
+	inj := NewInjector(eng, g, nil)
+
+	if err := inj.FailNode("b"); err != nil {
+		t.Fatal(err)
+	}
+	if inj.NodeUp("b") || inj.Reachable("b") {
+		t.Fatal("b should be down after FailNode")
+	}
+	if l, _ := g.Link("ab:fwd"); l.Up() {
+		t.Fatal("ab:fwd should be down with b down")
+	}
+	if err := inj.FailRegion("p", "r1"); err != nil {
+		t.Fatal(err)
+	}
+	if inj.NodeUp("a") || inj.NodeUp("c") {
+		t.Fatal("region failure should down every node")
+	}
+	// Region heal: b stays down (its direct failure still holds).
+	if err := inj.RestoreRegion("p", "r1"); err != nil {
+		t.Fatal(err)
+	}
+	if !inj.NodeUp("a") || !inj.NodeUp("c") || !inj.NodeUp("d") {
+		t.Fatal("region heal should restore a, c, d")
+	}
+	if inj.NodeUp("b") {
+		t.Fatal("b must stay down until its direct restore")
+	}
+	if l, _ := g.Link("ab:fwd"); l.Up() {
+		t.Fatal("ab:fwd must stay down while b is down")
+	}
+	if err := inj.RestoreNode("b"); err != nil {
+		t.Fatal(err)
+	}
+	if !inj.NodeUp("b") {
+		t.Fatal("b should be up after both causes lift")
+	}
+	if l, _ := g.Link("ab:fwd"); !l.Up() {
+		t.Fatal("ab:fwd should heal with b")
+	}
+}
+
+func TestFaultOpsAreIdempotent(t *testing.T) {
+	g := diamond(t)
+	eng := sim.New(1)
+	inj := NewInjector(eng, g, nil)
+
+	inj.FailLink("ab")
+	inj.FailLink("ab")
+	if inj.LinkFailures != 1 {
+		t.Fatalf("LinkFailures = %d, want 1 (idempotent)", inj.LinkFailures)
+	}
+	inj.RestoreLink("ab")
+	inj.RestoreLink("ab")
+	if inj.Recoveries != 1 {
+		t.Fatalf("Recoveries = %d, want 1 (idempotent)", inj.Recoveries)
+	}
+	if l, _ := g.Link("ab:fwd"); !l.Up() {
+		t.Fatal("ab:fwd should be up after balanced fail/restore")
+	}
+	if err := inj.FailLink("nope"); err == nil {
+		t.Fatal("failing an unknown pair should error")
+	}
+	if err := inj.FailNode("nope"); err == nil {
+		t.Fatal("failing an unknown node should error")
+	}
+	if err := inj.FailRegion("p", "nope"); err == nil {
+		t.Fatal("failing an empty region should error")
+	}
+}
+
+func TestScheduleAppliesInOrder(t *testing.T) {
+	g := diamond(t)
+	eng := sim.New(1)
+	net := netsim.New(g, eng)
+	inj := NewInjector(eng, g, net)
+
+	inj.Apply(Schedule{
+		{At: 2 * time.Second, Kind: LinkUp, Target: "bd"},
+		{At: time.Second, Kind: LinkDown, Target: "bd"},
+		{At: 3 * time.Second, Kind: NodeDown, Target: "c"},
+		{At: 4 * time.Second, Kind: NodeUp, Target: "c"},
+		{At: 5 * time.Second, Kind: RegionDown, Target: "p/r1"},
+		{At: 6 * time.Second, Kind: RegionUp, Target: "p/r1"},
+	})
+	eng.Schedule(1500*time.Millisecond, func() {
+		if inj.LinkUp("bd:fwd") {
+			t.Error("bd should be down at t=1.5s")
+		}
+	})
+	eng.Schedule(3500*time.Millisecond, func() {
+		if !inj.LinkUp("bd:fwd") {
+			t.Error("bd should be back at t=3.5s")
+		}
+		if inj.NodeUp("c") {
+			t.Error("c should be down at t=3.5s")
+		}
+	})
+	eng.Schedule(5500*time.Millisecond, func() {
+		if inj.Reachable("a") {
+			t.Error("a should be unreachable during region partition")
+		}
+	})
+	eng.RunUntil(7 * time.Second)
+	if !inj.NodeUp("a") || !inj.NodeUp("b") || !inj.NodeUp("c") || !inj.NodeUp("d") {
+		t.Fatal("everything should be healed at the end of the drill")
+	}
+	if inj.RegionFailures != 1 || inj.NodeFailures != 1 || inj.LinkFailures != 1 {
+		t.Fatalf("counters link=%d node=%d region=%d, want 1/1/1",
+			inj.LinkFailures, inj.NodeFailures, inj.RegionFailures)
+	}
+}

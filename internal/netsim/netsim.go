@@ -49,6 +49,11 @@ type Flow struct {
 	// OnDone fires when a sized flow completes, with its completion time.
 	OnDone func(fct time.Duration)
 
+	// OnKilled fires when the flow is destroyed by Kill (fault injection
+	// tearing down a stalled flow) rather than completing or being
+	// stopped by its owner. OnDone does not fire for killed flows.
+	OnKilled func()
+
 	net       *Network // non-nil while the flow is active
 	seq       uint64   // admission order; the deterministic iteration key
 	started   sim.Time
@@ -87,6 +92,22 @@ func (f *Flow) SentBytes() float64 {
 
 // Done reports whether a sized flow has completed.
 func (f *Flow) Done() bool { return f.done }
+
+// Stalled reports whether the flow currently crosses a failed link and is
+// pinned at rate 0 (it resumes when the link returns). Any pending solve
+// is applied first.
+func (f *Flow) Stalled() bool {
+	if f.net == nil {
+		return false
+	}
+	f.net.flush()
+	for _, l := range f.Path {
+		if !l.Up() {
+			return true
+		}
+	}
+	return false
+}
 
 // linkEntry is the persistent per-link record of the adjacency index: the
 // flows crossing the link (in admission order, the solver's deterministic
@@ -633,6 +654,51 @@ func (n *Network) setPair(pairID string, up bool) error {
 		}
 	}
 	return nil
+}
+
+// SetLinkUp fails or restores one directed link and queues the affected
+// component for an incremental reshare. Fault injection uses it for
+// node-granular failures, where each incident directed edge goes down on
+// its own.
+func (n *Network) SetLinkUp(id string, up bool) error {
+	if err := n.G.SetLinkUp(id, up); err != nil {
+		return err
+	}
+	if l, ok := n.G.Link(id); ok {
+		if le, ok := n.index[l]; ok {
+			n.markDirty(le)
+		}
+	}
+	return nil
+}
+
+// FlowsOn returns the active flows crossing the directed link, in
+// admission order. The fault injector uses it to find flows affected by a
+// failure.
+func (n *Network) FlowsOn(id string) []*Flow {
+	l, ok := n.G.Link(id)
+	if !ok {
+		return nil
+	}
+	le, ok := n.index[l]
+	if !ok {
+		return nil
+	}
+	return append([]*Flow(nil), le.flows...)
+}
+
+// Kill destroys an active flow that a fault has made unservable: it is
+// removed like Stop, then OnKilled (not OnDone) fires so the owning
+// connection can release balancer slots and quota grants.
+func (n *Network) Kill(f *Flow) {
+	if cur, ok := n.flows[f.ID]; !ok || cur != f {
+		return
+	}
+	n.Stop(f)
+	f.done = true
+	if f.OnKilled != nil {
+		f.OnKilled()
+	}
 }
 
 // referenceRates recomputes every active flow's max-min fair share from

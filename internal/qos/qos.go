@@ -86,12 +86,31 @@ type Enforcer struct {
 	// the controller runs again — the undershoot E5 measures.
 	flows map[RateSetter]float64
 	alloc float64 // current allocation from the controller, bits/s
+	// down marks an enforcement point the controller cannot reach (its
+	// host or region failed). Down enforcers are excluded from quota
+	// redistribution so survivors re-share the regional guarantee.
+	down bool
 }
 
 // NewEnforcer returns an empty enforcement point.
 func NewEnforcer(id string) *Enforcer {
 	return &Enforcer{ID: id, flows: make(map[RateSetter]float64)}
 }
+
+// SetUp marks the enforcement point reachable or partitioned. Going down
+// zeroes its allocation immediately (its flows are stalled anyway); going
+// up leaves it at the probing minimum until the next control round.
+func (e *Enforcer) SetUp(up bool) {
+	if e.down != !up {
+		e.down = !up
+		if e.down {
+			e.alloc = 0
+		}
+	}
+}
+
+// Up reports whether the enforcement point is reachable.
+func (e *Enforcer) Up() bool { return !e.down }
 
 // Attach adds a flow to be shaped. Until the next control round it may
 // send only the probing minimum.
@@ -222,18 +241,27 @@ func (d *DistributedLimiter) AddEnforcer(e *Enforcer) {
 // effect at the next redistribution round.
 func (d *DistributedLimiter) SetQuota(quota float64) { d.Quota = quota }
 
-// Redistribute runs one controller round immediately.
+// Redistribute runs one controller round immediately. Partitioned
+// (down) enforcers are excluded: their demand does not count and their
+// allocation stays zero, so the surviving points re-share the quota —
+// graceful degradation under region failure.
 func (d *DistributedLimiter) Redistribute() {
 	d.Rounds++
 	demands := make([]float64, len(d.enforcers))
 	var total float64
 	for i, e := range d.enforcers {
+		if e.down {
+			continue
+		}
 		demands[i] = e.Demand()
 		total += demands[i]
 	}
 	if total <= d.Quota {
 		// Everyone gets their demand; unsated quota stays in reserve.
 		for i, e := range d.enforcers {
+			if e.down {
+				continue
+			}
 			e.alloc = demands[i]
 			e.apply()
 		}
@@ -241,9 +269,11 @@ func (d *DistributedLimiter) Redistribute() {
 	}
 	// Max-min waterfill across enforcers by demand.
 	remaining := d.Quota
-	idx := make([]int, len(d.enforcers))
-	for i := range idx {
-		idx[i] = i
+	idx := make([]int, 0, len(d.enforcers))
+	for i, e := range d.enforcers {
+		if !e.down {
+			idx = append(idx, i)
+		}
 	}
 	// Insertion sort by demand ascending for the waterfill.
 	for i := 1; i < len(idx); i++ {
@@ -279,6 +309,9 @@ func (d *DistributedLimiter) AggregateRate() float64 {
 func (d *DistributedLimiter) AggregateActual() float64 {
 	var sum float64
 	for _, e := range d.enforcers {
+		if e.down {
+			continue
+		}
 		sum += e.ActualRate()
 	}
 	return sum
@@ -291,6 +324,9 @@ func (d *DistributedLimiter) AggregateActual() float64 {
 func (d *DistributedLimiter) EnforcementError() float64 {
 	var demand float64
 	for _, e := range d.enforcers {
+		if e.down {
+			continue
+		}
 		demand += e.Demand()
 	}
 	ideal := math.Min(d.Quota, demand)

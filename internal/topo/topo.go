@@ -249,6 +249,28 @@ func (g *Graph) Links() []*Link {
 // Out returns the links leaving node id.
 func (g *Graph) Out(id NodeID) []*Link { return g.out[id] }
 
+// Incident returns every directed link touching the node — leaving or
+// entering it — sorted by ID. Fault injection uses it to take a whole
+// node out of service by failing its attached links.
+func (g *Graph) Incident(id NodeID) []*Link {
+	var out []*Link
+	for _, l := range g.links {
+		if l.From == id || l.To == id {
+			out = append(out, l)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// NodesOf returns the nodes of a provider region (all kinds), sorted by
+// ID. Region-scoped fault injection keys on it.
+func (g *Graph) NodesOf(provider, region string) []*Node {
+	return g.NodesWhere(func(n *Node) bool {
+		return n.Provider == provider && n.Region == region
+	})
+}
+
 // Path is an ordered sequence of links from a source to a destination.
 type Path []*Link
 
