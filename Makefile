@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test vet race bench check fuzz
+.PHONY: build test vet race bench benchsmoke staticcheck check fuzz
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,20 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
+# One-iteration solver benchmark: catches benchmarks that no longer
+# compile or crash without paying for a real measurement run.
+benchsmoke:
+	$(GO) test -run '^$$' -bench MaxMinReshare -benchtime 1x .
+
+# Static analysis beyond vet. The tool is optional locally (CI installs
+# it); skip quietly when absent rather than failing the whole check.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
 # Short fuzz pass over the wire-format parsers. Each target gets
 # $(FUZZTIME); regression corpus lives under testdata/fuzz/ so plain
 # `go test` replays past findings even without this target.
@@ -28,5 +42,6 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzParsePrefix$$' -fuzztime $(FUZZTIME) ./internal/addr/
 	$(GO) test -run '^$$' -fuzz '^FuzzParsePermitEntry$$' -fuzztime $(FUZZTIME) ./internal/api/
 
-# Tier-1 verification plus vet and the race pass.
-check: build vet test race
+# Tier-1 verification plus vet, static analysis, the race pass, and the
+# benchmark smoke test.
+check: build vet staticcheck test race benchsmoke

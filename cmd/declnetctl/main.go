@@ -18,6 +18,9 @@
 //	probe <src> <dst>
 //	fail link|node|region <target> [advance-ms]   # inject a failure
 //	heal link|node|region <target> [advance-ms]   # reverse it
+//	explain <src> <dst>                    # replay the datapath verdict chain
+//	trace [n] [kind]                       # recent decision trace events
+//	metrics                                # Prometheus text exposition
 //	status
 package main
 
@@ -27,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
 	"strconv"
 )
@@ -81,6 +85,12 @@ parsed:
 		err = c.fault("fail", rest)
 	case "heal":
 		err = c.fault("heal", rest)
+	case "explain":
+		err = c.explain(rest)
+	case "trace":
+		err = c.trace(rest)
+	case "metrics":
+		err = c.metrics(rest)
 	case "status":
 		err = c.status(rest)
 	default:
@@ -263,6 +273,36 @@ func (c client) fault(verb string, args []string) error {
 		body["advance_ms"] = ms
 	}
 	return c.call("POST", "/v1/"+verb, body)
+}
+
+// explain asks the provider to replay the datapath decision for a
+// hypothetical src->dst flow and print the ordered verdict chain.
+func (c client) explain(args []string) error {
+	if err := need(args, 2, "explain <src> <dst>"); err != nil {
+		return err
+	}
+	q := url.Values{"tenant": {c.tenant}, "src": {args[0]}, "dst": {args[1]}}
+	return c.call("GET", "/v1/explain?"+q.Encode(), nil)
+}
+
+// trace fetches the tenant's recent decision events, optionally limited
+// to the last n and filtered to one event kind.
+func (c client) trace(args []string) error {
+	q := url.Values{"tenant": {c.tenant}}
+	if len(args) >= 1 {
+		if _, err := strconv.Atoi(args[0]); err != nil {
+			return fmt.Errorf("bad event count %q", args[0])
+		}
+		q.Set("n", args[0])
+	}
+	if len(args) >= 2 {
+		q.Set("kind", args[1])
+	}
+	return c.call("GET", "/v1/trace?"+q.Encode(), nil)
+}
+
+func (c client) metrics(args []string) error {
+	return c.call("GET", "/v1/metrics", nil)
 }
 
 func (c client) status(args []string) error {

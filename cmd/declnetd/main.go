@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	declnetd -listen :8080 -seed 1 -hosts 4
+//	declnetd -listen :8080 -seed 1 -hosts 4 -log-level info -debug-addr :6060
 //
 // Endpoints (all JSON):
 //
@@ -18,31 +18,83 @@
 //	POST /v1/potato        {tenant, provider, policy}
 //	POST /v1/groups        {tenant, provider, name, members}
 //	POST /v1/transfer      {tenant, src, dst, bytes}
+//	POST /v1/fail          {kind, target, advance_ms}
+//	POST /v1/heal          {kind, target, advance_ms}
 //	GET  /v1/probe?tenant=&src=&dst=
+//	GET  /v1/explain?tenant=&src=&dst=     replay datapath verdict chain
+//	GET  /v1/trace?tenant=&n=&kind=        recent decision trace events
+//	GET  /v1/metrics                       Prometheus text exposition
 //	GET  /v1/status
+//
+// With -debug-addr set, a second listener serves net/http/pprof under
+// /debug/pprof/ and the expvar JSON dump under /debug/vars (the metrics
+// registry is published there as "declnet").
 package main
 
 import (
+	"expvar"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof"
+	"os"
 
 	"declnet"
 	"declnet/internal/api"
 )
 
+func parseLevel(s string) (slog.Level, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(s)); err != nil {
+		return 0, fmt.Errorf("bad -log-level %q (want debug, info, warn, or error)", s)
+	}
+	return lvl, nil
+}
+
 func main() {
 	listen := flag.String("listen", ":8080", "listen address")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	hosts := flag.Int("hosts", 4, "hosts per availability zone")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	debugAddr := flag.String("debug-addr", "", "optional address for pprof and expvar debug endpoints")
 	flag.Parse()
+
+	lvl, err := parseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
 
 	world, err := declnet.NewFig1World(*seed, *hosts)
 	if err != nil {
-		log.Fatalf("building world: %v", err)
+		logger.Error("building world", "err", err)
+		os.Exit(1)
 	}
-	srv := api.NewServer(world)
-	log.Printf("declnetd: Table-2 control plane on %s (providers: %s, %s, onprem)",
-		*listen, world.Fig1.CloudA, world.Fig1.CloudB)
-	log.Fatal(http.ListenAndServe(*listen, srv))
+	srv := api.NewServerWith(world, api.Options{Logger: logger})
+
+	if *debugAddr != "" {
+		// pprof registered itself on DefaultServeMux via import; publish
+		// the metrics registry alongside it for /debug/vars.
+		expvar.Publish("declnet", expvar.Func(func() any {
+			return srv.ExpvarMap()
+		}))
+		go func() {
+			logger.Info("debug listener up", "addr", *debugAddr,
+				"pprof", "/debug/pprof/", "expvar", "/debug/vars")
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				logger.Error("debug listener failed", "err", err)
+			}
+		}()
+	}
+
+	logger.Info("declnetd: Table-2 control plane up",
+		"listen", *listen,
+		"providers", fmt.Sprintf("%s, %s, onprem", world.Fig1.CloudA, world.Fig1.CloudB),
+		"seed", *seed, "hosts_per_zone", *hosts, "log_level", lvl.String())
+	if err := http.ListenAndServe(*listen, srv); err != nil {
+		logger.Error("listener failed", "err", err)
+		os.Exit(1)
+	}
 }

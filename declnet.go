@@ -30,6 +30,8 @@ import (
 
 	"declnet/internal/addr"
 	"declnet/internal/core"
+	"declnet/internal/metrics"
+	"declnet/internal/obs"
 	"declnet/internal/permit"
 	"declnet/internal/qos"
 	"declnet/internal/topo"
@@ -191,6 +193,26 @@ func (w *World) faultOp(kind, target string, fail bool) error {
 		return fmt.Errorf("declnet: unknown fault kind %q (want link, node, or region)", kind)
 	}
 }
+
+// Explanation is the ordered verdict chain /v1/explain returns; see
+// core.Explanation.
+type Explanation = core.Explanation
+
+// ExplainStep is one stage of a replayed datapath decision.
+type ExplainStep = core.ExplainStep
+
+// EnableObservability attaches a decision tracer and metrics registry to
+// every provider (see internal/obs and internal/metrics). Either may be
+// nil to enable only one side.
+func (w *World) EnableObservability(tr *obs.Tracer, reg *metrics.Registry) {
+	w.Cloud.EnableObservability(tr, reg)
+}
+
+// Tracer returns the decision tracer, nil until EnableObservability.
+func (w *World) Tracer() *obs.Tracer { return w.Cloud.Tracer() }
+
+// Registry returns the metrics registry, nil until EnableObservability.
+func (w *World) Registry() *metrics.Registry { return w.Cloud.Registry() }
 
 // Tenant returns a handle scoped to one tenant account. Creating the
 // handle is free; all state lives provider-side.
@@ -366,6 +388,14 @@ func (t *Tenant) Transfer(src EIP, dst IP, sizeBytes float64, done func(time.Dur
 // destination, reporting the RTT and whether the probe survived loss.
 func (t *Tenant) Probe(src EIP, dst IP) (time.Duration, bool, error) {
 	return t.world.Cloud.Probe(t.name, src, dst)
+}
+
+// Explain replays the datapath decision for a hypothetical flow from one
+// of the tenant's EIPs to a destination, returning the ordered verdict
+// chain without taking any decision — the declarative answer to
+// traceroute plus "why is my security group blocking this" (§6).
+func (t *Tenant) Explain(src EIP, dst IP) (*Explanation, error) {
+	return t.world.Cloud.Explain(t.name, src, dst)
 }
 
 // Register binds a tenant-scoped name to one of the tenant's addresses —

@@ -3,17 +3,28 @@
 // cmd/declnetctl speaks it. The handler owns a single simulated World and
 // serializes access to it (the simulation engine is single-threaded by
 // design).
+//
+// Alongside the control verbs, the server carries the observability plane
+// of §6: GET /v1/explain replays a datapath decision, GET /v1/trace
+// returns recent provider-side decision events, and GET /v1/metrics
+// exports the runtime metrics registry in Prometheus text format.
 package api
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
 	"time"
 
 	"declnet"
+	"declnet/internal/core"
+	"declnet/internal/metrics"
+	"declnet/internal/obs"
 	"declnet/internal/qos"
 )
 
@@ -22,11 +33,53 @@ type Server struct {
 	mu    sync.Mutex
 	world *declnet.World
 	mux   *http.ServeMux
+
+	log       *slog.Logger
+	tracer    *obs.Tracer
+	registry  *metrics.Registry
+	startedAt time.Time
+
+	mRequests *metrics.RCounter
+	mErrors   *metrics.RCounter
+	mLatency  *metrics.RHistogram
 }
 
-// NewServer returns a handler over the given world.
-func NewServer(w *declnet.World) *Server {
-	s := &Server{world: w, mux: http.NewServeMux()}
+// Options tunes the server's observability wiring. The zero value gives a
+// silent logger and fresh tracer + registry attached to the world.
+type Options struct {
+	// Logger receives one structured line per request (method, path,
+	// tenant, status, latency). Nil discards logs.
+	Logger *slog.Logger
+	// Tracer and Registry override the defaults; nil values get fresh
+	// instances. Both are attached to the world via EnableObservability.
+	Tracer   *obs.Tracer
+	Registry *metrics.Registry
+}
+
+// NewServer returns a handler over the given world with default
+// observability (silent logs, fresh tracer and registry).
+func NewServer(w *declnet.World) *Server { return NewServerWith(w, Options{}) }
+
+// NewServerWith returns a handler with explicit observability wiring.
+func NewServerWith(w *declnet.World, opts Options) *Server {
+	if opts.Logger == nil {
+		opts.Logger = slog.New(slog.DiscardHandler)
+	}
+	if opts.Tracer == nil {
+		opts.Tracer = obs.NewTracer(0)
+	}
+	if opts.Registry == nil {
+		opts.Registry = metrics.NewRegistry()
+	}
+	w.EnableObservability(opts.Tracer, opts.Registry)
+	s := &Server{
+		world: w, mux: http.NewServeMux(),
+		log: opts.Logger, tracer: opts.Tracer, registry: opts.Registry,
+		startedAt: time.Now(),
+		mRequests: opts.Registry.Counter("declnet_http_requests_total", "HTTP API requests."),
+		mErrors:   opts.Registry.Counter("declnet_http_errors_total", "HTTP API error responses."),
+		mLatency:  opts.Registry.Histogram("declnet_http_request_seconds", "HTTP API request latency."),
+	}
 	s.mux.HandleFunc("POST /v1/eips", s.requestEIP)
 	s.mux.HandleFunc("POST /v1/eips/release", s.releaseEIP)
 	s.mux.HandleFunc("POST /v1/sips", s.requestSIP)
@@ -42,12 +95,74 @@ func NewServer(w *declnet.World) *Server {
 	s.mux.HandleFunc("POST /v1/heal", s.heal)
 	s.mux.HandleFunc("GET /v1/probe", s.probe)
 	s.mux.HandleFunc("GET /v1/status", s.status)
+	s.mux.HandleFunc("GET /v1/explain", s.explain)
+	s.mux.HandleFunc("GET /v1/trace", s.trace)
+	s.mux.HandleFunc("GET /v1/metrics", s.metrics)
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// Logger returns the server's structured logger.
+func (s *Server) Logger() *slog.Logger { return s.log }
+
+// Registry returns the runtime metrics registry.
+func (s *Server) Registry() *metrics.Registry { return s.registry }
+
+// ExpvarMap snapshots the registry under the world lock — gauge functions
+// sample live simulation state, so a lock-free snapshot from a debug
+// listener would race with request handlers.
+func (s *Server) ExpvarMap() map[string]float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.registry.ExpvarMap()
+}
+
+// statusRecorder captures the response code for logging and metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.code = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// ServeHTTP implements http.Handler, logging one structured line per
+// request and feeding the API rate/latency instruments.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	start := time.Now()
+	tenant := r.URL.Query().Get("tenant")
+	if tenant == "" && r.Method == http.MethodPost && r.Body != nil {
+		// The tenant rides in the JSON body on POSTs; peek it for the log
+		// line and hand the handler a replayable body.
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err == nil {
+			r.Body = io.NopCloser(bytes.NewReader(body))
+			var t struct {
+				Tenant string `json:"tenant"`
+			}
+			if json.Unmarshal(body, &t) == nil {
+				tenant = t.Tenant
+			}
+		}
+	}
+	rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+	s.mux.ServeHTTP(rec, r)
+	elapsed := time.Since(start)
+	s.mRequests.Inc()
+	s.mLatency.Observe(elapsed.Seconds())
+	level := slog.LevelDebug
+	if rec.code >= 400 {
+		s.mErrors.Inc()
+		level = slog.LevelWarn
+	}
+	s.log.LogAttrs(r.Context(), level, "request",
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.String("tenant", tenant),
+		slog.Int("status", rec.code),
+		slog.Duration("latency", elapsed),
+	)
 }
 
 // Error is the JSON error envelope.
@@ -506,10 +621,16 @@ func (s *Server) probe(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// StatusResponse summarizes the running world.
+// StatusResponse summarizes the running world: virtual and wall-clock
+// uptime, per-provider scale, per-tenant resource counts, and trace
+// volume from the observability plane.
 type StatusResponse struct {
-	VirtualTimeMillis float64        `json:"virtual_time_ms"`
-	Providers         map[string]any `json:"providers"`
+	VirtualTimeMillis float64                        `json:"virtual_time_ms"`
+	UptimeSeconds     float64                        `json:"uptime_seconds"`
+	Providers         map[string]any                 `json:"providers"`
+	Tenants           map[string]core.ResourceCounts `json:"tenants"`
+	TraceEvents       uint64                         `json:"trace_events"`
+	MetricSamples     int                            `json:"metric_samples"`
 }
 
 func (s *Server) status(w http.ResponseWriter, r *http.Request) {
@@ -517,7 +638,11 @@ func (s *Server) status(w http.ResponseWriter, r *http.Request) {
 	defer s.mu.Unlock()
 	resp := StatusResponse{
 		VirtualTimeMillis: float64(s.world.Now()) / float64(time.Millisecond),
+		UptimeSeconds:     time.Since(s.startedAt).Seconds(),
 		Providers:         map[string]any{},
+		Tenants:           s.world.Cloud.TenantResources(),
+		TraceEvents:       s.tracer.Recorded(),
+		MetricSamples:     len(s.registry.Snapshot()),
 	}
 	for _, name := range []string{s.world.Fig1.CloudA, s.world.Fig1.CloudB, "onprem"} {
 		if p, ok := s.world.Cloud.Provider(name); ok {

@@ -2,10 +2,13 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"declnet/internal/addr"
+	"declnet/internal/metrics"
 	"declnet/internal/netsim"
+	"declnet/internal/obs"
 	"declnet/internal/permit"
 	"declnet/internal/qos"
 	"declnet/internal/sim"
@@ -32,6 +35,26 @@ type Cloud struct {
 
 	// monitor is the fault-reaction loop, nil until EnableFaults.
 	monitor *FaultMonitor
+
+	// trace and reg are the observability plane, nil until
+	// EnableObservability; see observe.go. The m* fields cache registry
+	// instruments so the Connect hot path skips the registry lock (nil
+	// instruments no-op).
+	trace           *obs.Tracer
+	reg             *metrics.Registry
+	mConnects       *metrics.RCounter
+	mConnectsDenied *metrics.RCounter
+	mConnectsErr    *metrics.RCounter
+	mProbes         *metrics.RCounter
+	mExplains       *metrics.RCounter
+	// ipMemo is a two-entry IP→string cache for traceEvent: one traced
+	// connection stringifies the same (src, dst) pair three times, and the
+	// simulation core is single-goroutine, so two slots catch nearly every
+	// repeat without a map or a lock.
+	ipMemo [2]struct {
+		ip addr.IP
+		s  string
+	}
 }
 
 // NewCloud wraps a world graph in a simulation.
@@ -59,7 +82,13 @@ func (c *Cloud) AddProvider(name string, cfg Config) (*Provider, error) {
 		return members, ok
 	}
 	p.faults = c.monitor
+	if c.trace != nil {
+		p.trace = c.traceEvent
+	}
 	c.providers[name] = p
+	if c.reg != nil {
+		c.registerProviderMetrics(name, p)
+	}
 	return p, nil
 }
 
@@ -236,7 +265,22 @@ func (c *Cloud) Connect(tenant string, src EIP, dst addr.IP, opts ConnectOpts) (
 	// (1) Default-off admission, enforced by the destination's provider
 	// against the address the client targeted (EIP or SIP).
 	if !dstProv.Permits.Check(src, dst) {
+		if c.trace != nil {
+			dec := dstProv.Permits.Explain(src, dst)
+			cause := obs.Chain("permit-deny:"+dst.String(), "src-not-in-permit-list")
+			if !dec.HasList {
+				cause = obs.Chain("permit-deny:"+dst.String(), "no-permit-list")
+			}
+			c.traceEvent(obs.PermitDeny, tenant, src, dst, "deny",
+				"entries="+strconv.Itoa(dec.Entries)+" epoch="+strconv.FormatUint(dec.Version, 10), cause)
+		}
+		c.mConnectsDenied.Inc()
 		return nil, fmt.Errorf("core: %s not permitted to reach %s (default-off)", src, dst)
+	}
+	if c.trace != nil {
+		dec := dstProv.Permits.Explain(src, dst)
+		c.traceEvent(obs.PermitAllow, tenant, src, dst, "ok",
+			"entry="+dec.Matched.String()+" epoch="+strconv.FormatUint(dec.Version, 10), "")
 	}
 	// (2) Resolve SIP -> backend EIP via the provider's balancer.
 	dstEIP := dst
@@ -244,8 +288,15 @@ func (c *Cloud) Connect(tenant string, src EIP, dst addr.IP, opts ConnectOpts) (
 	if svc, isSIP := dstProv.services[dst]; isSIP {
 		be, err := svc.balancer.Pick()
 		if err != nil {
+			c.traceEvent(obs.SIPPick, tenant, src, dst, "fail",
+				"healthy=0/"+strconv.Itoa(len(svc.balancer.Backends())),
+				"no-healthy-backend:"+dst.String())
+			c.mConnectsErr.Inc()
 			return nil, fmt.Errorf("core: %s: %w", dst, err)
 		}
+		c.traceEvent(obs.SIPPick, tenant, src, dst, "ok",
+			"backend="+be.EIP.String()+" healthy="+strconv.Itoa(svc.balancer.HealthyCount())+
+				"/"+strconv.Itoa(len(svc.balancer.Backends())), "")
 		dstEIP = be.EIP
 		bal := svc.balancer
 		release = func() { bal.Release(be) }
@@ -255,6 +306,7 @@ func (c *Cloud) Connect(tenant string, src EIP, dst addr.IP, opts ConnectOpts) (
 		if release != nil {
 			release()
 		}
+		c.mConnectsErr.Inc()
 		return nil, fmt.Errorf("core: backend %s vanished", dstEIP)
 	}
 	// (3) Path under the tenant's transit profile.
@@ -267,8 +319,14 @@ func (c *Cloud) Connect(tenant string, src EIP, dst addr.IP, opts ConnectOpts) (
 		if release != nil {
 			release()
 		}
+		c.traceEvent(obs.PathSelect, tenant, src, dstEIP, "fail",
+			fmt.Sprintf("policy=%v", policy), fmt.Sprintf("no-path:%v", policy))
+		c.mConnectsErr.Inc()
 		return nil, err
 	}
+	c.traceEvent(obs.PathSelect, tenant, src, dstEIP, "ok",
+		"policy="+policy.String()+" hops="+strconv.Itoa(len(path))+
+			" delay="+time.Duration(path.Delay()).String(), "")
 	// (4) Start the flow under the per-VM cap, then attach it to the
 	// regional egress limiter when it leaves the source region.
 	vmCap := srcEp.egressCap
@@ -321,8 +379,11 @@ func (c *Cloud) Connect(tenant string, src EIP, dst addr.IP, opts ConnectOpts) (
 			tq.limiter.Redistribute()
 			cn.adapter = ad
 			cn.enforcer = enf
+			c.traceEvent(obs.QoSThrottle, tenant, src, dstEIP, "ok",
+				fmt.Sprintf("region=%s quota=%.3gbps demand=%.3gbps", srcEp.region, tq.quota, demand), "")
 		}
 	}
+	c.mConnects.Inc()
 	return cn, nil
 }
 
@@ -365,6 +426,7 @@ func (c *Cloud) Probe(tenant string, src EIP, dst addr.IP) (time.Duration, bool,
 	}
 	rtt := c.Net.RTT(path)
 	ok = c.Net.Delivered(path) && c.Net.Delivered(path)
+	c.mProbes.Inc()
 	return rtt, ok, nil
 }
 

@@ -1,8 +1,12 @@
 package core
 
 import (
+	"fmt"
+
 	"declnet/internal/addr"
 	"declnet/internal/fault"
+	"declnet/internal/metrics"
+	"declnet/internal/obs"
 	"declnet/internal/permit"
 	"declnet/internal/sim"
 	"declnet/internal/topo"
@@ -89,6 +93,7 @@ type backendState struct {
 	down     bool     // pulled from rotation
 	backoff  sim.Time // current re-bind backoff (doubles per failure)
 	rebindAt sim.Time // when a recovered backend re-enters; 0 = not waiting
+	downAt   sim.Time // when the failover was detected, for MTTR metrics
 }
 
 // FaultMonitor is the provider-side reaction to injected faults: a
@@ -109,6 +114,15 @@ type FaultMonitor struct {
 	PermitTimeouts uint64 // permit updates abandoned
 	LastFailoverAt sim.Time
 	LastRebindAt   sim.Time
+
+	// pending tracks deferred permit updates by target address (when the
+	// update was first accepted), so Explain can tell "denied" apart from
+	// "accepted but not yet enforceable".
+	pending map[addr.IP]sim.Time
+	// mMTTR observes failover detect->rebind latency; mPermitLag observes
+	// deferred-permit propagation lag. Both nil (no-op) without a registry.
+	mMTTR      *metrics.RHistogram
+	mPermitLag *metrics.RHistogram
 }
 
 // EnableFaults attaches a fault injector and starts the provider health
@@ -123,8 +137,12 @@ func (c *Cloud) EnableFaults(policy FaultPolicy) *FaultMonitor {
 		Policy:   policy,
 		cloud:    c,
 		backends: make(map[backendKey]*backendState),
+		pending:  make(map[addr.IP]sim.Time),
 	}
 	c.monitor = m
+	if c.reg != nil {
+		m.registerMetrics(c.reg)
+	}
 	for _, p := range c.providers {
 		p.faults = m
 	}
@@ -142,6 +160,36 @@ func (c *Cloud) Faults() *FaultMonitor { return c.monitor }
 func (m *FaultMonitor) BackendDown(provider string, sip SIP, eip EIP) bool {
 	st, ok := m.backends[backendKey{provider, sip, eip}]
 	return ok && st.down
+}
+
+// PendingPermit reports whether a permit update for target is accepted
+// but still deferred (its enforcement point unreachable), and since when.
+func (m *FaultMonitor) PendingPermit(target addr.IP) (sim.Time, bool) {
+	since, ok := m.pending[target]
+	return since, ok
+}
+
+// registerMetrics exposes the monitor's reaction counters and latency
+// distributions through the cloud's registry.
+func (m *FaultMonitor) registerMetrics(reg *metrics.Registry) {
+	reg.GaugeFunc("declnet_failovers_total",
+		"Backends pulled from rotation.", func() float64 { return float64(m.Failovers) })
+	reg.GaugeFunc("declnet_rebinds_total",
+		"Backends restored to rotation.", func() float64 { return float64(m.Rebinds) })
+	reg.GaugeFunc("declnet_permit_retries_total",
+		"Deferred permit-update attempts.", func() float64 { return float64(m.PermitRetries) })
+	reg.GaugeFunc("declnet_permit_timeouts_total",
+		"Permit updates abandoned.", func() float64 { return float64(m.PermitTimeouts) })
+	reg.GaugeFunc("declnet_permit_deferred",
+		"Permit updates currently deferred.", func() float64 { return float64(len(m.pending)) })
+	reg.GaugeFunc("declnet_faults_injected_total",
+		"Injected link+node+region failures.", func() float64 {
+			return float64(m.Inj.LinkFailures + m.Inj.NodeFailures + m.Inj.RegionFailures)
+		})
+	m.mMTTR = reg.Histogram("declnet_failover_mttr_seconds",
+		"Failover detect-to-rebind latency.")
+	m.mPermitLag = reg.Histogram("declnet_permit_propagation_seconds",
+		"Deferred permit-update propagation lag.")
 }
 
 // tick is one health sweep over every provider, in deterministic order.
@@ -190,6 +238,12 @@ func (m *FaultMonitor) sweepServices(now sim.Time, p *Provider) {
 					svc.balancer.SetHealth(be.EIP, true)
 					m.Rebinds++
 					m.LastRebindAt = now
+					if st.downAt > 0 {
+						m.mMTTR.Observe((now - st.downAt).Seconds())
+					}
+					m.cloud.traceEvent(obs.Rebind, svc.tenant, be.EIP, sip, "ok",
+						fmt.Sprintf("node=%s mttr=%v", node, now-st.downAt), "")
+					st.downAt = 0
 				}
 				continue
 			}
@@ -206,6 +260,10 @@ func (m *FaultMonitor) sweepServices(now sim.Time, p *Provider) {
 			svc.balancer.SetHealth(be.EIP, false)
 			m.Failovers++
 			m.LastFailoverAt = now
+			st.downAt = now
+			m.cloud.traceEvent(obs.Failover, svc.tenant, be.EIP, sip, "fail",
+				fmt.Sprintf("node=%s misses=%d", node, st.misses),
+				obs.Chain(m.Inj.Cause(node)...))
 			if st.backoff == 0 {
 				st.backoff = m.Policy.RebindBackoff
 			} else if st.backoff *= 2; st.backoff > m.Policy.RebindBackoffMax {
@@ -268,12 +326,20 @@ func (m *FaultMonitor) state(provider string, sip SIP, eip EIP) *backendState {
 // answers or the timeout expires. Regular (non-daemon) events: bounded by
 // the timeout, so a deadline-less Run still terminates.
 func (m *FaultMonitor) retryPermit(p *Provider, tenant string, target addr.IP, entries []permit.Entry, node topo.NodeID) {
-	deadline := m.cloud.Eng.Now() + m.Policy.PermitRetryTimeout
+	accepted := m.cloud.Eng.Now()
+	deadline := accepted + m.Policy.PermitRetryTimeout
+	if _, dup := m.pending[target]; !dup {
+		m.pending[target] = accepted
+	}
+	m.cloud.traceEvent(obs.PermitDefer, tenant, 0, target, "deferred",
+		fmt.Sprintf("entries=%d node=%s", len(entries), node),
+		obs.Chain(m.Inj.Cause(node)...))
 	var attempt func()
 	attempt = func() {
 		// The target may have been released while the update was pending.
 		ep, ok := p.endpoints[target]
 		if !ok || ep.tenant != tenant {
+			delete(m.pending, target)
 			return
 		}
 		if m.Inj.Reachable(node) {
@@ -281,10 +347,19 @@ func (m *FaultMonitor) retryPermit(p *Provider, tenant string, target addr.IP, e
 			if p.meter != nil {
 				p.meter.PermitUpdate(tenant, m.cloud.Eng.Now())
 			}
+			lag := m.cloud.Eng.Now() - accepted
+			m.mPermitLag.Observe(lag.Seconds())
+			m.cloud.traceEvent(obs.PermitApply, tenant, 0, target, "ok",
+				fmt.Sprintf("lag=%v epoch=%d", lag, p.Permits.Explain(0, target).Version), "")
+			delete(m.pending, target)
 			return
 		}
 		if m.cloud.Eng.Now()+m.Policy.PermitRetryInterval > deadline {
 			m.PermitTimeouts++
+			m.cloud.traceEvent(obs.PermitTimeout, tenant, 0, target, "fail",
+				fmt.Sprintf("after=%v", m.cloud.Eng.Now()-accepted),
+				obs.Chain(append([]string{"permit-timeout:" + target.String()}, m.Inj.Cause(node)...)...))
+			delete(m.pending, target)
 			return
 		}
 		m.PermitRetries++

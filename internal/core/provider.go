@@ -21,6 +21,7 @@ import (
 	"declnet/internal/addr"
 	"declnet/internal/lb"
 	"declnet/internal/netsim"
+	"declnet/internal/obs"
 	"declnet/internal/permit"
 	"declnet/internal/qos"
 	"declnet/internal/sim"
@@ -104,6 +105,10 @@ type Provider struct {
 	// faults, when set, makes permit updates to unreachable endpoints
 	// retry asynchronously instead of applying instantly (see faults.go).
 	faults *FaultMonitor
+
+	// trace, when set, records control-plane decisions into the cloud's
+	// observability plane (see observe.go); nil-safe at the call site.
+	trace func(kind obs.Kind, tenant string, src, dst addr.IP, verdict, detail, cause string)
 
 	cfg Config
 }
@@ -360,6 +365,10 @@ func (p *Provider) SetPermitList(tenant string, target addr.IP, entries []permit
 	p.Permits.Set(target, all)
 	if p.meter != nil {
 		p.meter.PermitUpdate(tenant, p.eng.Now())
+	}
+	if p.trace != nil {
+		p.trace(obs.PermitUpdate, tenant, 0, target, "ok",
+			fmt.Sprintf("entries=%d epoch=%d", len(all), p.Permits.Explain(0, target).Version), "")
 	}
 	return nil
 }

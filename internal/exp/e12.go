@@ -1,0 +1,371 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"time"
+
+	"declnet/internal/addr"
+	"declnet/internal/core"
+	"declnet/internal/metrics"
+	"declnet/internal/obs"
+	"declnet/internal/permit"
+	"declnet/internal/sim"
+	"declnet/internal/topo"
+)
+
+// E12Observability evaluates the observability plane on both axes the
+// paper's §6 cares about:
+//
+//   - Diagnosis quality: for a battery of injected ground-truth faults,
+//     does Explain (the engine behind GET /v1/explain) name the root
+//     cause the injector actually planted? The scorecard rows are fully
+//     deterministic; the golden test pins them.
+//   - Overhead: the same E11-style connect workload run twice — once with
+//     the tracer and metrics registry attached, once with both stripped
+//     (nil sinks) — so the instrumentation's cost is a measured delta,
+//     not a claim. Wall-clock cells vary by machine and are masked in the
+//     golden; the deterministic event/sample counts are not.
+func E12Observability(connects int, seed int64) (*metrics.Table, error) {
+	if connects <= 0 {
+		connects = 2000
+	}
+
+	scenarios := e12Scenarios()
+	t := &metrics.Table{
+		Title:   "E12: observability — /v1/explain diagnosis quality + instrumentation overhead",
+		Columns: []string{"scenario", "injected fault", "expected cause", "explain verdict", "match"},
+	}
+	diagnosed := 0
+	for _, sc := range scenarios {
+		verdict, match, err := e12RunScenario(sc, seed)
+		if err != nil {
+			return nil, fmt.Errorf("exp: E12 scenario %q: %w", sc.name, err)
+		}
+		if match {
+			diagnosed++
+		}
+		t.AddRow(sc.name, sc.fault, sc.expectLabel(), verdict, mark(match))
+	}
+	t.AddRow("correctly diagnosed", "", "", fmt.Sprintf("%d/%d", diagnosed, len(scenarios)), "")
+
+	instr, strip, err := e12Overhead(connects, seed)
+	if err != nil {
+		return nil, err
+	}
+	if instr.connects != strip.connects || instr.errors != strip.errors {
+		return nil, fmt.Errorf("exp: E12 arms diverged: instrumented %d/%d vs stripped %d/%d",
+			instr.connects, instr.errors, strip.connects, strip.errors)
+	}
+	t.AddNotef("overhead workload: %d connects with a mid-run node drill, identical in both arms (%d errors each)",
+		instr.connects, instr.errors)
+	t.AddNotef("instrumented arm recorded %d trace events and %d registry samples; stripped arm 0 and 0",
+		instr.traceEvents, instr.samples)
+	overhead := 0.0
+	if strip.wall > 0 {
+		overhead = (float64(instr.wall) - float64(strip.wall)) / float64(strip.wall) * 100
+	}
+	t.AddNotef("wall-clock (min of %d reps): stripped %.1fms, instrumented %.1fms, overhead %.1f%%",
+		e12Reps, float64(strip.wall)/float64(time.Millisecond),
+		float64(instr.wall)/float64(time.Millisecond), overhead)
+	t.AddNotef("tracing and metrics are nil-safe: the stripped arm pays one nil check per decision point")
+	return t, nil
+}
+
+func mark(ok bool) string {
+	if ok {
+		return "yes"
+	}
+	return "MISS"
+}
+
+// e12Scenario is one ground-truth fault with the cause Explain must name.
+type e12Scenario struct {
+	name  string
+	fault string
+	// expect is the substring the root cause must contain; "" means the
+	// flow must explain as reachable.
+	expect string
+	// run injects the fault and returns the (src, dst) pair to explain.
+	run func(d *DeclarativeFig1, m *core.FaultMonitor) (core.EIP, addr.IP, error)
+	// advance runs the simulation forward after injection so the health
+	// monitor's reaction (failover, deferred permits) is part of the
+	// replayed state.
+	advance sim.Time
+}
+
+func (sc e12Scenario) expectLabel() string {
+	if sc.expect == "" {
+		return "reachable"
+	}
+	return sc.expect
+}
+
+func e12Scenarios() []e12Scenario {
+	node := topo.HostID
+	return []e12Scenario{
+		{
+			name: "healthy baseline", fault: "none", expect: "",
+			run: func(d *DeclarativeFig1, m *core.FaultMonitor) (core.EIP, addr.IP, error) {
+				return d.Spark1, addr.IP(d.DBService), nil
+			},
+		},
+		{
+			name: "default-off destination", fault: "none (no permit list set)",
+			expect: "no-permit-list",
+			run: func(d *DeclarativeFig1, m *core.FaultMonitor) (core.EIP, addr.IP, error) {
+				w := d.World
+				extra, err := d.ProvB.RequestEIP(Tenant, node(w.CloudB, w.RegionsB[0], "az1", 2))
+				return d.Spark1, addr.IP(extra), err
+			},
+		},
+		{
+			name: "source not permitted", fault: "none (web server absent from DB list)",
+			expect: "src-not-in-permit-list",
+			run: func(d *DeclarativeFig1, m *core.FaultMonitor) (core.EIP, addr.IP, error) {
+				return d.WebSrv, addr.IP(d.DBService), nil
+			},
+		},
+		{
+			name: "backend node down", fault: "fail node db-1",
+			expect: "node-down:cloudB/b-east/az1/host1",
+			run: func(d *DeclarativeFig1, m *core.FaultMonitor) (core.EIP, addr.IP, error) {
+				w := d.World
+				err := m.Inj.FailNode(node(w.CloudB, w.RegionsB[0], "az1", 1))
+				return d.Spark1, addr.IP(d.DB1), err
+			},
+		},
+		{
+			name: "backend region down", fault: "fail region cloudB/b-east",
+			expect: "region-down:cloudB/b-east",
+			run: func(d *DeclarativeFig1, m *core.FaultMonitor) (core.EIP, addr.IP, error) {
+				err := m.Inj.FailRegion(d.World.CloudB, d.World.RegionsB[0])
+				return d.Spark1, addr.IP(d.DBService), err
+			},
+			advance: sim.Time(time.Second),
+		},
+		{
+			name: "all backends down", fault: "fail nodes db-1 and db-2",
+			expect: "no-healthy-backend",
+			run: func(d *DeclarativeFig1, m *core.FaultMonitor) (core.EIP, addr.IP, error) {
+				w := d.World
+				if err := m.Inj.FailNode(node(w.CloudB, w.RegionsB[0], "az1", 1)); err != nil {
+					return 0, 0, err
+				}
+				err := m.Inj.FailNode(node(w.CloudB, w.RegionsB[0], "az2", 1))
+				return d.Spark1, addr.IP(d.DBService), err
+			},
+			advance: sim.Time(time.Second),
+		},
+		{
+			name: "access link cut", fault: "fail link cloudB/b-east/az1/h1",
+			expect: "link-down:cloudB/b-east/az1/h1",
+			run: func(d *DeclarativeFig1, m *core.FaultMonitor) (core.EIP, addr.IP, error) {
+				err := m.Inj.FailLink("cloudB/b-east/az1/h1")
+				return d.Spark1, addr.IP(d.DB1), err
+			},
+		},
+		{
+			name: "source VM down", fault: "fail node spark-1",
+			expect: "node-down:cloudA/a-east/az1/host1",
+			run: func(d *DeclarativeFig1, m *core.FaultMonitor) (core.EIP, addr.IP, error) {
+				w := d.World
+				err := m.Inj.FailNode(node(w.CloudA, w.RegionsA[0], "az1", 1))
+				return d.Spark1, addr.IP(d.DBService), err
+			},
+		},
+		{
+			name: "permit update deferred", fault: "fail node, then set_permit_list",
+			expect: "permit-pending",
+			run: func(d *DeclarativeFig1, m *core.FaultMonitor) (core.EIP, addr.IP, error) {
+				w := d.World
+				target := node(w.CloudB, w.RegionsB[0], "az1", 2)
+				extra, err := d.ProvB.RequestEIP(Tenant, target)
+				if err != nil {
+					return 0, 0, err
+				}
+				if err := m.Inj.FailNode(target); err != nil {
+					return 0, 0, err
+				}
+				err = d.ProvB.SetPermitList(Tenant, addr.IP(extra),
+					[]permit.Entry{addr.NewPrefix(d.Spark1, 32)})
+				return d.Spark1, addr.IP(extra), err
+			},
+		},
+		{
+			name: "failover absorbed the fault", fault: "fail node db-1, monitor reacts",
+			expect: "",
+			run: func(d *DeclarativeFig1, m *core.FaultMonitor) (core.EIP, addr.IP, error) {
+				w := d.World
+				err := m.Inj.FailNode(node(w.CloudB, w.RegionsB[0], "az1", 1))
+				return d.Spark1, addr.IP(d.DBService), err
+			},
+			advance: sim.Time(2 * time.Second),
+		},
+	}
+}
+
+// e12RunScenario builds a fresh declarative world, injects one fault, and
+// scores the replayed explanation against the planted ground truth.
+func e12RunScenario(sc e12Scenario, seed int64) (verdict string, match bool, err error) {
+	d, err := BuildDeclarativeFig1(seed, 3)
+	if err != nil {
+		return "", false, err
+	}
+	m := d.Cloud.EnableFaults(core.FaultPolicy{
+		HealthInterval: 250 * time.Millisecond,
+		DownAfter:      2,
+		RebindBackoff:  time.Second,
+	})
+	d.Cloud.EnableObservability(obs.NewTracer(0), nil)
+	src, dst, err := sc.run(d, m)
+	if err != nil {
+		return "", false, err
+	}
+	if sc.advance > 0 {
+		d.Cloud.Eng.RunUntil(d.Cloud.Eng.Now() + sc.advance)
+	}
+	ex, err := d.Cloud.Explain(Tenant, src, dst)
+	if err != nil {
+		return "", false, err
+	}
+	if sc.expect == "" {
+		return verdictString(ex), ex.Reachable && ex.RootCause == "", nil
+	}
+	return verdictString(ex), strings.Contains(ex.RootCause, sc.expect), nil
+}
+
+func verdictString(ex *core.Explanation) string {
+	if ex.Reachable {
+		return "reachable"
+	}
+	return ex.RootCause
+}
+
+// e12Reps is how many times each overhead arm runs; the minimum wall
+// clock is reported to damp scheduler noise.
+const e12Reps = 5
+
+type e12ArmStats struct {
+	connects, errors int
+	traceEvents      uint64
+	samples          int
+	wall             time.Duration
+}
+
+// e12Overhead measures both arms of the overhead workload. One unmeasured
+// warmup run of each arm comes first and the measured reps interleave the
+// arms — running one arm's reps back to back hands the second arm a warm
+// heap and fault-free pages, which shows up as phantom overhead (or
+// phantom speedup) an order of magnitude larger than the real delta.
+func e12Overhead(connects int, seed int64) (instr, strip e12ArmStats, err error) {
+	if _, err = e12ArmOnce(true, connects, seed); err != nil {
+		return
+	}
+	if _, err = e12ArmOnce(false, connects, seed); err != nil {
+		return
+	}
+	for rep := 0; rep < e12Reps; rep++ {
+		i, ierr := e12ArmOnce(true, connects, seed)
+		if ierr != nil {
+			err = ierr
+			return
+		}
+		s, serr := e12ArmOnce(false, connects, seed)
+		if serr != nil {
+			err = serr
+			return
+		}
+		if rep == 0 || i.wall < instr.wall {
+			instr = i
+		}
+		if rep == 0 || s.wall < strip.wall {
+			strip = s
+		}
+	}
+	return
+}
+
+func e12ArmOnce(instrument bool, connects int, seed int64) (e12ArmStats, error) {
+	var st e12ArmStats
+	d, err := BuildDeclarativeFig1(seed, 3)
+	if err != nil {
+		return st, err
+	}
+	c := d.Cloud
+	m := c.EnableFaults(core.FaultPolicy{
+		HealthInterval: 250 * time.Millisecond,
+		DownAfter:      2,
+		RebindBackoff:  time.Second,
+	})
+	var tracer *obs.Tracer
+	var reg *metrics.Registry
+	if instrument {
+		tracer = obs.NewTracer(0)
+		reg = metrics.NewRegistry()
+	}
+	c.EnableObservability(tracer, reg)
+
+	const rate = 1000.0 // connects per simulated second
+	horizon := sim.Time(float64(connects) / rate * float64(time.Second))
+	deadNode := topo.HostID(d.World.CloudB, d.World.RegionsB[0], "az1", 1)
+	c.Eng.Schedule(horizon/4, func() {
+		if err := m.Inj.FailNode(deadNode); err != nil {
+			panic(err)
+		}
+	})
+	c.Eng.Schedule(horizon/2, func() {
+		if err := m.Inj.RestoreNode(deadNode); err != nil {
+			panic(err)
+		}
+	})
+
+	gap := sim.Time(float64(time.Second) / rate)
+	done := 0
+	var tick func()
+	tick = func() {
+		if done >= connects {
+			return
+		}
+		done++
+		st.connects++
+		if done%100 == 0 {
+			// Permit churn keeps the permit-update decision point hot.
+			if err := d.ProvB.SetPermitList(Tenant, addr.IP(d.DBService),
+				[]permit.Entry{addr.NewPrefix(d.Spark1, 32), addr.NewPrefix(d.Spark2, 32),
+					addr.NewPrefix(d.Alerts, 32)}); err != nil {
+				panic(err)
+			}
+		}
+		conn, cerr := c.Connect(Tenant, d.Spark1, d.DBService, core.ConnectOpts{SizeBytes: -1})
+		if cerr != nil {
+			st.errors++
+		} else {
+			conn.Close()
+		}
+		c.Eng.After(gap, tick)
+	}
+	c.Eng.After(0, tick)
+
+	// The timed window measures the instrumentation's CPU cost. GC pacing
+	// is excluded: whether a collection lands inside a 70ms window depends
+	// on heap history from previous runs, not on this arm's behavior, and
+	// that scheduling noise is an order of magnitude larger than the delta
+	// being measured. The heap is collected between runs instead.
+	runtime.GC()
+	old := debug.SetGCPercent(-1)
+	start := time.Now()
+	c.Eng.RunUntil(horizon + gap)
+	st.wall = time.Since(start)
+	debug.SetGCPercent(old)
+
+	if tracer != nil {
+		st.traceEvents = tracer.Recorded()
+	}
+	if reg != nil {
+		st.samples = len(reg.Snapshot())
+	}
+	return st, nil
+}

@@ -1,0 +1,56 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestE12DiagnosisQuality enforces the acceptance bar directly: Explain
+// must name the injected root cause in at least 90% of the fault
+// scenarios (the suite targets 100%; any MISS row lists the scenario).
+func TestE12DiagnosisQuality(t *testing.T) {
+	scenarios := e12Scenarios()
+	diagnosed := 0
+	var missed []string
+	for _, sc := range scenarios {
+		verdict, match, err := e12RunScenario(sc, 42)
+		if err != nil {
+			t.Fatalf("scenario %q: %v", sc.name, err)
+		}
+		if match {
+			diagnosed++
+		} else {
+			missed = append(missed, sc.name+" (got "+verdict+", want "+sc.expectLabel()+")")
+		}
+	}
+	if frac := float64(diagnosed) / float64(len(scenarios)); frac < 0.9 {
+		t.Fatalf("diagnosed %d/%d (%.0f%%), want >= 90%%; missed: %s",
+			diagnosed, len(scenarios), frac*100, strings.Join(missed, "; "))
+	}
+}
+
+// TestE12ArmsAgree pins the overhead harness's invariant: instrumentation
+// must not change simulated behavior, only record it.
+func TestE12ArmsAgree(t *testing.T) {
+	const connects = 300
+	instr, err := e12ArmOnce(true, connects, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strip, err := e12ArmOnce(false, connects, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if instr.connects != strip.connects || instr.errors != strip.errors {
+		t.Fatalf("arms diverged: instrumented %d connects / %d errors, stripped %d / %d",
+			instr.connects, instr.errors, strip.connects, strip.errors)
+	}
+	if instr.traceEvents == 0 || instr.samples == 0 {
+		t.Fatalf("instrumented arm recorded nothing: %d events, %d samples",
+			instr.traceEvents, instr.samples)
+	}
+	if strip.traceEvents != 0 || strip.samples != 0 {
+		t.Fatalf("stripped arm leaked instrumentation: %d events, %d samples",
+			strip.traceEvents, strip.samples)
+	}
+}

@@ -16,6 +16,9 @@ import (
 // table must reproduce exactly.
 var volatile = map[string]*regexp.Regexp{
 	"E4": regexp.MustCompile(`\b\d+\.\d+\b`), // lookups/us, the only float in E4 rows
+	// E12's overhead note reports measured wall time and its ratio; the
+	// "ms"/"%" suffixes keep the mask off simulated values and addresses.
+	"E12": regexp.MustCompile(`-?\d+\.\d+(ms|%)`),
 }
 
 func normalize(id, text string) string {

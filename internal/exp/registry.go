@@ -49,6 +49,9 @@ func All() []Experiment {
 		{"E11", "availability drill (fault injection)", func() (*metrics.Table, error) {
 			return E11AvailabilityDrill(200, 42)
 		}},
+		{"E12", "observability: diagnosis quality + overhead", func() (*metrics.Table, error) {
+			return E12Observability(2000, 42)
+		}},
 	}
 }
 

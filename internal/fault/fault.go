@@ -18,6 +18,7 @@ package fault
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"declnet/internal/netsim"
 	"declnet/internal/sim"
@@ -75,6 +76,9 @@ type Injector struct {
 
 	// nodeFaults counts reasons a node is down (direct + region).
 	nodeFaults map[topo.NodeID]int
+	// directDown counts direct FailNode causes only, so Cause can tell
+	// "this node was failed" apart from "its whole region was failed".
+	directDown map[topo.NodeID]int
 	// linkFaults counts reasons a directed link is down (pair fault +
 	// one per down endpoint node).
 	linkFaults map[string]int
@@ -97,6 +101,7 @@ func NewInjector(eng *sim.Engine, g *topo.Graph, net *netsim.Network) *Injector 
 	return &Injector{
 		eng: eng, g: g, net: net,
 		nodeFaults:  make(map[topo.NodeID]int),
+		directDown:  make(map[topo.NodeID]int),
 		linkFaults:  make(map[string]int),
 		pairsDown:   make(map[string]bool),
 		regionsDown: make(map[string]bool),
@@ -127,6 +132,54 @@ func (in *Injector) Reachable(id topo.NodeID) bool {
 		}
 	}
 	return false
+}
+
+// Cause explains why a node is unreachable, as ordered cause-chain links
+// ("node-down:<id>", "region-down:<provider>/<region>", "link-down:<pair>")
+// suitable for obs.Chain. A reachable node yields nil. This is the
+// injector's contribution to GET /v1/explain: the control plane normally
+// sees only the boolean Reachable; diagnosis gets the ground truth.
+func (in *Injector) Cause(id topo.NodeID) []string {
+	var out []string
+	if in.nodeFaults[id] > 0 {
+		if in.directDown[id] > 0 {
+			out = append(out, "node-down:"+string(id))
+		}
+		if n, ok := in.g.Node(id); ok && n.Provider != "" {
+			if key := n.Provider + "/" + n.Region; in.regionsDown[key] {
+				out = append(out, "region-down:"+key)
+			}
+		}
+		if len(out) == 0 {
+			// Down only transitively (e.g. a region restore raced a direct
+			// fail count); still name the node.
+			out = append(out, "node-down:"+string(id))
+		}
+		return out
+	}
+	// Node itself is up: unreachability can only come from dead egress.
+	links := in.g.Out(id)
+	if len(links) == 0 {
+		return nil
+	}
+	seen := make(map[string]bool)
+	allDown := true
+	for _, l := range links {
+		if in.linkFaults[l.ID] == 0 {
+			allDown = false
+			continue
+		}
+		pair := strings.TrimSuffix(strings.TrimSuffix(l.ID, ":fwd"), ":rev")
+		if in.pairsDown[pair] && !seen[pair] {
+			seen[pair] = true
+			out = append(out, "link-down:"+pair)
+		}
+	}
+	if !allDown {
+		return nil
+	}
+	sort.Strings(out)
+	return out
 }
 
 // ---- Immediate fault operations ----------------------------------------
@@ -167,6 +220,7 @@ func (in *Injector) FailNode(id topo.NodeID) error {
 		return fmt.Errorf("fault: unknown node %q", id)
 	}
 	in.NodeFailures++
+	in.directDown[id]++
 	in.addNodeFault(id, 1)
 	return nil
 }
@@ -180,6 +234,11 @@ func (in *Injector) RestoreNode(id topo.NodeID) error {
 		return nil
 	}
 	in.Recoveries++
+	if in.directDown[id] > 0 {
+		if in.directDown[id]--; in.directDown[id] == 0 {
+			delete(in.directDown, id)
+		}
+	}
 	in.addNodeFault(id, -1)
 	return nil
 }

@@ -129,6 +129,26 @@ func (b *Balancer) Pick() (*Backend, error) {
 	return chosen, nil
 }
 
+// Preview reports which backend the next Pick would choose, without
+// mutating the smooth-WRR counters or connection state — the diagnosis
+// path (GET /v1/explain) must replay the decision, not take it.
+func (b *Balancer) Preview() (*Backend, error) {
+	var chosen *Backend
+	best := 0
+	for _, be := range b.Backends() {
+		if !be.Healthy() {
+			continue
+		}
+		if next := be.current + be.Weight; chosen == nil || next > best {
+			chosen, best = be, next
+		}
+	}
+	if chosen == nil {
+		return nil, fmt.Errorf("lb: no healthy backend for %s", b.SIP)
+	}
+	return chosen, nil
+}
+
 // Release ends a connection on a backend, completing drain when due.
 func (b *Balancer) Release(be *Backend) {
 	if be.active > 0 {

@@ -11,6 +11,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Histogram records float64 samples in logarithmic buckets, giving
@@ -174,17 +175,19 @@ func (h *Histogram) String() string {
 		h.n, h.Mean(), h.P50(), h.P90(), h.P99(), h.Max())
 }
 
-// Counter is a monotonically increasing count. The zero value is ready.
-type Counter struct{ v uint64 }
+// Counter is a monotonically increasing count, safe for concurrent use
+// (the parallel experiment sweep and the health-monitor goroutines may
+// share one). The zero value is ready. Must not be copied after first use.
+type Counter struct{ v atomic.Uint64 }
 
 // Add increments the counter by n.
-func (c *Counter) Add(n uint64) { c.v += n }
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Inc increments the counter by one.
-func (c *Counter) Inc() { c.v++ }
+func (c *Counter) Inc() { c.v.Add(1) }
 
 // Value returns the current count.
-func (c *Counter) Value() uint64 { return c.v }
+func (c *Counter) Value() uint64 { return c.v.Load() }
 
 // Series accumulates (x, y) points, typically (virtual time, value), for
 // experiment output. The zero value is ready to use.

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -142,6 +143,30 @@ func TestCounter(t *testing.T) {
 	c.Add(4)
 	if c.Value() != 5 {
 		t.Fatalf("Counter = %d, want 5", c.Value())
+	}
+}
+
+// TestCounterConcurrent hammers Inc/Add/Value from many goroutines; under
+// `go test -race` this proves Counter is safe to share between the
+// parallel experiment sweep and health-monitor goroutines.
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	const workers, perWorker = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				c.Add(1)
+				_ = c.Value()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker*2 {
+		t.Fatalf("Counter = %d, want %d", got, workers*perWorker*2)
 	}
 }
 

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRingBounds(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Record(Event{Tenant: "acme", Kind: PermitAllow, Detail: fmt.Sprintf("e%d", i)})
+	}
+	if got := tr.Len("acme"); got != 4 {
+		t.Fatalf("Len = %d, want ring cap 4", got)
+	}
+	evs := tr.Recent("acme", 0)
+	if len(evs) != 4 {
+		t.Fatalf("Recent returned %d events, want 4", len(evs))
+	}
+	// Oldest first, and only the newest four survive.
+	for i, ev := range evs {
+		want := fmt.Sprintf("e%d", 6+i)
+		if ev.Detail != want {
+			t.Errorf("event %d detail = %q, want %q", i, ev.Detail, want)
+		}
+	}
+	if evs[0].Seq >= evs[3].Seq {
+		t.Errorf("events not in Seq order: %d !< %d", evs[0].Seq, evs[3].Seq)
+	}
+	if tr.Evicted() != 6 {
+		t.Errorf("Evicted = %d, want 6", tr.Evicted())
+	}
+	if tr.Recorded() != 10 {
+		t.Errorf("Recorded = %d, want 10", tr.Recorded())
+	}
+}
+
+func TestRecentLimit(t *testing.T) {
+	tr := NewTracer(8)
+	for i := 0; i < 5; i++ {
+		tr.Record(Event{Tenant: "acme"})
+	}
+	if got := len(tr.Recent("acme", 2)); got != 2 {
+		t.Fatalf("Recent(2) returned %d events", got)
+	}
+	if got := len(tr.Recent("nobody", 2)); got != 0 {
+		t.Fatalf("Recent for unknown tenant returned %d events", got)
+	}
+}
+
+func TestPerTenantIsolation(t *testing.T) {
+	tr := NewTracer(2)
+	for i := 0; i < 10; i++ {
+		tr.Record(Event{Tenant: "noisy"})
+	}
+	tr.Record(Event{Tenant: "quiet", Detail: "only"})
+	// The noisy tenant's churn must not evict the quiet tenant's history.
+	evs := tr.Recent("quiet", 0)
+	if len(evs) != 1 || evs[0].Detail != "only" {
+		t.Fatalf("quiet tenant lost its event: %v", evs)
+	}
+	if got := tr.Tenants(); len(got) != 2 || got[0] != "noisy" || got[1] != "quiet" {
+		t.Fatalf("Tenants = %v", got)
+	}
+}
+
+func TestNilTracerIsNoop(t *testing.T) {
+	var tr *Tracer
+	if seq := tr.Record(Event{Tenant: "x"}); seq != 0 {
+		t.Fatalf("nil tracer returned seq %d", seq)
+	}
+	if tr.Recent("x", 0) != nil || tr.Len("x") != 0 || tr.Recorded() != 0 || tr.Evicted() != 0 || tr.Tenants() != nil {
+		t.Fatal("nil tracer leaked state")
+	}
+}
+
+// TestTracerConcurrent exercises Record/Recent from many goroutines; run
+// under -race (make race / CI) this is the data-race proof for the
+// HTTP-handler-vs-simulation sharing in declnetd.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("t%d", g%2)
+			for i := 0; i < 500; i++ {
+				tr.Record(Event{Tenant: tenant, Kind: SIPPick, At: time.Duration(i)})
+				if i%50 == 0 {
+					tr.Recent(tenant, 10)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tr.Recorded() != 4000 {
+		t.Fatalf("Recorded = %d, want 4000", tr.Recorded())
+	}
+}
+
+func TestChainAndString(t *testing.T) {
+	c := Chain("no-healthy-backend:104.255.0.1", "region-down:cloudB/b-east")
+	if c != "no-healthy-backend:104.255.0.1 <- region-down:cloudB/b-east" {
+		t.Fatalf("Chain = %q", c)
+	}
+	ev := Event{Seq: 3, At: time.Second, Tenant: "acme", Kind: PermitDeny,
+		Src: "1.2.3.4", Dst: "5.6.7.8", Verdict: "deny", Cause: c}
+	s := ev.String()
+	for _, want := range []string{"#3", "acme", "permit-deny", "1.2.3.4->5.6.7.8", "region-down"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -166,6 +166,56 @@ func (e *Engine) List(dst addr.IP) (*List, bool) {
 	return l, ok
 }
 
+// Decision is a diagnostic replay of one admission check: the verdict plus
+// the evidence a tenant needs to understand it — whether dst is guarded at
+// all, which entry matched (longest prefix wins), and at which propagation
+// epoch (list version) the verdict was computed.
+type Decision struct {
+	Allowed bool
+	// HasList is false when dst has no permit list at all (the pure
+	// default-off drop, as opposed to a list that excludes src).
+	HasList bool
+	// Matched is the permitting entry when Allowed (the most specific
+	// match when several overlap).
+	Matched Entry
+	// Version is the list's mutation count — the propagation epoch a
+	// replica would compare against the origin.
+	Version uint64
+	// Entries is the list size, for "is this list even populated" triage.
+	Entries int
+}
+
+// Explain replays the admission check for src->dst without counting it as
+// enforcement work (Lookups is untouched — diagnosis must not skew E4's
+// cost figures). Unlike Check it also reports which entry admitted the
+// flow and the list's version.
+func (e *Engine) Explain(src, dst addr.IP) Decision {
+	l, ok := e.lists[dst]
+	if !ok {
+		return Decision{}
+	}
+	d := Decision{HasList: true, Version: l.version, Entries: l.Len()}
+	if l.exact[src] {
+		d.Allowed = true
+		d.Matched = addr.NewPrefix(src, 32)
+		return d
+	}
+	// Longest matching prefix; Entries() is small relative to diagnosis
+	// frequency, so a linear scan keeps the hot Lookup path untouched.
+	best, found := Entry{}, false
+	l.prefixes.Walk(func(p addr.Prefix, _ bool) bool {
+		if p.Contains(src) && (!found || p.Len > best.Len) {
+			best, found = p, true
+		}
+		return true
+	})
+	if found {
+		d.Allowed = true
+		d.Matched = best
+	}
+	return d
+}
+
 // Endpoints returns the number of guarded EIPs.
 func (e *Engine) Endpoints() int { return len(e.lists) }
 
