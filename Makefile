@@ -1,7 +1,8 @@
 GO ?= go
 FUZZTIME ?= 10s
+BENCHTIME ?= 1s
 
-.PHONY: build test vet race bench benchsmoke staticcheck check fuzz
+.PHONY: build test vet race bench benchsmoke benchdiff staticcheck check fuzz
 
 build:
 	$(GO) build ./...
@@ -12,10 +13,11 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The solver and the parallel sweep driver are the concurrency-sensitive
-# packages; run them under the race detector.
+# The solver, the parallel sweep driver, and the concurrent read plane
+# (core caches + API RWMutex) are the concurrency-sensitive packages; run
+# them under the race detector.
 race:
-	$(GO) test -race ./internal/netsim/... ./internal/exp/...
+	$(GO) test -race ./internal/netsim/... ./internal/exp/... ./internal/core/... ./internal/api/...
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
@@ -24,6 +26,14 @@ bench:
 # compile or crash without paying for a real measurement run.
 benchsmoke:
 	$(GO) test -run '^$$' -bench MaxMinReshare -benchtime 1x .
+
+# Connect fast-path benchmarks as a diffable JSON artifact. BENCHTIME=1x
+# turns this into a smoke run (CI does); the default 1s gives numbers
+# worth committing next to a perf change.
+benchdiff:
+	$(GO) test -run '^$$' -bench 'Connect|ShortestPath|PotatoPath' -benchmem -benchtime $(BENCHTIME) . \
+		| $(GO) run ./cmd/benchjson -o BENCH_connect.json
+	@cat BENCH_connect.json
 
 # Static analysis beyond vet. The tool is optional locally (CI installs
 # it); skip quietly when absent rather than failing the whole check.

@@ -11,6 +11,7 @@ package declnet
 
 import (
 	"strconv"
+	"sync"
 	"testing"
 	"time"
 
@@ -444,6 +445,105 @@ func BenchmarkDeclarativeConnect(b *testing.B) {
 			b.Fatal(err)
 		}
 		conn.Close()
+	}
+}
+
+// BenchmarkConnect measures the declarative connect fast path on a dense
+// Fig-1 world (50 hosts per zone). warm hits the epoch-keyed path cache and
+// the admission/provider caches on every op; cold bumps the topology epoch
+// before each connect (a SetLinkUp no-op write still advances the epoch)
+// so every op pays a full Dijkstra plus a cache flush. The warm/cold ratio
+// is the fast path's whole value proposition in one number.
+func BenchmarkConnect(b *testing.B) {
+	setup := func(b *testing.B) *exp.DeclarativeFig1 {
+		b.Helper()
+		d, err := exp.BuildDeclarativeFig1(1, 50)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Prime every cache so the first measured op is steady-state.
+		conn, err := d.Cloud.Connect(exp.Tenant, d.Spark1, d.DBService, core.ConnectOpts{SizeBytes: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		conn.Close()
+		return d
+	}
+	b.Run("warm", func(b *testing.B) {
+		d := setup(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			conn, err := d.Cloud.Connect(exp.Tenant, d.Spark1, d.DBService, core.ConnectOpts{SizeBytes: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			conn.Close()
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		d := setup(b)
+		link := d.Cloud.G.Links()[0]
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := d.Cloud.G.SetLinkUp(link.ID, link.Up()); err != nil {
+				b.Fatal(err)
+			}
+			conn, err := d.Cloud.Connect(exp.Tenant, d.Spark1, d.DBService, core.ConnectOpts{SizeBytes: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			conn.Close()
+		}
+	})
+}
+
+// BenchmarkConnectParallel drives warm connects from all procs with an
+// external mutex serializing the connect itself — the shape the API server
+// imposes (exclusive lock on writes) — so the benchmark surfaces any
+// contention the read-side caches add under parallel load.
+func BenchmarkConnectParallel(b *testing.B) {
+	d, err := exp.BuildDeclarativeFig1(1, 50)
+	if err != nil {
+		b.Fatal(err)
+	}
+	conn, err := d.Cloud.Connect(exp.Tenant, d.Spark1, d.DBService, core.ConnectOpts{SizeBytes: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	conn.Close()
+	var mu sync.Mutex
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			mu.Lock()
+			conn, err := d.Cloud.Connect(exp.Tenant, d.Spark1, d.DBService, core.ConnectOpts{SizeBytes: -1})
+			if err != nil {
+				mu.Unlock()
+				b.Fatal(err)
+			}
+			conn.Close()
+			mu.Unlock()
+		}
+	})
+}
+
+// BenchmarkShortestPath measures raw Dijkstra on a few-hundred-node Fig-1
+// world (25 hosts per zone ≈ 260 nodes), cross-cloud with a soft-avoid
+// constraint so the search explores both the backbone and transit tiers.
+func BenchmarkShortestPath(b *testing.B) {
+	w := topo.BuildFig1(25)
+	src := topo.HostID(w.CloudA, w.RegionsA[0], "az1", 1)
+	dst := topo.HostID(w.CloudB, w.RegionsB[1], "az2", 1)
+	opts := topo.PathOpts{Avoid: map[topo.LinkKind]bool{topo.Transit: true}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Graph.ShortestPath(src, dst, opts); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

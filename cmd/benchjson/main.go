@@ -1,0 +1,158 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON summary. It exists so the connect fast-path
+// numbers land in a diffable artifact (BENCH_connect.json) instead of
+// scrolling away in CI logs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'Connect|ShortestPath' -benchmem . | benchjson -o BENCH_connect.json
+//
+// Lines that are not benchmark results (goos/goarch/cpu headers, PASS,
+// ok) are folded into metadata or ignored. When both Connect/warm and
+// Connect/cold are present, the warm/cold speedup is reported as a
+// derived metric — that ratio is the path cache's whole value
+// proposition, so it gets a first-class field.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Summary is the whole artifact.
+type Summary struct {
+	GOOS    string   `json:"goos,omitempty"`
+	GOARCH  string   `json:"goarch,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+	// Derived holds cross-benchmark ratios, keyed by a short slug.
+	Derived map[string]float64 `json:"derived,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	s := Summary{Derived: map[string]float64{}}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			s.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			s.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			s.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		r, ok := parseLine(line)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: skipping unparseable line: %s\n", line)
+			continue
+		}
+		s.Results = append(s.Results, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(s.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
+		os.Exit(1)
+	}
+
+	if warm, cold := find(s.Results, "BenchmarkConnect/warm"), find(s.Results, "BenchmarkConnect/cold"); warm != nil && cold != nil && warm.NsPerOp > 0 {
+		s.Derived["connect_warm_cold_speedup"] = round2(cold.NsPerOp / warm.NsPerOp)
+	}
+	if len(s.Derived) == 0 {
+		s.Derived = nil
+	}
+
+	buf, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses one result line:
+//
+//	BenchmarkConnect/warm-8   327300   3737 ns/op   768 B/op   21 allocs/op
+//
+// The -N GOMAXPROCS suffix is stripped so names stay stable across
+// machines. Metric pairs after the iteration count are read unit-first.
+func parseLine(line string) (Result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Result{}, false
+	}
+	name := f[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+			// Other units (MB/s, custom ReportMetric names) are dropped:
+			// this artifact tracks latency and allocation only.
+		}
+	}
+	return r, true
+}
+
+func find(rs []Result, name string) *Result {
+	for i := range rs {
+		if rs[i].Name == name {
+			return &rs[i]
+		}
+	}
+	return nil
+}
+
+func round2(v float64) float64 {
+	return float64(int64(v*100+0.5)) / 100
+}

@@ -28,9 +28,14 @@ import (
 	"declnet/internal/qos"
 )
 
-// Server wraps a world in an http.Handler.
+// Server wraps a world in an http.Handler. Mutating (POST) handlers take
+// the write lock; read-only handlers (probe, status, explain, trace,
+// metrics) share a read lock, so diagnosis traffic serves concurrently
+// and never queues behind other readers. Everything a read handler
+// touches — path cache, balancer WRR state, permit counters, the
+// engine's RNG — is internally synchronized.
 type Server struct {
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	world *declnet.World
 	mux   *http.ServeMux
 
@@ -111,8 +116,8 @@ func (s *Server) Registry() *metrics.Registry { return s.registry }
 // sample live simulation state, so a lock-free snapshot from a debug
 // listener would race with request handlers.
 func (s *Server) ExpvarMap() map[string]float64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.registry.ExpvarMap()
 }
 
@@ -603,8 +608,8 @@ func (s *Server) probe(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	dst, err := s.resolveDst(q.Get("tenant"), q.Get("dst"))
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -634,8 +639,8 @@ type StatusResponse struct {
 }
 
 func (s *Server) status(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	resp := StatusResponse{
 		VirtualTimeMillis: float64(s.world.Now()) / float64(time.Millisecond),
 		UptimeSeconds:     time.Since(s.startedAt).Seconds(),

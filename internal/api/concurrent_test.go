@@ -1,0 +1,99 @@
+package api
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentReadPlane hammers every read-only endpoint from many
+// goroutines while fault/heal mutations interleave on the write lock.
+// Run under -race (CI does) this is the proof that the RWMutex split is
+// sound: probes advance balancer WRR state and draw from the engine RNG,
+// explains trace and consult the path cache, metrics snapshot gauges —
+// all concurrently.
+func TestConcurrentReadPlane(t *testing.T) {
+	ts, w := newTestServer(t)
+	f := w.Fig1
+
+	var client, be1, be2 EIPResponse
+	if code := post(t, ts, "/v1/eips", EIPRequest{Tenant: "acme",
+		VM: string(w.Host(f.CloudA, f.RegionsA[0], "az1", 1))}, &client); code != 200 {
+		t.Fatalf("request_eip status %d", code)
+	}
+	post(t, ts, "/v1/eips", EIPRequest{Tenant: "acme", VM: string(w.Host(f.CloudB, f.RegionsB[0], "az1", 1))}, &be1)
+	post(t, ts, "/v1/eips", EIPRequest{Tenant: "acme", VM: string(w.Host(f.CloudB, f.RegionsB[0], "az2", 1))}, &be2)
+	var sip SIPResponse
+	if code := post(t, ts, "/v1/sips", SIPRequest{Tenant: "acme", Provider: f.CloudB}, &sip); code != 200 {
+		t.Fatalf("request_sip status %d", code)
+	}
+	for _, be := range []string{be1.EIP, be2.EIP} {
+		if code := post(t, ts, "/v1/bind", BindRequest{Tenant: "acme", EIP: be, SIP: sip.SIP}, nil); code != 200 {
+			t.Fatalf("bind status %d", code)
+		}
+	}
+	if code := post(t, ts, "/v1/permit", PermitRequest{Tenant: "acme",
+		Target: sip.SIP, Entries: []string{client.EIP + "/32"}}, nil); code != 200 {
+		t.Fatal("permit failed")
+	}
+
+	reads := []string{
+		fmt.Sprintf("/v1/probe?tenant=acme&src=%s&dst=%s", client.EIP, sip.SIP),
+		fmt.Sprintf("/v1/explain?tenant=acme&src=%s&dst=%s", client.EIP, sip.SIP),
+		"/v1/trace?tenant=acme",
+		"/v1/metrics",
+		"/v1/status",
+	}
+	const readers, rounds = 8, 20
+	var wg sync.WaitGroup
+	errs := make(chan error, readers*rounds+rounds)
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				url := reads[(g+i)%len(reads)]
+				resp, err := http.Get(ts.URL + url)
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+				}
+			}
+		}(g)
+	}
+	// One writer interleaves topology mutations: a far-away host flaps so
+	// the path-cache epoch churns while readers consult it.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		node := string(w.Host(f.CloudA, f.RegionsA[1], "az1", 1))
+		body := []byte(`{"kind":"node","target":"` + node + `"}`)
+		for i := 0; i < rounds; i++ {
+			for _, verb := range []string{"/v1/fail", "/v1/heal"} {
+				resp, err := http.Post(ts.URL+verb, "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("POST %s: status %d", verb, resp.StatusCode)
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if hits := w.Cloud.Router().Hits(); hits == 0 {
+		t.Error("path cache served no hits under concurrent probes")
+	}
+}

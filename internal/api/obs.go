@@ -26,8 +26,8 @@ func (s *Server) explain(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("api: bad src: %w", err))
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	dst, err := s.resolveDst(tenant, q.Get("dst"))
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -66,8 +66,8 @@ func (s *Server) trace(w http.ResponseWriter, r *http.Request) {
 		}
 		n = v
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	evs := s.tracer.Recent(tenant, n)
 	if kind := q.Get("kind"); kind != "" {
 		kept := evs[:0]
@@ -88,8 +88,8 @@ func (s *Server) trace(w http.ResponseWriter, r *http.Request) {
 // runtime registry. The world lock is held across the write because gauge
 // functions sample live simulation state.
 func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var sb strings.Builder
 	if err := s.registry.WritePrometheus(&sb); err != nil {
 		writeErr(w, http.StatusInternalServerError, err)

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"declnet/internal/addr"
@@ -48,25 +50,75 @@ type Cloud struct {
 	mProbes         *metrics.RCounter
 	mExplains       *metrics.RCounter
 	// ipMemo is a two-entry IP→string cache for traceEvent: one traced
-	// connection stringifies the same (src, dst) pair three times, and the
-	// simulation core is single-goroutine, so two slots catch nearly every
-	// repeat without a map or a lock.
+	// connection stringifies the same (src, dst) pair three times, so two
+	// slots catch nearly every repeat without a map. memoMu keeps it
+	// race-clean now that read-only diagnosis (Explain) can trace from
+	// concurrent API readers.
+	memoMu sync.Mutex
 	ipMemo [2]struct {
 		ip addr.IP
 		s  string
 	}
+
+	// router is the epoch-keyed path cache in front of qos.PathFor; every
+	// Connect/Probe/Explain routes through it.
+	router *qos.Router
+
+	// addrEpoch counts address-space mutations (EIP/SIP grant and release,
+	// provider add) — the invalidation key for the provider-of-address
+	// cache below, in the same style as topo.Graph.Epoch.
+	addrEpoch atomic.Uint64
+
+	// fp holds the Connect fast-path caches. Guarded by its own mutex so
+	// concurrent read-plane requests (probe, explain) can share it.
+	fp struct {
+		mu sync.Mutex
+		// provEpoch is the addrEpoch the prov cache was filled at.
+		provEpoch uint64
+		// prov caches providerOfAddr results; nil means "no provider
+		// grants this address" (negative entry).
+		prov map[addr.IP]*Provider
+		// adm caches permit verdicts per (src, dst); an entry is valid
+		// only while dst's permit list is the same object at the same
+		// version, so any revoke/permit/set/drop invalidates it.
+		adm map[admKey]admVal
+	}
 }
+
+// admKey identifies one admission query.
+type admKey struct{ src, dst addr.IP }
+
+// admVal is a cached permit verdict plus the evidence it is still
+// current: the exact list object and version the verdict was computed
+// against.
+type admVal struct {
+	allowed bool
+	list    *permit.List
+	version uint64
+}
+
+// fastPathCap bounds the fast-path caches; at the cap they are flushed
+// wholesale (simple, and far larger than any working set here).
+const fastPathCap = 1 << 16
 
 // NewCloud wraps a world graph in a simulation.
 func NewCloud(seed int64, g *topo.Graph) *Cloud {
 	eng := sim.New(seed)
-	return &Cloud{
+	c := &Cloud{
 		Eng: eng, G: g, Net: netsim.New(g, eng),
 		providers: make(map[string]*Provider),
 		groups:    make(map[string]map[string][]EIP),
 		names:     make(map[string]map[string]addr.IP),
+		router:    qos.NewRouter(g),
 	}
+	c.fp.prov = make(map[addr.IP]*Provider)
+	c.fp.adm = make(map[admKey]admVal)
+	return c
 }
+
+// Router returns the epoch-keyed path cache serving this cloud's
+// connect/probe/explain path selection.
+func (c *Cloud) Router() *qos.Router { return c.router }
 
 // AddProvider creates a provider control plane for the named cloud.
 func (c *Cloud) AddProvider(name string, cfg Config) (*Provider, error) {
@@ -85,7 +137,9 @@ func (c *Cloud) AddProvider(name string, cfg Config) (*Provider, error) {
 	if c.trace != nil {
 		p.trace = c.traceEvent
 	}
+	p.addrsChanged = func() { c.addrEpoch.Add(1) }
 	c.providers[name] = p
+	c.addrEpoch.Add(1)
 	if c.reg != nil {
 		c.registerProviderMetrics(name, p)
 	}
@@ -130,8 +184,36 @@ func (c *Cloud) ProviderOf(ip addr.IP) (*Provider, bool) {
 	return c.providerOfAddr(ip)
 }
 
-// providerOfAddr finds which provider granted an address (EIP or SIP).
+// providerOfAddr finds which provider granted an address (EIP or SIP),
+// through an addrEpoch-keyed cache so repeat lookups skip the per-provider
+// map probes. Misses (address granted by nobody) are cached as nil: the
+// only way the answer changes is an address grant/release or a provider
+// add, each of which bumps addrEpoch.
 func (c *Cloud) providerOfAddr(ip addr.IP) (*Provider, bool) {
+	ep := c.addrEpoch.Load()
+	c.fp.mu.Lock()
+	if c.fp.provEpoch != ep {
+		clear(c.fp.prov)
+		c.fp.provEpoch = ep
+	} else if p, ok := c.fp.prov[ip]; ok {
+		c.fp.mu.Unlock()
+		return p, p != nil
+	}
+	c.fp.mu.Unlock()
+	p, ok := c.scanProviderOfAddr(ip)
+	c.fp.mu.Lock()
+	if c.fp.provEpoch == ep {
+		if len(c.fp.prov) >= fastPathCap {
+			clear(c.fp.prov)
+		}
+		c.fp.prov[ip] = p // nil for a negative entry
+	}
+	c.fp.mu.Unlock()
+	return p, ok
+}
+
+// scanProviderOfAddr is the uncached provider scan behind providerOfAddr.
+func (c *Cloud) scanProviderOfAddr(ip addr.IP) (*Provider, bool) {
 	for _, p := range c.providers {
 		if _, ok := p.endpoints[ip]; ok {
 			return p, true
@@ -141,6 +223,35 @@ func (c *Cloud) providerOfAddr(ip addr.IP) (*Provider, bool) {
 		}
 	}
 	return nil, false
+}
+
+// admitted is dstProv.Permits.Check(src, dst) behind a verdict cache. A
+// hit still counts one Lookups unit — the counter means "admission checks
+// enforced", not "trie walks" — and is valid only while dst's list is the
+// same object at the same version. The unguarded (no list) case is not
+// cached: default-off deny is already a single map probe.
+func (c *Cloud) admitted(dstProv *Provider, src, dst addr.IP) bool {
+	l, ok := dstProv.Permits.List(dst)
+	if !ok {
+		return dstProv.Permits.Check(src, dst)
+	}
+	ver := l.Version()
+	key := admKey{src, dst}
+	c.fp.mu.Lock()
+	if v, hit := c.fp.adm[key]; hit && v.list == l && v.version == ver {
+		c.fp.mu.Unlock()
+		dstProv.Permits.Lookups.Add(1)
+		return v.allowed
+	}
+	c.fp.mu.Unlock()
+	allowed := dstProv.Permits.Check(src, dst)
+	c.fp.mu.Lock()
+	if len(c.fp.adm) >= fastPathCap {
+		clear(c.fp.adm)
+	}
+	c.fp.adm[key] = admVal{allowed: allowed, list: l, version: ver}
+	c.fp.mu.Unlock()
+	return allowed
 }
 
 // Conn is one admitted connection: a live flow plus the load-balancer and
@@ -264,7 +375,7 @@ func (c *Cloud) Connect(tenant string, src EIP, dst addr.IP, opts ConnectOpts) (
 	}
 	// (1) Default-off admission, enforced by the destination's provider
 	// against the address the client targeted (EIP or SIP).
-	if !dstProv.Permits.Check(src, dst) {
+	if !c.admitted(dstProv, src, dst) {
 		if c.trace != nil {
 			dec := dstProv.Permits.Explain(src, dst)
 			cause := obs.Chain("permit-deny:"+dst.String(), "src-not-in-permit-list")
@@ -314,7 +425,7 @@ func (c *Cloud) Connect(tenant string, src EIP, dst addr.IP, opts ConnectOpts) (
 	if !okPol {
 		policy = qos.HotPotato
 	}
-	path, err := qos.PathFor(c.G, policy, srcEp.node, dstEp.node)
+	path, err := c.router.PathFor(policy, srcEp.node, dstEp.node)
 	if err != nil {
 		if release != nil {
 			release()
@@ -403,7 +514,7 @@ func (c *Cloud) Probe(tenant string, src EIP, dst addr.IP) (time.Duration, bool,
 	if !ok {
 		return 0, false, fmt.Errorf("core: destination %s is not a granted address", dst)
 	}
-	if !dstProv.Permits.Check(src, dst) {
+	if !c.admitted(dstProv, src, dst) {
 		return 0, false, fmt.Errorf("core: %s not permitted to reach %s (default-off)", src, dst)
 	}
 	dstEIP := dst
@@ -420,7 +531,7 @@ func (c *Cloud) Probe(tenant string, src EIP, dst addr.IP) (time.Duration, bool,
 	if !okPol {
 		policy = qos.HotPotato
 	}
-	path, err := qos.PathFor(c.G, policy, srcEp.node, dstEp.node)
+	path, err := c.router.PathFor(policy, srcEp.node, dstEp.node)
 	if err != nil {
 		return 0, false, err
 	}
@@ -479,7 +590,7 @@ func (c *Cloud) Admitted(src EIP, dst addr.IP) bool {
 	if !ok {
 		return false
 	}
-	return dstProv.Permits.Check(src, dst)
+	return c.admitted(dstProv, src, dst)
 }
 
 // Ensure interface satisfaction.

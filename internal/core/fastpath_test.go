@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"declnet/internal/addr"
+	"declnet/internal/fault"
+	"declnet/internal/permit"
+	"declnet/internal/qos"
+	"declnet/internal/topo"
+)
+
+// TestPropertyPathCacheParity replays random fault/heal/connect schedules
+// and asserts, after every step, that the epoch-keyed path cache answers
+// byte-identically to an uncached Dijkstra over the live graph: the same
+// link-ID sequence on success, the same error string on failure (negative
+// caching included). Connects ride along so the admission and
+// provider-of-addr caches churn under the same schedule. CI runs this
+// under -race.
+func TestPropertyPathCacheParity(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			c, w, pa, pb, _ := fig1Cloud(t)
+			inj := fault.NewInjector(c.Eng, c.G, c.Net)
+
+			// Connect traffic: one client in cloud A, a SIP with two
+			// backends in cloud B.
+			client, err := pa.RequestEIP("acme", topo.HostID(w.CloudA, w.RegionsA[0], "az1", 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sip, err := pb.RequestSIP("acme")
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, n := range []topo.NodeID{
+				topo.HostID(w.CloudB, w.RegionsB[0], "az1", 1),
+				topo.HostID(w.CloudB, w.RegionsB[0], "az2", 1),
+			} {
+				be, err := pb.RequestEIP("acme", n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := pb.Bind("acme", be, sip, 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := pb.SetPermitList("acme", sip, []permit.Entry{addr.NewPrefix(client, 32)}); err != nil {
+				t.Fatal(err)
+			}
+
+			// Fault targets: every link pair, plus fabric/core nodes (never
+			// the endpoint hosts, so connects stay meaningful on most steps).
+			var pairs []string
+			for _, l := range c.G.Links() {
+				if strings.HasSuffix(l.ID, ":fwd") {
+					pairs = append(pairs, strings.TrimSuffix(l.ID, ":fwd"))
+				}
+			}
+			var mids []topo.NodeID
+			for _, n := range c.G.Nodes() {
+				if n.Kind == topo.ZoneFabric || n.Kind == topo.RegionRouter {
+					mids = append(mids, n.ID)
+				}
+			}
+			if len(pairs) == 0 || len(mids) == 0 {
+				t.Fatal("no fault targets in Fig1 graph")
+			}
+
+			// Query set: cross-cloud, intra-cloud, self, and an unknown node
+			// (the unknown-destination error is negatively cached too).
+			hostA := topo.HostID(w.CloudA, w.RegionsA[0], "az1", 1)
+			hostA2 := topo.HostID(w.CloudA, w.RegionsA[1], "az1", 1)
+			hostB := topo.HostID(w.CloudB, w.RegionsB[0], "az1", 1)
+			hostB2 := topo.HostID(w.CloudB, w.RegionsB[1], "az2", 1)
+			queries := []struct{ src, dst topo.NodeID }{
+				{hostA, hostB}, {hostB, hostA}, {hostA, hostA2},
+				{hostB2, hostA2}, {hostA, hostA}, {hostA, "ghost"},
+			}
+			policies := []qos.PotatoPolicy{qos.HotPotato, qos.ColdPotato}
+
+			check := func(step int) {
+				t.Helper()
+				for _, p := range policies {
+					for _, q := range queries {
+						got, gerr := c.Router().PathFor(p, q.src, q.dst)
+						want, werr := qos.PathFor(c.G, p, q.src, q.dst)
+						if (gerr == nil) != (werr == nil) ||
+							(gerr != nil && gerr.Error() != werr.Error()) {
+							t.Fatalf("step %d %v %s->%s: cached err %v, uncached err %v",
+								step, p, q.src, q.dst, gerr, werr)
+						}
+						if len(got) != len(want) {
+							t.Fatalf("step %d %v %s->%s: cached %d hops, uncached %d",
+								step, p, q.src, q.dst, len(got), len(want))
+						}
+						for i := range got {
+							if got[i].ID != want[i].ID {
+								t.Fatalf("step %d %v %s->%s hop %d: cached %s, uncached %s",
+									step, p, q.src, q.dst, i, got[i].ID, want[i].ID)
+							}
+						}
+					}
+				}
+			}
+
+			check(0)
+			const steps = 50
+			for i := 1; i <= steps; i++ {
+				// Restore can fail when the target is not currently faulted;
+				// that is part of the random schedule, not an error.
+				switch rng.Intn(4) {
+				case 0:
+					inj.FailLink(pairs[rng.Intn(len(pairs))])
+				case 1:
+					inj.RestoreLink(pairs[rng.Intn(len(pairs))])
+				case 2:
+					inj.FailNode(mids[rng.Intn(len(mids))])
+				case 3:
+					inj.RestoreNode(mids[rng.Intn(len(mids))])
+				}
+				if cn, err := c.Connect("acme", client, sip, ConnectOpts{SizeBytes: 1e3}); err == nil {
+					cn.Close()
+				}
+				check(i)
+			}
+			if c.Router().Hits() == 0 {
+				t.Error("parity run never hit the cache")
+			}
+			if c.Router().Flushes() == 0 {
+				t.Error("parity run never flushed the cache despite mutations")
+			}
+		})
+	}
+}

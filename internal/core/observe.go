@@ -84,9 +84,9 @@ func (c *Cloud) registerProviderMetrics(name string, p *Provider) {
 	c.reg.GaugeFunc("declnet_permit_entries",
 		"Total permit-list entries.", func() float64 { return float64(p.Permits.TotalEntries()) }, l)
 	c.reg.GaugeFunc("declnet_permit_lookups_total",
-		"Permit admission checks.", func() float64 { return float64(p.Permits.Lookups) }, l)
+		"Permit admission checks.", func() float64 { return float64(p.Permits.Lookups.Load()) }, l)
 	c.reg.GaugeFunc("declnet_permit_updates_total",
-		"Permit-list mutations.", func() float64 { return float64(p.Permits.Updates) }, l)
+		"Permit-list mutations.", func() float64 { return float64(p.Permits.Updates.Load()) }, l)
 }
 
 // traceEvent records one decision when tracing is on.
@@ -105,6 +105,8 @@ func (c *Cloud) ipStr(ip addr.IP) string {
 	if ip == 0 {
 		return ""
 	}
+	c.memoMu.Lock()
+	defer c.memoMu.Unlock()
 	if c.ipMemo[0].ip == ip {
 		return c.ipMemo[0].s
 	}
@@ -262,7 +264,7 @@ func (c *Cloud) Explain(tenant string, src EIP, dst addr.IP) (*Explanation, erro
 		policy = qos.HotPotato
 	}
 	if dstNode != "" {
-		path, err := qos.PathFor(c.G, policy, srcEp.node, dstNode)
+		path, err := c.router.PathFor(policy, srcEp.node, dstNode)
 		if err != nil {
 			ex.failStep("path", fmt.Sprintf("policy=%v", policy),
 				fmt.Sprintf("no-path:%v", policy))

@@ -110,6 +110,11 @@ type Provider struct {
 	// observability plane (see observe.go); nil-safe at the call site.
 	trace func(kind obs.Kind, tenant string, src, dst addr.IP, verdict, detail, cause string)
 
+	// addrsChanged, when set, notifies the Cloud that this provider's
+	// granted address set (endpoints/services) changed, invalidating the
+	// provider-of-address fast-path cache.
+	addrsChanged func()
+
 	cfg Config
 }
 
@@ -127,6 +132,13 @@ type Biller interface {
 
 // SetBiller attaches usage metering to this provider.
 func (p *Provider) SetBiller(b Biller) { p.meter = b }
+
+// notifyAddrs reports an address-set mutation to the enclosing Cloud.
+func (p *Provider) notifyAddrs() {
+	if p.addrsChanged != nil {
+		p.addrsChanged()
+	}
+}
 
 // tenantQuota is one (tenant, region) egress guarantee.
 type tenantQuota struct {
@@ -253,6 +265,7 @@ func (p *Provider) RequestEIP(tenant string, vm topo.NodeID) (EIP, error) {
 		eip: eip, tenant: tenant, node: vm,
 		provider: p.Name, region: n.Region,
 	}
+	p.notifyAddrs()
 	if p.meter != nil {
 		p.meter.GrantEIP(tenant, p.eng.Now())
 	}
@@ -275,6 +288,7 @@ func (p *Provider) ReleaseEIP(tenant string, eip EIP) error {
 	}
 	p.Permits.Drop(eip)
 	delete(p.endpoints, eip)
+	p.notifyAddrs()
 	if p.meter != nil {
 		p.meter.ReleaseEIP(tenant, p.eng.Now())
 	}
@@ -288,6 +302,7 @@ func (p *Provider) RequestSIP(tenant string) (SIP, error) {
 		return 0, err
 	}
 	p.services[sip] = &service{sip: sip, tenant: tenant, balancer: lb.New(sip)}
+	p.notifyAddrs()
 	if p.meter != nil {
 		p.meter.GrantSIP(tenant, p.eng.Now())
 	}
@@ -302,6 +317,7 @@ func (p *Provider) ReleaseSIP(tenant string, sip SIP) error {
 	}
 	p.Permits.Drop(sip)
 	delete(p.services, sip)
+	p.notifyAddrs()
 	if p.meter != nil {
 		p.meter.ReleaseSIP(tenant, p.eng.Now())
 	}

@@ -105,7 +105,7 @@ func e4Run(n, fanout int, lag sim.Time, seed int64) (e4Result, error) {
 	return e4Result{
 		endpoints:       origin.Endpoints(),
 		entries:         origin.TotalEntries(),
-		updates:         origin.Updates,
+		updates:         origin.Updates.Load(),
 		lookupsPerMicro: perMicro,
 		staleAdmits:     staleAdmits,
 	}, nil

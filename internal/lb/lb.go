@@ -8,6 +8,7 @@ package lb
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"declnet/internal/addr"
 )
@@ -31,11 +32,16 @@ func (b *Backend) Active() int { return b.active }
 
 // Balancer spreads connections for one SIP across its backends using
 // smooth weighted round robin (deterministic, proportional to weights,
-// maximally interleaved — the nginx algorithm).
+// maximally interleaved — the nginx algorithm). All methods are safe for
+// concurrent use: the API read plane serves probes in parallel, and a
+// probe advances the WRR state.
 type Balancer struct {
-	SIP      addr.IP
+	SIP addr.IP
+
+	mu       sync.Mutex
 	backends map[addr.IP]*Backend
-	// Picks and Errors count balancing outcomes for experiments.
+	// Picks and Errors count balancing outcomes for experiments. Guarded
+	// by mu; read them only when no picks are in flight.
 	Picks  uint64
 	Errors uint64
 }
@@ -47,6 +53,8 @@ func New(sip addr.IP) *Balancer {
 
 // Bind adds or re-weights a backend; weight < 1 is clamped to 1.
 func (b *Balancer) Bind(eip addr.IP, weight int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if weight < 1 {
 		weight = 1
 	}
@@ -61,6 +69,8 @@ func (b *Balancer) Bind(eip addr.IP, weight int) {
 // Unbind starts draining a backend: no new connections, existing ones
 // finish. The backend disappears once its last connection releases.
 func (b *Balancer) Unbind(eip addr.IP) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	be, ok := b.backends[eip]
 	if !ok {
 		return fmt.Errorf("lb: %s not bound to %s", eip, b.SIP)
@@ -74,6 +84,8 @@ func (b *Balancer) Unbind(eip addr.IP) error {
 
 // SetHealth marks a backend up or down (provider health checks drive it).
 func (b *Balancer) SetHealth(eip addr.IP, healthy bool) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	be, ok := b.backends[eip]
 	if !ok {
 		return fmt.Errorf("lb: %s not bound to %s", eip, b.SIP)
@@ -84,6 +96,13 @@ func (b *Balancer) SetHealth(eip addr.IP, healthy bool) error {
 
 // Backends returns the bound backends sorted by EIP.
 func (b *Balancer) Backends() []*Backend {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.backendsLocked()
+}
+
+// backendsLocked is Backends for callers already holding mu.
+func (b *Balancer) backendsLocked() []*Backend {
 	out := make([]*Backend, 0, len(b.backends))
 	for _, be := range b.backends {
 		out = append(out, be)
@@ -94,6 +113,8 @@ func (b *Balancer) Backends() []*Backend {
 
 // HealthyCount returns the number of in-rotation backends.
 func (b *Balancer) HealthyCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	n := 0
 	for _, be := range b.backends {
 		if be.Healthy() {
@@ -106,11 +127,13 @@ func (b *Balancer) HealthyCount() int {
 // Pick selects a backend for a new connection via smooth WRR and marks a
 // connection active on it. Callers must Release when the connection ends.
 func (b *Balancer) Pick() (*Backend, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	b.Picks++
 	var chosen *Backend
 	total := 0
 	// Deterministic iteration for reproducibility.
-	for _, be := range b.Backends() {
+	for _, be := range b.backendsLocked() {
 		if !be.Healthy() {
 			continue
 		}
@@ -133,9 +156,11 @@ func (b *Balancer) Pick() (*Backend, error) {
 // mutating the smooth-WRR counters or connection state — the diagnosis
 // path (GET /v1/explain) must replay the decision, not take it.
 func (b *Balancer) Preview() (*Backend, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	var chosen *Backend
 	best := 0
-	for _, be := range b.Backends() {
+	for _, be := range b.backendsLocked() {
 		if !be.Healthy() {
 			continue
 		}
@@ -151,6 +176,8 @@ func (b *Balancer) Preview() (*Backend, error) {
 
 // Release ends a connection on a backend, completing drain when due.
 func (b *Balancer) Release(be *Backend) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if be.active > 0 {
 		be.active--
 	}
@@ -164,9 +191,11 @@ func (b *Balancer) Release(be *Backend) {
 // connection lifetimes, ignores weights). rnd must return a uniform
 // int in [0, n).
 func (b *Balancer) PickP2C(rnd func(n int) int) (*Backend, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	b.Picks++
 	healthy := make([]*Backend, 0, len(b.backends))
-	for _, be := range b.Backends() {
+	for _, be := range b.backendsLocked() {
 		if be.Healthy() {
 			healthy = append(healthy, be)
 		}

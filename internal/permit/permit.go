@@ -9,6 +9,8 @@ package permit
 
 import (
 	"fmt"
+	"sort"
+	"sync/atomic"
 
 	"declnet/internal/addr"
 	"declnet/internal/routing"
@@ -72,13 +74,15 @@ func (l *List) Len() int { return len(l.exact) + l.prefixes.Len() }
 // Version increments on every mutation; replicas compare versions.
 func (l *List) Version() uint64 { return l.version }
 
-// Entries returns all entries (exact /32s plus prefixes), unordered
-// between the two classes but deterministic within the trie.
+// Entries returns all entries: exact /32s sorted by address, then
+// prefixes in the trie's deterministic order — stable across runs so
+// golden tables and diff-based tests never flake on map iteration.
 func (l *List) Entries() []Entry {
 	out := make([]Entry, 0, l.Len())
 	for ip := range l.exact {
 		out = append(out, addr.NewPrefix(ip, 32))
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
 	out = append(out, l.prefixes.Prefixes()...)
 	return out
 }
@@ -103,8 +107,10 @@ func (l *List) Clone() *List {
 type Engine struct {
 	lists map[addr.IP]*List
 	// Lookups and Updates count enforcement work for the E4 experiment.
-	Lookups uint64
-	Updates uint64
+	// Atomic because admission checks run on the concurrent read plane
+	// while control-plane writes mutate the lists under the API lock.
+	Lookups atomic.Uint64
+	Updates atomic.Uint64
 }
 
 // NewEngine returns an empty engine.
@@ -119,7 +125,7 @@ func (e *Engine) Set(dst addr.IP, entries []Entry) {
 		l.Add(en)
 	}
 	e.lists[dst] = l
-	e.Updates++
+	e.Updates.Add(1)
 }
 
 // Permit adds one entry to dst's list, creating the list if needed.
@@ -130,7 +136,7 @@ func (e *Engine) Permit(dst addr.IP, en Entry) {
 		e.lists[dst] = l
 	}
 	l.Add(en)
-	e.Updates++
+	e.Updates.Add(1)
 }
 
 // Revoke removes one entry from dst's list.
@@ -139,20 +145,20 @@ func (e *Engine) Revoke(dst addr.IP, en Entry) bool {
 	if !ok {
 		return false
 	}
-	e.Updates++
+	e.Updates.Add(1)
 	return l.Remove(en)
 }
 
 // Drop removes dst's entire list (endpoint teardown).
 func (e *Engine) Drop(dst addr.IP) {
 	delete(e.lists, dst)
-	e.Updates++
+	e.Updates.Add(1)
 }
 
 // Check enforces default-off admission: true only when dst has a list
 // that permits src.
 func (e *Engine) Check(src, dst addr.IP) bool {
-	e.Lookups++
+	e.Lookups.Add(1)
 	l, ok := e.lists[dst]
 	if !ok {
 		return false

@@ -81,8 +81,8 @@ func TestCounters(t *testing.T) {
 	e.Set(dst, []Entry{pfx("10.0.0.0/8"), pfx("1.1.1.1/32")})
 	e.Check(ipa("10.0.0.1"), dst)
 	e.Check(ipa("2.2.2.2"), dst)
-	if e.Lookups != 2 || e.Updates != 1 {
-		t.Fatalf("Lookups,Updates = %d,%d", e.Lookups, e.Updates)
+	if e.Lookups.Load() != 2 || e.Updates.Load() != 1 {
+		t.Fatalf("Lookups,Updates = %d,%d", e.Lookups.Load(), e.Updates.Load())
 	}
 	if e.TotalEntries() != 2 {
 		t.Fatalf("TotalEntries = %d", e.TotalEntries())
@@ -103,6 +103,38 @@ func TestListCloneAndEntries(t *testing.T) {
 	}
 	if c.Version() != 2 {
 		t.Fatalf("clone Version = %d, want 2", c.Version())
+	}
+}
+
+// Entries must come back in a deterministic order regardless of
+// insertion order: exact /32s sorted by address, then trie prefixes.
+func TestEntriesDeterministic(t *testing.T) {
+	mk := func(order []string) []Entry {
+		l := NewList()
+		for _, s := range order {
+			l.Add(pfx(s))
+		}
+		return l.Entries()
+	}
+	specs := []string{"192.0.2.9/32", "10.0.0.0/8", "192.0.2.1/32", "172.16.0.0/12", "1.1.1.1/32"}
+	want := mk(specs)
+	rev := make([]string, len(specs))
+	for i, s := range specs {
+		rev[len(specs)-1-i] = s
+	}
+	got := mk(rev)
+	if len(got) != len(want) {
+		t.Fatalf("Entries = %d items, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Entries[%d] = %v (reversed insertion), want %v", i, got[i], want[i])
+		}
+	}
+	for i := 1; i < len(want); i++ {
+		if want[i-1].Len == 32 && want[i].Len == 32 && want[i-1].Addr > want[i].Addr {
+			t.Fatalf("exact entries unsorted: %v before %v", want[i-1], want[i])
+		}
 	}
 }
 

@@ -42,11 +42,11 @@ func TestShieldGreylistsAfterThreshold(t *testing.T) {
 		t.Fatal("not greylisted after threshold denials")
 	}
 	// Subsequent packets are shed cheaply, without engine lookups.
-	before := s.Engine().Lookups
+	before := s.Engine().Lookups.Load()
 	for i := 0; i < 1000; i++ {
 		s.Check(attacker, dst)
 	}
-	if s.Engine().Lookups != before {
+	if s.Engine().Lookups.Load() != before {
 		t.Fatal("greylisted source still charged permit lookups")
 	}
 	if s.Greylisted != 1000 {

@@ -1,0 +1,109 @@
+// Router: an epoch-keyed cache in front of PathFor, the provider's
+// connect-time route computation. The paper's pitch is that the provider
+// absorbs the datapath work tenants used to do by hand — which makes path
+// selection a per-connect cost, and repeat (policy, src, dst) queries the
+// common case. The cache is keyed on topo.Graph.Epoch(): any topology
+// mutation (including fault injection) bumps the epoch, and the whole
+// cache is invalidated on the next query, so a stale route can never be
+// served across a fault or heal.
+//
+// Misses (including errors) are cached too — negative caching is safe
+// because the only ways an unreachable or unknown pair can become
+// routable are AddNode/AddLink/SetLinkUp/SetPairUp, all of which bump the
+// epoch.
+package qos
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"declnet/internal/topo"
+)
+
+// pathKey identifies one cached route query.
+type pathKey struct {
+	policy   PotatoPolicy
+	src, dst topo.NodeID
+}
+
+// pathVal is one cached outcome: the path, or the error the search
+// produced (negative cache entry).
+type pathVal struct {
+	path topo.Path
+	err  error
+}
+
+// Router serves policy path queries through an epoch-keyed cache over one
+// graph. Concurrent readers are safe; the graph itself must not be
+// mutated while a query is in flight (the API layer's write lock
+// guarantees that).
+type Router struct {
+	g *topo.Graph
+
+	mu    sync.RWMutex
+	epoch uint64 // graph epoch the cache contents were computed at
+	cache map[pathKey]pathVal
+
+	hits, misses, flushes atomic.Uint64
+}
+
+// NewRouter returns an empty cache over g.
+func NewRouter(g *topo.Graph) *Router {
+	return &Router{g: g, cache: make(map[pathKey]pathVal)}
+}
+
+// Graph returns the underlying substrate graph.
+func (r *Router) Graph() *topo.Graph { return r.g }
+
+// PathFor computes the route src->dst under the policy, consulting the
+// cache when the graph epoch matches. Hits return the same Path value the
+// original computation produced (callers must not mutate it).
+func (r *Router) PathFor(policy PotatoPolicy, src, dst topo.NodeID) (topo.Path, error) {
+	ep := r.g.Epoch()
+	key := pathKey{policy, src, dst}
+	r.mu.RLock()
+	if r.epoch == ep {
+		if v, ok := r.cache[key]; ok {
+			r.mu.RUnlock()
+			r.hits.Add(1)
+			return v.path, v.err
+		}
+	}
+	r.mu.RUnlock()
+	r.misses.Add(1)
+	path, err := PathFor(r.g, policy, src, dst)
+	// Store only if the epoch is unchanged since before the computation;
+	// a mutation that raced the search makes the result unsafe to keep.
+	if r.g.Epoch() == ep {
+		r.mu.Lock()
+		if r.epoch != ep {
+			// The cache was stamped at an older epoch: every entry in it
+			// predates some mutation. Invalidate wholesale.
+			if len(r.cache) > 0 {
+				clear(r.cache)
+				r.flushes.Add(1)
+			}
+			r.epoch = ep
+		}
+		r.cache[key] = pathVal{path, err}
+		r.mu.Unlock()
+	}
+	return path, err
+}
+
+// Hits returns the number of queries answered from the cache.
+func (r *Router) Hits() uint64 { return r.hits.Load() }
+
+// Misses returns the number of queries that ran the full path search.
+func (r *Router) Misses() uint64 { return r.misses.Load() }
+
+// Flushes returns the number of wholesale invalidations caused by
+// topology epoch changes.
+func (r *Router) Flushes() uint64 { return r.flushes.Load() }
+
+// Len returns the number of cached entries (positive and negative).
+func (r *Router) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.cache)
+}

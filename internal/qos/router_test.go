@@ -1,0 +1,147 @@
+package qos
+
+import (
+	"testing"
+	"time"
+
+	"declnet/internal/topo"
+)
+
+// routerGraph builds a diamond a->{b,c}->d with a cheap backbone branch
+// and an expensive transit branch, plus an isolated node x.
+func routerGraph(t *testing.T) *topo.Graph {
+	t.Helper()
+	g := topo.New()
+	for _, id := range []topo.NodeID{"a", "b", "c", "d", "x"} {
+		g.MustAddNode(topo.Node{ID: id})
+	}
+	g.MustConnect("ab", "a", "b", topo.Backbone, 1e9, 5*time.Millisecond, 0, 0)
+	g.MustConnect("bd", "b", "d", topo.Backbone, 1e9, 5*time.Millisecond, 0, 0)
+	g.MustConnect("ac", "a", "c", topo.Transit, 1e9, 20*time.Millisecond, 0, 0)
+	g.MustConnect("cd", "c", "d", topo.Transit, 1e9, 20*time.Millisecond, 0, 0)
+	return g
+}
+
+func pathIDs(p topo.Path) []string {
+	ids := make([]string, len(p))
+	for i, l := range p {
+		ids[i] = l.ID
+	}
+	return ids
+}
+
+func samePath(a, b topo.Path) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRouterCachesHits(t *testing.T) {
+	g := routerGraph(t)
+	r := NewRouter(g)
+	p1, err := r.PathFor(ColdPotato, "a", "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := r.PathFor(ColdPotato, "a", "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !samePath(p1, p2) {
+		t.Fatalf("cached path %v != first path %v", pathIDs(p2), pathIDs(p1))
+	}
+	if r.Hits() != 1 || r.Misses() != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", r.Hits(), r.Misses())
+	}
+	// A different key misses independently.
+	if _, err := r.PathFor(HotPotato, "a", "d"); err != nil {
+		t.Fatal(err)
+	}
+	if r.Misses() != 2 {
+		t.Fatalf("misses=%d, want 2", r.Misses())
+	}
+}
+
+func TestRouterInvalidatesOnEpochChange(t *testing.T) {
+	g := routerGraph(t)
+	r := NewRouter(g)
+	p1, err := r.PathFor(ColdPotato, "a", "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pathIDs(p1); got[0] != "ab:fwd" {
+		t.Fatalf("initial path %v, want via backbone", got)
+	}
+	// Fail the backbone: the cache must not serve the old route.
+	if err := g.SetPairUp("ab", false); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := r.PathFor(ColdPotato, "a", "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if samePath(p1, p2) {
+		t.Fatalf("stale path %v served after link failure", pathIDs(p2))
+	}
+	want, err := PathFor(g, ColdPotato, "a", "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !samePath(p2, want) {
+		t.Fatalf("post-fault path %v != uncached %v", pathIDs(p2), pathIDs(want))
+	}
+	if r.Flushes() != 1 {
+		t.Fatalf("flushes=%d, want 1", r.Flushes())
+	}
+}
+
+func TestRouterNegativeCaching(t *testing.T) {
+	g := routerGraph(t)
+	r := NewRouter(g)
+	// x is isolated: the error outcome must be cached...
+	if _, err := r.PathFor(ColdPotato, "a", "x"); err == nil {
+		t.Fatal("want error for unreachable destination")
+	}
+	if _, err := r.PathFor(ColdPotato, "a", "x"); err == nil {
+		t.Fatal("want cached error for unreachable destination")
+	}
+	if r.Hits() != 1 {
+		t.Fatalf("hits=%d, want 1 (negative entry)", r.Hits())
+	}
+	// ...and forgotten once topology changes make x reachable.
+	g.MustConnect("dx", "d", "x", topo.Backbone, 1e9, time.Millisecond, 0, 0)
+	p, err := r.PathFor(ColdPotato, "a", "x")
+	if err != nil {
+		t.Fatalf("x still unreachable after heal: %v", err)
+	}
+	if len(p) != 3 {
+		t.Fatalf("path %v, want 3 hops", pathIDs(p))
+	}
+}
+
+func TestRouterMatchesUncachedAcrossPolicies(t *testing.T) {
+	g := routerGraph(t)
+	r := NewRouter(g)
+	for _, pol := range []PotatoPolicy{HotPotato, ColdPotato, Dedicated} {
+		got, gotErr := r.PathFor(pol, "a", "d")
+		want, wantErr := PathFor(g, pol, "a", "d")
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("%v: err=%v, want %v", pol, gotErr, wantErr)
+		}
+		if gotErr != nil {
+			if gotErr.Error() != wantErr.Error() {
+				t.Fatalf("%v: err %q != %q", pol, gotErr, wantErr)
+			}
+			continue
+		}
+		if !samePath(got, want) {
+			t.Fatalf("%v: cached %v != uncached %v", pol, pathIDs(got), pathIDs(want))
+		}
+	}
+}

@@ -9,6 +9,7 @@ package sim
 
 import (
 	"container/heap"
+	"sync"
 	"fmt"
 	"math/rand"
 	"time"
@@ -99,9 +100,37 @@ type Engine struct {
 	userPending int
 }
 
+// lockedSource serializes access to a rand source so the engine's Rand
+// may be shared by concurrent read-plane callers (probe RTT/loss draws)
+// without perturbing the deterministic sequence a single-threaded run
+// would produce.
+type lockedSource struct {
+	mu  sync.Mutex
+	src rand.Source64
+}
+
+func (s *lockedSource) Int63() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.src.Int63()
+}
+
+func (s *lockedSource) Uint64() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.src.Uint64()
+}
+
+func (s *lockedSource) Seed(seed int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.src.Seed(seed)
+}
+
 // New returns an engine whose random source is seeded with seed.
 func New(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+	src := rand.NewSource(seed).(rand.Source64)
+	return &Engine{rng: rand.New(&lockedSource{src: src})}
 }
 
 // Now returns the current virtual time.

@@ -1,0 +1,155 @@
+package topo
+
+import (
+	"testing"
+	"time"
+)
+
+// TestEpochBumpsOncePerMutator pins the invalidation contract the path
+// cache depends on: every successful mutator advances Epoch exactly once
+// (SetPairUp counts as one transition, not two), and failed mutations
+// leave it alone.
+func TestEpochBumpsOncePerMutator(t *testing.T) {
+	g := New()
+	check := func(name string, want uint64, op func() error) {
+		t.Helper()
+		before := g.Epoch()
+		err := op()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := g.Epoch() - before; got != want {
+			t.Errorf("%s bumped epoch %d times, want %d", name, got, want)
+		}
+	}
+	check("AddNode", 1, func() error { _, err := g.AddNode(Node{ID: "a"}); return err })
+	check("AddNode", 1, func() error { _, err := g.AddNode(Node{ID: "b"}); return err })
+	check("AddLink", 1, func() error {
+		_, err := g.AddLink(Link{ID: "ab:fwd", From: "a", To: "b", Capacity: 1})
+		return err
+	})
+	check("AddLink", 1, func() error {
+		_, err := g.AddLink(Link{ID: "ab:rev", From: "b", To: "a", Capacity: 1})
+		return err
+	})
+	check("SetLinkUp", 1, func() error { return g.SetLinkUp("ab:fwd", false) })
+	check("SetPairUp", 1, func() error { return g.SetPairUp("ab", true) })
+
+	// Failed mutations must not bump: a no-op cannot invalidate caches.
+	fail := func(name string, op func() error) {
+		t.Helper()
+		before := g.Epoch()
+		if err := op(); err == nil {
+			t.Fatalf("%s: want error", name)
+		}
+		if got := g.Epoch(); got != before {
+			t.Errorf("%s bumped epoch on failure (%d -> %d)", name, before, got)
+		}
+	}
+	fail("AddNode dup", func() error { _, err := g.AddNode(Node{ID: "a"}); return err })
+	fail("AddLink dup", func() error {
+		_, err := g.AddLink(Link{ID: "ab:fwd", From: "a", To: "b", Capacity: 1})
+		return err
+	})
+	fail("SetLinkUp unknown", func() error { return g.SetLinkUp("nope", false) })
+	fail("SetPairUp unknown", func() error { return g.SetPairUp("nope", false) })
+}
+
+func TestSetLinkUpUnknownID(t *testing.T) {
+	g := New()
+	if err := g.SetLinkUp("ghost", true); err == nil {
+		t.Fatal("SetLinkUp on unknown id accepted")
+	}
+	if err := g.SetPairUp("ghost", true); err == nil {
+		t.Fatal("SetPairUp on unknown id accepted")
+	}
+}
+
+func TestSetPairUpFailsAndRestoresBothDirections(t *testing.T) {
+	g := smallGraph(t)
+	if err := g.SetPairUp("ab", false); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"ab:fwd", "ab:rev"} {
+		l, ok := g.Link(id)
+		if !ok || l.Up() {
+			t.Fatalf("%s should be down", id)
+		}
+	}
+	if err := g.SetPairUp("ab", true); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"ab:fwd", "ab:rev"} {
+		l, _ := g.Link(id)
+		if !l.Up() {
+			t.Fatalf("%s should be up", id)
+		}
+	}
+}
+
+// TestIncidentOrdering: Incident returns every touching link, both
+// directions, sorted by ID.
+func TestIncidentOrdering(t *testing.T) {
+	g := smallGraph(t)
+	inc := g.Incident("c")
+	want := []string{"ac:fwd", "ac:rev", "bc:fwd", "bc:rev", "cd:fwd", "cd:rev"}
+	if len(inc) != len(want) {
+		t.Fatalf("Incident(c) = %d links, want %d", len(inc), len(want))
+	}
+	for i, l := range inc {
+		if l.ID != want[i] {
+			t.Fatalf("Incident(c)[%d] = %s, want %s", i, l.ID, want[i])
+		}
+	}
+}
+
+// TestOutSorted: adjacency is presorted at mutation time, in link-ID
+// order regardless of insertion order.
+func TestOutSorted(t *testing.T) {
+	g := New()
+	for _, id := range []NodeID{"n", "p", "q", "r"} {
+		g.MustAddNode(Node{ID: id})
+	}
+	// Insert deliberately out of ID order.
+	for _, id := range []string{"zz", "aa", "mm"} {
+		to := map[string]NodeID{"zz": "p", "aa": "q", "mm": "r"}[id]
+		if _, err := g.AddLink(Link{ID: id, From: "n", To: to, Capacity: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := g.Out("n")
+	want := []string{"aa", "mm", "zz"}
+	for i, l := range out {
+		if l.ID != want[i] {
+			t.Fatalf("Out(n)[%d] = %s, want %s (presorted)", i, l.ID, want[i])
+		}
+	}
+	if g.Out("ghost") != nil {
+		t.Fatal("Out on unknown node should be nil")
+	}
+}
+
+// TestShortestPathAfterMutation: the arena survives interleaved mutation
+// and search (fresh nodes/links join path search immediately).
+func TestShortestPathAfterMutation(t *testing.T) {
+	g := smallGraph(t)
+	if _, err := g.ShortestPath("a", "d", PathOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	g.MustAddNode(Node{ID: "e"})
+	g.MustConnect("de", "d", "e", Backbone, Gbps, time.Millisecond, 0, 0)
+	p, err := g.ShortestPath("a", "e", PathOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p[len(p)-1].ID; got != "de:fwd" {
+		t.Fatalf("last hop %s, want de:fwd", got)
+	}
+	// Fail it again: e drops out of reach.
+	if err := g.SetPairUp("de", false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.ShortestPath("a", "e", PathOpts{}); err == nil {
+		t.Fatal("path to e should fail with de down")
+	}
+}

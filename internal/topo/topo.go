@@ -12,8 +12,9 @@ package topo
 
 import (
 	"fmt"
-	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -99,17 +100,39 @@ type Link struct {
 	Loss float64
 	// down marks a failed link; set through Graph.SetLinkUp.
 	down bool
+	// fromIdx/toIdx are the arena indices of From/To, assigned by AddLink
+	// so path search never touches the NodeID maps.
+	fromIdx, toIdx int32
 }
 
 // Up reports whether the link is in service.
 func (l *Link) Up() bool { return !l.down }
 
 // Graph is the substrate topology. Construct with New and the Add methods;
-// it is not safe for concurrent mutation.
+// it is not safe for concurrent mutation, but any number of goroutines may
+// run ShortestPath (and the other read-only accessors) concurrently as
+// long as no mutation is in flight.
+//
+// Nodes live in a dense arena (nodeList, indexed by the order of AddNode)
+// so path search runs over int indices instead of NodeID map keys, and
+// adjacency lists are kept sorted by link ID at mutation time so the
+// search never sorts.
 type Graph struct {
 	nodes map[NodeID]*Node
 	links map[string]*Link
-	out   map[NodeID][]*Link
+
+	idx      map[NodeID]int32 // NodeID -> arena index
+	nodeList []*Node          // arena, in AddNode order
+	adj      [][]*Link        // adj[i] = out-links of nodeList[i], sorted by ID
+
+	// epoch counts topology mutations (AddNode/AddLink/SetLinkUp/
+	// SetPairUp). Epoch-keyed caches (qos.Router) compare it to detect
+	// staleness; it is atomic so readers need no lock.
+	epoch atomic.Uint64
+
+	// scratch pools per-search working state so concurrent ShortestPath
+	// calls each get their own arrays without per-call allocation.
+	scratch sync.Pool
 }
 
 // New returns an empty graph.
@@ -117,9 +140,14 @@ func New() *Graph {
 	return &Graph{
 		nodes: make(map[NodeID]*Node),
 		links: make(map[string]*Link),
-		out:   make(map[NodeID][]*Link),
+		idx:   make(map[NodeID]int32),
 	}
 }
+
+// Epoch returns the number of topology mutations so far. Any change that
+// can alter path selection bumps it, so a cache keyed on (Epoch, query)
+// can never serve a route computed before a fault or heal.
+func (g *Graph) Epoch() uint64 { return g.epoch.Load() }
 
 // AddNode inserts a node; duplicate IDs are an error.
 func (g *Graph) AddNode(n Node) (*Node, error) {
@@ -128,6 +156,10 @@ func (g *Graph) AddNode(n Node) (*Node, error) {
 	}
 	cp := n
 	g.nodes[n.ID] = &cp
+	g.idx[n.ID] = int32(len(g.nodeList))
+	g.nodeList = append(g.nodeList, &cp)
+	g.adj = append(g.adj, nil)
+	g.epoch.Add(1)
 	return &cp, nil
 }
 
@@ -168,12 +200,16 @@ func (g *Graph) NodesWhere(pred func(*Node) bool) []*Node {
 	return out
 }
 
-// AddLink inserts one directed link. Endpoints must exist.
+// AddLink inserts one directed link. Endpoints must exist. The link is
+// spliced into its source's adjacency list at its sorted (by ID) position
+// so path search relaxes in deterministic order without sorting.
 func (g *Graph) AddLink(l Link) (*Link, error) {
-	if _, ok := g.nodes[l.From]; !ok {
+	fi, ok := g.idx[l.From]
+	if !ok {
 		return nil, fmt.Errorf("topo: link %q from unknown node %q", l.ID, l.From)
 	}
-	if _, ok := g.nodes[l.To]; !ok {
+	ti, ok := g.idx[l.To]
+	if !ok {
 		return nil, fmt.Errorf("topo: link %q to unknown node %q", l.ID, l.To)
 	}
 	if _, ok := g.links[l.ID]; ok {
@@ -186,8 +222,15 @@ func (g *Graph) AddLink(l Link) (*Link, error) {
 		return nil, fmt.Errorf("topo: link %q has loss %v outside [0,1)", l.ID, l.Loss)
 	}
 	cp := l
+	cp.fromIdx, cp.toIdx = fi, ti
 	g.links[l.ID] = &cp
-	g.out[l.From] = append(g.out[l.From], &cp)
+	out := g.adj[fi]
+	at := sort.Search(len(out), func(i int) bool { return out[i].ID >= cp.ID })
+	out = append(out, nil)
+	copy(out[at+1:], out[at:])
+	out[at] = &cp
+	g.adj[fi] = out
+	g.epoch.Add(1)
 	return &cp, nil
 }
 
@@ -219,6 +262,16 @@ func (g *Graph) Link(id string) (*Link, bool) {
 // SetLinkUp fails or restores one directed link. Use SetPairUp for the
 // usual case of a whole physical link.
 func (g *Graph) SetLinkUp(id string, up bool) error {
+	if err := g.setLinkUp(id, up); err != nil {
+		return err
+	}
+	g.epoch.Add(1)
+	return nil
+}
+
+// setLinkUp is SetLinkUp without the epoch bump, so compound mutators
+// (SetPairUp) count as one topology transition.
+func (g *Graph) setLinkUp(id string, up bool) error {
 	l, ok := g.links[id]
 	if !ok {
 		return fmt.Errorf("topo: unknown link %q", id)
@@ -228,12 +281,15 @@ func (g *Graph) SetLinkUp(id string, up bool) error {
 }
 
 // SetPairUp fails or restores both directions of a link created with
-// Connect (ids "<id>:fwd" and "<id>:rev").
+// Connect (ids "<id>:fwd" and "<id>:rev"). It bumps the epoch once: a
+// physical link transition is one mutation, not two.
 func (g *Graph) SetPairUp(id string, up bool) error {
-	if err := g.SetLinkUp(id+":fwd", up); err != nil {
+	if err := g.setLinkUp(id+":fwd", up); err != nil {
 		return err
 	}
-	return g.SetLinkUp(id+":rev", up)
+	err := g.setLinkUp(id+":rev", up)
+	g.epoch.Add(1) // :fwd changed even when :rev is missing
+	return err
 }
 
 // Links returns all links sorted by ID.
@@ -246,8 +302,14 @@ func (g *Graph) Links() []*Link {
 	return out
 }
 
-// Out returns the links leaving node id.
-func (g *Graph) Out(id NodeID) []*Link { return g.out[id] }
+// Out returns the links leaving node id, sorted by link ID.
+func (g *Graph) Out(id NodeID) []*Link {
+	i, ok := g.idx[id]
+	if !ok {
+		return nil
+	}
+	return g.adj[i]
+}
 
 // Incident returns every directed link touching the node — leaving or
 // entering it — sorted by ID. Fault injection uses it to take a whole
@@ -344,40 +406,131 @@ type PathOpts struct {
 // taken only when no alternative exists.
 const avoidPenalty = 10 * time.Second
 
+// pqItem is one heap entry: a node (by arena index) at a tentative
+// distance. Ordering is (dist, NodeID) lexicographic so pop order matches
+// the linear-scan Dijkstra this replaced — ties settle on the smaller
+// node ID, keeping path selection byte-identical.
+type pqItem struct {
+	dist time.Duration
+	node int32
+}
+
+// pathScratch is the per-search working state, pooled on the graph so
+// steady-state searches allocate only the result path. Slices are indexed
+// by arena index; seen/visited are cleared after every search.
+type pathScratch struct {
+	dist    []time.Duration
+	prev    []*Link
+	seen    []bool // dist/prev valid this search
+	visited []bool
+	heap    []pqItem
+}
+
+func (g *Graph) getScratch() *pathScratch {
+	sc, _ := g.scratch.Get().(*pathScratch)
+	if sc == nil {
+		sc = &pathScratch{}
+	}
+	if n := len(g.nodeList); len(sc.dist) < n {
+		sc.dist = make([]time.Duration, n)
+		sc.prev = make([]*Link, n)
+		sc.seen = make([]bool, n)
+		sc.visited = make([]bool, n)
+	}
+	return sc
+}
+
+func (g *Graph) putScratch(sc *pathScratch) {
+	clear(sc.seen)
+	clear(sc.visited)
+	sc.heap = sc.heap[:0]
+	g.scratch.Put(sc)
+}
+
+// less orders heap entries by (dist, NodeID).
+func (g *Graph) less(a, b pqItem) bool {
+	if a.dist != b.dist {
+		return a.dist < b.dist
+	}
+	return g.nodeList[a.node].ID < g.nodeList[b.node].ID
+}
+
+func (g *Graph) heapPush(h []pqItem, it pqItem) []pqItem {
+	h = append(h, it)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !g.less(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	return h
+}
+
+func (g *Graph) heapPop(h []pqItem) ([]pqItem, pqItem) {
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && g.less(h[l], h[least]) {
+			least = l
+		}
+		if r < n && g.less(h[r], h[least]) {
+			least = r
+		}
+		if least == i {
+			break
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+	return h, top
+}
+
 // ShortestPath returns the minimum-delay path from src to dst honoring the
-// options, or an error when dst is unreachable. Dijkstra over link delay
-// (plus penalties) with deterministic tie-breaking on link ID.
+// options, or an error when dst is unreachable. Heap-based Dijkstra over
+// link delay (plus penalties) with deterministic tie-breaking: equal-cost
+// frontier nodes pop in NodeID order and adjacency relaxes in link-ID
+// order with strict improvement, so the chosen path is identical to the
+// original linear-scan implementation's. Safe for concurrent callers (the
+// per-search scratch is pooled) as long as the graph is not mutated
+// concurrently.
 func (g *Graph) ShortestPath(src, dst NodeID, opts PathOpts) (Path, error) {
-	if _, ok := g.nodes[src]; !ok {
+	si, ok := g.idx[src]
+	if !ok {
 		return nil, fmt.Errorf("topo: unknown source %q", src)
 	}
-	if _, ok := g.nodes[dst]; !ok {
+	di, ok := g.idx[dst]
+	if !ok {
 		return nil, fmt.Errorf("topo: unknown destination %q", dst)
 	}
-	dist := map[NodeID]time.Duration{src: 0}
-	prev := map[NodeID]*Link{}
-	visited := map[NodeID]bool{}
-	for {
-		// Extract the unvisited node with the smallest distance. Linear
-		// scan keeps the code simple; graphs here are hundreds of nodes.
-		var cur NodeID
-		best := time.Duration(math.MaxInt64)
-		found := false
-		for id, d := range dist {
-			if !visited[id] && (d < best || (d == best && (!found || id < cur))) {
-				cur, best, found = id, d, true
-			}
+	sc := g.getScratch()
+	defer g.putScratch(sc)
+	dist, prev, seen, visited := sc.dist, sc.prev, sc.seen, sc.visited
+	h := sc.heap[:0]
+
+	dist[si], seen[si] = 0, true
+	h = g.heapPush(h, pqItem{0, si})
+	reached := false
+	for len(h) > 0 {
+		var it pqItem
+		h, it = g.heapPop(h)
+		cur := it.node
+		if visited[cur] {
+			continue // stale entry superseded by a closer one
 		}
-		if !found {
-			return nil, fmt.Errorf("topo: %q unreachable from %q", dst, src)
-		}
-		if cur == dst {
+		if cur == di {
+			reached = true
 			break
 		}
 		visited[cur] = true
-		links := append([]*Link(nil), g.out[cur]...)
-		sort.Slice(links, func(i, j int) bool { return links[i].ID < links[j].ID })
-		for _, l := range links {
+		for _, l := range g.adj[cur] {
 			if l.down || opts.Forbid[l.Kind] {
 				continue
 			}
@@ -386,21 +539,26 @@ func (g *Graph) ShortestPath(src, dst NodeID, opts PathOpts) (Path, error) {
 				w += avoidPenalty
 			}
 			nd := dist[cur] + w
-			if old, ok := dist[l.To]; !ok || nd < old {
-				dist[l.To] = nd
-				prev[l.To] = l
+			if ti := l.toIdx; !seen[ti] || nd < dist[ti] {
+				dist[ti], prev[ti], seen[ti] = nd, l, true
+				h = g.heapPush(h, pqItem{nd, ti})
 			}
 		}
 	}
-	// Reconstruct.
+	sc.heap = h[:0] // hand capacity back to the pool
+	if !reached {
+		return nil, fmt.Errorf("topo: %q unreachable from %q", dst, src)
+	}
+	// Reconstruct. Every node on the walk was seen this search, so prev is
+	// current even though the pool does not clear it.
 	var path Path
-	for at := dst; at != src; {
+	for at := di; at != si; {
 		l := prev[at]
 		if l == nil {
 			return nil, fmt.Errorf("topo: no path from %q to %q", src, dst)
 		}
 		path = append(path, l)
-		at = l.From
+		at = l.fromIdx
 	}
 	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
 		path[i], path[j] = path[j], path[i]
