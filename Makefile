@@ -27,13 +27,20 @@ bench:
 benchsmoke:
 	$(GO) test -run '^$$' -bench MaxMinReshare -benchtime 1x .
 
-# Connect fast-path benchmarks as a diffable JSON artifact. BENCHTIME=1x
-# turns this into a smoke run (CI does); the default 1s gives numbers
-# worth committing next to a perf change.
+# Connect fast-path and mutation-plane benchmarks as diffable JSON
+# artifacts. BENCHTIME=1x turns this into a smoke run (CI does); the
+# default 1s gives numbers worth committing next to a perf change. The
+# mutate artifact concatenates two packages' runs: the mixed read/write
+# plane lives in the root package, the /v1/batch onboarding comparison
+# in internal/api (it needs the HTTP server, which imports the root).
 benchdiff:
 	$(GO) test -run '^$$' -bench 'Connect|ShortestPath|PotatoPath' -benchmem -benchtime $(BENCHTIME) . \
 		| $(GO) run ./cmd/benchjson -o BENCH_connect.json
 	@cat BENCH_connect.json
+	{ $(GO) test -run '^$$' -bench 'MutatePlane' -benchmem -benchtime $(BENCHTIME) . ; \
+	  $(GO) test -run '^$$' -bench 'BatchOnboard' -benchtime $(BENCHTIME) ./internal/api/ ; } \
+		| $(GO) run ./cmd/benchjson -o BENCH_mutate.json
+	@cat BENCH_mutate.json
 
 # Static analysis beyond vet. The tool is optional locally (CI installs
 # it); skip quietly when absent rather than failing the whole check.

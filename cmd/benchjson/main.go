@@ -31,6 +31,8 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Extra carries custom b.ReportMetric units (e.g. "mutations/sec").
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Summary is the whole artifact.
@@ -82,6 +84,19 @@ func main() {
 
 	if warm, cold := find(s.Results, "BenchmarkConnect/warm"), find(s.Results, "BenchmarkConnect/cold"); warm != nil && cold != nil && warm.NsPerOp > 0 {
 		s.Derived["connect_warm_cold_speedup"] = round2(cold.NsPerOp / warm.NsPerOp)
+	}
+	// Mutation-plane acceptance ratios (BENCH_mutate.json): how much the
+	// 95/5 mixed workload costs over the read-only plane (want <= 2), the
+	// mutation rate it sustains (want >= 10k/s), and how much one batched
+	// onboarding call beats the per-endpoint loop (want >= 5).
+	if ro, mx := find(s.Results, "BenchmarkMutatePlane/readonly"), find(s.Results, "BenchmarkMutatePlane/mixed"); ro != nil && mx != nil && ro.NsPerOp > 0 {
+		s.Derived["mutate_mixed_readonly_slowdown"] = round2(mx.NsPerOp / ro.NsPerOp)
+		if rate, ok := mx.Extra["mutations/sec"]; ok {
+			s.Derived["mutate_mutations_per_sec"] = round2(rate)
+		}
+	}
+	if loop, batch := find(s.Results, "BenchmarkBatchOnboard/loop"), find(s.Results, "BenchmarkBatchOnboard/batch"); loop != nil && batch != nil && batch.NsPerOp > 0 {
+		s.Derived["batch_onboard_speedup"] = round2(loop.NsPerOp / batch.NsPerOp)
 	}
 	if len(s.Derived) == 0 {
 		s.Derived = nil
@@ -137,8 +152,12 @@ func parseLine(line string) (Result, bool) {
 			r.BytesPerOp = v
 		case "allocs/op":
 			r.AllocsPerOp = v
-			// Other units (MB/s, custom ReportMetric names) are dropped:
-			// this artifact tracks latency and allocation only.
+		default:
+			// Custom b.ReportMetric units ride along verbatim.
+			if r.Extra == nil {
+				r.Extra = map[string]float64{}
+			}
+			r.Extra[f[i+1]] = v
 		}
 	}
 	return r, true

@@ -14,6 +14,7 @@
 //	qos <provider> <region> <bits-per-sec>
 //	potato <provider> hot|cold|dedicated
 //	group <name> <eip> [eip...]
+//	batch [file]                           # JSON ops from file or stdin
 //	transfer <src> <dst> <bytes>
 //	probe <src> <dst>
 //	fail link|node|region <target> [advance-ms]   # inject a failure
@@ -77,6 +78,8 @@ parsed:
 		err = c.potato(rest)
 	case "group":
 		err = c.group(rest)
+	case "batch":
+		err = c.batch(rest)
 	case "transfer":
 		err = c.transfer(rest)
 	case "probe":
@@ -236,6 +239,35 @@ func (c client) group(args []string) error {
 	}
 	return c.call("POST", "/v1/groups", map[string]any{
 		"tenant": c.tenant, "name": args[0], "members": args[1:]})
+}
+
+// batch submits many mutations as one /v1/batch request. The input —
+// a file argument, or stdin when absent or "-" — is either a JSON array
+// of op objects or a {"ops": [...]} wrapper; the tenant comes from
+// -tenant. Op shapes match the per-endpoint request bodies, with "$i"
+// back-references to earlier grants (see the server's BatchOpRequest).
+func (c client) batch(args []string) error {
+	var raw []byte
+	var err error
+	if len(args) >= 1 && args[0] != "-" {
+		raw, err = os.ReadFile(args[0])
+	} else {
+		raw, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		return err
+	}
+	var ops []json.RawMessage
+	if json.Unmarshal(raw, &ops) != nil {
+		var wrapped struct {
+			Ops []json.RawMessage `json:"ops"`
+		}
+		if err := json.Unmarshal(raw, &wrapped); err != nil || wrapped.Ops == nil {
+			return fmt.Errorf(`batch input must be a JSON array of ops or {"ops": [...]}`)
+		}
+		ops = wrapped.Ops
+	}
+	return c.call("POST", "/v1/batch", map[string]any{"tenant": c.tenant, "ops": ops})
 }
 
 func (c client) transfer(args []string) error {

@@ -17,6 +17,7 @@
 //	POST /v1/qos           {tenant, provider, region, bandwidth_bps}  set_qos
 //	POST /v1/potato        {tenant, provider, policy}
 //	POST /v1/groups        {tenant, provider, name, members}
+//	POST /v1/batch         {tenant, ops}      many mutations, one epoch bump
 //	POST /v1/transfer      {tenant, src, dst, bytes}
 //	POST /v1/fail          {kind, target, advance_ms}
 //	POST /v1/heal          {kind, target, advance_ms}
@@ -28,7 +29,10 @@
 //
 // With -debug-addr set, a second listener serves net/http/pprof under
 // /debug/pprof/ and the expvar JSON dump under /debug/vars (the metrics
-// registry is published there as "declnet").
+// registry is published there as "declnet"). Mutex and block profiling
+// are enabled on that listener too (-mutex-profile-fraction,
+// -block-profile-rate), so write-lock contention on the mutation plane
+// is inspectable at /debug/pprof/mutex and /debug/pprof/block.
 package main
 
 import (
@@ -39,6 +43,7 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"runtime"
 
 	"declnet"
 	"declnet/internal/api"
@@ -58,6 +63,10 @@ func main() {
 	hosts := flag.Int("hosts", 4, "hosts per availability zone")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	debugAddr := flag.String("debug-addr", "", "optional address for pprof and expvar debug endpoints")
+	mutexFrac := flag.Int("mutex-profile-fraction", 100,
+		"with -debug-addr: sample 1/N mutex contention events (0 disables)")
+	blockRate := flag.Int("block-profile-rate", 10000,
+		"with -debug-addr: sample blocking events >= N ns (0 disables)")
 	flag.Parse()
 
 	lvl, err := parseLevel(*logLevel)
@@ -75,6 +84,11 @@ func main() {
 	srv := api.NewServerWith(world, api.Options{Logger: logger})
 
 	if *debugAddr != "" {
+		// Lock-contention profiles cover the API write lock the mutation
+		// plane serializes behind; both are off by default in the runtime
+		// and cheap at these sampling rates.
+		runtime.SetMutexProfileFraction(*mutexFrac)
+		runtime.SetBlockProfileRate(*blockRate)
 		// pprof registered itself on DefaultServeMux via import; publish
 		// the metrics registry alongside it for /debug/vars.
 		expvar.Publish("declnet", expvar.Func(func() any {

@@ -95,6 +95,7 @@ func NewServerWith(w *declnet.World, opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/potato", s.setPotato)
 	s.mux.HandleFunc("POST /v1/groups", s.createGroup)
 	s.mux.HandleFunc("POST /v1/names", s.registerName)
+	s.mux.HandleFunc("POST /v1/batch", s.batch)
 	s.mux.HandleFunc("POST /v1/transfer", s.transfer)
 	s.mux.HandleFunc("POST /v1/fail", s.fail)
 	s.mux.HandleFunc("POST /v1/heal", s.heal)

@@ -1,0 +1,131 @@
+package api
+
+import (
+	"testing"
+
+	"declnet"
+)
+
+// TestBatchEndpointOnboarding: one POST /v1/batch onboards a service —
+// grants, binds, permits, and names via back-references — and the
+// datapath works immediately after.
+func TestBatchEndpointOnboarding(t *testing.T) {
+	ts, w := newTestServer(t)
+	f := w.Fig1
+
+	var resp BatchResponse
+	code := post(t, ts, "/v1/batch", BatchRequest{Tenant: "acme", Ops: []BatchOpRequest{
+		{Op: "request_eip", VM: string(w.Host(f.CloudA, f.RegionsA[0], "az1", 1))}, // $0
+		{Op: "request_eip", VM: string(w.Host(f.CloudB, f.RegionsB[0], "az1", 1))}, // $1
+		{Op: "request_eip", VM: string(w.Host(f.CloudB, f.RegionsB[0], "az2", 1))}, // $2
+		{Op: "request_sip", Provider: f.CloudB},                                    // $3
+		{Op: "bind", EIP: "$1", SIP: "$3", Weight: 2},
+		{Op: "bind", EIP: "$2", SIP: "$3"},
+		{Op: "set_permit", Target: "$3", Entries: []string{"0.0.0.0/0"}},
+		{Op: "register_name", Name: "db", Target: "$3"},
+	}}, &resp)
+	if code != 200 {
+		t.Fatalf("batch status %d (error %q)", code, resp.Error)
+	}
+	if resp.Applied != 8 || len(resp.Results) != 8 || resp.Error != "" {
+		t.Fatalf("batch response %+v, want 8 applied and no error", resp)
+	}
+	for i := 0; i < 4; i++ {
+		if resp.Results[i].Addr == "" {
+			t.Fatalf("grant op %d returned no address", i)
+		}
+	}
+	// The onboarded service answers immediately: connect client -> SIP.
+	client, err := declnet.ParseIP(resp.Results[0].Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sip, err := declnet.ParseIP(resp.Results[3].Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn, err := w.Tenant("acme").Connect(client, sip, declnet.ConnectOpts{SizeBytes: 1e3})
+	if err != nil {
+		t.Fatalf("Connect after batch onboarding: %v", err)
+	}
+	cn.Close()
+	// The name landed too.
+	if ip, ok := w.Tenant("acme").Resolve("db"); !ok || ip != sip {
+		t.Fatalf("Resolve(db) = %s/%v, want %s", ip, ok, sip)
+	}
+}
+
+// TestBatchEndpointValidationError: a statically invalid batch is
+// rejected with 400 and nothing is applied — including the valid ops
+// before the bad one.
+func TestBatchEndpointValidationError(t *testing.T) {
+	ts, w := newTestServer(t)
+	f := w.Fig1
+	vm := string(w.Host(f.CloudA, f.RegionsA[0], "az1", 1))
+
+	for name, ops := range map[string][]BatchOpRequest{
+		"unknown op":   {{Op: "request_eip", VM: vm}, {Op: "frobnicate"}},
+		"bad address":  {{Op: "request_eip", VM: vm}, {Op: "release_eip", EIP: "nope"}},
+		"bad backref":  {{Op: "request_eip", VM: vm}, {Op: "bind", EIP: "$9", SIP: "$0"}},
+		"bad policy":   {{Op: "request_eip", VM: vm}, {Op: "set_potato", Provider: f.CloudA, Policy: "lukewarm"}},
+		"bad entry":    {{Op: "request_eip", VM: vm}, {Op: "set_permit", Target: "1.2.3.4", Entries: []string{"not-a-cidr"}}},
+		"unknown prov": {{Op: "request_eip", VM: vm}, {Op: "request_sip", Provider: "azure"}},
+	} {
+		var e Error
+		if code := post(t, ts, "/v1/batch", BatchRequest{Tenant: "acme", Ops: ops}, &e); code != 400 {
+			t.Errorf("%s: status %d, want 400 (error %q)", name, code, e.Error)
+		}
+	}
+	// An empty batch is a 400 too.
+	var e Error
+	if code := post(t, ts, "/v1/batch", BatchRequest{Tenant: "acme"}, &e); code != 400 {
+		t.Errorf("empty batch: status %d, want 400", code)
+	}
+	// None of the rejected batches applied their leading valid op.
+	var status struct {
+		Providers map[string]struct {
+			Endpoints int `json:"endpoints"`
+		} `json:"providers"`
+	}
+	if code := get(t, ts, "/v1/status", &status); code != 200 {
+		t.Fatalf("status code %d", code)
+	}
+	for name, p := range status.Providers {
+		if p.Endpoints != 0 {
+			t.Errorf("provider %s has %d endpoints after rejected batches, want 0", name, p.Endpoints)
+		}
+	}
+}
+
+// TestBatchEndpointPartialFailure: a runtime failure mid-batch returns
+// 409 with the applied prefix and the failing index; applied ops stay
+// applied.
+func TestBatchEndpointPartialFailure(t *testing.T) {
+	ts, w := newTestServer(t)
+	f := w.Fig1
+
+	var resp BatchResponse
+	code := post(t, ts, "/v1/batch", BatchRequest{Tenant: "acme", Ops: []BatchOpRequest{
+		{Op: "request_eip", VM: string(w.Host(f.CloudA, f.RegionsA[0], "az1", 1))},
+		{Op: "request_eip", VM: "ghost/az0/host9"}, // validates, fails at apply
+		{Op: "request_sip", Provider: f.CloudA},
+	}}, &resp)
+	if code != 409 {
+		t.Fatalf("partial failure status %d, want 409", code)
+	}
+	if resp.Applied != 1 || len(resp.Results) != 1 {
+		t.Fatalf("applied %d results %v, want exactly the first op", resp.Applied, resp.Results)
+	}
+	if resp.FailedIndex == nil || *resp.FailedIndex != 1 {
+		t.Fatalf("failed_index %v, want 1", resp.FailedIndex)
+	}
+	if resp.Error == "" {
+		t.Fatal("409 response carried no error")
+	}
+	// The applied grant survives: releasing it through the normal
+	// endpoint succeeds.
+	if code := post(t, ts, "/v1/eips/release",
+		ReleaseRequest{Tenant: "acme", EIP: resp.Results[0].Addr}, nil); code != 200 {
+		t.Fatalf("release of batch-granted EIP: status %d", code)
+	}
+}

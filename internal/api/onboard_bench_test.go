@@ -1,0 +1,113 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"declnet"
+)
+
+// benchPost is the benchmark-side HTTP helper (the test helpers take
+// *testing.T). It fails the benchmark on any non-2xx status.
+func benchPost(b *testing.B, ts *httptest.Server, path string, body any, out any) {
+	b.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var e Error
+		json.NewDecoder(resp.Body).Decode(&e)
+		b.Fatalf("%s: status %d (%s)", path, resp.StatusCode, e.Error)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBatchOnboard compares onboarding N endpoints (request_eip +
+// set_permit each) through the per-endpoint endpoints — 2N requests,
+// each paying its own round trip, write-lock acquisition, and epoch
+// bump — against one POST /v1/batch carrying the same 2N ops behind a
+// single lock and a single coalesced bump. One benchmark op onboards
+// the whole fleet; teardown (release) runs off the clock. The
+// loop/batch ns-per-op ratio is the batch API's acceptance number in
+// BENCH_mutate.json.
+func BenchmarkBatchOnboard(b *testing.B) {
+	const endpoints = 64
+	setup := func(b *testing.B) (*httptest.Server, string) {
+		b.Helper()
+		w, err := declnet.NewFig1World(1, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(NewServer(w))
+		b.Cleanup(ts.Close)
+		f := w.Fig1
+		return ts, string(w.Host(f.CloudA, f.RegionsA[0], "az1", 1))
+	}
+	release := func(b *testing.B, ts *httptest.Server, eips []string) {
+		b.Helper()
+		for _, eip := range eips {
+			benchPost(b, ts, "/v1/eips/release", ReleaseRequest{Tenant: "acme", EIP: eip}, nil)
+		}
+	}
+
+	b.Run("loop", func(b *testing.B) {
+		ts, vm := setup(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eips := make([]string, 0, endpoints)
+			for j := 0; j < endpoints; j++ {
+				var grant EIPResponse
+				benchPost(b, ts, "/v1/eips", EIPRequest{Tenant: "acme", VM: vm}, &grant)
+				benchPost(b, ts, "/v1/permit", PermitRequest{
+					Tenant: "acme", Target: grant.EIP, Entries: []string{"10.0.0.0/8"}}, nil)
+				eips = append(eips, grant.EIP)
+			}
+			b.StopTimer()
+			release(b, ts, eips)
+			b.StartTimer()
+		}
+	})
+
+	b.Run("batch", func(b *testing.B) {
+		ts, vm := setup(b)
+		ops := make([]BatchOpRequest, 0, 2*endpoints)
+		for j := 0; j < endpoints; j++ {
+			ops = append(ops,
+				BatchOpRequest{Op: "request_eip", VM: vm},
+				BatchOpRequest{Op: "set_permit", Target: fmt.Sprintf("$%d", 2*j),
+					Entries: []string{"10.0.0.0/8"}})
+		}
+		req := BatchRequest{Tenant: "acme", Ops: ops}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var resp BatchResponse
+			benchPost(b, ts, "/v1/batch", req, &resp)
+			if resp.Applied != len(ops) {
+				b.Fatalf("applied %d of %d ops", resp.Applied, len(ops))
+			}
+			b.StopTimer()
+			eips := make([]string, 0, endpoints)
+			for _, r := range resp.Results {
+				if r.Op == "request_eip" {
+					eips = append(eips, r.Addr)
+				}
+			}
+			release(b, ts, eips)
+			b.StartTimer()
+		}
+	})
+}

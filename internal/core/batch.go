@@ -1,0 +1,393 @@
+// Batch writes: ApplyBatch applies a sequence of Table-2 mutations as
+// one unit of work. The point is amortization, not transactionality —
+// the batch takes the API write lock once, advances the graph, permit,
+// and address epochs once (via the topo and permit batch windows), and
+// so costs O(1) cache invalidation no matter how many operations it
+// carries. A tenant onboarding 10k endpoints pays one flush instead of
+// 10k.
+//
+// Semantics: the whole batch is statically validated up front (unknown
+// verbs, missing operands, malformed addresses, dangling back-references,
+// unknown providers) and rejected wholesale — nothing applied — on any
+// validation error. At apply time, operations run in order; the first
+// runtime failure stops the batch and is reported as a *BatchError
+// carrying the failing index. Operations already applied stay applied
+// (no rollback): every verb here is idempotent to re-issue or cheap to
+// reverse, and partial results are returned so the caller knows exactly
+// how far it got.
+//
+// Back-references: an address operand may be written "$i" to mean "the
+// address granted by op i of this same batch" (op i must be a
+// request_eip or request_sip at a smaller index). This is what lets a
+// single batch request an EIP and then bind and permit it.
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"declnet/internal/addr"
+	"declnet/internal/permit"
+	"declnet/internal/qos"
+	"declnet/internal/topo"
+)
+
+// BatchOp is one mutation in a batch. Op selects the verb; the other
+// fields are its operands (a field not named for a verb is ignored).
+// Address-valued strings (EIP, SIP, Target, Members) accept dotted-quad
+// addresses or "$i" back-references.
+//
+//	request_eip    VM                       -> grants an EIP (result Addr)
+//	release_eip    EIP
+//	request_sip    Provider                 -> grants a SIP (result Addr)
+//	release_sip    SIP
+//	bind           EIP, SIP, Weight
+//	unbind         EIP, SIP
+//	set_permit     Target, Entries, Groups  (replaces the permit list)
+//	permit         Target, Entries          (adds each entry)
+//	revoke         Target, Entries          (removes each entry)
+//	set_qos        Provider, Region, Bandwidth
+//	set_potato     Provider, Policy
+//	create_group   Name, Members
+//	register_name  Name, Target
+type BatchOp struct {
+	Op string `json:"op"`
+
+	VM        topo.NodeID      `json:"vm,omitempty"`
+	Provider  string           `json:"provider,omitempty"`
+	EIP       string           `json:"eip,omitempty"`
+	SIP       string           `json:"sip,omitempty"`
+	Target    string           `json:"target,omitempty"`
+	Weight    int              `json:"weight,omitempty"`
+	Entries   []permit.Entry   `json:"-"`
+	Groups    []string         `json:"groups,omitempty"`
+	Region    string           `json:"region,omitempty"`
+	Bandwidth float64          `json:"bandwidth_bps,omitempty"`
+	Policy    qos.PotatoPolicy `json:"-"`
+	Name      string           `json:"name,omitempty"`
+	Members   []string         `json:"members,omitempty"`
+}
+
+// BatchResult is the outcome of one applied op. Addr is the granted
+// address for request_eip/request_sip and zero otherwise.
+type BatchResult struct {
+	Op   string  `json:"op"`
+	Addr addr.IP `json:"addr,omitempty"`
+}
+
+// BatchError reports the first op that failed, with its index. For a
+// validation error nothing was applied; for a runtime error the caller
+// also receives the results of the ops before Index, which stay applied.
+type BatchError struct {
+	Index int
+	Op    string
+	Err   error
+}
+
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("core: batch op %d (%s): %v", e.Index, e.Op, e.Err)
+}
+
+func (e *BatchError) Unwrap() error { return e.Err }
+
+// noteAddrsChanged records an address-space mutation. Outside a batch
+// it bumps addrEpoch immediately; inside one, the bump is deferred to
+// the outermost endBatch — but the provider-of-address cache is dropped
+// right away, because entries filled before this mutation may already
+// be wrong (a released address must not keep resolving mid-batch).
+func (c *Cloud) noteAddrsChanged() {
+	if c.batchDepth > 0 {
+		c.addrsDirty = true
+		c.fp.mu.Lock()
+		clear(c.fp.prov)
+		c.fp.mu.Unlock()
+		return
+	}
+	c.addrEpoch.Add(1)
+}
+
+// beginBatch opens a coalescing window: graph epoch bumps, permit list
+// version bumps, and address epoch bumps all collapse to one advance at
+// the matching endBatch. Batches nest; only the outermost pair does the
+// work. Callers must hold write exclusion (the API layer's write lock)
+// for the whole window.
+func (c *Cloud) beginBatch() {
+	c.batchDepth++
+	if c.batchDepth > 1 {
+		return
+	}
+	c.G.BeginBatch()
+	c.batchEngines = c.batchEngines[:0]
+	for _, p := range c.providers {
+		p.Permits.BeginBatch()
+		c.batchEngines = append(c.batchEngines, p.Permits)
+	}
+}
+
+// endBatch closes the window opened by beginBatch, releasing the
+// deferred epoch advances.
+func (c *Cloud) endBatch() {
+	if c.batchDepth == 0 {
+		panic("core: endBatch without beginBatch")
+	}
+	c.batchDepth--
+	if c.batchDepth > 0 {
+		return
+	}
+	for _, e := range c.batchEngines {
+		e.EndBatch()
+	}
+	c.batchEngines = c.batchEngines[:0]
+	c.G.EndBatch()
+	if c.addrsDirty {
+		c.addrsDirty = false
+		c.addrEpoch.Add(1)
+	}
+}
+
+// Batch runs fn inside a coalescing window (see beginBatch). It exists
+// for callers composing their own multi-verb mutations; ApplyBatch uses
+// it internally.
+func (c *Cloud) Batch(fn func() error) error {
+	c.beginBatch()
+	defer c.endBatch()
+	return fn()
+}
+
+// ApplyBatch validates and applies ops for the tenant as one batch.
+// On a validation error it returns (nil, *BatchError) with nothing
+// applied. On a runtime error at op i it returns the results of ops
+// [0, i) and a *BatchError with Index i; those ops stay applied. On
+// success it returns one result per op.
+func (c *Cloud) ApplyBatch(tenant string, ops []BatchOp) ([]BatchResult, error) {
+	if err := c.validateBatch(ops); err != nil {
+		return nil, err
+	}
+	results := make([]BatchResult, 0, len(ops))
+	c.beginBatch()
+	defer c.endBatch()
+	for i := range ops {
+		res, err := c.applyOp(tenant, &ops[i], results)
+		if err != nil {
+			return results, &BatchError{Index: i, Op: ops[i].Op, Err: err}
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// validateBatch is the static all-or-nothing pass: verb and operand
+// shape, address syntax, back-reference targets, and provider names are
+// checked before anything is applied.
+func (c *Cloud) validateBatch(ops []BatchOp) error {
+	for i := range ops {
+		op := &ops[i]
+		fail := func(format string, args ...any) error {
+			return &BatchError{Index: i, Op: op.Op, Err: fmt.Errorf(format, args...)}
+		}
+		checkAddr := func(field, s string) error {
+			if s == "" {
+				return fail("missing %s", field)
+			}
+			if strings.HasPrefix(s, "$") {
+				j, err := strconv.Atoi(s[1:])
+				if err != nil || j < 0 || j >= i {
+					return fail("%s: back-reference %q must name an earlier op", field, s)
+				}
+				if ops[j].Op != "request_eip" && ops[j].Op != "request_sip" {
+					return fail("%s: back-reference %q targets %q, not an address grant", field, s, ops[j].Op)
+				}
+				return nil
+			}
+			if _, err := addr.ParseIP(s); err != nil {
+				return fail("%s: %v", field, err)
+			}
+			return nil
+		}
+		checkProvider := func() error {
+			if op.Provider == "" {
+				return fail("missing provider")
+			}
+			if _, ok := c.providers[op.Provider]; !ok {
+				return fail("unknown provider %q", op.Provider)
+			}
+			return nil
+		}
+		var err error
+		switch op.Op {
+		case "request_eip":
+			if op.VM == "" {
+				err = fail("missing vm")
+			}
+		case "release_eip":
+			err = checkAddr("eip", op.EIP)
+		case "request_sip":
+			err = checkProvider()
+		case "release_sip":
+			err = checkAddr("sip", op.SIP)
+		case "bind", "unbind":
+			if err = checkAddr("eip", op.EIP); err == nil {
+				err = checkAddr("sip", op.SIP)
+			}
+		case "set_permit":
+			err = checkAddr("target", op.Target)
+		case "permit", "revoke":
+			if err = checkAddr("target", op.Target); err == nil && len(op.Entries) == 0 {
+				err = fail("missing entries")
+			}
+		case "set_qos":
+			if err = checkProvider(); err == nil && op.Region == "" {
+				err = fail("missing region")
+			}
+		case "set_potato":
+			err = checkProvider()
+		case "create_group":
+			if op.Name == "" {
+				err = fail("missing name")
+			} else {
+				for _, m := range op.Members {
+					if err = checkAddr("members", m); err != nil {
+						break
+					}
+				}
+			}
+		case "register_name":
+			if op.Name == "" {
+				err = fail("missing name")
+			} else {
+				err = checkAddr("target", op.Target)
+			}
+		default:
+			err = fail("unknown op")
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// batchAddr resolves an address operand: a "$i" back-reference to an
+// earlier grant's result, or a literal address (already syntax-checked
+// by validateBatch).
+func batchAddr(s string, prior []BatchResult) (addr.IP, error) {
+	if strings.HasPrefix(s, "$") {
+		j, err := strconv.Atoi(s[1:])
+		if err != nil || j < 0 || j >= len(prior) {
+			return 0, fmt.Errorf("bad back-reference %q", s)
+		}
+		return prior[j].Addr, nil
+	}
+	return addr.ParseIP(s)
+}
+
+// grantedAddr resolves an operand and finds the provider that granted
+// it. Mid-batch this is exact: noteAddrsChanged drops the
+// provider-of-address cache on every grant/release inside the window.
+func (c *Cloud) grantedAddr(s string, prior []BatchResult) (addr.IP, *Provider, error) {
+	ip, err := batchAddr(s, prior)
+	if err != nil {
+		return 0, nil, err
+	}
+	p, ok := c.providerOfAddr(ip)
+	if !ok {
+		return 0, nil, fmt.Errorf("%s is not a granted address", ip)
+	}
+	return ip, p, nil
+}
+
+// applyOp applies one already-validated op, mirroring the per-verb
+// provider resolution of the declnet.Tenant facade.
+func (c *Cloud) applyOp(tenant string, op *BatchOp, prior []BatchResult) (BatchResult, error) {
+	res := BatchResult{Op: op.Op}
+	switch op.Op {
+	case "request_eip":
+		n, ok := c.G.Node(op.VM)
+		if !ok {
+			return res, fmt.Errorf("unknown VM %q", op.VM)
+		}
+		p, ok := c.providers[n.Provider]
+		if !ok {
+			return res, fmt.Errorf("no provider %q serves VM %q", n.Provider, op.VM)
+		}
+		eip, err := p.RequestEIP(tenant, op.VM)
+		if err != nil {
+			return res, err
+		}
+		res.Addr = eip
+	case "release_eip":
+		ip, p, err := c.grantedAddr(op.EIP, prior)
+		if err != nil {
+			return res, err
+		}
+		return res, p.ReleaseEIP(tenant, ip)
+	case "request_sip":
+		sip, err := c.providers[op.Provider].RequestSIP(tenant)
+		if err != nil {
+			return res, err
+		}
+		res.Addr = sip
+	case "release_sip":
+		ip, p, err := c.grantedAddr(op.SIP, prior)
+		if err != nil {
+			return res, err
+		}
+		return res, p.ReleaseSIP(tenant, ip)
+	case "bind", "unbind":
+		eip, err := batchAddr(op.EIP, prior)
+		if err != nil {
+			return res, err
+		}
+		sip, p, err := c.grantedAddr(op.SIP, prior)
+		if err != nil {
+			return res, err
+		}
+		if op.Op == "bind" {
+			return res, p.Bind(tenant, eip, sip, op.Weight)
+		}
+		return res, p.Unbind(tenant, eip, sip)
+	case "set_permit":
+		ip, p, err := c.grantedAddr(op.Target, prior)
+		if err != nil {
+			return res, err
+		}
+		return res, p.SetPermitList(tenant, ip, op.Entries, op.Groups...)
+	case "permit", "revoke":
+		ip, p, err := c.grantedAddr(op.Target, prior)
+		if err != nil {
+			return res, err
+		}
+		for _, e := range op.Entries {
+			if op.Op == "permit" {
+				err = p.Permit(tenant, ip, e)
+			} else {
+				err = p.Revoke(tenant, ip, e)
+			}
+			if err != nil {
+				return res, err
+			}
+		}
+	case "set_qos":
+		return res, c.providers[op.Provider].SetQoS(tenant, op.Region, op.Bandwidth)
+	case "set_potato":
+		c.providers[op.Provider].SetPotato(tenant, op.Policy)
+	case "create_group":
+		members := make([]EIP, 0, len(op.Members))
+		for _, m := range op.Members {
+			ip, err := batchAddr(m, prior)
+			if err != nil {
+				return res, err
+			}
+			members = append(members, ip)
+		}
+		return res, c.CreateGroup(tenant, op.Name, members...)
+	case "register_name":
+		ip, err := batchAddr(op.Target, prior)
+		if err != nil {
+			return res, err
+		}
+		return res, c.RegisterName(tenant, op.Name, ip)
+	}
+	return res, nil
+}

@@ -69,6 +69,16 @@ type Cloud struct {
 	// cache below, in the same style as topo.Graph.Epoch.
 	addrEpoch atomic.Uint64
 
+	// batchDepth, addrsDirty, and batchEngines implement write batching
+	// (see batch.go): while a batch is open, address-epoch bumps coalesce
+	// into one advance at the outermost endBatch, and the graph and every
+	// permit engine run inside their own batch windows. batchEngines
+	// snapshots the engines Begin was called on so End matches them
+	// exactly even if a provider is added mid-batch.
+	batchDepth   int
+	addrsDirty   bool
+	batchEngines []*permit.Engine
+
 	// fp holds the Connect fast-path caches. Guarded by its own mutex so
 	// concurrent read-plane requests (probe, explain) can share it.
 	fp struct {
@@ -137,9 +147,9 @@ func (c *Cloud) AddProvider(name string, cfg Config) (*Provider, error) {
 	if c.trace != nil {
 		p.trace = c.traceEvent
 	}
-	p.addrsChanged = func() { c.addrEpoch.Add(1) }
+	p.addrsChanged = c.noteAddrsChanged
 	c.providers[name] = p
-	c.addrEpoch.Add(1)
+	c.noteAddrsChanged()
 	if c.reg != nil {
 		c.registerProviderMetrics(name, p)
 	}

@@ -14,13 +14,18 @@ import (
 )
 
 // TestPropertyPathCacheParity replays random fault/heal/connect schedules
-// and asserts, after every step, that the epoch-keyed path cache answers
+// and asserts, after every step, that the scope-aware path cache answers
 // byte-identically to an uncached Dijkstra over the live graph: the same
 // link-ID sequence on success, the same error string on failure (negative
-// caching included). Connects ride along so the admission and
-// provider-of-addr caches churn under the same schedule. CI runs this
-// under -race.
+// caching included). The schedule mixes single-link and single-node
+// faults (scoped or cross-cut epoch bumps), whole-region faults (batched
+// bumps via the injector's coalescing window), and batched permit churn
+// through ApplyBatch, so every invalidation path — scoped staleness,
+// wholesale flush, and coalesced batch bumps — is exercised against the
+// same oracle. Connects ride along so the admission and provider-of-addr
+// caches churn under the same schedule. CI runs this under -race.
 func TestPropertyPathCacheParity(t *testing.T) {
+	var totalInvalidations uint64
 	for seed := int64(1); seed <= 6; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
@@ -71,6 +76,13 @@ func TestPropertyPathCacheParity(t *testing.T) {
 			if len(pairs) == 0 || len(mids) == 0 {
 				t.Fatal("no fault targets in Fig1 graph")
 			}
+			var regions [][2]string
+			for _, r := range w.RegionsA {
+				regions = append(regions, [2]string{w.CloudA, r})
+			}
+			for _, r := range w.RegionsB {
+				regions = append(regions, [2]string{w.CloudB, r})
+			}
 
 			// Query set: cross-cloud, intra-cloud, self, and an unknown node
 			// (the unknown-destination error is negatively cached too).
@@ -114,15 +126,34 @@ func TestPropertyPathCacheParity(t *testing.T) {
 			for i := 1; i <= steps; i++ {
 				// Restore can fail when the target is not currently faulted;
 				// that is part of the random schedule, not an error.
-				switch rng.Intn(4) {
-				case 0:
+				switch rng.Intn(8) {
+				case 0, 1:
 					inj.FailLink(pairs[rng.Intn(len(pairs))])
-				case 1:
+				case 2, 3:
 					inj.RestoreLink(pairs[rng.Intn(len(pairs))])
-				case 2:
+				case 4:
 					inj.FailNode(mids[rng.Intn(len(mids))])
-				case 3:
+				case 5:
 					inj.RestoreNode(mids[rng.Intn(len(mids))])
+				case 6:
+					// Whole-region faults run inside the injector's batch
+					// window: many link transitions, one coalesced bump.
+					reg := regions[rng.Intn(len(regions))]
+					inj.FailRegion(reg[0], reg[1])
+				case 7:
+					reg := regions[rng.Intn(len(regions))]
+					inj.RestoreRegion(reg[0], reg[1])
+				}
+				// Batched permit churn on roughly a third of the steps: the
+				// verdict memo must track coalesced version bumps too.
+				if rng.Intn(3) == 0 {
+					entry := addr.NewPrefix(addr.IP(0x0a000000+uint32(i)), 32)
+					if _, err := c.ApplyBatch("acme", []BatchOp{
+						{Op: "permit", Target: sip.String(), Entries: []permit.Entry{entry}},
+						{Op: "revoke", Target: sip.String(), Entries: []permit.Entry{entry}},
+					}); err != nil {
+						t.Fatalf("step %d: batched permit churn: %v", i, err)
+					}
 				}
 				if cn, err := c.Connect("acme", client, sip, ConnectOpts{SizeBytes: 1e3}); err == nil {
 					cn.Close()
@@ -133,8 +164,15 @@ func TestPropertyPathCacheParity(t *testing.T) {
 				t.Error("parity run never hit the cache")
 			}
 			if c.Router().Flushes() == 0 {
-				t.Error("parity run never flushed the cache despite mutations")
+				t.Error("parity run never flushed the cache despite restores")
 			}
+			totalInvalidations += c.Router().Invalidations()
 		})
+	}
+	// Across all seeds, some entries must have gone scoped-stale (a scope
+	// their path crosses mutated without a wholesale flush) — otherwise
+	// the scoped invalidation path was never exercised.
+	if totalInvalidations == 0 {
+		t.Error("no scoped invalidations across any seed")
 	}
 }

@@ -1,0 +1,107 @@
+package permit
+
+import (
+	"testing"
+
+	"declnet/internal/addr"
+)
+
+func ip(t *testing.T, s string) addr.IP {
+	t.Helper()
+	v, err := addr.ParseIP(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestEngineBatchCoalescesVersions: N batched mutations of one list
+// advance its Version once, and the bump lands only at EndBatch.
+func TestEngineBatchCoalescesVersions(t *testing.T) {
+	e := NewEngine()
+	dst := ip(t, "10.0.0.1")
+	e.Permit(dst, addr.NewPrefix(ip(t, "10.1.0.1"), 32))
+	l, _ := e.List(dst)
+	v0 := l.Version()
+
+	e.BeginBatch()
+	for i := byte(2); i < 7; i++ {
+		e.Permit(dst, addr.NewPrefix(ip(t, "10.1.0.1")+addr.IP(i), 32))
+	}
+	e.Revoke(dst, addr.NewPrefix(ip(t, "10.1.0.1"), 32))
+	if l.Version() != v0 {
+		t.Fatalf("version bumped mid-batch (%d -> %d)", v0, l.Version())
+	}
+	e.EndBatch()
+	if l.Version() != v0+1 {
+		t.Fatalf("version %d after batch, want %d (one coalesced bump)", l.Version(), v0+1)
+	}
+	if l.Len() != 5 {
+		t.Fatalf("len=%d, want 5", l.Len())
+	}
+	// A batch that mutates nothing bumps nothing.
+	e.BeginBatch()
+	e.EndBatch()
+	if l.Version() != v0+1 {
+		t.Fatalf("empty batch bumped version to %d", l.Version())
+	}
+}
+
+// TestEngineBatchUpdatesCounting: outside a batch Set counts one update
+// per call (the E4 golden-table contract); inside a batch Updates
+// counts the entries installed — the work enforcement points absorb.
+func TestEngineBatchUpdatesCounting(t *testing.T) {
+	e := NewEngine()
+	dst := ip(t, "10.0.0.1")
+	entries := []Entry{
+		addr.NewPrefix(ip(t, "10.1.0.1"), 32),
+		addr.NewPrefix(ip(t, "10.1.0.2"), 32),
+		addr.NewPrefix(ip(t, "10.2.0.0"), 16),
+	}
+	e.Set(dst, entries)
+	if got := e.Updates.Load(); got != 1 {
+		t.Fatalf("unbatched Set counted %d updates, want 1", got)
+	}
+	e.BeginBatch()
+	e.Set(dst, entries)
+	e.EndBatch()
+	if got := e.Updates.Load(); got != 4 {
+		t.Fatalf("batched Set counted %d total updates, want 4 (1 + 3 entries)", got)
+	}
+	// Per-entry verbs count per entry in both modes.
+	e.BeginBatch()
+	e.Permit(dst, addr.NewPrefix(ip(t, "10.3.0.1"), 32))
+	e.Revoke(dst, addr.NewPrefix(ip(t, "10.3.0.1"), 32))
+	e.EndBatch()
+	if got := e.Updates.Load(); got != 6 {
+		t.Fatalf("updates=%d, want 6", got)
+	}
+}
+
+// TestEngineBatchNesting: inner batches fold into the outermost; Set
+// inside a batch re-enrolls the fresh list so later mutations coalesce.
+func TestEngineBatchNesting(t *testing.T) {
+	e := NewEngine()
+	dst := ip(t, "10.0.0.1")
+	e.BeginBatch()
+	e.BeginBatch()
+	e.Set(dst, []Entry{addr.NewPrefix(ip(t, "10.1.0.1"), 32)})
+	l, _ := e.List(dst)
+	v0 := l.Version()
+	e.Permit(dst, addr.NewPrefix(ip(t, "10.1.0.2"), 32))
+	e.Permit(dst, addr.NewPrefix(ip(t, "10.1.0.3"), 32))
+	e.EndBatch()
+	if l.Version() != v0 {
+		t.Fatalf("inner EndBatch bumped version (%d -> %d)", v0, l.Version())
+	}
+	e.EndBatch()
+	if l.Version() != v0+1 {
+		t.Fatalf("version %d, want %d after outermost EndBatch", l.Version(), v0+1)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EndBatch without BeginBatch did not panic")
+		}
+	}()
+	e.EndBatch()
+}

@@ -27,6 +27,10 @@ type List struct {
 	exact    map[addr.IP]bool
 	prefixes routing.Trie[bool]
 	version  uint64
+	// batching defers version bumps (see BeginBatch); dirty records that
+	// at least one mutation is awaiting the coalesced bump.
+	batching bool
+	dirty    bool
 }
 
 // NewList returns an empty (deny-everything) list.
@@ -41,7 +45,7 @@ func (l *List) Add(e Entry) {
 	} else {
 		l.prefixes.Insert(e, true)
 	}
-	l.version++
+	l.bump()
 }
 
 // Remove revokes one source entry, reporting whether it was present.
@@ -54,7 +58,7 @@ func (l *List) Remove(e Entry) bool {
 		ok = l.prefixes.Delete(e)
 	}
 	if ok {
-		l.version++
+		l.bump()
 	}
 	return ok
 }
@@ -71,8 +75,32 @@ func (l *List) Permits(src addr.IP) bool {
 // Len returns the number of entries.
 func (l *List) Len() int { return len(l.exact) + l.prefixes.Len() }
 
-// Version increments on every mutation; replicas compare versions.
+// Version increments on every mutation (once per batch while batching);
+// replicas and memoized admission verdicts compare versions.
 func (l *List) Version() uint64 { return l.version }
+
+// bump advances the version, or defers it inside a batch.
+func (l *List) bump() {
+	if l.batching {
+		l.dirty = true
+		return
+	}
+	l.version++
+}
+
+// BeginBatch defers version bumps: mutations until EndBatch advance
+// Version once, not once per entry, so version-keyed caches (the
+// connect fast path's memoized admission verdicts) are invalidated once
+// per batch instead of N times.
+func (l *List) BeginBatch() { l.batching = true }
+
+// EndBatch applies the deferred bump if any mutation happened.
+func (l *List) EndBatch() {
+	if l.dirty {
+		l.version++
+	}
+	l.batching, l.dirty = false, false
+}
 
 // Entries returns all entries: exact /32s sorted by address, then
 // prefixes in the trie's deterministic order — stable across runs so
@@ -111,6 +139,10 @@ type Engine struct {
 	// while control-plane writes mutate the lists under the API lock.
 	Lookups atomic.Uint64
 	Updates atomic.Uint64
+	// batchDepth nests batches; touched tracks lists whose version bump
+	// is deferred until the outermost EndBatch.
+	batchDepth int
+	touched    map[addr.IP]*List
 }
 
 // NewEngine returns an empty engine.
@@ -118,13 +150,61 @@ func NewEngine() *Engine {
 	return &Engine{lists: make(map[addr.IP]*List)}
 }
 
+// BeginBatch opens a coalescing window (nestable): until the matching
+// EndBatch, each mutated list's Version advances at most once, and
+// Updates counts batched entries — the per-entry work the enforcement
+// points actually absorb — rather than one per Set call.
+func (e *Engine) BeginBatch() {
+	if e.batchDepth == 0 && e.touched == nil {
+		e.touched = make(map[addr.IP]*List)
+	}
+	e.batchDepth++
+}
+
+// EndBatch closes the window, applying one deferred version bump per
+// mutated list.
+func (e *Engine) EndBatch() {
+	if e.batchDepth == 0 {
+		panic("permit: EndBatch without BeginBatch")
+	}
+	if e.batchDepth--; e.batchDepth > 0 {
+		return
+	}
+	for _, l := range e.touched {
+		l.EndBatch()
+	}
+	clear(e.touched)
+}
+
+// enroll defers dst's version bumps for the duration of the batch.
+func (e *Engine) enroll(dst addr.IP, l *List) {
+	if e.batchDepth == 0 {
+		return
+	}
+	if _, ok := e.touched[dst]; !ok {
+		l.BeginBatch()
+		e.touched[dst] = l
+	}
+}
+
 // Set replaces the permit list for dst (the set_permit_list API verb).
+// Outside a batch one Set is one update (the E4 accounting the golden
+// tables pin); inside a batch Updates counts the entries installed.
 func (e *Engine) Set(dst addr.IP, entries []Entry) {
 	l := NewList()
 	for _, en := range entries {
 		l.Add(en)
 	}
 	e.lists[dst] = l
+	// The old list (if any) dies with its deferred bump; the new pointer
+	// alone invalidates version-keyed verdicts, but enroll it so later
+	// batched mutations of dst coalesce too.
+	if e.batchDepth > 0 {
+		delete(e.touched, dst)
+		e.enroll(dst, l)
+		e.Updates.Add(uint64(len(entries)))
+		return
+	}
 	e.Updates.Add(1)
 }
 
@@ -135,6 +215,7 @@ func (e *Engine) Permit(dst addr.IP, en Entry) {
 		l = NewList()
 		e.lists[dst] = l
 	}
+	e.enroll(dst, l)
 	l.Add(en)
 	e.Updates.Add(1)
 }
@@ -145,6 +226,7 @@ func (e *Engine) Revoke(dst addr.IP, en Entry) bool {
 	if !ok {
 		return false
 	}
+	e.enroll(dst, l)
 	e.Updates.Add(1)
 	return l.Remove(en)
 }

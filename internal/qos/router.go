@@ -1,16 +1,27 @@
-// Router: an epoch-keyed cache in front of PathFor, the provider's
-// connect-time route computation. The paper's pitch is that the provider
-// absorbs the datapath work tenants used to do by hand — which makes path
-// selection a per-connect cost, and repeat (policy, src, dst) queries the
-// common case. The cache is keyed on topo.Graph.Epoch(): any topology
-// mutation (including fault injection) bumps the epoch, and the whole
-// cache is invalidated on the next query, so a stale route can never be
-// served across a fault or heal.
+// Router: a scope-aware epoch-keyed cache in front of PathFor, the
+// provider's connect-time route computation. The paper's pitch is that
+// the provider absorbs the datapath work tenants used to do by hand —
+// which makes path selection a per-connect cost, and repeat (policy,
+// src, dst) queries the common case.
 //
-// Misses (including errors) are cached too — negative caching is safe
-// because the only ways an unreachable or unknown pair can become
-// routable are AddNode/AddLink/SetLinkUp/SetPairUp, all of which bump the
-// epoch.
+// Invalidation is scoped (see topo/scope.go): every cache entry records
+// the epoch scopes its path traverses and the sum of those scopes'
+// epochs at fill time. A degrading mutation (link failure) bumps only
+// its scope, so a fault in region A leaves warm paths confined to
+// region B untouched; an entry is stale only when a scope it actually
+// crosses has mutated. Improving or structural mutations (heals,
+// AddNode/AddLink) bump the graph's flush epoch, which invalidates the
+// whole cache — a restored link can undercut any cached detour, even
+// one that never enters its region.
+//
+// Misses (including errors) are cached too. Negative caching is safe
+// under scoped invalidation: an error entry records no scopes, and the
+// only mutations that can turn an unreachable or unknown pair routable
+// are improving/structural ones, which flush wholesale.
+//
+// Concurrent misses for the same key dedup singleflight-style: one
+// caller runs the Dijkstra, the rest park on its result, so a cold key
+// hit by a stampede of readers costs one search instead of N.
 package qos
 
 import (
@@ -27,83 +38,206 @@ type pathKey struct {
 }
 
 // pathVal is one cached outcome: the path, or the error the search
-// produced (negative cache entry).
+// produced (negative cache entry), plus the scope signature that
+// revalidates it — the deduped scopes the path traverses and the sum of
+// their epochs at fill time (nil/0 for errors and empty paths).
 type pathVal struct {
-	path topo.Path
-	err  error
+	path   topo.Path
+	err    error
+	scopes []topo.Scope
+	sum    uint64
 }
 
-// Router serves policy path queries through an epoch-keyed cache over one
-// graph. Concurrent readers are safe; the graph itself must not be
+// flight is one in-progress computation waiters can park on. ok means
+// the leader's result was computed against a stable graph and is safe
+// to share; otherwise waiters recompute for themselves.
+type flight struct {
+	done chan struct{}
+	path topo.Path
+	err  error
+	ok   bool
+}
+
+// routerCacheCap bounds the cache. Entries now survive scoped mutations
+// indefinitely, so a pathological key churn could grow the map without
+// bound; past the cap the next store clears it wholesale (counted as a
+// flush) rather than tracking LRU order on the hot path.
+const routerCacheCap = 1 << 17
+
+// Router serves policy path queries through a scope-aware cache over
+// one graph. Concurrent readers are safe; the graph itself must not be
 // mutated while a query is in flight (the API layer's write lock
 // guarantees that).
 type Router struct {
 	g *topo.Graph
 
-	mu    sync.RWMutex
-	epoch uint64 // graph epoch the cache contents were computed at
-	cache map[pathKey]pathVal
+	mu         sync.RWMutex
+	flushEpoch uint64 // graph flush epoch the cache contents are valid at
+	cache      map[pathKey]pathVal
+	inflight   map[pathKey]*flight
 
-	hits, misses, flushes atomic.Uint64
+	hits, misses, flushes     atomic.Uint64
+	invalidations             atomic.Uint64 // scoped-stale entries observed
+	searches, shared, waiting atomic.Uint64
+
+	// testSearchGate, when set (tests only), runs before the leader's
+	// path search so tests can hold a computation open deterministically.
+	testSearchGate func()
 }
 
 // NewRouter returns an empty cache over g.
 func NewRouter(g *topo.Graph) *Router {
-	return &Router{g: g, cache: make(map[pathKey]pathVal)}
+	return &Router{
+		g:        g,
+		cache:    make(map[pathKey]pathVal),
+		inflight: make(map[pathKey]*flight),
+	}
 }
 
 // Graph returns the underlying substrate graph.
 func (r *Router) Graph() *topo.Graph { return r.g }
 
 // PathFor computes the route src->dst under the policy, consulting the
-// cache when the graph epoch matches. Hits return the same Path value the
-// original computation produced (callers must not mutate it).
+// cache when the entry's scope signature is current. Hits return the
+// same Path value the original computation produced (callers must not
+// mutate it).
 func (r *Router) PathFor(policy PotatoPolicy, src, dst topo.NodeID) (topo.Path, error) {
-	ep := r.g.Epoch()
 	key := pathKey{policy, src, dst}
+	fe := r.g.FlushEpoch()
+	stale := false
 	r.mu.RLock()
-	if r.epoch == ep {
+	if r.flushEpoch == fe {
 		if v, ok := r.cache[key]; ok {
-			r.mu.RUnlock()
-			r.hits.Add(1)
-			return v.path, v.err
+			if r.g.ScopeEpochSum(v.scopes) == v.sum {
+				r.mu.RUnlock()
+				r.hits.Add(1)
+				return v.path, v.err
+			}
+			stale = true
 		}
 	}
 	r.mu.RUnlock()
 	r.misses.Add(1)
-	path, err := PathFor(r.g, policy, src, dst)
-	// Store only if the epoch is unchanged since before the computation;
-	// a mutation that raced the search makes the result unsafe to keep.
-	if r.g.Epoch() == ep {
-		r.mu.Lock()
-		if r.epoch != ep {
-			// The cache was stamped at an older epoch: every entry in it
-			// predates some mutation. Invalidate wholesale.
-			if len(r.cache) > 0 {
-				clear(r.cache)
-				r.flushes.Add(1)
-			}
-			r.epoch = ep
-		}
-		r.cache[key] = pathVal{path, err}
-		r.mu.Unlock()
+	if stale {
+		r.invalidations.Add(1)
 	}
+	return r.compute(key, true)
+}
+
+// compute runs (or joins) the path search for key and installs the
+// result. mayWait lets a caller join an in-flight leader; a waiter
+// whose leader raced a mutation retries with mayWait=false so it cannot
+// park twice.
+func (r *Router) compute(key pathKey, mayWait bool) (topo.Path, error) {
+	r.mu.Lock()
+	// Sync the cache to the current flush epoch first: everything in it
+	// predates the flush-worthy mutation.
+	if fe := r.g.FlushEpoch(); r.flushEpoch != fe {
+		if len(r.cache) > 0 {
+			clear(r.cache)
+			r.flushes.Add(1)
+		}
+		r.flushEpoch = fe
+	}
+	fe := r.flushEpoch
+	if f, ok := r.inflight[key]; ok && mayWait {
+		r.mu.Unlock()
+		r.waiting.Add(1)
+		<-f.done
+		if f.ok {
+			r.shared.Add(1)
+			return f.path, f.err
+		}
+		return r.compute(key, false)
+	}
+	f := &flight{done: make(chan struct{})}
+	if mayWait {
+		r.inflight[key] = f
+	}
+	r.mu.Unlock()
+
+	if r.testSearchGate != nil {
+		r.testSearchGate()
+	}
+	// Snapshot the global epoch around the search: if any mutation (or
+	// batch close) lands while we compute, the result may mix pre- and
+	// post-mutation state and is unsafe to cache or share.
+	ep := r.g.Epoch()
+	r.searches.Add(1)
+	path, err := PathFor(r.g, key.policy, key.src, key.dst)
+	var scopes []topo.Scope
+	var sum uint64
+	if err == nil {
+		scopes = pathScopes(path)
+		sum = r.g.ScopeEpochSum(scopes)
+	}
+	storable := r.g.Epoch() == ep && r.g.FlushEpoch() == fe
+
+	r.mu.Lock()
+	if mayWait && r.inflight[key] == f {
+		delete(r.inflight, key)
+	}
+	if storable && r.flushEpoch == fe {
+		if len(r.cache) >= routerCacheCap {
+			clear(r.cache)
+			r.flushes.Add(1)
+		}
+		r.cache[key] = pathVal{path, err, scopes, sum}
+	}
+	r.mu.Unlock()
+	f.path, f.err, f.ok = path, err, storable
+	close(f.done)
 	return path, err
+}
+
+// pathScopes returns the deduped epoch scopes a path traverses. Paths
+// are short and cross few scopes, so linear dedup beats a map.
+func pathScopes(p topo.Path) []topo.Scope {
+	var scopes []topo.Scope
+outer:
+	for _, l := range p {
+		s := l.Scope()
+		for _, have := range scopes {
+			if have == s {
+				continue outer
+			}
+		}
+		scopes = append(scopes, s)
+	}
+	return scopes
 }
 
 // Hits returns the number of queries answered from the cache.
 func (r *Router) Hits() uint64 { return r.hits.Load() }
 
-// Misses returns the number of queries that ran the full path search.
+// Misses returns the number of queries not answered from the cache.
 func (r *Router) Misses() uint64 { return r.misses.Load() }
 
-// Flushes returns the number of wholesale invalidations caused by
-// topology epoch changes.
+// Flushes returns the number of wholesale invalidations (flush-epoch
+// changes and cap overflows).
 func (r *Router) Flushes() uint64 { return r.flushes.Load() }
+
+// Invalidations returns the number of scoped-stale entries observed: a
+// lookup found the key but a scope its path traverses had mutated.
+func (r *Router) Invalidations() uint64 { return r.invalidations.Load() }
+
+// Searches returns the number of full path computations actually run.
+func (r *Router) Searches() uint64 { return r.searches.Load() }
+
+// Shared returns the number of queries served by another caller's
+// in-flight computation (singleflight hits).
+func (r *Router) Shared() uint64 { return r.shared.Load() }
 
 // Len returns the number of cached entries (positive and negative).
 func (r *Router) Len() int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return len(r.cache)
+}
+
+// inflightLen reports in-progress computations (tests only).
+func (r *Router) inflightLen() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.inflight)
 }

@@ -1,6 +1,8 @@
 package qos
 
 import (
+	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -96,8 +98,28 @@ func TestRouterInvalidatesOnEpochChange(t *testing.T) {
 	if !samePath(p2, want) {
 		t.Fatalf("post-fault path %v != uncached %v", pathIDs(p2), pathIDs(want))
 	}
+	// The routerGraph has no provider regions, so the failed link is
+	// cross-cut scoped: the entry goes scoped-stale, no wholesale flush.
+	if r.Invalidations() != 1 {
+		t.Fatalf("invalidations=%d, want 1", r.Invalidations())
+	}
+	if r.Flushes() != 0 {
+		t.Fatalf("flushes=%d, want 0 (link failure is a scoped mutation)", r.Flushes())
+	}
+	// Healing the link IS flush-worthy: the restored backbone must win
+	// back the route even though the cached detour never crossed it.
+	if err := g.SetPairUp("ab", true); err != nil {
+		t.Fatal(err)
+	}
+	p3, err := r.PathFor(ColdPotato, "a", "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !samePath(p3, p1) {
+		t.Fatalf("post-heal path %v, want backbone route %v", pathIDs(p3), pathIDs(p1))
+	}
 	if r.Flushes() != 1 {
-		t.Fatalf("flushes=%d, want 1", r.Flushes())
+		t.Fatalf("flushes=%d, want 1 after heal", r.Flushes())
 	}
 }
 
@@ -143,5 +165,193 @@ func TestRouterMatchesUncachedAcrossPolicies(t *testing.T) {
 		if !samePath(got, want) {
 			t.Fatalf("%v: cached %v != uncached %v", pol, pathIDs(got), pathIDs(want))
 		}
+	}
+}
+
+// regionedGraph builds two provider regions with internal detour
+// diamonds (a1->a2 direct or via am) joined by a backbone, so both
+// region-confined and cross-region queries are expressible.
+func regionedGraph(t *testing.T) *topo.Graph {
+	t.Helper()
+	g := topo.New()
+	add := func(id topo.NodeID, region string) {
+		g.MustAddNode(topo.Node{ID: id, Provider: "aws", Region: region})
+	}
+	for _, n := range []topo.NodeID{"a1", "a2", "am"} {
+		add(n, "A")
+	}
+	for _, n := range []topo.NodeID{"b1", "b2", "bm"} {
+		add(n, "B")
+	}
+	g.MustConnect("a12", "a1", "a2", topo.Fabric, 1e9, 2*time.Millisecond, 0, 0)
+	g.MustConnect("a1m", "a1", "am", topo.Fabric, 1e9, 5*time.Millisecond, 0, 0)
+	g.MustConnect("am2", "am", "a2", topo.Fabric, 1e9, 5*time.Millisecond, 0, 0)
+	g.MustConnect("b12", "b1", "b2", topo.Fabric, 1e9, 2*time.Millisecond, 0, 0)
+	g.MustConnect("b1m", "b1", "bm", topo.Fabric, 1e9, 5*time.Millisecond, 0, 0)
+	g.MustConnect("bm2", "bm", "b2", topo.Fabric, 1e9, 5*time.Millisecond, 0, 0)
+	g.MustConnect("ab", "a2", "b1", topo.Backbone, 1e9, 20*time.Millisecond, 0, 0)
+	return g
+}
+
+// TestRouterScopedIsolation is the point of the whole design: a fault
+// in region A must not evict warm paths confined to region B, and a
+// cross-cut fault must not evict either region's internal paths.
+func TestRouterScopedIsolation(t *testing.T) {
+	g := regionedGraph(t)
+	r := NewRouter(g)
+	warm := func(src, dst topo.NodeID) topo.Path {
+		t.Helper()
+		p, err := r.PathFor(ColdPotato, src, dst)
+		if err != nil {
+			t.Fatalf("%s->%s: %v", src, dst, err)
+		}
+		return p
+	}
+	warm("a1", "a2")
+	warm("b1", "b2")
+	warm("a1", "b2")
+	base := r.Searches()
+
+	// Fail region A's direct link: only entries crossing scope A go
+	// stale. The B-confined entry must still hit.
+	if err := g.SetPairUp("a12", false); err != nil {
+		t.Fatal(err)
+	}
+	warm("b1", "b2")
+	if got := r.Searches(); got != base {
+		t.Fatalf("region-B path recomputed after region-A fault (searches %d -> %d)", base, got)
+	}
+	if pa := warm("a1", "a2"); pa[0].ID != "a1m:fwd" {
+		t.Fatalf("region-A path %v, want detour via am", pathIDs(pa))
+	}
+	if r.Flushes() != 0 {
+		t.Fatalf("flushes=%d, want 0 (scoped fault)", r.Flushes())
+	}
+
+	// Fail the backbone: cross-cut entries go stale, region-confined
+	// entries (including A's freshly cached detour) survive.
+	mid := r.Searches()
+	if err := g.SetPairUp("ab", false); err != nil {
+		t.Fatal(err)
+	}
+	warm("a1", "a2")
+	warm("b1", "b2")
+	if got := r.Searches(); got != mid {
+		t.Fatalf("region paths recomputed after cross-cut fault (searches %d -> %d)", mid, got)
+	}
+	if _, err := r.PathFor(ColdPotato, "a1", "b2"); err == nil {
+		t.Fatal("cross-region path should fail with backbone down")
+	}
+
+	// Heal region A's link: wholesale flush, and the direct route wins
+	// back over the cached detour.
+	if err := g.SetPairUp("a12", true); err != nil {
+		t.Fatal(err)
+	}
+	if pa := warm("a1", "a2"); pa[0].ID != "a12:fwd" {
+		t.Fatalf("post-heal path %v, want direct a12", pathIDs(pa))
+	}
+	if r.Flushes() != 1 {
+		t.Fatalf("flushes=%d, want 1 after heal", r.Flushes())
+	}
+}
+
+// TestRouterParityWithUncachedUnderScopedMutations drives a fixed
+// mutation schedule and checks every cached answer against a fresh
+// uncached computation — the byte-parity contract scoped invalidation
+// must preserve.
+func TestRouterParityWithUncachedUnderScopedMutations(t *testing.T) {
+	g := regionedGraph(t)
+	r := NewRouter(g)
+	pairs := [][2]topo.NodeID{
+		{"a1", "a2"}, {"b1", "b2"}, {"a1", "b2"}, {"b2", "a1"}, {"am", "bm"},
+	}
+	checkAll := func(step string) {
+		t.Helper()
+		for _, pol := range []PotatoPolicy{HotPotato, ColdPotato} {
+			for _, pr := range pairs {
+				got, gotErr := r.PathFor(pol, pr[0], pr[1])
+				want, wantErr := PathFor(g, pol, pr[0], pr[1])
+				if (gotErr == nil) != (wantErr == nil) {
+					t.Fatalf("%s %v %s->%s: err=%v, want %v", step, pol, pr[0], pr[1], gotErr, wantErr)
+				}
+				if gotErr != nil {
+					if gotErr.Error() != wantErr.Error() {
+						t.Fatalf("%s %v %s->%s: err %q != %q", step, pol, pr[0], pr[1], gotErr, wantErr)
+					}
+					continue
+				}
+				if !samePath(got, want) {
+					t.Fatalf("%s %v %s->%s: cached %v != uncached %v",
+						step, pol, pr[0], pr[1], pathIDs(got), pathIDs(want))
+				}
+			}
+		}
+	}
+	checkAll("initial")
+	schedule := []struct {
+		id string
+		up bool
+	}{
+		{"a12", false}, {"b1m", false}, {"ab", false}, {"a12", true},
+		{"ab", true}, {"b12", false}, {"b1m", true}, {"a1m", false},
+		{"b12", true}, {"a1m", true},
+	}
+	for _, s := range schedule {
+		if err := g.SetPairUp(s.id, s.up); err != nil {
+			t.Fatal(err)
+		}
+		checkAll(s.id)
+	}
+	if r.Hits() == 0 || r.Invalidations() == 0 || r.Flushes() == 0 {
+		t.Fatalf("schedule exercised hits=%d invalidations=%d flushes=%d; want all > 0",
+			r.Hits(), r.Invalidations(), r.Flushes())
+	}
+}
+
+// TestRouterSingleflight: concurrent misses for the same key run one
+// Dijkstra; the stampede parks on the leader and shares its result.
+func TestRouterSingleflight(t *testing.T) {
+	g := routerGraph(t)
+	r := NewRouter(g)
+	gate := make(chan struct{})
+	r.testSearchGate = func() { <-gate }
+
+	const waiters = 7
+	results := make(chan string, waiters+1)
+	query := func() {
+		p, err := r.PathFor(ColdPotato, "a", "d")
+		if err != nil {
+			results <- "err:" + err.Error()
+			return
+		}
+		results <- strings.Join(pathIDs(p), ",")
+	}
+	go query() // leader: blocks in the gate
+	// Wait until the leader has registered its flight, then pile on.
+	for r.inflightLen() == 0 {
+		runtime.Gosched()
+	}
+	for i := 0; i < waiters; i++ {
+		go query()
+	}
+	for r.waiting.Load() < waiters {
+		runtime.Gosched()
+	}
+	close(gate)
+	want := ""
+	for i := 0; i < waiters+1; i++ {
+		got := <-results
+		if want == "" {
+			want = got
+		} else if got != want {
+			t.Fatalf("diverging results %q vs %q", got, want)
+		}
+	}
+	if r.Searches() != 1 {
+		t.Fatalf("searches=%d, want 1 (singleflight)", r.Searches())
+	}
+	if r.Shared() != waiters {
+		t.Fatalf("shared=%d, want %d", r.Shared(), waiters)
 	}
 }

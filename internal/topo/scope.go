@@ -1,0 +1,168 @@
+package topo
+
+import "sync/atomic"
+
+// Epoch scoping. PR 4 gave the graph a single mutation epoch and taught
+// qos.Router to flush its whole path cache whenever it moved — correct,
+// but it means a link flap in one provider region evicts warm paths
+// confined to every other region (the whole-network recomputation the
+// mutation plane is supposed to absorb). Scoped epochs split the
+// invalidation domain: every link belongs to exactly one scope — the
+// provider region that contains both its endpoints, or the cross-region
+// cut (CrossCut) when it spans regions, providers, or the public
+// internet — and each scope carries its own epoch counter.
+//
+// The soundness rule is asymmetric:
+//
+//   - Degrading mutations (failing a link) can only change answers for
+//     queries whose best path traverses the failed link, and that path
+//     traverses the link's scope. Removals never create better
+//     alternatives elsewhere, so bumping just the link's scope epoch is
+//     sound: a cached path that avoids the scope is still optimal.
+//
+//   - Improving mutations (restoring a link, adding a node or link) can
+//     create a better path for ANY pair — a healed backbone link may
+//     undercut a cached detour that never touches its region. Those bump
+//     flushEpoch, which invalidates every cache entry wholesale.
+//
+// Cache entries therefore validate in two steps: flushEpoch must be
+// unchanged since fill, and the sum of the entry's traversed-scope
+// epochs must equal the sum recorded at fill time (sound because epochs
+// only grow, so any bump changes the sum). Negative entries
+// ("unreachable") record no scopes and survive every degrading
+// mutation: failing links cannot make a destination reachable.
+
+// Scope identifies an epoch scope: CrossCut (0) covers links that cross
+// regions, providers, or the public internet; every provider region
+// with at least one wholly-contained link or node gets its own.
+type Scope int32
+
+// CrossCut is the scope of links not confined to a single provider
+// region (backbone, transit, dedicated circuits, IXP cross-connects).
+const CrossCut Scope = 0
+
+// Scope reports the epoch scope the link belongs to, assigned at
+// AddLink time.
+func (l *Link) Scope() Scope { return l.scope }
+
+// FlushEpoch counts improving and structural mutations (AddNode,
+// AddLink, link restores). Caches must discard everything when it
+// moves: such mutations can better any cached answer regardless of the
+// path it traverses.
+func (g *Graph) FlushEpoch() uint64 { return g.flushEpoch.Load() }
+
+// ScopeEpoch returns the mutation counter of one scope.
+func (g *Graph) ScopeEpoch(s Scope) uint64 {
+	if int(s) >= len(g.scopeEps) {
+		return 0
+	}
+	return g.scopeEps[s].Load()
+}
+
+// ScopeEpochSum returns the sum of the given scopes' epochs. Cache
+// entries store the sum at fill time and revalidate by recomputing it:
+// epochs are monotonic, so the sum changes iff some listed scope was
+// mutated. Atomic loads only — no lock — so the read plane can
+// revalidate concurrently.
+func (g *Graph) ScopeEpochSum(scopes []Scope) uint64 {
+	var sum uint64
+	for _, s := range scopes {
+		if int(s) < len(g.scopeEps) {
+			sum += g.scopeEps[s].Load()
+		}
+	}
+	return sum
+}
+
+// NumScopes reports how many epoch scopes exist (cross-cut included).
+func (g *Graph) NumScopes() int { return len(g.scopeEps) }
+
+// scopeOf interns the scope for a provider region, creating it on first
+// use. Nodes outside any region (internet core, IXPs, on-prem without a
+// region) fold into CrossCut.
+func (g *Graph) scopeOf(provider, region string) Scope {
+	if provider == "" || region == "" {
+		return CrossCut
+	}
+	key := provider + "/" + region
+	if s, ok := g.scopeIdx[key]; ok {
+		return s
+	}
+	s := Scope(len(g.scopeEps))
+	g.scopeIdx[key] = s
+	g.scopeEps = append(g.scopeEps, new(atomic.Uint64))
+	return s
+}
+
+// bumpScoped records a degrading mutation confined to scope s: the
+// global epoch and s's epoch advance, flushEpoch does not. Inside a
+// batch the bump is deferred and coalesced into EndBatch.
+func (g *Graph) bumpScoped(s Scope) {
+	if g.batchDepth > 0 {
+		g.batchDirty = true
+		g.batchScopes[s] = struct{}{}
+		return
+	}
+	g.epoch.Add(1)
+	g.scopeEps[s].Add(1)
+}
+
+// bumpFlush records an improving or structural mutation: the global
+// epoch and flushEpoch advance, invalidating every cached answer.
+func (g *Graph) bumpFlush() {
+	if g.batchDepth > 0 {
+		g.batchDirty = true
+		g.batchFlush = true
+		return
+	}
+	g.epoch.Add(1)
+	g.flushEpoch.Add(1)
+}
+
+// BeginBatch opens a coalescing window: mutations made before the
+// matching EndBatch advance each epoch counter at most once, so a burst
+// of N same-timestamp mutations (a region failure taking down hundreds
+// of directed links, a 10k-endpoint onboarding batch) costs one
+// invalidation instead of N. Batches nest by refcount. Like all graph
+// mutation, batching requires external write exclusion; concurrent
+// readers during a batch observe half-applied state exactly as they
+// would between unbatched mutations, and entries they cache are
+// invalidated by the deferred bumps at EndBatch.
+func (g *Graph) BeginBatch() {
+	if g.batchDepth == 0 && g.batchScopes == nil {
+		g.batchScopes = make(map[Scope]struct{})
+	}
+	g.batchDepth++
+}
+
+// EndBatch closes the window opened by BeginBatch. When the outermost
+// batch ends, the global epoch advances once, each touched scope's
+// epoch advances once, and flushEpoch advances once if any batched
+// mutation was improving or structural. A batch with no mutations
+// advances nothing.
+func (g *Graph) EndBatch() {
+	if g.batchDepth == 0 {
+		panic("topo: EndBatch without BeginBatch")
+	}
+	g.batchDepth--
+	if g.batchDepth > 0 || !g.batchDirty {
+		return
+	}
+	g.epoch.Add(1)
+	for s := range g.batchScopes {
+		g.scopeEps[s].Add(1)
+	}
+	if g.batchFlush {
+		g.flushEpoch.Add(1)
+	}
+	clear(g.batchScopes)
+	g.batchDirty, g.batchFlush = false, false
+}
+
+// Batch runs fn inside a BeginBatch/EndBatch window, ending the batch
+// even when fn panics.
+func (g *Graph) Batch(fn func() error) error {
+	g.BeginBatch()
+	defer g.EndBatch()
+	return fn()
+}

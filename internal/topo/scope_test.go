@@ -1,0 +1,183 @@
+package topo
+
+import (
+	"testing"
+	"time"
+)
+
+// scopedGraph builds two provider regions (awsA: a1-a2, awsB: b1-b2)
+// joined by a cross-region backbone, plus an unregioned internet node.
+func scopedGraph(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	g.MustAddNode(Node{ID: "a1", Provider: "aws", Region: "A"})
+	g.MustAddNode(Node{ID: "a2", Provider: "aws", Region: "A"})
+	g.MustAddNode(Node{ID: "b1", Provider: "aws", Region: "B"})
+	g.MustAddNode(Node{ID: "b2", Provider: "aws", Region: "B"})
+	g.MustAddNode(Node{ID: "inet"})
+	g.MustConnect("aa", "a1", "a2", Fabric, Gbps, time.Millisecond, 0, 0)
+	g.MustConnect("bb", "b1", "b2", Fabric, Gbps, time.Millisecond, 0, 0)
+	g.MustConnect("ab", "a2", "b1", Backbone, Gbps, 10*time.Millisecond, 0, 0)
+	g.MustConnect("ai", "a2", "inet", Transit, Gbps, 10*time.Millisecond, 0, 0)
+	return g
+}
+
+func linkScope(t *testing.T, g *Graph, id string) Scope {
+	t.Helper()
+	l, ok := g.Link(id)
+	if !ok {
+		t.Fatalf("unknown link %q", id)
+	}
+	return l.Scope()
+}
+
+func TestScopeAssignment(t *testing.T) {
+	g := scopedGraph(t)
+	sa := linkScope(t, g, "aa:fwd")
+	sb := linkScope(t, g, "bb:fwd")
+	if sa == CrossCut || sb == CrossCut {
+		t.Fatalf("intra-region links got CrossCut (aa=%d bb=%d)", sa, sb)
+	}
+	if sa == sb {
+		t.Fatalf("regions A and B share scope %d", sa)
+	}
+	if s := linkScope(t, g, "aa:rev"); s != sa {
+		t.Fatalf("aa:rev scope %d != aa:fwd scope %d", s, sa)
+	}
+	// Cross-region and region-to-internet links are cut links.
+	if s := linkScope(t, g, "ab:fwd"); s != CrossCut {
+		t.Fatalf("cross-region link scope %d, want CrossCut", s)
+	}
+	if s := linkScope(t, g, "ai:fwd"); s != CrossCut {
+		t.Fatalf("region-internet link scope %d, want CrossCut", s)
+	}
+	// Same region name under a different provider is a different scope.
+	g.MustAddNode(Node{ID: "g1", Provider: "gcp", Region: "A"})
+	g.MustAddNode(Node{ID: "g2", Provider: "gcp", Region: "A"})
+	g.MustConnect("gg", "g1", "g2", Fabric, Gbps, time.Millisecond, 0, 0)
+	if s := linkScope(t, g, "gg:fwd"); s == sa || s == CrossCut {
+		t.Fatalf("gcp/A scope %d collides (aws/A=%d)", s, sa)
+	}
+	if n := g.NumScopes(); n != 4 { // CrossCut, aws/A, aws/B, gcp/A
+		t.Fatalf("NumScopes=%d, want 4", n)
+	}
+}
+
+// TestScopedEpochBumps pins the asymmetric invalidation contract:
+// failing a link bumps only its scope's epoch, restoring bumps only
+// flushEpoch, and unrelated scopes never move.
+func TestScopedEpochBumps(t *testing.T) {
+	g := scopedGraph(t)
+	sa := linkScope(t, g, "aa:fwd")
+	sb := linkScope(t, g, "bb:fwd")
+	type snap struct{ global, flush, cross, a, b uint64 }
+	take := func() snap {
+		return snap{g.Epoch(), g.FlushEpoch(), g.ScopeEpoch(CrossCut),
+			g.ScopeEpoch(sa), g.ScopeEpoch(sb)}
+	}
+	before := take()
+	if err := g.SetPairUp("aa", false); err != nil {
+		t.Fatal(err)
+	}
+	after := take()
+	want := snap{before.global + 1, before.flush, before.cross, before.a + 1, before.b}
+	if after != want {
+		t.Fatalf("fail aa: epochs %+v, want %+v", after, want)
+	}
+	before = after
+	if err := g.SetPairUp("ab", false); err != nil {
+		t.Fatal(err)
+	}
+	after = take()
+	want = snap{before.global + 1, before.flush, before.cross + 1, before.a, before.b}
+	if after != want {
+		t.Fatalf("fail ab (cross-cut): epochs %+v, want %+v", after, want)
+	}
+	before = after
+	if err := g.SetPairUp("aa", true); err != nil {
+		t.Fatal(err)
+	}
+	after = take()
+	want = snap{before.global + 1, before.flush + 1, before.cross, before.a, before.b}
+	if after != want {
+		t.Fatalf("restore aa: epochs %+v, want %+v", after, want)
+	}
+	// Restoring an already-up link still flushes: callers rely on the
+	// bump to force recomputation.
+	before = after
+	if err := g.SetLinkUp("aa:fwd", true); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.FlushEpoch(); got != before.flush+1 {
+		t.Fatalf("no-op restore: flush %d, want %d", got, before.flush+1)
+	}
+}
+
+// TestBatchCoalescesBumps: a batch advances each counter at most once
+// no matter how many mutations it contains.
+func TestBatchCoalescesBumps(t *testing.T) {
+	g := scopedGraph(t)
+	sa := linkScope(t, g, "aa:fwd")
+	sb := linkScope(t, g, "bb:fwd")
+	g0, f0, a0, b0 := g.Epoch(), g.FlushEpoch(), g.ScopeEpoch(sa), g.ScopeEpoch(sb)
+	err := g.Batch(func() error {
+		if err := g.SetPairUp("aa", false); err != nil {
+			return err
+		}
+		if err := g.SetLinkUp("aa:fwd", false); err != nil { // same scope again
+			return err
+		}
+		if err := g.SetPairUp("bb", false); err != nil {
+			return err
+		}
+		// Mid-batch, nothing has advanced yet.
+		if g.Epoch() != g0 || g.ScopeEpoch(sa) != a0 {
+			t.Errorf("mid-batch bump leaked (epoch %d->%d)", g0, g.Epoch())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Epoch() != g0+1 {
+		t.Fatalf("global epoch %d, want %d (one per batch)", g.Epoch(), g0+1)
+	}
+	if g.ScopeEpoch(sa) != a0+1 || g.ScopeEpoch(sb) != b0+1 {
+		t.Fatalf("scope epochs a=%d b=%d, want %d/%d", g.ScopeEpoch(sa), g.ScopeEpoch(sb), a0+1, b0+1)
+	}
+	if g.FlushEpoch() != f0 {
+		t.Fatalf("flush epoch moved on degrading batch (%d -> %d)", f0, g.FlushEpoch())
+	}
+	// A batch containing a restore flushes — once.
+	err = g.Batch(func() error {
+		if err := g.SetPairUp("aa", true); err != nil {
+			return err
+		}
+		return g.SetPairUp("bb", true)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.FlushEpoch() != f0+1 {
+		t.Fatalf("flush epoch %d, want %d (one per batch)", g.FlushEpoch(), f0+1)
+	}
+	// Empty batches advance nothing; nested batches coalesce into the
+	// outermost.
+	e1 := g.Epoch()
+	_ = g.Batch(func() error { return nil })
+	if g.Epoch() != e1 {
+		t.Fatal("empty batch bumped epoch")
+	}
+	_ = g.Batch(func() error {
+		return g.Batch(func() error { return g.SetPairUp("aa", false) })
+	})
+	if g.Epoch() != e1+1 {
+		t.Fatalf("nested batch bumped %d times, want 1", g.Epoch()-e1)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EndBatch without BeginBatch did not panic")
+		}
+	}()
+	g.EndBatch()
+}

@@ -103,6 +103,9 @@ type Link struct {
 	// fromIdx/toIdx are the arena indices of From/To, assigned by AddLink
 	// so path search never touches the NodeID maps.
 	fromIdx, toIdx int32
+	// scope is the epoch scope (see scope.go): the provider region that
+	// contains both endpoints, or CrossCut. Assigned by AddLink.
+	scope Scope
 }
 
 // Up reports whether the link is in service.
@@ -127,8 +130,24 @@ type Graph struct {
 
 	// epoch counts topology mutations (AddNode/AddLink/SetLinkUp/
 	// SetPairUp). Epoch-keyed caches (qos.Router) compare it to detect
-	// staleness; it is atomic so readers need no lock.
+	// staleness; it is atomic so readers need no lock. A batch counts as
+	// one mutation regardless of how many calls it coalesces.
 	epoch atomic.Uint64
+
+	// Scoped invalidation state (see scope.go): flushEpoch advances on
+	// improving/structural mutations, scopeEps[s] on degrading mutations
+	// confined to scope s, and scopeIdx interns "provider/region" scope
+	// names. scopeEps[CrossCut] exists from construction.
+	flushEpoch atomic.Uint64
+	scopeIdx   map[string]Scope
+	scopeEps   []*atomic.Uint64
+
+	// Batch coalescing state (BeginBatch/EndBatch), guarded by the same
+	// external write exclusion as all mutation.
+	batchDepth  int
+	batchDirty  bool
+	batchFlush  bool
+	batchScopes map[Scope]struct{}
 
 	// scratch pools per-search working state so concurrent ShortestPath
 	// calls each get their own arrays without per-call allocation.
@@ -138,9 +157,11 @@ type Graph struct {
 // New returns an empty graph.
 func New() *Graph {
 	return &Graph{
-		nodes: make(map[NodeID]*Node),
-		links: make(map[string]*Link),
-		idx:   make(map[NodeID]int32),
+		nodes:    make(map[NodeID]*Node),
+		links:    make(map[string]*Link),
+		idx:      make(map[NodeID]int32),
+		scopeIdx: make(map[string]Scope),
+		scopeEps: []*atomic.Uint64{new(atomic.Uint64)}, // CrossCut
 	}
 }
 
@@ -159,7 +180,9 @@ func (g *Graph) AddNode(n Node) (*Node, error) {
 	g.idx[n.ID] = int32(len(g.nodeList))
 	g.nodeList = append(g.nodeList, &cp)
 	g.adj = append(g.adj, nil)
-	g.epoch.Add(1)
+	// Structural: a new node can resolve cached "unknown node" errors,
+	// which record no scopes, so only a wholesale flush reaches them.
+	g.bumpFlush()
 	return &cp, nil
 }
 
@@ -223,6 +246,15 @@ func (g *Graph) AddLink(l Link) (*Link, error) {
 	}
 	cp := l
 	cp.fromIdx, cp.toIdx = fi, ti
+	// The link's scope is the provider region containing both endpoints;
+	// anything spanning regions/providers (or touching an unregioned
+	// node) is cross-cut.
+	from, to := g.nodeList[fi], g.nodeList[ti]
+	cp.scope = CrossCut
+	if s := g.scopeOf(from.Provider, from.Region); s != CrossCut &&
+		s == g.scopeOf(to.Provider, to.Region) {
+		cp.scope = s
+	}
 	g.links[l.ID] = &cp
 	out := g.adj[fi]
 	at := sort.Search(len(out), func(i int) bool { return out[i].ID >= cp.ID })
@@ -230,7 +262,8 @@ func (g *Graph) AddLink(l Link) (*Link, error) {
 	copy(out[at+1:], out[at:])
 	out[at] = &cp
 	g.adj[fi] = out
-	g.epoch.Add(1)
+	// Structural/improving: a new edge can better any cached path.
+	g.bumpFlush()
 	return &cp, nil
 }
 
@@ -260,35 +293,51 @@ func (g *Graph) Link(id string) (*Link, bool) {
 }
 
 // SetLinkUp fails or restores one directed link. Use SetPairUp for the
-// usual case of a whole physical link.
+// usual case of a whole physical link. Failing a link is a degrading
+// mutation (bumps only the link's scope epoch); restoring one is
+// improving (bumps flushEpoch), and deliberately bumps even on a no-op
+// restore so callers can force a wholesale cache flush.
 func (g *Graph) SetLinkUp(id string, up bool) error {
-	if err := g.setLinkUp(id, up); err != nil {
+	l, err := g.setLinkUp(id, up)
+	if err != nil {
 		return err
 	}
-	g.epoch.Add(1)
+	g.bumpTransition(l, up)
 	return nil
 }
 
 // setLinkUp is SetLinkUp without the epoch bump, so compound mutators
 // (SetPairUp) count as one topology transition.
-func (g *Graph) setLinkUp(id string, up bool) error {
+func (g *Graph) setLinkUp(id string, up bool) (*Link, error) {
 	l, ok := g.links[id]
 	if !ok {
-		return fmt.Errorf("topo: unknown link %q", id)
+		return nil, fmt.Errorf("topo: unknown link %q", id)
 	}
 	l.down = !up
-	return nil
+	return l, nil
+}
+
+// bumpTransition classifies one link transition for epoch accounting:
+// down is degrading (scoped), up is improving (wholesale flush).
+func (g *Graph) bumpTransition(l *Link, up bool) {
+	if up {
+		g.bumpFlush()
+	} else {
+		g.bumpScoped(l.scope)
+	}
 }
 
 // SetPairUp fails or restores both directions of a link created with
 // Connect (ids "<id>:fwd" and "<id>:rev"). It bumps the epoch once: a
-// physical link transition is one mutation, not two.
+// physical link transition is one mutation, not two. Both directions
+// share a scope (same endpoints), so one scoped bump covers the pair.
 func (g *Graph) SetPairUp(id string, up bool) error {
-	if err := g.setLinkUp(id+":fwd", up); err != nil {
+	fwd, err := g.setLinkUp(id+":fwd", up)
+	if err != nil {
 		return err
 	}
-	err := g.setLinkUp(id+":rev", up)
-	g.epoch.Add(1) // :fwd changed even when :rev is missing
+	_, err = g.setLinkUp(id+":rev", up)
+	g.bumpTransition(fwd, up) // :fwd changed even when :rev is missing
 	return err
 }
 
