@@ -1,8 +1,12 @@
 GO ?= go
 FUZZTIME ?= 10s
 BENCHTIME ?= 1s
+# Full-tier drill size for `make scale`; 400 tenants keep each region's
+# share of a million EIPs inside its /16.
+SCALE_EIPS ?= 1000000
+SCALE_TENANTS ?= 400
 
-.PHONY: build test vet race bench benchsmoke benchdiff staticcheck check fuzz
+.PHONY: build test vet race bench benchsmoke benchdiff scale staticcheck check fuzz
 
 build:
 	$(GO) build ./...
@@ -17,7 +21,7 @@ vet:
 # (core caches + API RWMutex) are the concurrency-sensitive packages; run
 # them under the race detector.
 race:
-	$(GO) test -race ./internal/netsim/... ./internal/exp/... ./internal/core/... ./internal/api/...
+	$(GO) test -race ./internal/netsim/... ./internal/exp/... ./internal/core/... ./internal/api/... ./internal/scale/...
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
@@ -41,6 +45,17 @@ benchdiff:
 	  $(GO) test -run '^$$' -bench 'BatchOnboard' -benchtime $(BENCHTIME) ./internal/api/ ; } \
 		| $(GO) run ./cmd/benchjson -o BENCH_mutate.json
 	@cat BENCH_mutate.json
+	$(GO) test -run '^$$' -bench 'ScaleDrill' -benchtime 1x ./internal/scale/ \
+		| $(GO) run ./cmd/benchjson -o BENCH_scale.json -gate 'storm_idle_p99_ratio<=1.5'
+	@cat BENCH_scale.json
+
+# The full-tier scale drill: a 10^6-EIP E13 run. The drill is
+# self-contained, so one benchmark iteration is the measurement.
+scale:
+	DECLNET_SCALE_EIPS=$(SCALE_EIPS) DECLNET_SCALE_TENANTS=$(SCALE_TENANTS) \
+		$(GO) test -run '^$$' -bench 'ScaleDrill' -benchtime 1x -timeout 30m ./internal/scale/ \
+		| $(GO) run ./cmd/benchjson -o BENCH_scale.json -gate 'storm_idle_p99_ratio<=1.5'
+	@cat BENCH_scale.json
 
 # Static analysis beyond vet. The tool is optional locally (CI installs
 # it); skip quietly when absent rather than failing the whole check.
@@ -58,6 +73,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseIP$$' -fuzztime $(FUZZTIME) ./internal/addr/
 	$(GO) test -run '^$$' -fuzz '^FuzzParsePrefix$$' -fuzztime $(FUZZTIME) ./internal/addr/
 	$(GO) test -run '^$$' -fuzz '^FuzzParsePermitEntry$$' -fuzztime $(FUZZTIME) ./internal/api/
+	$(GO) test -run '^$$' -fuzz '^FuzzParseConfig$$' -fuzztime $(FUZZTIME) ./internal/scale/
 
 # Tier-1 verification plus vet, static analysis, the race pass, and the
 # benchmark smoke test.

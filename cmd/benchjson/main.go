@@ -47,6 +47,7 @@ type Summary struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	gate := flag.String("gate", "", "acceptance gate 'metric<=bound' checked against derived/extra metrics; violation exits 1")
 	flag.Parse()
 
 	s := Summary{Derived: map[string]float64{}}
@@ -98,6 +99,23 @@ func main() {
 	if loop, batch := find(s.Results, "BenchmarkBatchOnboard/loop"), find(s.Results, "BenchmarkBatchOnboard/batch"); loop != nil && batch != nil && batch.NsPerOp > 0 {
 		s.Derived["batch_onboard_speedup"] = round2(loop.NsPerOp / batch.NsPerOp)
 	}
+	// Scale-drill acceptance numbers (BENCH_scale.json): the E13 custom
+	// metrics ride along as Extra; promote the ones the regression gate
+	// reads so `-gate storm_idle_p99_ratio<=1.5` has a stable key.
+	if drill := find(s.Results, "BenchmarkScaleDrill"); drill != nil {
+		for unit, key := range map[string]string{
+			"connect_p50_us":       "scale_connect_p50_us",
+			"connect_p99_us":       "scale_connect_p99_us",
+			"permit_lag_p99_us":    "scale_permit_lag_p99_us",
+			"bytes/endpoint":       "scale_bytes_per_endpoint",
+			"grants/sec":           "scale_grants_per_sec",
+			"storm_idle_p99_ratio": "storm_idle_p99_ratio",
+		} {
+			if v, ok := drill.Extra[unit]; ok {
+				s.Derived[key] = round2(v)
+			}
+		}
+	}
 	if len(s.Derived) == 0 {
 		s.Derived = nil
 	}
@@ -110,12 +128,49 @@ func main() {
 	buf = append(buf, '\n')
 	if *out == "" {
 		os.Stdout.Write(buf)
-		return
-	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	// The gate runs after the artifact is written so a violation still
+	// leaves the failing numbers on disk for inspection.
+	if *gate != "" {
+		if err := checkGate(&s, *gate); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// checkGate enforces one 'metric<=bound' acceptance expression against
+// the derived metrics (falling back to any result's Extra map).
+func checkGate(s *Summary, expr string) error {
+	key, bound, ok := strings.Cut(expr, "<=")
+	if !ok {
+		return fmt.Errorf("gate %q: want 'metric<=bound'", expr)
+	}
+	key, bound = strings.TrimSpace(key), strings.TrimSpace(bound)
+	limit, err := strconv.ParseFloat(bound, 64)
+	if err != nil {
+		return fmt.Errorf("gate %q: bad bound: %v", expr, err)
+	}
+	v, found := s.Derived[key]
+	if !found {
+		for i := range s.Results {
+			if ev, ok := s.Results[i].Extra[key]; ok {
+				v, found = ev, true
+				break
+			}
+		}
+	}
+	if !found {
+		return fmt.Errorf("gate %q: metric %q not present in results", expr, key)
+	}
+	if v > limit {
+		return fmt.Errorf("gate violated: %s = %g > %g", key, v, limit)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: gate ok: %s = %g <= %g\n", key, v, limit)
+	return nil
 }
 
 // parseLine parses one result line:

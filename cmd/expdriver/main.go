@@ -1,4 +1,4 @@
-// Command expdriver runs the paper-reproduction experiments (E1–E10 from
+// Command expdriver runs the paper-reproduction experiments (E1–E13 from
 // DESIGN.md) and prints their tables.
 //
 // Usage:
@@ -8,6 +8,8 @@
 //	expdriver -format md      # GitHub markdown (for EXPERIMENTS.md)
 //	expdriver -list           # list experiment IDs and titles
 //	expdriver -serial         # disable parallel sweep cells
+//	expdriver -run E13 -scale-eips 1000000 -scale-tenants 400
+//	                          # the full million-endpoint drill tier
 package main
 
 import (
@@ -25,10 +27,16 @@ func main() {
 	format := flag.String("format", "text", "output format: text or md")
 	list := flag.Bool("list", false, "list experiments and exit")
 	serial := flag.Bool("serial", false, "run sweep cells serially (same tables, one core)")
+	scaleEIPs := flag.Int("scale-eips", 0, "E13 drill size in endpoints (0 = default 10^5; `make scale` passes 10^6)")
+	scaleTenants := flag.Int("scale-tenants", 0, "E13 drill tenant count (0 = default 200)")
+	scaleRegions := flag.Int("scale-regions", 0, "E13 drill region count (0 = default 16)")
 	flag.Parse()
 
 	if *serial {
 		exp.SetParallel(false)
+	}
+	if *scaleEIPs > 0 || *scaleTenants > 0 || *scaleRegions > 0 {
+		exp.SetScaleTier(*scaleEIPs, *scaleTenants, *scaleRegions)
 	}
 
 	if *list {

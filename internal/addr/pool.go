@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // ErrExhausted is returned when a pool cannot satisfy an allocation.
@@ -145,8 +146,11 @@ func (b *BlockPool) removeFree(p Prefix) bool {
 
 // HostPool hands out individual addresses from a prefix, reusing released
 // addresses in FIFO order. It backs per-subnet instance addressing and the
-// provider's EIP allocation.
+// provider's EIP allocation. Safe for concurrent use: a region's pool is
+// shared by every tenant shard homed in that region, so allocation takes
+// its own mutex rather than relying on shard-level exclusion.
 type HostPool struct {
+	mu       sync.Mutex
 	prefix   Prefix
 	next     IP
 	released []IP
@@ -171,6 +175,8 @@ func (h *HostPool) Prefix() Prefix { return h.prefix }
 
 // Allocate returns a free address from the pool.
 func (h *HostPool) Allocate() (IP, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if n := len(h.released); n > 0 {
 		ip := h.released[0]
 		h.released = h.released[1:]
@@ -188,6 +194,8 @@ func (h *HostPool) Allocate() (IP, error) {
 
 // Release returns an address to the pool.
 func (h *HostPool) Release(ip IP) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if !h.inUse[ip] {
 		return fmt.Errorf("addr: release of unallocated address %s", ip)
 	}
@@ -197,4 +205,8 @@ func (h *HostPool) Release(ip IP) error {
 }
 
 // InUse reports how many addresses are currently allocated.
-func (h *HostPool) InUse() int { return len(h.inUse) }
+func (h *HostPool) InUse() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.inUse)
+}

@@ -6,6 +6,9 @@ import (
 	"net/http"
 	"sync"
 	"testing"
+
+	"declnet/internal/addr"
+	"declnet/internal/permit"
 )
 
 // TestConcurrentReadPlane hammers every read-only endpoint from many
@@ -95,5 +98,150 @@ func TestConcurrentReadPlane(t *testing.T) {
 	}
 	if hits := w.Cloud.Router().Hits(); hits == 0 {
 		t.Error("path cache served no hits under concurrent probes")
+	}
+}
+
+// TestConcurrentCrossShardWritePlane is the cross-shard extension of the
+// read-plane test above: writers mutate disjoint (tenant, region) shards
+// directly through the core API — no API-layer write lock serializing
+// them — while cross-shard probes and HTTP readers run against both
+// shards the whole time. It asserts the two properties the sharded
+// control plane owes us: no deadlock (the deterministic two-shard lock
+// order means the test completes) and no lost updates (every permit
+// entry each writer added is enforceable afterwards).
+func TestConcurrentCrossShardWritePlane(t *testing.T) {
+	ts, w := newTestServer(t)
+	f := w.Fig1
+	c := w.Cloud
+	pa, _ := c.Provider(f.CloudA)
+	pb, _ := c.Provider(f.CloudB)
+
+	// Tenant "mesh" spans both clouds: src in cloudA/r0, dst in cloudB/r1 —
+	// two shards, so every probe takes the cross-shard read path.
+	src, err := pa.RequestEIP("mesh", w.Host(f.CloudA, f.RegionsA[0], "az1", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := pb.RequestEIP("mesh", w.Host(f.CloudB, f.RegionsB[1], "az1", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pb.SetPermitList("mesh", dst, []permit.Entry{addr.NewPrefix(src, 32)}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Storm writers get their own tenants so each mutates a shard nobody
+	// else touches: (storm-a, cloudA/r1) and (storm-b, cloudB/r0).
+	ta, err := pa.RequestEIP("storm-a", w.Host(f.CloudA, f.RegionsA[1], "az2", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := pb.RequestEIP("storm-b", w.Host(f.CloudB, f.RegionsB[0], "az2", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const rounds = 150
+	var wg sync.WaitGroup
+	errs := make(chan error, 8*rounds)
+	// Writer A: permit churn plus grant/release cycles in its own shard.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		vm := w.Host(f.CloudA, f.RegionsA[1], "az2", 2)
+		for i := 0; i < rounds; i++ {
+			if err := pa.Permit("storm-a", ta, addr.NewPrefix(addr.IP(0x0a010000+uint32(i)), 32)); err != nil {
+				errs <- fmt.Errorf("storm-a permit %d: %v", i, err)
+				return
+			}
+			eip, err := pa.RequestEIP("storm-a", vm)
+			if err != nil {
+				errs <- fmt.Errorf("storm-a grant %d: %v", i, err)
+				return
+			}
+			if err := pa.ReleaseEIP("storm-a", eip); err != nil {
+				errs <- fmt.Errorf("storm-a release %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	// Writer B: the same storm in a different tenant's shard on the other
+	// provider.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		vm := w.Host(f.CloudB, f.RegionsB[0], "az2", 2)
+		for i := 0; i < rounds; i++ {
+			if err := pb.Permit("storm-b", tb, addr.NewPrefix(addr.IP(0x0a020000+uint32(i)), 32)); err != nil {
+				errs <- fmt.Errorf("storm-b permit %d: %v", i, err)
+				return
+			}
+			eip, err := pb.RequestEIP("storm-b", vm)
+			if err != nil {
+				errs <- fmt.Errorf("storm-b grant %d: %v", i, err)
+				return
+			}
+			if err := pb.ReleaseEIP("storm-b", eip); err != nil {
+				errs <- fmt.Errorf("storm-b release %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	// Cross-shard probes in both directions while the writers storm.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if !c.Admitted(src, dst) {
+					errs <- fmt.Errorf("cross-shard verdict lost at %d", i)
+					return
+				}
+				if _, _, err := c.Probe("mesh", src, dst); err != nil {
+					errs <- fmt.Errorf("cross-shard probe %d: %v", i, err)
+					return
+				}
+			}
+		}()
+	}
+	// HTTP readers ride along so the API read plane sees the same storm.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		urls := []string{
+			fmt.Sprintf("/v1/explain?tenant=mesh&src=%s&dst=%s", src, dst),
+			"/v1/status",
+			"/v1/metrics",
+		}
+		for i := 0; i < rounds; i++ {
+			resp, err := http.Get(ts.URL + urls[i%len(urls)])
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("GET %s: status %d", urls[i%len(urls)], resp.StatusCode)
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// No lost updates: every permit entry either writer added is
+	// enforceable now that the storm is over.
+	for i := 0; i < rounds; i++ {
+		if !c.Admitted(addr.IP(0x0a010000+uint32(i)), ta) {
+			t.Fatalf("storm-a entry %d lost", i)
+		}
+		if !c.Admitted(addr.IP(0x0a020000+uint32(i)), tb) {
+			t.Fatalf("storm-b entry %d lost", i)
+		}
+	}
+	if got := c.Shards().Len(); got < 3 {
+		t.Errorf("expected >= 3 materialized shards, got %d", got)
 	}
 }

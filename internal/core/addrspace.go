@@ -1,0 +1,143 @@
+// Striped address-space maps. A provider's endpoint and service tables
+// are shared by every tenant shard homed on it, so the shard locks above
+// them (see shard.go) cannot also be their memory-safety story: two
+// tenants mutating the same region run under different shard locks.
+// Instead the tables are striped by the address's /16 block — the same
+// region-aligned carving NewProvider does, so one region's endpoints
+// land in one stripe and a churn storm in region A never touches the
+// stripe lock a reader in region B is holding.
+package core
+
+import (
+	"sync"
+
+	"declnet/internal/addr"
+)
+
+// addrStripes is the stripe count; a power of two so the index is a
+// mask. 64 comfortably exceeds any provider's region count, giving each
+// region's /16 its own stripe in practice.
+const addrStripes = 64
+
+func stripeOf(ip addr.IP) uint32 { return (uint32(ip) >> 16) & (addrStripes - 1) }
+
+type epStripe struct {
+	mu sync.RWMutex
+	m  map[EIP]*endpoint
+}
+
+type svcStripe struct {
+	mu sync.RWMutex
+	m  map[SIP]*service
+}
+
+// addrSpace holds one provider's granted addresses.
+type addrSpace struct {
+	eps  [addrStripes]epStripe
+	svcs [addrStripes]svcStripe
+}
+
+func newAddrSpace() *addrSpace {
+	a := &addrSpace{}
+	for i := range a.eps {
+		a.eps[i].m = make(map[EIP]*endpoint)
+		a.svcs[i].m = make(map[SIP]*service)
+	}
+	return a
+}
+
+func (a *addrSpace) getEndpoint(ip EIP) (*endpoint, bool) {
+	s := &a.eps[stripeOf(ip)]
+	s.mu.RLock()
+	ep, ok := s.m[ip]
+	s.mu.RUnlock()
+	return ep, ok
+}
+
+func (a *addrSpace) putEndpoint(ip EIP, ep *endpoint) {
+	s := &a.eps[stripeOf(ip)]
+	s.mu.Lock()
+	s.m[ip] = ep
+	s.mu.Unlock()
+}
+
+func (a *addrSpace) delEndpoint(ip EIP) {
+	s := &a.eps[stripeOf(ip)]
+	s.mu.Lock()
+	delete(s.m, ip)
+	s.mu.Unlock()
+}
+
+func (a *addrSpace) getService(ip SIP) (*service, bool) {
+	s := &a.svcs[stripeOf(ip)]
+	s.mu.RLock()
+	svc, ok := s.m[ip]
+	s.mu.RUnlock()
+	return svc, ok
+}
+
+func (a *addrSpace) putService(ip SIP, svc *service) {
+	s := &a.svcs[stripeOf(ip)]
+	s.mu.Lock()
+	s.m[ip] = svc
+	s.mu.Unlock()
+}
+
+func (a *addrSpace) delService(ip SIP) {
+	s := &a.svcs[stripeOf(ip)]
+	s.mu.Lock()
+	delete(s.m, ip)
+	s.mu.Unlock()
+}
+
+// endpointSnapshot copies the endpoint pointers out stripe by stripe, so
+// callers can iterate without holding any stripe lock (iteration order
+// is unspecified; deterministic consumers sort).
+func (a *addrSpace) endpointSnapshot() []*endpoint {
+	var out []*endpoint
+	for i := range a.eps {
+		s := &a.eps[i]
+		s.mu.RLock()
+		for _, ep := range s.m {
+			out = append(out, ep)
+		}
+		s.mu.RUnlock()
+	}
+	return out
+}
+
+// serviceSnapshot is endpointSnapshot for services.
+func (a *addrSpace) serviceSnapshot() []*service {
+	var out []*service
+	for i := range a.svcs {
+		s := &a.svcs[i]
+		s.mu.RLock()
+		for _, svc := range s.m {
+			out = append(out, svc)
+		}
+		s.mu.RUnlock()
+	}
+	return out
+}
+
+func (a *addrSpace) endpointCount() int {
+	n := 0
+	for i := range a.eps {
+		s := &a.eps[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+func (a *addrSpace) serviceCount() int {
+	n := 0
+	for i := range a.svcs {
+		s := &a.svcs[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}

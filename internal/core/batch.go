@@ -93,15 +93,14 @@ func (e *BatchError) Unwrap() error { return e.Err }
 
 // noteAddrsChanged records an address-space mutation. Outside a batch
 // it bumps addrEpoch immediately; inside one, the bump is deferred to
-// the outermost endBatch — but the provider-of-address cache is dropped
-// right away, because entries filled before this mutation may already
-// be wrong (a released address must not keep resolving mid-batch).
+// the outermost endBatch. Address resolution itself is exact (the block
+// index plus the striped address tables), so nothing needs flushing —
+// the epoch is pure change accounting. batchDepth is written only under
+// the shard set's global gate, which orders it against the shard-locked
+// verbs that call this.
 func (c *Cloud) noteAddrsChanged() {
 	if c.batchDepth > 0 {
 		c.addrsDirty = true
-		c.fp.mu.Lock()
-		clear(c.fp.prov)
-		c.fp.mu.Unlock()
 		return
 	}
 	c.addrEpoch.Add(1)
@@ -110,8 +109,8 @@ func (c *Cloud) noteAddrsChanged() {
 // beginBatch opens a coalescing window: graph epoch bumps, permit list
 // version bumps, and address epoch bumps all collapse to one advance at
 // the matching endBatch. Batches nest; only the outermost pair does the
-// work. Callers must hold write exclusion (the API layer's write lock)
-// for the whole window.
+// work. Callers must hold write exclusion — ApplyBatch takes the shard
+// set's global gate; Cloud.Batch relies on the API layer's write lock.
 func (c *Cloud) beginBatch() {
 	c.batchDepth++
 	if c.batchDepth > 1 {
@@ -160,7 +159,13 @@ func (c *Cloud) Batch(fn func() error) error {
 // applied. On a runtime error at op i it returns the results of ops
 // [0, i) and a *BatchError with Index i; those ops stay applied. On
 // success it returns one result per op.
+//
+// A batch runs under the shard set's global gate — it mutates epoch
+// state (graph, permit engines, address epoch) that spans every shard —
+// so the op bodies below are the unlocked verb variants: taking a
+// shard's lock while holding the gate would self-deadlock.
 func (c *Cloud) ApplyBatch(tenant string, ops []BatchOp) ([]BatchResult, error) {
+	defer c.shards.lockGlobal()()
 	if err := c.validateBatch(ops); err != nil {
 		return nil, err
 	}
@@ -283,8 +288,8 @@ func batchAddr(s string, prior []BatchResult) (addr.IP, error) {
 }
 
 // grantedAddr resolves an operand and finds the provider that granted
-// it. Mid-batch this is exact: noteAddrsChanged drops the
-// provider-of-address cache on every grant/release inside the window.
+// it. Mid-batch this is exact: providerOfAddr reads the live striped
+// address tables through the block index, not a cache.
 func (c *Cloud) grantedAddr(s string, prior []BatchResult) (addr.IP, *Provider, error) {
 	ip, err := batchAddr(s, prior)
 	if err != nil {
@@ -311,7 +316,7 @@ func (c *Cloud) applyOp(tenant string, op *BatchOp, prior []BatchResult) (BatchR
 		if !ok {
 			return res, fmt.Errorf("no provider %q serves VM %q", n.Provider, op.VM)
 		}
-		eip, err := p.RequestEIP(tenant, op.VM)
+		eip, err := p.requestEIP(tenant, op.VM)
 		if err != nil {
 			return res, err
 		}
@@ -321,9 +326,9 @@ func (c *Cloud) applyOp(tenant string, op *BatchOp, prior []BatchResult) (BatchR
 		if err != nil {
 			return res, err
 		}
-		return res, p.ReleaseEIP(tenant, ip)
+		return res, p.releaseEIP(tenant, ip)
 	case "request_sip":
-		sip, err := c.providers[op.Provider].RequestSIP(tenant)
+		sip, err := c.providers[op.Provider].requestSIP(tenant)
 		if err != nil {
 			return res, err
 		}
@@ -333,7 +338,7 @@ func (c *Cloud) applyOp(tenant string, op *BatchOp, prior []BatchResult) (BatchR
 		if err != nil {
 			return res, err
 		}
-		return res, p.ReleaseSIP(tenant, ip)
+		return res, p.releaseSIP(tenant, ip)
 	case "bind", "unbind":
 		eip, err := batchAddr(op.EIP, prior)
 		if err != nil {
@@ -344,15 +349,15 @@ func (c *Cloud) applyOp(tenant string, op *BatchOp, prior []BatchResult) (BatchR
 			return res, err
 		}
 		if op.Op == "bind" {
-			return res, p.Bind(tenant, eip, sip, op.Weight)
+			return res, p.bind(tenant, eip, sip, op.Weight)
 		}
-		return res, p.Unbind(tenant, eip, sip)
+		return res, p.unbind(tenant, eip, sip)
 	case "set_permit":
 		ip, p, err := c.grantedAddr(op.Target, prior)
 		if err != nil {
 			return res, err
 		}
-		return res, p.SetPermitList(tenant, ip, op.Entries, op.Groups...)
+		return res, p.setPermitList(tenant, ip, op.Entries, op.Groups...)
 	case "permit", "revoke":
 		ip, p, err := c.grantedAddr(op.Target, prior)
 		if err != nil {
@@ -360,18 +365,18 @@ func (c *Cloud) applyOp(tenant string, op *BatchOp, prior []BatchResult) (BatchR
 		}
 		for _, e := range op.Entries {
 			if op.Op == "permit" {
-				err = p.Permit(tenant, ip, e)
+				err = p.permitEntry(tenant, ip, e)
 			} else {
-				err = p.Revoke(tenant, ip, e)
+				err = p.revokeEntry(tenant, ip, e)
 			}
 			if err != nil {
 				return res, err
 			}
 		}
 	case "set_qos":
-		return res, c.providers[op.Provider].SetQoS(tenant, op.Region, op.Bandwidth)
+		return res, c.providers[op.Provider].setQoS(tenant, op.Region, op.Bandwidth)
 	case "set_potato":
-		c.providers[op.Provider].SetPotato(tenant, op.Policy)
+		c.providers[op.Provider].setPotato(tenant, op.Policy)
 	case "create_group":
 		members := make([]EIP, 0, len(op.Members))
 		for _, m := range op.Members {
@@ -381,13 +386,13 @@ func (c *Cloud) applyOp(tenant string, op *BatchOp, prior []BatchResult) (BatchR
 			}
 			members = append(members, ip)
 		}
-		return res, c.CreateGroup(tenant, op.Name, members...)
+		return res, c.createGroup(tenant, op.Name, members...)
 	case "register_name":
 		ip, err := batchAddr(op.Target, prior)
 		if err != nil {
 			return res, err
 		}
-		return res, c.RegisterName(tenant, op.Name, ip)
+		return res, c.registerName(tenant, op.Name, ip)
 	}
 	return res, nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -26,7 +27,22 @@ type Cloud struct {
 	G   *topo.Graph
 	Net *netsim.Network
 
+	// providers is the authoritative registry, mutated only under the
+	// shard set's global gate (AddProvider); the read plane goes through
+	// the pidx snapshot below instead.
 	providers map[string]*Provider
+
+	// pidx is the copy-on-write provider index the lock-free read plane
+	// resolves addresses through: provider-by-name plus the sorted
+	// address-block table mapping any granted-range IP to its provider.
+	pidx atomic.Pointer[provIndex]
+
+	// shards partitions the write plane by (tenant, region); see
+	// shard.go.
+	shards *ShardSet
+
+	// nmMu guards the two tenant-scoped naming maps below.
+	nmMu sync.RWMutex
 	// groups holds tenant-scoped, cross-provider endpoint groups
 	// (the grouping extension of §4): tenant -> group -> members.
 	groups map[string]map[string][]EIP
@@ -65,8 +81,9 @@ type Cloud struct {
 	router *qos.Router
 
 	// addrEpoch counts address-space mutations (EIP/SIP grant and release,
-	// provider add) — the invalidation key for the provider-of-address
-	// cache below, in the same style as topo.Graph.Epoch.
+	// provider add), in the same style as topo.Graph.Epoch. Address
+	// resolution itself is exact (the block index above), so the epoch is
+	// pure bookkeeping for tests and batch-coalescing accounting.
 	addrEpoch atomic.Uint64
 
 	// batchDepth, addrsDirty, and batchEngines implement write batching
@@ -74,25 +91,37 @@ type Cloud struct {
 	// into one advance at the outermost endBatch, and the graph and every
 	// permit engine run inside their own batch windows. batchEngines
 	// snapshots the engines Begin was called on so End matches them
-	// exactly even if a provider is added mid-batch.
+	// exactly even if a provider is added mid-batch. Batches run under
+	// the shard set's global gate.
 	batchDepth   int
 	addrsDirty   bool
 	batchEngines []*permit.Engine
 
-	// fp holds the Connect fast-path caches. Guarded by its own mutex so
-	// concurrent read-plane requests (probe, explain) can share it.
-	fp struct {
-		mu sync.Mutex
-		// provEpoch is the addrEpoch the prov cache was filled at.
-		provEpoch uint64
-		// prov caches providerOfAddr results; nil means "no provider
-		// grants this address" (negative entry).
-		prov map[addr.IP]*Provider
-		// adm caches permit verdicts per (src, dst); an entry is valid
-		// only while dst's permit list is the same object at the same
-		// version, so any revoke/permit/set/drop invalidates it.
-		adm map[admKey]admVal
-	}
+	// adm is the striped admission-verdict cache, striped by the
+	// destination's /16 block like every other per-address structure, so
+	// a permit storm against one region's endpoints never contends with
+	// admission checks in another region.
+	adm [addrStripes]admStripe
+}
+
+// provIndex is one immutable snapshot of the provider registry.
+type provIndex struct {
+	byName map[string]*Provider
+	list   []*Provider // sorted by name, for deterministic sweeps
+	blocks []provBlock // sorted by base address
+}
+
+// provBlock maps one carved address block (a region's EIP /16 or a
+// provider's SIP base) to its provider.
+type provBlock struct {
+	base addr.Prefix
+	p    *Provider
+}
+
+// admStripe is one stripe of the admission-verdict cache.
+type admStripe struct {
+	mu sync.Mutex
+	m  map[admKey]admVal
 }
 
 // admKey identifies one admission query.
@@ -108,21 +137,42 @@ type admVal struct {
 }
 
 // fastPathCap bounds the fast-path caches; at the cap they are flushed
-// wholesale (simple, and far larger than any working set here).
-const fastPathCap = 1 << 16
+// wholesale (simple, and far larger than any working set here). Each
+// admission stripe gets an equal share.
+const (
+	fastPathCap  = 1 << 16
+	admStripeCap = fastPathCap / addrStripes
+)
 
-// NewCloud wraps a world graph in a simulation.
+// NewCloud wraps a world graph in a simulation. The control plane is
+// sharded by (tenant, region); use NewSingleShardCloud for the
+// globally-serialized build.
 func NewCloud(seed int64, g *topo.Graph) *Cloud {
+	return newCloud(seed, g, false)
+}
+
+// NewSingleShardCloud is NewCloud with the shard table collapsed to one
+// shard: every verb serializes on the same lock, reproducing the
+// pre-sharding write plane. The sharded-vs-unsharded parity property
+// test replays identical schedules against both builds.
+func NewSingleShardCloud(seed int64, g *topo.Graph) *Cloud {
+	return newCloud(seed, g, true)
+}
+
+func newCloud(seed int64, g *topo.Graph, singleShard bool) *Cloud {
 	eng := sim.New(seed)
 	c := &Cloud{
 		Eng: eng, G: g, Net: netsim.New(g, eng),
 		providers: make(map[string]*Provider),
+		shards:    newShardSet(singleShard),
 		groups:    make(map[string]map[string][]EIP),
 		names:     make(map[string]map[string]addr.IP),
 		router:    qos.NewRouter(g),
 	}
-	c.fp.prov = make(map[addr.IP]*Provider)
-	c.fp.adm = make(map[admKey]admVal)
+	for i := range c.adm {
+		c.adm[i].m = make(map[admKey]admVal)
+	}
+	c.pidx.Store(&provIndex{byName: map[string]*Provider{}})
 	return c
 }
 
@@ -130,8 +180,12 @@ func NewCloud(seed int64, g *topo.Graph) *Cloud {
 // connect/probe/explain path selection.
 func (c *Cloud) Router() *qos.Router { return c.router }
 
+// Shards returns the shard table (experiments report its size).
+func (c *Cloud) Shards() *ShardSet { return c.shards }
+
 // AddProvider creates a provider control plane for the named cloud.
 func (c *Cloud) AddProvider(name string, cfg Config) (*Provider, error) {
+	defer c.shards.lockGlobal()()
 	if _, ok := c.providers[name]; ok {
 		return nil, fmt.Errorf("core: duplicate provider %q", name)
 	}
@@ -139,8 +193,11 @@ func (c *Cloud) AddProvider(name string, cfg Config) (*Provider, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.shards = c.shards
 	p.resolve = func(tenant, group string) ([]EIP, bool) {
+		c.nmMu.RLock()
 		members, ok := c.groups[tenant][group]
+		c.nmMu.RUnlock()
 		return members, ok
 	}
 	p.faults = c.monitor
@@ -149,6 +206,7 @@ func (c *Cloud) AddProvider(name string, cfg Config) (*Provider, error) {
 	}
 	p.addrsChanged = c.noteAddrsChanged
 	c.providers[name] = p
+	c.rebuildIndex()
 	c.noteAddrsChanged()
 	if c.reg != nil {
 		c.registerProviderMetrics(name, p)
@@ -156,9 +214,57 @@ func (c *Cloud) AddProvider(name string, cfg Config) (*Provider, error) {
 	return p, nil
 }
 
+// rebuildIndex publishes a fresh provider index; caller holds the
+// global gate.
+func (c *Cloud) rebuildIndex() {
+	idx := &provIndex{byName: make(map[string]*Provider, len(c.providers))}
+	names := make([]string, 0, len(c.providers))
+	for n, p := range c.providers {
+		idx.byName[n] = p
+		names = append(names, n)
+	}
+	sortStrings(names)
+	for _, n := range names {
+		p := c.providers[n]
+		idx.list = append(idx.list, p)
+		for _, b := range p.eipBlocks {
+			idx.blocks = append(idx.blocks, provBlock{base: b.base, p: p})
+		}
+		idx.blocks = append(idx.blocks, provBlock{base: p.cfg.SIPBase, p: p})
+	}
+	sort.Slice(idx.blocks, func(i, j int) bool { return idx.blocks[i].base.Addr < idx.blocks[j].base.Addr })
+	c.pidx.Store(idx)
+}
+
+// blockOwner resolves which provider's carved address space contains ip
+// (binary search over the sorted disjoint block table).
+func (c *Cloud) blockOwner(ip addr.IP) (*Provider, bool) {
+	blocks := c.pidx.Load().blocks
+	i := sort.Search(len(blocks), func(i int) bool { return blocks[i].base.Addr > ip }) - 1
+	if i < 0 || !blocks[i].base.Contains(ip) {
+		return nil, false
+	}
+	return blocks[i].p, true
+}
+
+// shardKeyOf derives the shard key the cross-shard connect protocol uses
+// for one endpoint of a (tenant, address) pair. The tenant is always the
+// connecting tenant — the lock expresses whose activity may contend, and
+// a cross-tenant destination's own shard stays free for its owner.
+func (c *Cloud) shardKeyOf(tenant string, ip addr.IP) ShardKey {
+	if p, ok := c.blockOwner(ip); ok {
+		return p.shardKeyFor(tenant, ip)
+	}
+	return ShardKey{Tenant: tenant}
+}
+
 // CreateGroup defines a tenant-scoped endpoint group whose members may
 // span providers; any provider resolves it in set_permit_list.
 func (c *Cloud) CreateGroup(tenant, name string, members ...EIP) error {
+	return c.createGroup(tenant, name, members...)
+}
+
+func (c *Cloud) createGroup(tenant, name string, members ...EIP) error {
 	for _, m := range members {
 		p, ok := c.providerOfAddr(m)
 		if !ok {
@@ -168,23 +274,25 @@ func (c *Cloud) CreateGroup(tenant, name string, members ...EIP) error {
 			return err
 		}
 	}
+	c.nmMu.Lock()
 	if c.groups[tenant] == nil {
 		c.groups[tenant] = make(map[string][]EIP)
 	}
 	c.groups[tenant][name] = append([]EIP(nil), members...)
+	c.nmMu.Unlock()
 	return nil
 }
 
 // Provider returns a control plane by name.
 func (c *Cloud) Provider(name string) (*Provider, bool) {
-	p, ok := c.providers[name]
+	p, ok := c.pidx.Load().byName[name]
 	return p, ok
 }
 
 // SetBiller attaches usage metering to every provider currently in the
 // cloud (call after AddProvider).
 func (c *Cloud) SetBiller(b Biller) {
-	for _, p := range c.providers {
+	for _, p := range c.pidx.Load().list {
 		p.SetBiller(b)
 	}
 }
@@ -194,43 +302,23 @@ func (c *Cloud) ProviderOf(ip addr.IP) (*Provider, bool) {
 	return c.providerOfAddr(ip)
 }
 
-// providerOfAddr finds which provider granted an address (EIP or SIP),
-// through an addrEpoch-keyed cache so repeat lookups skip the per-provider
-// map probes. Misses (address granted by nobody) are cached as nil: the
-// only way the answer changes is an address grant/release or a provider
-// add, each of which bumps addrEpoch.
+// providerOfAddr finds which provider granted an address (EIP or SIP).
+// Exact and lock-free on the index: the block table names the only
+// provider whose pools could have granted ip, and its striped address
+// tables answer whether it actually did. (This replaced an epoch-keyed
+// result cache: the cache's global invalidation epoch meant churn in one
+// shard wiped every shard's entries, and the index lookup is cheap
+// enough to skip caching entirely.)
 func (c *Cloud) providerOfAddr(ip addr.IP) (*Provider, bool) {
-	ep := c.addrEpoch.Load()
-	c.fp.mu.Lock()
-	if c.fp.provEpoch != ep {
-		clear(c.fp.prov)
-		c.fp.provEpoch = ep
-	} else if p, ok := c.fp.prov[ip]; ok {
-		c.fp.mu.Unlock()
-		return p, p != nil
+	p, ok := c.blockOwner(ip)
+	if !ok {
+		return nil, false
 	}
-	c.fp.mu.Unlock()
-	p, ok := c.scanProviderOfAddr(ip)
-	c.fp.mu.Lock()
-	if c.fp.provEpoch == ep {
-		if len(c.fp.prov) >= fastPathCap {
-			clear(c.fp.prov)
-		}
-		c.fp.prov[ip] = p // nil for a negative entry
+	if _, ok := p.addrs.getEndpoint(ip); ok {
+		return p, true
 	}
-	c.fp.mu.Unlock()
-	return p, ok
-}
-
-// scanProviderOfAddr is the uncached provider scan behind providerOfAddr.
-func (c *Cloud) scanProviderOfAddr(ip addr.IP) (*Provider, bool) {
-	for _, p := range c.providers {
-		if _, ok := p.endpoints[ip]; ok {
-			return p, true
-		}
-		if _, ok := p.services[ip]; ok {
-			return p, true
-		}
+	if _, ok := p.addrs.getService(ip); ok {
+		return p, true
 	}
 	return nil, false
 }
@@ -247,20 +335,21 @@ func (c *Cloud) admitted(dstProv *Provider, src, dst addr.IP) bool {
 	}
 	ver := l.Version()
 	key := admKey{src, dst}
-	c.fp.mu.Lock()
-	if v, hit := c.fp.adm[key]; hit && v.list == l && v.version == ver {
-		c.fp.mu.Unlock()
+	s := &c.adm[stripeOf(dst)]
+	s.mu.Lock()
+	if v, hit := s.m[key]; hit && v.list == l && v.version == ver {
+		s.mu.Unlock()
 		dstProv.Permits.Lookups.Add(1)
 		return v.allowed
 	}
-	c.fp.mu.Unlock()
+	s.mu.Unlock()
 	allowed := dstProv.Permits.Check(src, dst)
-	c.fp.mu.Lock()
-	if len(c.fp.adm) >= fastPathCap {
-		clear(c.fp.adm)
+	s.mu.Lock()
+	if len(s.m) >= admStripeCap {
+		clear(s.m)
 	}
-	c.fp.adm[key] = admVal{allowed: allowed, list: l, version: ver}
-	c.fp.mu.Unlock()
+	s.m[key] = admVal{allowed: allowed, list: l, version: ver}
+	s.mu.Unlock()
 	return allowed
 }
 
@@ -370,7 +459,20 @@ type ConnectOpts struct {
 // service address, (3) potato-profile path selection, (4) per-VM and
 // regional egress enforcement. The returned Conn carries a live netsim
 // flow.
+//
+// Cross-shard protocol: the connect holds read locks on both endpoints'
+// shards, taken in deterministic key order (see ShardSet.rlockShards),
+// so a mutation storm in an unrelated shard cannot stall it and opposing
+// connects cannot deadlock. The flow start itself additionally relies on
+// the engine's external serialization (the API layer's write lock), as
+// the netsim solver is single-writer; Probe is the fully concurrent
+// read-plane variant.
 func (c *Cloud) Connect(tenant string, src EIP, dst addr.IP, opts ConnectOpts) (*Conn, error) {
+	defer c.shards.rlockShards(c.shardKeyOf(tenant, src), c.shardKeyOf(tenant, dst))()
+	return c.connect(tenant, src, dst, opts)
+}
+
+func (c *Cloud) connect(tenant string, src EIP, dst addr.IP, opts ConnectOpts) (*Conn, error) {
 	srcProv, ok := c.providerOfAddr(src)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown source EIP %s", src)
@@ -406,7 +508,7 @@ func (c *Cloud) Connect(tenant string, src EIP, dst addr.IP, opts ConnectOpts) (
 	// (2) Resolve SIP -> backend EIP via the provider's balancer.
 	dstEIP := dst
 	var release func()
-	if svc, isSIP := dstProv.services[dst]; isSIP {
+	if svc, isSIP := dstProv.addrs.getService(dst); isSIP {
 		be, err := svc.balancer.Pick()
 		if err != nil {
 			c.traceEvent(obs.SIPPick, tenant, src, dst, "fail",
@@ -422,7 +524,7 @@ func (c *Cloud) Connect(tenant string, src EIP, dst addr.IP, opts ConnectOpts) (
 		bal := svc.balancer
 		release = func() { bal.Release(be) }
 	}
-	dstEp, ok := dstProv.endpoints[dstEIP]
+	dstEp, ok := dstProv.addrs.getEndpoint(dstEIP)
 	if !ok {
 		if release != nil {
 			release()
@@ -431,10 +533,7 @@ func (c *Cloud) Connect(tenant string, src EIP, dst addr.IP, opts ConnectOpts) (
 		return nil, fmt.Errorf("core: backend %s vanished", dstEIP)
 	}
 	// (3) Path under the tenant's transit profile.
-	policy, okPol := srcProv.potato[tenant]
-	if !okPol {
-		policy = qos.HotPotato
-	}
+	policy := srcProv.potatoOf(tenant)
 	path, err := c.router.PathFor(policy, srcEp.node, dstEp.node)
 	if err != nil {
 		if release != nil {
@@ -488,20 +587,27 @@ func (c *Cloud) Connect(tenant string, src EIP, dst addr.IP, opts ConnectOpts) (
 		// Cross-region/cloud reserved egress: subject to the tenant's
 		// regional quota when one is set. Best-effort traffic bypasses
 		// the reservation entirely (§4 footnote extension).
-		if tq, ok := srcProv.quotas[tenant][srcEp.region]; ok && tq.quota > 0 {
-			ad := &flowAdapter{net: c.Net, flow: flow, demand: demand, vmCap: vmCap}
-			enf, found := tq.enforcer[srcEp.node]
-			if !found {
-				enf = qos.NewEnforcer(string(srcEp.node))
-				tq.enforcer[srcEp.node] = enf
-				tq.limiter.AddEnforcer(enf)
+		if tq, ok := srcProv.quotaOf(tenant, srcEp.region); ok {
+			tq.mu.Lock()
+			quota := tq.quota
+			if quota > 0 {
+				ad := &flowAdapter{net: c.Net, flow: flow, demand: demand, vmCap: vmCap}
+				enf, found := tq.enforcer[srcEp.node]
+				if !found {
+					enf = qos.NewEnforcer(string(srcEp.node))
+					tq.enforcer[srcEp.node] = enf
+					tq.limiter.AddEnforcer(enf)
+				}
+				enf.Attach(ad)
+				tq.limiter.Redistribute()
+				cn.adapter = ad
+				cn.enforcer = enf
 			}
-			enf.Attach(ad)
-			tq.limiter.Redistribute()
-			cn.adapter = ad
-			cn.enforcer = enf
-			c.traceEvent(obs.QoSThrottle, tenant, src, dstEIP, "ok",
-				fmt.Sprintf("region=%s quota=%.3gbps demand=%.3gbps", srcEp.region, tq.quota, demand), "")
+			tq.mu.Unlock()
+			if quota > 0 {
+				c.traceEvent(obs.QoSThrottle, tenant, src, dstEIP, "ok",
+					fmt.Sprintf("region=%s quota=%.3gbps demand=%.3gbps", srcEp.region, quota, demand), "")
+			}
 		}
 	}
 	c.mConnects.Inc()
@@ -511,7 +617,14 @@ func (c *Cloud) Connect(tenant string, src EIP, dst addr.IP, opts ConnectOpts) (
 // Probe measures a round trip from a tenant EIP to a destination address,
 // subject to the same admission and path policy as Connect. It reports
 // the sampled RTT and whether the (single-datagram) probe survived loss.
+// Probe touches only concurrency-safe structures and is the scale
+// harness's connect-latency instrument.
 func (c *Cloud) Probe(tenant string, src EIP, dst addr.IP) (time.Duration, bool, error) {
+	defer c.shards.rlockShards(c.shardKeyOf(tenant, src), c.shardKeyOf(tenant, dst))()
+	return c.probe(tenant, src, dst)
+}
+
+func (c *Cloud) probe(tenant string, src EIP, dst addr.IP) (time.Duration, bool, error) {
 	srcProv, ok := c.providerOfAddr(src)
 	if !ok {
 		return 0, false, fmt.Errorf("core: unknown source EIP %s", src)
@@ -528,7 +641,7 @@ func (c *Cloud) Probe(tenant string, src EIP, dst addr.IP) (time.Duration, bool,
 		return 0, false, fmt.Errorf("core: %s not permitted to reach %s (default-off)", src, dst)
 	}
 	dstEIP := dst
-	if svc, isSIP := dstProv.services[dst]; isSIP {
+	if svc, isSIP := dstProv.addrs.getService(dst); isSIP {
 		be, err := svc.balancer.Pick()
 		if err != nil {
 			return 0, false, err
@@ -536,11 +649,11 @@ func (c *Cloud) Probe(tenant string, src EIP, dst addr.IP) (time.Duration, bool,
 		dstEIP = be.EIP
 		defer svc.balancer.Release(be)
 	}
-	dstEp := dstProv.endpoints[dstEIP]
-	policy, okPol := srcProv.potato[tenant]
-	if !okPol {
-		policy = qos.HotPotato
+	dstEp, ok := dstProv.addrs.getEndpoint(dstEIP)
+	if !ok {
+		return 0, false, fmt.Errorf("core: backend %s vanished", dstEIP)
 	}
+	policy := srcProv.potatoOf(tenant)
 	path, err := c.router.PathFor(policy, srcEp.node, dstEp.node)
 	if err != nil {
 		return 0, false, err
@@ -555,6 +668,10 @@ func (c *Cloud) Probe(tenant string, src EIP, dst addr.IP) (time.Duration, bool,
 // addresses (EIP or SIP). Re-registering a name repoints it — which is
 // how a tenant cuts over a service without clients noticing.
 func (c *Cloud) RegisterName(tenant, name string, target addr.IP) error {
+	return c.registerName(tenant, name, target)
+}
+
+func (c *Cloud) registerName(tenant, name string, target addr.IP) error {
 	p, ok := c.providerOfAddr(target)
 	if !ok {
 		return fmt.Errorf("core: %s is not a granted address", target)
@@ -562,21 +679,27 @@ func (c *Cloud) RegisterName(tenant, name string, target addr.IP) error {
 	if err := p.ownsTarget(tenant, target); err != nil {
 		return err
 	}
+	c.nmMu.Lock()
 	if c.names[tenant] == nil {
 		c.names[tenant] = make(map[string]addr.IP)
 	}
 	c.names[tenant][name] = target
+	c.nmMu.Unlock()
 	return nil
 }
 
 // ResolveName returns the address behind a tenant's name.
 func (c *Cloud) ResolveName(tenant, name string) (addr.IP, bool) {
+	c.nmMu.RLock()
 	ip, ok := c.names[tenant][name]
+	c.nmMu.RUnlock()
 	return ip, ok
 }
 
 // UnregisterName removes a name binding.
 func (c *Cloud) UnregisterName(tenant, name string) bool {
+	c.nmMu.Lock()
+	defer c.nmMu.Unlock()
 	if _, ok := c.names[tenant][name]; !ok {
 		return false
 	}
@@ -594,7 +717,8 @@ func (c *Cloud) ConnectName(tenant string, src EIP, name string, opts ConnectOpt
 }
 
 // Admitted reports whether src may currently reach dst — the pure
-// admission decision, used heavily by the security experiment.
+// admission decision, used heavily by the security experiment and as
+// the scale harness's permit-propagation probe.
 func (c *Cloud) Admitted(src EIP, dst addr.IP) bool {
 	dstProv, ok := c.providerOfAddr(dst)
 	if !ok {

@@ -192,16 +192,11 @@ func (m *FaultMonitor) registerMetrics(reg *metrics.Registry) {
 		"Deferred permit-update propagation lag.")
 }
 
-// tick is one health sweep over every provider, in deterministic order.
+// tick is one health sweep over every provider, in deterministic order
+// (the provider index's list is name-sorted).
 func (m *FaultMonitor) tick() {
 	now := m.cloud.Eng.Now()
-	names := make([]string, 0, len(m.cloud.providers))
-	for n := range m.cloud.providers {
-		names = append(names, n)
-	}
-	sortStrings(names)
-	for _, pname := range names {
-		p := m.cloud.providers[pname]
+	for _, p := range m.cloud.pidx.Load().list {
 		m.sweepServices(now, p)
 		m.sweepQuotas(p)
 	}
@@ -209,13 +204,14 @@ func (m *FaultMonitor) tick() {
 
 // sweepServices probes every SIP backend and drives rotation health.
 func (m *FaultMonitor) sweepServices(now sim.Time, p *Provider) {
-	sips := make([]SIP, 0, len(p.services))
-	for s := range p.services {
-		sips = append(sips, s)
+	svcs := p.addrs.serviceSnapshot()
+	for i := 1; i < len(svcs); i++ {
+		for j := i; j > 0 && svcs[j].sip < svcs[j-1].sip; j-- {
+			svcs[j], svcs[j-1] = svcs[j-1], svcs[j]
+		}
 	}
-	sortIPs(sips)
-	for _, sip := range sips {
-		svc := p.services[sip]
+	for _, svc := range svcs {
+		sip := svc.sip
 		for _, be := range svc.balancer.Backends() {
 			node, ok := p.Lookup(be.EIP)
 			if !ok {
@@ -277,11 +273,16 @@ func (m *FaultMonitor) sweepServices(now sim.Time, p *Provider) {
 // distributed limiter re-shares the tenant's guarantee across surviving
 // regions' enforcement points (graceful degradation under partition).
 func (m *FaultMonitor) sweepQuotas(p *Provider) {
+	// Collect the quota records in deterministic order under polMu, then
+	// drive each one under its own mutex (Connect attaches enforcers
+	// concurrently).
+	p.polMu.RLock()
 	tenants := make([]string, 0, len(p.quotas))
 	for t := range p.quotas {
 		tenants = append(tenants, t)
 	}
 	sortStrings(tenants)
+	var tqs []*tenantQuota
 	for _, tenant := range tenants {
 		regions := make([]string, 0, len(p.quotas[tenant]))
 		for r := range p.quotas[tenant] {
@@ -289,25 +290,30 @@ func (m *FaultMonitor) sweepQuotas(p *Provider) {
 		}
 		sortStrings(regions)
 		for _, region := range regions {
-			tq := p.quotas[tenant][region]
-			nodes := make([]topo.NodeID, 0, len(tq.enforcer))
-			for n := range tq.enforcer {
-				nodes = append(nodes, n)
-			}
-			sortNodeIDs(nodes)
-			changed := false
-			for _, n := range nodes {
-				enf := tq.enforcer[n]
-				up := m.Inj.Reachable(n)
-				if enf.Up() != up {
-					enf.SetUp(up)
-					changed = true
-				}
-			}
-			if changed {
-				tq.limiter.Redistribute()
+			tqs = append(tqs, p.quotas[tenant][region])
+		}
+	}
+	p.polMu.RUnlock()
+	for _, tq := range tqs {
+		tq.mu.Lock()
+		nodes := make([]topo.NodeID, 0, len(tq.enforcer))
+		for n := range tq.enforcer {
+			nodes = append(nodes, n)
+		}
+		sortNodeIDs(nodes)
+		changed := false
+		for _, n := range nodes {
+			enf := tq.enforcer[n]
+			up := m.Inj.Reachable(n)
+			if enf.Up() != up {
+				enf.SetUp(up)
+				changed = true
 			}
 		}
+		if changed {
+			tq.limiter.Redistribute()
+		}
+		tq.mu.Unlock()
 	}
 }
 
@@ -337,7 +343,7 @@ func (m *FaultMonitor) retryPermit(p *Provider, tenant string, target addr.IP, e
 	var attempt func()
 	attempt = func() {
 		// The target may have been released while the update was pending.
-		ep, ok := p.endpoints[target]
+		ep, ok := p.addrs.getEndpoint(target)
 		if !ok || ep.tenant != tenant {
 			delete(m.pending, target)
 			return

@@ -6,7 +6,6 @@ import (
 	"declnet/internal/addr"
 	"declnet/internal/metrics"
 	"declnet/internal/obs"
-	"declnet/internal/qos"
 	"declnet/internal/topo"
 )
 
@@ -160,7 +159,12 @@ func (ex *Explanation) failStep(stage, detail, cause string) {
 // is untouched. Every stage appends a verdict, the first failure sets
 // RootCause, and the whole replay is recorded as an obs.Explain event.
 // Unknown or foreign addresses return an error (the API maps it to 404).
+//
+// Like Connect and Probe, Explain holds both endpoints' shard read locks
+// (deterministic order), so a mutation storm in an unrelated shard never
+// stalls a diagnosis.
 func (c *Cloud) Explain(tenant string, src EIP, dst addr.IP) (*Explanation, error) {
+	defer c.shards.rlockShards(c.shardKeyOf(tenant, src), c.shardKeyOf(tenant, dst))()
 	srcProv, ok := c.providerOfAddr(src)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown source EIP %s", src)
@@ -222,7 +226,7 @@ func (c *Cloud) Explain(tenant string, src EIP, dst addr.IP) (*Explanation, erro
 
 	// Stage 3 — balancer, only when dst is a service address.
 	dstEIP := dst
-	if svc, isSIP := dstProv.services[dst]; isSIP {
+	if svc, isSIP := dstProv.addrs.getService(dst); isSIP {
 		bal := svc.balancer
 		healthy, total := bal.HealthyCount(), len(bal.Backends())
 		if be, err := bal.Preview(); err == nil {
@@ -247,7 +251,7 @@ func (c *Cloud) Explain(tenant string, src EIP, dst addr.IP) (*Explanation, erro
 	// Stage 4 — destination endpoint liveness.
 	var dstNode topo.NodeID
 	if dstEIP != 0 {
-		if dstEp, ok := dstProv.endpoints[dstEIP]; ok {
+		if dstEp, ok := dstProv.addrs.getEndpoint(dstEIP); ok {
 			dstNode = dstEp.node
 			if cause := c.nodeCause(dstNode); cause != "" {
 				ex.failStep("destination", "vm="+string(dstNode), cause)
@@ -259,10 +263,7 @@ func (c *Cloud) Explain(tenant string, src EIP, dst addr.IP) (*Explanation, erro
 	}
 
 	// Stage 5 — path under the tenant's potato profile.
-	policy, okPol := srcProv.potato[tenant]
-	if !okPol {
-		policy = qos.HotPotato
-	}
+	policy := srcProv.potatoOf(tenant)
 	if dstNode != "" {
 		path, err := c.router.PathFor(policy, srcEp.node, dstNode)
 		if err != nil {
@@ -291,15 +292,19 @@ func (c *Cloud) Explain(tenant string, src EIP, dst addr.IP) (*Explanation, erro
 		vmCap = srcProv.defaultVMEgress
 	}
 	qdetail := fmt.Sprintf("vm-cap=%.3gbps", vmCap)
-	if tq, ok := srcProv.quotas[tenant][srcEp.region]; ok && tq.quota > 0 {
-		up := 0
-		for _, enf := range tq.enforcer {
-			if enf.Up() {
-				up++
+	if tq, ok := srcProv.quotaOf(tenant, srcEp.region); ok {
+		tq.mu.Lock()
+		if tq.quota > 0 {
+			up := 0
+			for _, enf := range tq.enforcer {
+				if enf.Up() {
+					up++
+				}
 			}
+			qdetail += fmt.Sprintf(" region-quota=%.3gbps enforcers-up=%d/%d",
+				tq.quota, up, len(tq.enforcer))
 		}
-		qdetail += fmt.Sprintf(" region-quota=%.3gbps enforcers-up=%d/%d",
-			tq.quota, up, len(tq.enforcer))
+		tq.mu.Unlock()
 	}
 	ex.Steps = append(ex.Steps, ExplainStep{Stage: "qos", Verdict: "info", Detail: qdetail})
 
@@ -323,17 +328,18 @@ type ResourceCounts struct {
 // TenantResources aggregates per-tenant resource counts across providers.
 func (c *Cloud) TenantResources() map[string]ResourceCounts {
 	out := make(map[string]ResourceCounts)
-	for _, p := range c.providers {
-		for _, ep := range p.endpoints {
+	for _, p := range c.pidx.Load().list {
+		for _, ep := range p.addrs.endpointSnapshot() {
 			rc := out[ep.tenant]
 			rc.EIPs++
 			out[ep.tenant] = rc
 		}
-		for _, svc := range p.services {
+		for _, svc := range p.addrs.serviceSnapshot() {
 			rc := out[svc.tenant]
 			rc.SIPs++
 			out[svc.tenant] = rc
 		}
+		p.polMu.RLock()
 		for tenant, regions := range p.quotas {
 			rc := out[tenant]
 			rc.Quotas += len(regions)
@@ -344,12 +350,15 @@ func (c *Cloud) TenantResources() map[string]ResourceCounts {
 			rc.Groups += len(groups)
 			out[tenant] = rc
 		}
+		p.polMu.RUnlock()
 	}
+	c.nmMu.RLock()
 	for tenant, groups := range c.groups {
 		rc := out[tenant]
 		rc.Groups += len(groups)
 		out[tenant] = rc
 	}
+	c.nmMu.RUnlock()
 	return out
 }
 
@@ -369,7 +378,7 @@ func (c *Cloud) nodeCause(id topo.NodeID) string {
 // targetNode resolves the enforcement node behind a permit target, "" for
 // SIPs (enforced at the always-on frontend).
 func (c *Cloud) targetNode(p *Provider, target addr.IP) topo.NodeID {
-	if ep, ok := p.endpoints[target]; ok {
+	if ep, ok := p.addrs.getEndpoint(target); ok {
 		return ep.node
 	}
 	return ""

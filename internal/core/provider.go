@@ -13,10 +13,18 @@
 //
 // Tenants never see a VPC, gateway, route table, or appliance — that is
 // the point.
+//
+// Concurrency: control-plane state is sharded by (tenant, region) — see
+// shard.go. Every public verb takes its shard's write lock, so verbs in
+// different shards run concurrently; the read plane (Connect admission,
+// Probe, Explain) takes shard read locks in deterministic order. The
+// unexported verb bodies assume the caller already holds the right lock
+// (ApplyBatch calls them under the global gate).
 package core
 
 import (
 	"fmt"
+	"sync"
 
 	"declnet/internal/addr"
 	"declnet/internal/lb"
@@ -34,7 +42,9 @@ type EIP = addr.IP
 // SIP is a service IP: globally routable, load balanced to bound EIIPs.
 type SIP = addr.IP
 
-// endpoint is the provider's record for one granted EIP.
+// endpoint is the provider's record for one granted EIP. All fields but
+// egressCap are immutable after grant; egressCap is guarded by the
+// endpoint's (tenant, region) shard lock.
 type endpoint struct {
 	eip       EIP
 	tenant    string
@@ -53,7 +63,7 @@ type service struct {
 
 // regionBlocks is how the provider carves address space: each region gets
 // dense blocks so internal route aggregation works (the flexibility §4
-// says flat addressing gives providers).
+// says flat addressing gives providers). Immutable after NewProvider.
 type regionBlocks struct {
 	pool *addr.HostPool
 	base addr.Prefix
@@ -69,16 +79,23 @@ type Provider struct {
 	g   *topo.Graph
 	net *netsim.Network
 
-	// eipBlocks and sipBlocks key by region name.
+	// eipBlocks keys by region name; immutable after NewProvider (the
+	// pools inside carry their own mutexes).
 	eipBlocks map[string]*regionBlocks
 	sipBlock  *addr.HostPool
 
-	endpoints map[EIP]*endpoint
-	services  map[SIP]*service
+	// addrs holds the granted endpoint/service tables, striped by /16
+	// block so one region's churn never touches another's stripe.
+	addrs *addrSpace
 
 	// Permits is the provider's enforcement engine. Exposed for
-	// experiments that measure its scale directly.
+	// experiments that measure its scale directly. Internally striped by
+	// the target's /16 block.
 	Permits *permit.Engine
+
+	// polMu guards the per-tenant policy maps below (potato, quotas,
+	// groups): low-traffic state shared across the tenant's shards.
+	polMu sync.RWMutex
 
 	// potato holds each tenant's transit profile (default hot, §4 QoS).
 	potato map[string]qos.PotatoPolicy
@@ -94,6 +111,10 @@ type Provider struct {
 	// defaultVMEgress is the standard per-VM egress guarantee adopted
 	// unchanged from today's clouds (§4 QoS).
 	defaultVMEgress float64
+
+	// shards is the enclosing Cloud's shard table; nil for a standalone
+	// provider (single-threaded use), in which case verbs skip locking.
+	shards *ShardSet
 
 	// resolve looks up tenant groups defined above the provider (the
 	// Cloud's cross-provider groups); nil outside a Cloud.
@@ -111,8 +132,8 @@ type Provider struct {
 	trace func(kind obs.Kind, tenant string, src, dst addr.IP, verdict, detail, cause string)
 
 	// addrsChanged, when set, notifies the Cloud that this provider's
-	// granted address set (endpoints/services) changed, invalidating the
-	// provider-of-address fast-path cache.
+	// granted address set (endpoints/services) changed, advancing the
+	// address epoch (batch windows coalesce the bumps).
 	addrsChanged func()
 
 	cfg Config
@@ -140,8 +161,11 @@ func (p *Provider) notifyAddrs() {
 	}
 }
 
-// tenantQuota is one (tenant, region) egress guarantee.
+// tenantQuota is one (tenant, region) egress guarantee. mu guards the
+// enforcer map and the limiter's attach/redistribute sequence, which the
+// read plane drives concurrently from Connect.
 type tenantQuota struct {
+	mu       sync.Mutex
 	limiter  *qos.DistributedLimiter
 	enforcer map[topo.NodeID]*qos.Enforcer
 	quota    float64
@@ -180,8 +204,7 @@ func NewProvider(name string, eng *sim.Engine, g *topo.Graph, net *netsim.Networ
 		net:             net,
 		eipBlocks:       make(map[string]*regionBlocks),
 		sipBlock:        addr.NewHostPool(cfg.SIPBase, 1),
-		endpoints:       make(map[EIP]*endpoint),
-		services:        make(map[SIP]*service),
+		addrs:           newAddrSpace(),
 		Permits:         permit.NewEngine(),
 		potato:          make(map[string]qos.PotatoPolicy),
 		quotas:          make(map[string]map[string]*tenantQuota),
@@ -238,11 +261,58 @@ func (p *Provider) Regions() []string {
 	return out
 }
 
+// regionOf maps a granted-range address back to its region via the
+// immutable block carving ("" for SIPs and foreign addresses).
+func (p *Provider) regionOf(ip addr.IP) string {
+	for r, b := range p.eipBlocks {
+		if b.base.Contains(ip) {
+			return r
+		}
+	}
+	return ""
+}
+
+// shardKeyFor derives the shard an address-targeted verb belongs to:
+// (tenant, provider/region) for addresses in a region block, the
+// tenant's provider-wide shard otherwise (SIP plane).
+func (p *Provider) shardKeyFor(tenant string, ip addr.IP) ShardKey {
+	if r := p.regionOf(ip); r != "" {
+		return ShardKey{Tenant: tenant, Region: p.Name + "/" + r}
+	}
+	return ShardKey{Tenant: tenant, Region: p.Name}
+}
+
+// regionShardKey is shardKeyFor when the region name is already known.
+func (p *Provider) regionShardKey(tenant, region string) ShardKey {
+	if region == "" {
+		return ShardKey{Tenant: tenant, Region: p.Name}
+	}
+	return ShardKey{Tenant: tenant, Region: p.Name + "/" + region}
+}
+
+// lockShard takes the write lock for the shard owning (tenant, ip);
+// no-op unlock for a standalone provider.
+func (p *Provider) lockShard(k ShardKey) func() {
+	if p.shards == nil {
+		return func() {}
+	}
+	return p.shards.lockShard(k)
+}
+
 // RequestEIP grants an endpoint IP to a tenant's VM (Table 2:
 // request_eip(vm_id)). The VM is a host node of this provider; its region
 // determines which dense block the flat address comes from. The endpoint
 // starts default-off: nothing can reach it until set_permit_list.
 func (p *Provider) RequestEIP(tenant string, vm topo.NodeID) (EIP, error) {
+	region := ""
+	if n, ok := p.g.Node(vm); ok {
+		region = n.Region
+	}
+	defer p.lockShard(p.regionShardKey(tenant, region))()
+	return p.requestEIP(tenant, vm)
+}
+
+func (p *Provider) requestEIP(tenant string, vm topo.NodeID) (EIP, error) {
 	n, ok := p.g.Node(vm)
 	if !ok {
 		return 0, fmt.Errorf("core: unknown VM %q", vm)
@@ -261,10 +331,10 @@ func (p *Provider) RequestEIP(tenant string, vm topo.NodeID) (EIP, error) {
 	if err != nil {
 		return 0, err
 	}
-	p.endpoints[eip] = &endpoint{
+	p.addrs.putEndpoint(eip, &endpoint{
 		eip: eip, tenant: tenant, node: vm,
 		provider: p.Name, region: n.Region,
-	}
+	})
 	p.notifyAddrs()
 	if p.meter != nil {
 		p.meter.GrantEIP(tenant, p.eng.Now())
@@ -274,12 +344,17 @@ func (p *Provider) RequestEIP(tenant string, vm topo.NodeID) (EIP, error) {
 
 // ReleaseEIP returns the endpoint address and tears down its permit state.
 func (p *Provider) ReleaseEIP(tenant string, eip EIP) error {
+	defer p.lockShard(p.shardKeyFor(tenant, eip))()
+	return p.releaseEIP(tenant, eip)
+}
+
+func (p *Provider) releaseEIP(tenant string, eip EIP) error {
 	ep, err := p.owned(tenant, eip)
 	if err != nil {
 		return err
 	}
 	// Drain from any SIPs it is bound to.
-	for _, svc := range p.services {
+	for _, svc := range p.addrs.serviceSnapshot() {
 		for _, be := range svc.balancer.Backends() {
 			if be.EIP == eip {
 				svc.balancer.Unbind(eip)
@@ -287,7 +362,7 @@ func (p *Provider) ReleaseEIP(tenant string, eip EIP) error {
 		}
 	}
 	p.Permits.Drop(eip)
-	delete(p.endpoints, eip)
+	p.addrs.delEndpoint(eip)
 	p.notifyAddrs()
 	if p.meter != nil {
 		p.meter.ReleaseEIP(tenant, p.eng.Now())
@@ -297,11 +372,16 @@ func (p *Provider) ReleaseEIP(tenant string, eip EIP) error {
 
 // RequestSIP grants a service IP (Table 2: request_sip()).
 func (p *Provider) RequestSIP(tenant string) (SIP, error) {
+	defer p.lockShard(p.regionShardKey(tenant, ""))()
+	return p.requestSIP(tenant)
+}
+
+func (p *Provider) requestSIP(tenant string) (SIP, error) {
 	sip, err := p.sipBlock.Allocate()
 	if err != nil {
 		return 0, err
 	}
-	p.services[sip] = &service{sip: sip, tenant: tenant, balancer: lb.New(sip)}
+	p.addrs.putService(sip, &service{sip: sip, tenant: tenant, balancer: lb.New(sip)})
 	p.notifyAddrs()
 	if p.meter != nil {
 		p.meter.GrantSIP(tenant, p.eng.Now())
@@ -311,12 +391,17 @@ func (p *Provider) RequestSIP(tenant string) (SIP, error) {
 
 // ReleaseSIP tears down a service address.
 func (p *Provider) ReleaseSIP(tenant string, sip SIP) error {
-	svc, ok := p.services[sip]
+	defer p.lockShard(p.regionShardKey(tenant, ""))()
+	return p.releaseSIP(tenant, sip)
+}
+
+func (p *Provider) releaseSIP(tenant string, sip SIP) error {
+	svc, ok := p.addrs.getService(sip)
 	if !ok || svc.tenant != tenant {
 		return fmt.Errorf("core: %s is not tenant %q's SIP", sip, tenant)
 	}
 	p.Permits.Drop(sip)
-	delete(p.services, sip)
+	p.addrs.delService(sip)
 	p.notifyAddrs()
 	if p.meter != nil {
 		p.meter.ReleaseSIP(tenant, p.eng.Now())
@@ -327,10 +412,15 @@ func (p *Provider) ReleaseSIP(tenant string, sip SIP) error {
 // Bind associates an EIP with a SIP (Table 2: bind(eip, sip)) with the
 // optional weight extension; the provider owns all load balancing.
 func (p *Provider) Bind(tenant string, eip EIP, sip SIP, weight int) error {
+	defer p.lockShard(p.regionShardKey(tenant, ""))()
+	return p.bind(tenant, eip, sip, weight)
+}
+
+func (p *Provider) bind(tenant string, eip EIP, sip SIP, weight int) error {
 	if _, err := p.owned(tenant, eip); err != nil {
 		return err
 	}
-	svc, ok := p.services[sip]
+	svc, ok := p.addrs.getService(sip)
 	if !ok || svc.tenant != tenant {
 		return fmt.Errorf("core: %s is not tenant %q's SIP", sip, tenant)
 	}
@@ -340,7 +430,12 @@ func (p *Provider) Bind(tenant string, eip EIP, sip SIP, weight int) error {
 
 // Unbind removes an EIP from a SIP with connection draining.
 func (p *Provider) Unbind(tenant string, eip EIP, sip SIP) error {
-	svc, ok := p.services[sip]
+	defer p.lockShard(p.regionShardKey(tenant, ""))()
+	return p.unbind(tenant, eip, sip)
+}
+
+func (p *Provider) unbind(tenant string, eip EIP, sip SIP) error {
+	svc, ok := p.addrs.getService(sip)
 	if !ok || svc.tenant != tenant {
 		return fmt.Errorf("core: %s is not tenant %q's SIP", sip, tenant)
 	}
@@ -351,12 +446,19 @@ func (p *Provider) Unbind(tenant string, eip EIP, sip SIP) error {
 // set_permit_list(eip, permit_list)). Group references expand to their
 // current membership.
 func (p *Provider) SetPermitList(tenant string, target addr.IP, entries []permit.Entry, groupRefs ...string) error {
+	defer p.lockShard(p.shardKeyFor(tenant, target))()
+	return p.setPermitList(tenant, target, entries, groupRefs...)
+}
+
+func (p *Provider) setPermitList(tenant string, target addr.IP, entries []permit.Entry, groupRefs ...string) error {
 	if err := p.ownsTarget(tenant, target); err != nil {
 		return err
 	}
 	all := append([]permit.Entry(nil), entries...)
 	for _, gname := range groupRefs {
+		p.polMu.RLock()
 		members, ok := p.groups[tenant][gname]
+		p.polMu.RUnlock()
 		if !ok && p.resolve != nil {
 			members, ok = p.resolve(tenant, gname)
 		}
@@ -373,7 +475,7 @@ func (p *Provider) SetPermitList(tenant string, target addr.IP, entries []permit
 	// timeout expires. SIP targets are enforced at the (always-on)
 	// service frontend and never defer.
 	if p.faults != nil {
-		if ep, ok := p.endpoints[target]; ok && !p.faults.Inj.Reachable(ep.node) {
+		if ep, ok := p.addrs.getEndpoint(target); ok && !p.faults.Inj.Reachable(ep.node) {
 			p.faults.retryPermit(p, tenant, target, all, ep.node)
 			return nil
 		}
@@ -391,6 +493,11 @@ func (p *Provider) SetPermitList(tenant string, target addr.IP, entries []permit
 
 // Permit incrementally allows one source.
 func (p *Provider) Permit(tenant string, target addr.IP, entry permit.Entry) error {
+	defer p.lockShard(p.shardKeyFor(tenant, target))()
+	return p.permitEntry(tenant, target, entry)
+}
+
+func (p *Provider) permitEntry(tenant string, target addr.IP, entry permit.Entry) error {
 	if err := p.ownsTarget(tenant, target); err != nil {
 		return err
 	}
@@ -403,6 +510,11 @@ func (p *Provider) Permit(tenant string, target addr.IP, entry permit.Entry) err
 
 // Revoke incrementally removes one source.
 func (p *Provider) Revoke(tenant string, target addr.IP, entry permit.Entry) error {
+	defer p.lockShard(p.shardKeyFor(tenant, target))()
+	return p.revokeEntry(tenant, target, entry)
+}
+
+func (p *Provider) revokeEntry(tenant string, target addr.IP, entry permit.Entry) error {
 	if err := p.ownsTarget(tenant, target); err != nil {
 		return err
 	}
@@ -416,17 +528,26 @@ func (p *Provider) Revoke(tenant string, target addr.IP, entry permit.Entry) err
 // SetQoS sets the tenant's regional egress-bandwidth allowance (Table 2:
 // set_qos(region, bandwidth)).
 func (p *Provider) SetQoS(tenant, region string, bandwidth float64) error {
+	defer p.lockShard(p.regionShardKey(tenant, region))()
+	return p.setQoS(tenant, region, bandwidth)
+}
+
+func (p *Provider) setQoS(tenant, region string, bandwidth float64) error {
 	if _, ok := p.eipBlocks[region]; !ok {
 		return fmt.Errorf("core: unknown region %q", region)
 	}
 	tq := p.quota(tenant, region)
+	tq.mu.Lock()
 	tq.quota = bandwidth
 	tq.limiter.SetQuota(bandwidth)
+	tq.mu.Unlock()
 	if p.meter != nil {
 		var total float64
+		p.polMu.RLock()
 		for _, q := range p.quotas[tenant] {
 			total += q.quota
 		}
+		p.polMu.RUnlock()
 		p.meter.SetQuota(tenant, p.eng.Now(), total)
 	}
 	return nil
@@ -435,11 +556,38 @@ func (p *Provider) SetQoS(tenant, region string, bandwidth float64) error {
 // SetPotato selects the tenant's transit profile (hot/cold/dedicated-
 // approximation; §4 QoS "adopt this option unchanged").
 func (p *Provider) SetPotato(tenant string, policy qos.PotatoPolicy) {
+	defer p.lockShard(p.regionShardKey(tenant, ""))()
+	p.setPotato(tenant, policy)
+}
+
+func (p *Provider) setPotato(tenant string, policy qos.PotatoPolicy) {
+	p.polMu.Lock()
 	p.potato[tenant] = policy
+	p.polMu.Unlock()
+}
+
+// potatoOf returns the tenant's transit profile (default hot).
+func (p *Provider) potatoOf(tenant string) qos.PotatoPolicy {
+	p.polMu.RLock()
+	policy, ok := p.potato[tenant]
+	p.polMu.RUnlock()
+	if !ok {
+		return qos.HotPotato
+	}
+	return policy
+}
+
+// quotaOf returns the (tenant, region) quota record if one exists.
+func (p *Provider) quotaOf(tenant, region string) (*tenantQuota, bool) {
+	p.polMu.RLock()
+	tq, ok := p.quotas[tenant][region]
+	p.polMu.RUnlock()
+	return tq, ok
 }
 
 // SetVMEgressCap overrides the per-VM egress guarantee for one endpoint.
 func (p *Provider) SetVMEgressCap(tenant string, eip EIP, bps float64) error {
+	defer p.lockShard(p.shardKeyFor(tenant, eip))()
 	ep, err := p.owned(tenant, eip)
 	if err != nil {
 		return err
@@ -450,21 +598,30 @@ func (p *Provider) SetVMEgressCap(tenant string, eip EIP, bps float64) error {
 
 // CreateGroup defines or replaces a named endpoint group (extension).
 func (p *Provider) CreateGroup(tenant, name string, members ...EIP) error {
+	defer p.lockShard(p.regionShardKey(tenant, ""))()
+	return p.createGroup(tenant, name, members...)
+}
+
+func (p *Provider) createGroup(tenant, name string, members ...EIP) error {
 	for _, m := range members {
 		if _, err := p.owned(tenant, m); err != nil {
 			return err
 		}
 	}
+	p.polMu.Lock()
 	if p.groups[tenant] == nil {
 		p.groups[tenant] = make(map[string][]EIP)
 	}
 	p.groups[tenant][name] = append([]EIP(nil), members...)
+	p.polMu.Unlock()
 	return nil
 }
 
 // MarkHealth is the provider health checker's signal for a bound backend.
+// Structure-safe without shard locks: it only flips balancer health bits
+// under the balancers' own mutexes.
 func (p *Provider) MarkHealth(eip EIP, healthy bool) {
-	for _, svc := range p.services {
+	for _, svc := range p.addrs.serviceSnapshot() {
 		for _, be := range svc.balancer.Backends() {
 			if be.EIP == eip {
 				svc.balancer.SetHealth(eip, healthy)
@@ -476,7 +633,7 @@ func (p *Provider) MarkHealth(eip EIP, healthy bool) {
 // Endpoint resolution helpers.
 
 func (p *Provider) owned(tenant string, eip EIP) (*endpoint, error) {
-	ep, ok := p.endpoints[eip]
+	ep, ok := p.addrs.getEndpoint(eip)
 	if !ok || ep.tenant != tenant {
 		return nil, fmt.Errorf("core: %s is not tenant %q's EIP", eip, tenant)
 	}
@@ -484,10 +641,10 @@ func (p *Provider) owned(tenant string, eip EIP) (*endpoint, error) {
 }
 
 func (p *Provider) ownsTarget(tenant string, target addr.IP) error {
-	if ep, ok := p.endpoints[target]; ok && ep.tenant == tenant {
+	if ep, ok := p.addrs.getEndpoint(target); ok && ep.tenant == tenant {
 		return nil
 	}
-	if svc, ok := p.services[target]; ok && svc.tenant == tenant {
+	if svc, ok := p.addrs.getService(target); ok && svc.tenant == tenant {
 		return nil
 	}
 	return fmt.Errorf("core: %s is not tenant %q's address", target, tenant)
@@ -495,7 +652,7 @@ func (p *Provider) ownsTarget(tenant string, target addr.IP) error {
 
 // Lookup returns the endpoint behind an EIP.
 func (p *Provider) Lookup(eip EIP) (topo.NodeID, bool) {
-	ep, ok := p.endpoints[eip]
+	ep, ok := p.addrs.getEndpoint(eip)
 	if !ok {
 		return "", false
 	}
@@ -504,7 +661,7 @@ func (p *Provider) Lookup(eip EIP) (topo.NodeID, bool) {
 
 // Service returns the balancer behind a SIP (read-only use in tests).
 func (p *Provider) Service(sip SIP) (*lb.Balancer, bool) {
-	svc, ok := p.services[sip]
+	svc, ok := p.addrs.getService(sip)
 	if !ok {
 		return nil, false
 	}
@@ -512,11 +669,13 @@ func (p *Provider) Service(sip SIP) (*lb.Balancer, bool) {
 }
 
 // EndpointCount returns granted EIPs; ServiceCount granted SIPs.
-func (p *Provider) EndpointCount() int { return len(p.endpoints) }
-func (p *Provider) ServiceCount() int  { return len(p.services) }
+func (p *Provider) EndpointCount() int { return p.addrs.endpointCount() }
+func (p *Provider) ServiceCount() int  { return p.addrs.serviceCount() }
 
 // quota lazily builds the (tenant, region) limiter.
 func (p *Provider) quota(tenant, region string) *tenantQuota {
+	p.polMu.Lock()
+	defer p.polMu.Unlock()
 	if p.quotas[tenant] == nil {
 		p.quotas[tenant] = make(map[string]*tenantQuota)
 	}

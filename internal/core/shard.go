@@ -1,0 +1,145 @@
+// Sharded write plane. Until this refactor every control-plane mutation
+// serialized on one global write lock (the API layer's RWMutex), so a
+// tenant onboarding a region's worth of endpoints stalled every other
+// tenant's permit updates — the single-writer wall the million-endpoint
+// drill (E13) runs straight into. The fix is the arktos-style partition:
+// control-plane state is sharded by (tenant, region), each shard carries
+// its own RWMutex, and a mutation takes only its shard's lock. Mutations
+// in different shards proceed concurrently; a storm confined to one
+// (tenant, region) cannot degrade another shard's writes or reads.
+//
+// Lock hierarchy (outer to inner; never acquire leftward while holding
+// rightward):
+//
+//	ShardSet.global > shard.mu > leaf locks (permit stripes, address
+//	stripes, pool/balancer/quota/registry mutexes)
+//
+//   - Per-shard mutations (the Table-2 verbs) take global.RLock plus
+//     their shard's write lock.
+//   - Cross-shard reads (Connect, Probe, Explain) take global.RLock
+//     plus BOTH endpoint shards' read locks in deterministic key order
+//     — sorted by (tenant, region), deduped when the endpoints share a
+//     shard — so opposing lock orders cannot deadlock.
+//   - Global operations (ApplyBatch's coalescing window, world setup)
+//     take global.Lock, excluding every shard at once. Batch windows
+//     mutate engine- and graph-wide epoch state that per-shard locks
+//     cannot protect.
+//
+// Underneath the shard locks, the shared structures (permit engine,
+// endpoint/service maps, address pools) are independently striped or
+// locked, because one region's state is reachable from several tenants'
+// shards. The shard lock is the unit of *contention isolation*; the leaf
+// locks are the unit of *memory safety*.
+package core
+
+import "sync"
+
+// ShardKey names one control-plane shard: a tenant's slice of one
+// provider region. Region is "provider/region" for region-scoped state
+// and just "provider" for a tenant's region-free state on that provider
+// (the SIP plane, potato profiles, provider-level groups).
+type ShardKey struct {
+	Tenant string
+	Region string
+}
+
+// less orders shard keys for deterministic multi-shard acquisition.
+func (k ShardKey) less(o ShardKey) bool {
+	if k.Tenant != o.Tenant {
+		return k.Tenant < o.Tenant
+	}
+	return k.Region < o.Region
+}
+
+type shard struct {
+	mu sync.RWMutex
+}
+
+// ShardSet is the cloud's shard table. Shards materialize lazily on
+// first touch; the zero set is sharded, NewSingleShardCloud collapses
+// every key onto one shard (the unsharded build the parity property
+// test replays against).
+type ShardSet struct {
+	global sync.RWMutex
+	mu     sync.Mutex
+	shards map[ShardKey]*shard
+	single *shard
+}
+
+func newShardSet(single bool) *ShardSet {
+	s := &ShardSet{shards: make(map[ShardKey]*shard)}
+	if single {
+		s.single = &shard{}
+	}
+	return s
+}
+
+// shardOf returns (creating on first use) the shard for k.
+func (s *ShardSet) shardOf(k ShardKey) *shard {
+	if s.single != nil {
+		return s.single
+	}
+	s.mu.Lock()
+	sh, ok := s.shards[k]
+	if !ok {
+		sh = &shard{}
+		s.shards[k] = sh
+	}
+	s.mu.Unlock()
+	return sh
+}
+
+// Len reports how many shards have materialized (1 in single mode once
+// touched; single mode reports 1 unconditionally).
+func (s *ShardSet) Len() int {
+	if s.single != nil {
+		return 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.shards)
+}
+
+// lockShard takes the write lock for one shard (plus the global read
+// gate) and returns the unlock.
+func (s *ShardSet) lockShard(k ShardKey) func() {
+	s.global.RLock()
+	sh := s.shardOf(k)
+	sh.mu.Lock()
+	return func() {
+		sh.mu.Unlock()
+		s.global.RUnlock()
+	}
+}
+
+// rlockShards takes the read locks for a pair of shards in deterministic
+// key order (plus the global read gate) and returns the unlock. The two
+// keys are the cross-shard connect protocol: src's shard and dst's
+// shard, sorted by (tenant, region) and deduped by shard identity —
+// sync.RWMutex is not reentrant even for readers once a writer queues,
+// so the same shard must be locked exactly once.
+func (s *ShardSet) rlockShards(a, b ShardKey) func() {
+	if b.less(a) {
+		a, b = b, a
+	}
+	s.global.RLock()
+	sa, sb := s.shardOf(a), s.shardOf(b)
+	sa.mu.RLock()
+	if sb != sa {
+		sb.mu.RLock()
+	}
+	return func() {
+		if sb != sa {
+			sb.mu.RUnlock()
+		}
+		sa.mu.RUnlock()
+		s.global.RUnlock()
+	}
+}
+
+// lockGlobal takes the exclusive gate: every shard's readers and writers
+// drain first, and none may enter until the returned unlock runs.
+func (s *ShardSet) lockGlobal() func() {
+	s.global.Lock()
+	return s.global.Unlock
+}

@@ -19,6 +19,10 @@ var volatile = map[string]*regexp.Regexp{
 	// E12's overhead note reports measured wall time and its ratio; the
 	// "ms"/"%" suffixes keep the mask off simulated values and addresses.
 	"E12": regexp.MustCompile(`-?\d+\.\d+(ms|%)`),
+	// E13's drill measures real wall clock under real contention; every
+	// timing cell carries a us/ms/B//s/x suffix so exactly those cells
+	// mask while the deterministic counters stay pinned.
+	"E13": regexp.MustCompile(`-?\d+(\.\d+)?(us|ms|x|B|/s)\b`),
 }
 
 func normalize(id, text string) string {
@@ -29,7 +33,16 @@ func normalize(id, text string) string {
 	// Masked cells change width, which shifts the renderer's column
 	// padding; collapse runs of spaces so alignment can't fail the diff.
 	text = re.ReplaceAllString(text, "<wall-clock>")
-	return regexp.MustCompile(`[ \t]+`).ReplaceAllString(text, " ")
+	text = regexp.MustCompile(`[ \t]+`).ReplaceAllString(text, " ")
+	if id == "E13" {
+		// E13 masks its value column, so run-to-run width changes leave
+		// trailing padding and a variable-width separator rule behind;
+		// normalize both. (E4/E12 goldens were blessed with trailing
+		// spaces intact — leave them be.)
+		text = regexp.MustCompile(`(?m) +$`).ReplaceAllString(text, "")
+		text = regexp.MustCompile(`-{3,}`).ReplaceAllString(text, "---")
+	}
+	return text
 }
 
 var update = flag.Bool("update", false, "rewrite the golden experiment tables under testdata/golden")

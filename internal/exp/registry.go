@@ -52,6 +52,9 @@ func All() []Experiment {
 		{"E12", "observability: diagnosis quality + overhead", func() (*metrics.Table, error) {
 			return E12Observability(2000, 42)
 		}},
+		{"E13", "million-endpoint scale drill (sharded control plane)", func() (*metrics.Table, error) {
+			return E13ScaleDrill(e13Tier)
+		}},
 	}
 }
 

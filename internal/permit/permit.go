@@ -10,6 +10,7 @@ package permit
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"declnet/internal/addr"
@@ -23,10 +24,13 @@ type Entry = addr.Prefix
 
 // List is the permit state guarding one destination EIP. Exact /32s are
 // kept in a hash set for O(1) hits; shorter prefixes go to an LPM trie.
+// Mutation and map/trie reads require external exclusion (the engine's
+// stripe lock provides it); the version counter alone is atomic so
+// version-keyed verdict caches can revalidate without any lock.
 type List struct {
 	exact    map[addr.IP]bool
 	prefixes routing.Trie[bool]
-	version  uint64
+	version  atomic.Uint64
 	// batching defers version bumps (see BeginBatch); dirty records that
 	// at least one mutation is awaiting the coalesced bump.
 	batching bool
@@ -77,7 +81,7 @@ func (l *List) Len() int { return len(l.exact) + l.prefixes.Len() }
 
 // Version increments on every mutation (once per batch while batching);
 // replicas and memoized admission verdicts compare versions.
-func (l *List) Version() uint64 { return l.version }
+func (l *List) Version() uint64 { return l.version.Load() }
 
 // bump advances the version, or defers it inside a batch.
 func (l *List) bump() {
@@ -85,7 +89,7 @@ func (l *List) bump() {
 		l.dirty = true
 		return
 	}
-	l.version++
+	l.version.Add(1)
 }
 
 // BeginBatch defers version bumps: mutations until EndBatch advance
@@ -97,7 +101,7 @@ func (l *List) BeginBatch() { l.batching = true }
 // EndBatch applies the deferred bump if any mutation happened.
 func (l *List) EndBatch() {
 	if l.dirty {
-		l.version++
+		l.version.Add(1)
 	}
 	l.batching, l.dirty = false, false
 }
@@ -125,29 +129,65 @@ func (l *List) Clone() *List {
 		c.prefixes.Insert(p, true)
 		return true
 	})
-	c.version = l.version
+	c.version.Store(l.version.Load())
 	return c
+}
+
+// engineStripes is the default stripe count. Stripes are keyed by the
+// destination's /16 block (ip>>16): providers carve one /16 per region,
+// so every region's permit lists land in one stripe and a mutation storm
+// confined to one region contends with nothing outside it. 64 is a power
+// of two (the index is a mask) comfortably above the region counts the
+// scale drill builds.
+const engineStripes = 64
+
+// engineStripe is one independently-locked partition of the list map.
+type engineStripe struct {
+	mu    sync.RWMutex
+	lists map[addr.IP]*List
 }
 
 // Engine is one enforcement point's view of all tenants' permit lists,
 // keyed by destination EIP. Default-off: an EIP with no list drops
-// everything.
+// everything. The map is partitioned into region-aligned stripes, each
+// behind its own RWMutex, so concurrent mutations in different regions
+// never serialize against each other and admission checks only share a
+// read lock with writes to their own stripe.
 type Engine struct {
-	lists map[addr.IP]*List
+	stripes []engineStripe
 	// Lookups and Updates count enforcement work for the E4 experiment.
 	// Atomic because admission checks run on the concurrent read plane
-	// while control-plane writes mutate the lists under the API lock.
+	// while control-plane writes mutate the lists under stripe locks.
 	Lookups atomic.Uint64
 	Updates atomic.Uint64
 	// batchDepth nests batches; touched tracks lists whose version bump
-	// is deferred until the outermost EndBatch.
+	// is deferred until the outermost EndBatch. Batches require external
+	// write exclusion over the whole engine (core's global shard gate
+	// provides it), so these fields take no lock of their own.
 	batchDepth int
 	touched    map[addr.IP]*List
 }
 
-// NewEngine returns an empty engine.
-func NewEngine() *Engine {
-	return &Engine{lists: make(map[addr.IP]*List)}
+// NewEngine returns an empty engine with the default stripe count.
+func NewEngine() *Engine { return NewEngineStripes(engineStripes) }
+
+// NewEngineStripes returns an empty engine partitioned into n stripes
+// (n must be a power of two; 1 yields the unsharded engine the parity
+// property test replays against).
+func NewEngineStripes(n int) *Engine {
+	if n < 1 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("permit: stripe count %d is not a power of two", n))
+	}
+	e := &Engine{stripes: make([]engineStripe, n)}
+	for i := range e.stripes {
+		e.stripes[i].lists = make(map[addr.IP]*List)
+	}
+	return e
+}
+
+// stripeOf maps a destination to its stripe by region block.
+func (e *Engine) stripeOf(ip addr.IP) *engineStripe {
+	return &e.stripes[(uint32(ip)>>16)&uint32(len(e.stripes)-1)]
 }
 
 // BeginBatch opens a coalescing window (nestable): until the matching
@@ -195,62 +235,86 @@ func (e *Engine) Set(dst addr.IP, entries []Entry) {
 	for _, en := range entries {
 		l.Add(en)
 	}
-	e.lists[dst] = l
+	s := e.stripeOf(dst)
+	s.mu.Lock()
+	s.lists[dst] = l
 	// The old list (if any) dies with its deferred bump; the new pointer
 	// alone invalidates version-keyed verdicts, but enroll it so later
 	// batched mutations of dst coalesce too.
 	if e.batchDepth > 0 {
 		delete(e.touched, dst)
 		e.enroll(dst, l)
+		s.mu.Unlock()
 		e.Updates.Add(uint64(len(entries)))
 		return
 	}
+	s.mu.Unlock()
 	e.Updates.Add(1)
 }
 
 // Permit adds one entry to dst's list, creating the list if needed.
 func (e *Engine) Permit(dst addr.IP, en Entry) {
-	l, ok := e.lists[dst]
+	s := e.stripeOf(dst)
+	s.mu.Lock()
+	l, ok := s.lists[dst]
 	if !ok {
 		l = NewList()
-		e.lists[dst] = l
+		s.lists[dst] = l
 	}
 	e.enroll(dst, l)
 	l.Add(en)
+	s.mu.Unlock()
 	e.Updates.Add(1)
 }
 
 // Revoke removes one entry from dst's list.
 func (e *Engine) Revoke(dst addr.IP, en Entry) bool {
-	l, ok := e.lists[dst]
+	s := e.stripeOf(dst)
+	s.mu.Lock()
+	l, ok := s.lists[dst]
 	if !ok {
+		s.mu.Unlock()
 		return false
 	}
 	e.enroll(dst, l)
+	removed := l.Remove(en)
+	s.mu.Unlock()
 	e.Updates.Add(1)
-	return l.Remove(en)
+	return removed
 }
 
 // Drop removes dst's entire list (endpoint teardown).
 func (e *Engine) Drop(dst addr.IP) {
-	delete(e.lists, dst)
+	s := e.stripeOf(dst)
+	s.mu.Lock()
+	delete(s.lists, dst)
+	s.mu.Unlock()
 	e.Updates.Add(1)
 }
 
 // Check enforces default-off admission: true only when dst has a list
-// that permits src.
+// that permits src. The stripe read lock is held across the list walk so
+// a same-stripe writer cannot mutate the trie mid-lookup; checks against
+// other stripes share nothing.
 func (e *Engine) Check(src, dst addr.IP) bool {
 	e.Lookups.Add(1)
-	l, ok := e.lists[dst]
-	if !ok {
-		return false
-	}
-	return l.Permits(src)
+	s := e.stripeOf(dst)
+	s.mu.RLock()
+	l, ok := s.lists[dst]
+	allowed := ok && l.Permits(src)
+	s.mu.RUnlock()
+	return allowed
 }
 
-// List returns dst's list when present.
+// List returns dst's list when present. The pointer together with its
+// atomic Version is the revalidation token for memoized verdicts; the
+// list's contents must only be read under the engine's stripe lock
+// (i.e. via Check/Explain).
 func (e *Engine) List(dst addr.IP) (*List, bool) {
-	l, ok := e.lists[dst]
+	s := e.stripeOf(dst)
+	s.mu.RLock()
+	l, ok := s.lists[dst]
+	s.mu.RUnlock()
 	return l, ok
 }
 
@@ -278,11 +342,14 @@ type Decision struct {
 // cost figures). Unlike Check it also reports which entry admitted the
 // flow and the list's version.
 func (e *Engine) Explain(src, dst addr.IP) Decision {
-	l, ok := e.lists[dst]
+	s := e.stripeOf(dst)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	l, ok := s.lists[dst]
 	if !ok {
 		return Decision{}
 	}
-	d := Decision{HasList: true, Version: l.version, Entries: l.Len()}
+	d := Decision{HasList: true, Version: l.version.Load(), Entries: l.Len()}
 	if l.exact[src] {
 		d.Allowed = true
 		d.Matched = addr.NewPrefix(src, 32)
@@ -305,14 +372,28 @@ func (e *Engine) Explain(src, dst addr.IP) Decision {
 }
 
 // Endpoints returns the number of guarded EIPs.
-func (e *Engine) Endpoints() int { return len(e.lists) }
+func (e *Engine) Endpoints() int {
+	var n int
+	for i := range e.stripes {
+		s := &e.stripes[i]
+		s.mu.RLock()
+		n += len(s.lists)
+		s.mu.RUnlock()
+	}
+	return n
+}
 
 // TotalEntries returns the total permit entries across all lists — the
 // memory-scale figure for E4.
 func (e *Engine) TotalEntries() int {
 	var n int
-	for _, l := range e.lists {
-		n += l.Len()
+	for i := range e.stripes {
+		s := &e.stripes[i]
+		s.mu.RLock()
+		for _, l := range s.lists {
+			n += l.Len()
+		}
+		s.mu.RUnlock()
 	}
 	return n
 }

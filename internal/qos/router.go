@@ -80,8 +80,9 @@ type Router struct {
 	invalidations             atomic.Uint64 // scoped-stale entries observed
 	searches, shared, waiting atomic.Uint64
 
-	// testSearchGate, when set (tests only), runs before the leader's
-	// path search so tests can hold a computation open deterministically.
+	// testSearchGate, when set (tests only), runs after the leader's
+	// epoch snapshot and before its path search, so tests can hold a
+	// computation open or land a mutation mid-search deterministically.
 	testSearchGate func()
 }
 
@@ -156,22 +157,40 @@ func (r *Router) compute(key pathKey, mayWait bool) (topo.Path, error) {
 	}
 	r.mu.Unlock()
 
+	// Snapshot every scope's epoch around the search. A mutation landing
+	// mid-search can tear the result only if it touched state the search
+	// read, so storability is judged per scope, not against the single
+	// global epoch (which would let a mutation storm in one shard's
+	// region mark every other shard's results unstorable forever):
+	//
+	//   - A positive path is stored iff no scope it traverses mutated
+	//     during the search. Degrading mutations elsewhere cannot better
+	//     or break a path that avoids them, and every link on the path
+	//     was read consistently (its scope stayed quiescent).
+	//
+	//   - A negative result is stored iff flushEpoch is unchanged.
+	//     Degrading mutations only remove capacity: an unreachable pair
+	//     computed on a torn degrading-only view is still unreachable
+	//     afterwards. Anything improving bumps flushEpoch.
+	pre := r.g.ScopeEpochs(nil)
 	if r.testSearchGate != nil {
 		r.testSearchGate()
 	}
-	// Snapshot the global epoch around the search: if any mutation (or
-	// batch close) lands while we compute, the result may mix pre- and
-	// post-mutation state and is unsafe to cache or share.
-	ep := r.g.Epoch()
 	r.searches.Add(1)
 	path, err := PathFor(r.g, key.policy, key.src, key.dst)
 	var scopes []topo.Scope
 	var sum uint64
+	storable := r.g.FlushEpoch() == fe
 	if err == nil {
 		scopes = pathScopes(path)
 		sum = r.g.ScopeEpochSum(scopes)
+		for _, s := range scopes {
+			if int(s) >= len(pre) || r.g.ScopeEpoch(s) != pre[s] {
+				storable = false
+				break
+			}
+		}
 	}
-	storable := r.g.Epoch() == ep && r.g.FlushEpoch() == fe
 
 	r.mu.Lock()
 	if mayWait && r.inflight[key] == f {

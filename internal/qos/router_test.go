@@ -355,3 +355,114 @@ func TestRouterSingleflight(t *testing.T) {
 		t.Fatalf("shared=%d, want %d", r.Shared(), waiters)
 	}
 }
+
+// TestRouterStorableUnderForeignScopeMutation is the sharded-control-
+// plane regression test: a mutation landing in region A *while* a path
+// wholly inside region B is being computed must not stop that result
+// from being cached (and must not evict it afterwards). The pre-fix
+// storability check compared the graph's single global epoch around the
+// search, so a mutation storm confined to one (tenant, region) shard
+// marked every other shard's computations unstorable forever —
+// cross-shard cache poisoning with no soundness payoff.
+func TestRouterStorableUnderForeignScopeMutation(t *testing.T) {
+	g := regionedGraph(t)
+	r := NewRouter(g)
+	// While the leader computes b1->b2 (wholly inside scope B), degrade
+	// region A. Global epoch moves; scope B's epoch does not.
+	fired := false
+	r.testSearchGate = func() {
+		if !fired {
+			fired = true
+			if err := g.SetPairUp("a12", false); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	if _, err := r.PathFor(ColdPotato, "b1", "b2"); err != nil {
+		t.Fatal(err)
+	}
+	r.testSearchGate = nil
+	if _, err := r.PathFor(ColdPotato, "b1", "b2"); err != nil {
+		t.Fatal(err)
+	}
+	if r.Searches() != 1 {
+		t.Fatalf("searches=%d, want 1: region-A mutation mid-search made the region-B result unstorable", r.Searches())
+	}
+	if r.Hits() != 1 {
+		t.Fatalf("hits=%d, want 1", r.Hits())
+	}
+
+	// And once cached, further region-A churn must not invalidate it.
+	for _, mut := range []struct {
+		id string
+		up bool
+	}{{"a1m", false}, {"a1m", false}, {"a12", false}} {
+		_ = g.SetPairUp(mut.id, mut.up)
+	}
+	if _, err := r.PathFor(ColdPotato, "b1", "b2"); err != nil {
+		t.Fatal(err)
+	}
+	if r.Searches() != 1 || r.Invalidations() != 0 {
+		t.Fatalf("searches=%d invalidations=%d after foreign-scope churn, want 1/0",
+			r.Searches(), r.Invalidations())
+	}
+}
+
+// TestRouterUnstorableWhenTraversedScopeMutates keeps the soundness
+// guard honest: a mid-search mutation in a scope the computed path DOES
+// traverse still makes the result unstorable.
+func TestRouterUnstorableWhenTraversedScopeMutates(t *testing.T) {
+	g := regionedGraph(t)
+	r := NewRouter(g)
+	fired := false
+	r.testSearchGate = func() {
+		if !fired {
+			fired = true
+			// Degrade scope B itself mid-search (b1m is off the b1->b2
+			// best path, but it shares the scope).
+			if err := g.SetPairUp("b1m", false); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	if _, err := r.PathFor(ColdPotato, "b1", "b2"); err != nil {
+		t.Fatal(err)
+	}
+	r.testSearchGate = nil
+	if _, err := r.PathFor(ColdPotato, "b1", "b2"); err != nil {
+		t.Fatal(err)
+	}
+	if r.Searches() != 2 {
+		t.Fatalf("searches=%d, want 2: torn result in a traversed scope must not be cached", r.Searches())
+	}
+}
+
+// TestRouterNegativeStorableUnderDegradingMutation: "no path" computed
+// while degrading mutations land stays cacheable — removals cannot make
+// a destination reachable; only improving mutations (which flush) can.
+func TestRouterNegativeStorableUnderDegradingMutation(t *testing.T) {
+	g := regionedGraph(t)
+	if err := g.SetPairUp("ab", false); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRouter(g)
+	fired := false
+	r.testSearchGate = func() {
+		if !fired {
+			fired = true
+			if err := g.SetPairUp("a12", false); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	if _, err := r.PathFor(ColdPotato, "a1", "b2"); err == nil {
+		t.Fatal("expected no path with backbone down")
+	}
+	r.testSearchGate = nil
+	if _, err := r.PathFor(ColdPotato, "a1", "b2"); err == nil {
+		t.Fatal("expected no path with backbone down")
+	}
+	if r.Searches() != 1 {
+		t.Fatalf("searches=%d, want 1: degrading churn must not block negative caching", r.Searches())
+	}
+}

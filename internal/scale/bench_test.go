@@ -1,0 +1,52 @@
+package scale
+
+import (
+	"os"
+	"strconv"
+	"testing"
+)
+
+// BenchmarkScaleDrill runs the whole drill per iteration and reports the
+// tenant-visible numbers as custom metrics so benchjson lands them in
+// BENCH_scale.json. Defaults to the E13 tier (10^5 EIPs / 200 tenants,
+// about a second per iteration); DECLNET_SCALE_EIPS / _TENANTS /
+// _REGIONS raise it toward 10^6 (`make scale` does).
+func BenchmarkScaleDrill(b *testing.B) {
+	cfg := DefaultConfig()
+	for _, ov := range []struct {
+		env string
+		dst *int
+	}{
+		{"DECLNET_SCALE_EIPS", &cfg.EIPs},
+		{"DECLNET_SCALE_TENANTS", &cfg.Tenants},
+		{"DECLNET_SCALE_REGIONS", &cfg.Regions},
+	} {
+		if v := os.Getenv(ov.env); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				b.Fatalf("%s: %v", ov.env, err)
+			}
+			*ov.dst = n
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	var last *Metrics
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = m
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(last.ConnectP50.Microseconds()), "connect_p50_us")
+	b.ReportMetric(float64(last.ConnectP99.Microseconds()), "connect_p99_us")
+	b.ReportMetric(float64(last.PermitLagP99.Microseconds()), "permit_lag_p99_us")
+	b.ReportMetric(last.BytesPerEP, "bytes/endpoint")
+	b.ReportMetric(last.GrantsPerSec, "grants/sec")
+	b.ReportMetric(last.StormIdleRatio, "storm_idle_p99_ratio")
+}

@@ -1,0 +1,254 @@
+// Package scale is the million-endpoint drill: a synthetic-scale load
+// harness that drives 10^5–10^6 endpoint IPs across hundreds of tenants
+// through the real core control-plane API (no HTTP, no simulation
+// shortcuts), under Poisson endpoint churn and Zipf-skewed connect
+// fan-out — the §6 scalability question ("how will the control plane
+// keep up with millions of endpoints?") asked of this codebase instead
+// of about it.
+//
+// The harness measures what a tenant would feel: connect (probe) latency
+// quantiles, permit-update propagation lag, onboarding throughput, and
+// provider state per endpoint — and what the sharded control plane
+// promises: that a mutation storm confined to one (tenant, region) shard
+// leaves every other shard's latency envelope intact. Experiment E13
+// (internal/exp) renders the drill as a golden table; BenchmarkScaleDrill
+// emits the same numbers for benchjson/benchdiff.
+package scale
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Config parameterizes one drill. The zero value is not runnable; use
+// DefaultConfig or ParseConfig, then Validate.
+type Config struct {
+	// EIPs is the total endpoint count onboarded across all tenants.
+	EIPs int
+	// Tenants is the tenant count; tenant i homes in region i % Regions.
+	Tenants int
+	// Regions is the provider's region count (each carved one /16, so
+	// at most 256 and at most ~60k EIPs per region).
+	Regions int
+	// Zones and HostsPerZone shape each region's fabric; endpoints pack
+	// many-per-host (kubemark-style), so the graph stays small while the
+	// address space is huge.
+	Zones        int
+	HostsPerZone int
+	// Probes is the connect fan-out sample count; destinations are drawn
+	// Zipf(skew) over each tenant's endpoints, so a few are hot.
+	Probes int
+	// ZipfSkew is the fan-out skew parameter (> 1).
+	ZipfSkew float64
+	// ChurnEvents caps the Poisson launch/teardown trace length.
+	ChurnEvents int
+	// PermitSamples is how many permit-propagation lag measurements the
+	// sampler takes while churn runs.
+	PermitSamples int
+	// StormOps is the per-rep mutation count in the storm-isolation
+	// phase (both the real storm and the CPU-fairness baseline).
+	StormOps int
+	// Workers is the harness's client-side concurrency.
+	Workers int
+	// Seed feeds every generator in the drill.
+	Seed int64
+}
+
+// DefaultConfig is the E13 tier: a 10^5-EIP, 200-tenant drill.
+func DefaultConfig() Config {
+	return Config{
+		EIPs:          100_000,
+		Tenants:       200,
+		Regions:       16,
+		Zones:         4,
+		HostsPerZone:  8,
+		Probes:        20_000,
+		ZipfSkew:      1.2,
+		ChurnEvents:   2_000,
+		PermitSamples: 200,
+		StormOps:      4_000,
+		Workers:       8,
+		Seed:          42,
+	}
+}
+
+// SmokeConfig is the CI tier: a 10^4-EIP drill that finishes in seconds.
+func SmokeConfig() Config {
+	cfg := DefaultConfig()
+	cfg.EIPs = 10_000
+	cfg.Tenants = 50
+	cfg.Regions = 8
+	cfg.Probes = 4_000
+	cfg.ChurnEvents = 500
+	cfg.PermitSamples = 50
+	cfg.StormOps = 1_000
+	return cfg
+}
+
+// perRegionCap is the usable host addresses in one region /16 (the pool
+// reserves network/broadcast-style edges).
+const perRegionCap = 65_000
+
+// Validate bounds-checks a config against what the harness and the /8
+// address carving can actually hold.
+func (c Config) Validate() error {
+	switch {
+	case c.EIPs < 1:
+		return fmt.Errorf("scale: eips must be >= 1, got %d", c.EIPs)
+	case c.Tenants < 1:
+		return fmt.Errorf("scale: tenants must be >= 1, got %d", c.Tenants)
+	case c.Regions < 1 || c.Regions > 255:
+		return fmt.Errorf("scale: regions must be in [1,255], got %d", c.Regions)
+	case c.Zones < 1 || c.Zones > 64:
+		return fmt.Errorf("scale: zones must be in [1,64], got %d", c.Zones)
+	case c.HostsPerZone < 1 || c.HostsPerZone > 1024:
+		return fmt.Errorf("scale: hosts_per_zone must be in [1,1024], got %d", c.HostsPerZone)
+	case c.Probes < 0:
+		return fmt.Errorf("scale: probes must be >= 0, got %d", c.Probes)
+	case c.ZipfSkew <= 1:
+		return fmt.Errorf("scale: zipf_skew must be > 1, got %g", c.ZipfSkew)
+	case c.ChurnEvents < 0:
+		return fmt.Errorf("scale: churn_events must be >= 0, got %d", c.ChurnEvents)
+	case c.PermitSamples < 0:
+		return fmt.Errorf("scale: permit_samples must be >= 0, got %d", c.PermitSamples)
+	case c.StormOps < 1:
+		return fmt.Errorf("scale: storm_ops must be >= 1, got %d", c.StormOps)
+	case c.Workers < 1 || c.Workers > 256:
+		return fmt.Errorf("scale: workers must be in [1,256], got %d", c.Workers)
+	}
+	// Tenants home one region each; a region's share of EIPs (plus churn
+	// headroom) must fit its /16.
+	tenantsPerRegion := (c.Tenants + c.Regions - 1) / c.Regions
+	perTenant := (c.EIPs + c.Tenants - 1) / c.Tenants
+	need := tenantsPerRegion*perTenant + c.ChurnEvents
+	if need > perRegionCap {
+		return fmt.Errorf("scale: %d EIPs per region (plus churn) exceeds the /16 capacity %d — add regions",
+			need, perRegionCap)
+	}
+	if c.Tenants > c.EIPs {
+		return fmt.Errorf("scale: more tenants (%d) than EIPs (%d)", c.Tenants, c.EIPs)
+	}
+	return nil
+}
+
+// field maps one config key to its accessor, keeping ParseConfig and
+// String in lockstep.
+var fields = []struct {
+	key string
+	get func(*Config) string
+	set func(*Config, string) error
+}{
+	{"eips", func(c *Config) string { return strconv.Itoa(c.EIPs) }, setInt(func(c *Config, v int) { c.EIPs = v })},
+	{"tenants", func(c *Config) string { return strconv.Itoa(c.Tenants) }, setInt(func(c *Config, v int) { c.Tenants = v })},
+	{"regions", func(c *Config) string { return strconv.Itoa(c.Regions) }, setInt(func(c *Config, v int) { c.Regions = v })},
+	{"zones", func(c *Config) string { return strconv.Itoa(c.Zones) }, setInt(func(c *Config, v int) { c.Zones = v })},
+	{"hosts_per_zone", func(c *Config) string { return strconv.Itoa(c.HostsPerZone) }, setInt(func(c *Config, v int) { c.HostsPerZone = v })},
+	{"probes", func(c *Config) string { return strconv.Itoa(c.Probes) }, setInt(func(c *Config, v int) { c.Probes = v })},
+	{"zipf_skew", func(c *Config) string { return strconv.FormatFloat(c.ZipfSkew, 'g', -1, 64) },
+		func(c *Config, s string) error {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return err
+			}
+			c.ZipfSkew = v
+			return nil
+		}},
+	{"churn_events", func(c *Config) string { return strconv.Itoa(c.ChurnEvents) }, setInt(func(c *Config, v int) { c.ChurnEvents = v })},
+	{"permit_samples", func(c *Config) string { return strconv.Itoa(c.PermitSamples) }, setInt(func(c *Config, v int) { c.PermitSamples = v })},
+	{"storm_ops", func(c *Config) string { return strconv.Itoa(c.StormOps) }, setInt(func(c *Config, v int) { c.StormOps = v })},
+	{"workers", func(c *Config) string { return strconv.Itoa(c.Workers) }, setInt(func(c *Config, v int) { c.Workers = v })},
+	{"seed", func(c *Config) string { return strconv.FormatInt(c.Seed, 10) },
+		func(c *Config, s string) error {
+			v, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				return err
+			}
+			c.Seed = v
+			return nil
+		}},
+}
+
+func setInt(assign func(*Config, int)) func(*Config, string) error {
+	return func(c *Config, s string) error {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return err
+		}
+		assign(c, v)
+		return nil
+	}
+}
+
+// ParseConfig reads a drill config in key=value form, one pair per line
+// (or semicolon-separated); '#' starts a comment, blank lines are
+// ignored, unknown or duplicate keys are errors. Unset keys keep their
+// DefaultConfig values, so a config file only states what it overrides.
+// The result is syntax-checked only; call Validate before running it.
+func ParseConfig(text string) (Config, error) {
+	cfg := DefaultConfig()
+	seen := make(map[string]bool)
+	lineno := 0
+	for _, rawLine := range strings.Split(text, "\n") {
+		lineno++
+		for _, raw := range strings.Split(rawLine, ";") {
+			line := raw
+			if i := strings.IndexByte(line, '#'); i >= 0 {
+				line = line[:i]
+			}
+			line = strings.TrimSpace(line)
+			if line == "" {
+				continue
+			}
+			k, v, ok := strings.Cut(line, "=")
+			if !ok {
+				return cfg, fmt.Errorf("scale: line %d: %q is not key=value", lineno, line)
+			}
+			k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+			if k == "" {
+				return cfg, fmt.Errorf("scale: line %d: empty key", lineno)
+			}
+			if v == "" {
+				return cfg, fmt.Errorf("scale: line %d: empty value for %q", lineno, k)
+			}
+			if seen[k] {
+				return cfg, fmt.Errorf("scale: line %d: duplicate key %q", lineno, k)
+			}
+			seen[k] = true
+			found := false
+			for i := range fields {
+				if fields[i].key == k {
+					if err := fields[i].set(&cfg, v); err != nil {
+						return cfg, fmt.Errorf("scale: line %d: %s: %v", lineno, k, err)
+					}
+					found = true
+					break
+				}
+			}
+			if !found {
+				return cfg, fmt.Errorf("scale: line %d: unknown key %q (known: %s)", lineno, k, strings.Join(knownKeys(), ", "))
+			}
+		}
+	}
+	return cfg, nil
+}
+
+func knownKeys() []string {
+	out := make([]string, len(fields))
+	for i := range fields {
+		out[i] = fields[i].key
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the canonical key=value form; ParseConfig(c.String())
+// round-trips exactly (the fuzz target pins this).
+func (c Config) String() string {
+	var b strings.Builder
+	for i := range fields {
+		fmt.Fprintf(&b, "%s=%s\n", fields[i].key, fields[i].get(&c))
+	}
+	return b.String()
+}

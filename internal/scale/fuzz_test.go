@@ -1,0 +1,31 @@
+package scale
+
+import "testing"
+
+// FuzzParseConfig throws arbitrary text at the drill-config parser. The
+// invariants: never panic; on accept, the config must render back out via
+// String() and re-parse to the identical value (canonical round trip);
+// and Validate must never panic on whatever the parser accepted.
+func FuzzParseConfig(f *testing.F) {
+	f.Add("eips=100000\ntenants=200\n")
+	f.Add("# full override\neips=1000000; tenants=400; regions=32\nzipf_skew=1.05")
+	f.Add(DefaultConfig().String())
+	f.Add("workers = 16 # inline comment\n\n;;\nseed=-1")
+	f.Add("hosts_per_zone=64")
+	f.Add("eips")
+	f.Add("=\n==\nx==y")
+	f.Fuzz(func(t *testing.T, text string) {
+		cfg, err := ParseConfig(text)
+		if err != nil {
+			return
+		}
+		_ = cfg.Validate() // must not panic, verdict is input-dependent
+		back, err := ParseConfig(cfg.String())
+		if err != nil {
+			t.Fatalf("canonical form failed to re-parse: %v\n%s", err, cfg.String())
+		}
+		if back != cfg {
+			t.Fatalf("round trip changed config:\n got %+v\nwant %+v", back, cfg)
+		}
+	})
+}

@@ -1,0 +1,104 @@
+package scale
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSmokeDrill runs the CI tier end to end: a 10^4-EIP drill must
+// onboard everything, replay churn, measure real latencies, and show
+// shard isolation within the E13 gate.
+func TestSmokeDrill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke drill takes a few seconds")
+	}
+	cfg := SmokeConfig()
+	m, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Onboarded != cfg.EIPs {
+		t.Errorf("onboarded %d of %d EIPs", m.Onboarded, cfg.EIPs)
+	}
+	if m.Shards < cfg.Tenants {
+		t.Errorf("expected >= %d (tenant, region) shards, got %d", cfg.Tenants, m.Shards)
+	}
+	if m.ChurnEvents == 0 {
+		t.Error("churn trace was empty")
+	}
+	if m.Probes == 0 || m.ConnectP99 == 0 {
+		t.Errorf("fan-out collected %d probes, p99 %v", m.Probes, m.ConnectP99)
+	}
+	if m.ConnectP50 > m.ConnectP99 {
+		t.Errorf("p50 %v > p99 %v", m.ConnectP50, m.ConnectP99)
+	}
+	if m.PermitLagP99 == 0 {
+		t.Error("permit-lag sampler collected nothing")
+	}
+	if m.BytesPerEP <= 0 {
+		t.Errorf("bytes/endpoint not measured: %g", m.BytesPerEP)
+	}
+	if m.StormIdleRatio <= 0 {
+		t.Errorf("storm isolation not measured: ratio %g", m.StormIdleRatio)
+	}
+	// The E13 acceptance gate, at smoke scale: a storm confined to one
+	// shard may not blow up another shard's p99 beyond 1.5x idle.
+	if m.StormIdleRatio > 1.5 {
+		t.Errorf("storm/idle p99 ratio %.2f exceeds the 1.5 isolation gate (idle %v, storm %v)",
+			m.StormIdleRatio, m.StormIdleP99, m.StormP99)
+	}
+	if m.OnboardWall > 2*time.Minute {
+		t.Errorf("onboard took %v — control plane fell over", m.OnboardWall)
+	}
+}
+
+func TestValidateRejectsOverfullRegion(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Regions = 1
+	cfg.Tenants = 1
+	err := cfg.Validate()
+	if err == nil || !strings.Contains(err.Error(), "capacity") {
+		t.Fatalf("expected /16 capacity error, got %v", err)
+	}
+}
+
+func TestParseConfigOverrides(t *testing.T) {
+	cfg, err := ParseConfig("eips = 500\ntenants=5 # fewer\nzipf_skew=1.5; seed=-7\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := DefaultConfig()
+	want.EIPs, want.Tenants, want.ZipfSkew, want.Seed = 500, 5, 1.5, -7
+	if cfg != want {
+		t.Fatalf("got %+v, want %+v", cfg, want)
+	}
+}
+
+func TestParseConfigErrors(t *testing.T) {
+	for _, text := range []string{
+		"eips",          // not key=value
+		"=5",            // empty key
+		"eips=",         // empty value
+		"eips=1\neips=2",// duplicate
+		"bogus=1",       // unknown key
+		"eips=ten",      // not an int
+		"zipf_skew=x",   // not a float
+	} {
+		if _, err := ParseConfig(text); err == nil {
+			t.Errorf("ParseConfig(%q) accepted bad input", text)
+		}
+	}
+}
+
+func TestConfigStringRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EIPs, cfg.Seed, cfg.ZipfSkew = 123_456, -99, 1.0625
+	got, err := ParseConfig(cfg.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != cfg {
+		t.Fatalf("round trip changed config:\n got %+v\nwant %+v", got, cfg)
+	}
+}

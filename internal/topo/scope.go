@@ -77,6 +77,26 @@ func (g *Graph) ScopeEpochSum(scopes []Scope) uint64 {
 // NumScopes reports how many epoch scopes exist (cross-cut included).
 func (g *Graph) NumScopes() int { return len(g.scopeEps) }
 
+// ScopeEpochs copies every scope's current epoch into buf (reallocated
+// when too small), index-aligned with Scope values. Callers snapshot the
+// counters before a computation and compare per-scope afterwards to
+// decide whether the scopes they actually read stayed quiescent —
+// mutations in unrelated scopes do not perturb the comparison, which is
+// what keeps one shard's churn from poisoning another shard's caches.
+// Atomic loads only; new scopes appear only through structural mutations
+// (AddLink), which bump flushEpoch and are caught by the flush check.
+func (g *Graph) ScopeEpochs(buf []uint64) []uint64 {
+	eps := g.scopeEps
+	if cap(buf) < len(eps) {
+		buf = make([]uint64, 0, len(eps))
+	}
+	buf = buf[:0]
+	for _, e := range eps {
+		buf = append(buf, e.Load())
+	}
+	return buf
+}
+
 // scopeOf interns the scope for a provider region, creating it on first
 // use. Nodes outside any region (internet core, IXPs, on-prem without a
 // region) fold into CrossCut.
