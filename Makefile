@@ -17,11 +17,11 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The solver, the parallel sweep driver, and the concurrent read plane
-# (core caches + API RWMutex) are the concurrency-sensitive packages; run
-# them under the race detector.
+# The solver, the parallel sweep driver, the concurrent read plane
+# (core caches + API RWMutex), and the lock-free SLO/trace planes are the
+# concurrency-sensitive packages; run them under the race detector.
 race:
-	$(GO) test -race ./internal/netsim/... ./internal/exp/... ./internal/core/... ./internal/api/... ./internal/scale/...
+	$(GO) test -race ./internal/netsim/... ./internal/exp/... ./internal/core/... ./internal/api/... ./internal/scale/... ./internal/slo/... ./internal/obs/...
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
@@ -48,6 +48,9 @@ benchdiff:
 	$(GO) test -run '^$$' -bench 'ScaleDrill' -benchtime 1x ./internal/scale/ \
 		| $(GO) run ./cmd/benchjson -o BENCH_scale.json -gate 'storm_idle_p99_ratio<=1.5'
 	@cat BENCH_scale.json
+	$(GO) test -run '^$$' -bench 'SLOOverhead' -benchtime 1x ./internal/scale/ \
+		| $(GO) run ./cmd/benchjson -o BENCH_slo.json -gate 'obs_overhead_pct<=5'
+	@cat BENCH_slo.json
 
 # The full-tier scale drill: a 10^6-EIP E13 run. The drill is
 # self-contained, so one benchmark iteration is the measurement.
@@ -74,6 +77,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzParsePrefix$$' -fuzztime $(FUZZTIME) ./internal/addr/
 	$(GO) test -run '^$$' -fuzz '^FuzzParsePermitEntry$$' -fuzztime $(FUZZTIME) ./internal/api/
 	$(GO) test -run '^$$' -fuzz '^FuzzParseConfig$$' -fuzztime $(FUZZTIME) ./internal/scale/
+	$(GO) test -run '^$$' -fuzz '^FuzzParseObjective$$' -fuzztime $(FUZZTIME) ./internal/slo/
 
 # Tier-1 verification plus vet, static analysis, the race pass, and the
 # benchmark smoke test.

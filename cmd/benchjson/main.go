@@ -116,6 +116,13 @@ func main() {
 			}
 		}
 	}
+	// SLO instrumentation cost (BENCH_slo.json): the paired
+	// bare-vs-instrumented drill delta, gated at <= 5%.
+	if ov := find(s.Results, "BenchmarkSLOOverhead"); ov != nil {
+		if v, ok := ov.Extra["obs_overhead_pct"]; ok {
+			s.Derived["obs_overhead_pct"] = round2(v)
+		}
+	}
 	if len(s.Derived) == 0 {
 		s.Derived = nil
 	}

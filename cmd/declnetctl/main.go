@@ -21,6 +21,10 @@
 //	heal link|node|region <target> [advance-ms]   # reverse it
 //	explain <src> <dst>                    # replay the datapath verdict chain
 //	trace [n] [kind]                       # recent decision trace events
+//	slo [all]                              # latency/SLO report for -tenant (or all)
+//	slo set <spec>                         # declare objectives, e.g. connect_p99=5ms;permit_lag_p99=1ms
+//	health                                 # SLO health + noisy-neighbor breaches (exit 1 when degraded)
+//	flight [n]                             # last n retained request spans (flight recorder)
 //	metrics                                # Prometheus text exposition
 //	status
 package main
@@ -92,6 +96,12 @@ parsed:
 		err = c.explain(rest)
 	case "trace":
 		err = c.trace(rest)
+	case "slo":
+		err = c.slo(rest)
+	case "health":
+		err = c.health(rest)
+	case "flight":
+		err = c.flight(rest)
 	case "metrics":
 		err = c.metrics(rest)
 	case "status":
@@ -331,6 +341,40 @@ func (c client) trace(args []string) error {
 		q.Set("kind", args[1])
 	}
 	return c.call("GET", "/v1/trace?"+q.Encode(), nil)
+}
+
+// slo reports per-shard latency accounting for -tenant ("slo all" drops
+// the filter), or declares objectives: "slo set connect_p99=5ms".
+func (c client) slo(args []string) error {
+	if len(args) >= 1 && args[0] == "set" {
+		if err := need(args, 2, "slo set <spec>"); err != nil {
+			return err
+		}
+		return c.call("POST", "/v1/slo", map[string]any{
+			"tenant": c.tenant, "objective": args[1]})
+	}
+	if len(args) >= 1 && args[0] == "all" {
+		return c.call("GET", "/v1/slo", nil)
+	}
+	return c.call("GET", "/v1/slo?tenant="+url.QueryEscape(c.tenant), nil)
+}
+
+// health surfaces the burn-rate / noisy-neighbor view; the server answers
+// 503 when degraded, so the exit status doubles as a probe.
+func (c client) health(args []string) error {
+	return c.call("GET", "/v1/health", nil)
+}
+
+// flight dumps the last n retained request spans (all when n omitted).
+func (c client) flight(args []string) error {
+	path := "/v1/debug/flight"
+	if len(args) >= 1 {
+		if _, err := strconv.Atoi(args[0]); err != nil {
+			return fmt.Errorf("bad span count %q", args[0])
+		}
+		path += "?n=" + args[0]
+	}
+	return c.call("GET", path, nil)
 }
 
 func (c client) metrics(args []string) error {

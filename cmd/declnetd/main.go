@@ -24,6 +24,10 @@
 //	GET  /v1/probe?tenant=&src=&dst=
 //	GET  /v1/explain?tenant=&src=&dst=     replay datapath verdict chain
 //	GET  /v1/trace?tenant=&n=&kind=        recent decision trace events
+//	POST /v1/slo           {tenant, objective}  declare latency objectives
+//	GET  /v1/slo?tenant=                   per-shard latency/SLO report
+//	GET  /v1/health                        noisy-neighbor breaches (503 when degraded)
+//	GET  /v1/debug/flight?n=               last n retained request spans
 //	GET  /v1/metrics                       Prometheus text exposition
 //	GET  /v1/status
 //

@@ -34,6 +34,7 @@ import (
 	"declnet/internal/obs"
 	"declnet/internal/permit"
 	"declnet/internal/qos"
+	"declnet/internal/slo"
 	"declnet/internal/topo"
 )
 
@@ -207,6 +208,15 @@ type ExplainStep = core.ExplainStep
 func (w *World) EnableObservability(tr *obs.Tracer, reg *metrics.Registry) {
 	w.Cloud.EnableObservability(tr, reg)
 }
+
+// EnableSLO attaches (or detaches, with nil) the per-shard latency
+// accounting plane: verb histograms, request-scoped spans with a flight
+// recorder, declared objectives with burn rates, and the noisy-neighbor
+// detector. Breaches land in the decision trace when one is attached.
+func (w *World) EnableSLO(p *slo.Plane) { w.Cloud.EnableSLO(p) }
+
+// SLO returns the attached latency plane, nil until EnableSLO.
+func (w *World) SLO() *slo.Plane { return w.Cloud.SLO() }
 
 // Tracer returns the decision tracer, nil until EnableObservability.
 func (w *World) Tracer() *obs.Tracer { return w.Cloud.Tracer() }
@@ -388,6 +398,13 @@ func (t *Tenant) Transfer(src EIP, dst IP, sizeBytes float64, done func(time.Dur
 // destination, reporting the RTT and whether the probe survived loss.
 func (t *Tenant) Probe(src EIP, dst IP) (time.Duration, bool, error) {
 	return t.world.Cloud.Probe(t.name, src, dst)
+}
+
+// ProbeWith is Probe with a caller-owned SLO span threaded through the
+// datapath, so per-stage timings land on the caller's request-scoped op
+// (the HTTP layer uses this). The caller Ends the op.
+func (t *Tenant) ProbeWith(op *slo.Op, src EIP, dst IP) (time.Duration, bool, error) {
+	return t.world.Cloud.ProbeWith(op, t.name, src, dst)
 }
 
 // Explain replays the datapath decision for a hypothetical flow from one

@@ -26,14 +26,17 @@ import (
 	"declnet/internal/metrics"
 	"declnet/internal/obs"
 	"declnet/internal/qos"
+	"declnet/internal/slo"
 )
 
-// Server wraps a world in an http.Handler. Mutating (POST) handlers take
-// the write lock; read-only handlers (probe, status, explain, trace,
-// metrics) share a read lock, so diagnosis traffic serves concurrently
-// and never queues behind other readers. Everything a read handler
-// touches — path cache, balancer WRR state, permit counters, the
-// engine's RNG — is internally synchronized.
+// Server wraps a world in an http.Handler. Core's sharded locking now
+// carries mutation concurrency, so most handlers — reads (probe, status,
+// explain, trace, metrics) AND single-shard mutations (eips, sips, bind,
+// permit, qos, potato, groups, names) — share s.mu.RLock and serialize
+// only against each other's shards inside core. s.mu.Lock remains for
+// the handlers that advance the simulation engine (transfer, fail/heal —
+// the engine is single-threaded by design) and for /v1/batch, whose
+// epoch-spanning ops take core's global gate exclusively.
 type Server struct {
 	mu    sync.RWMutex
 	world *declnet.World
@@ -42,6 +45,7 @@ type Server struct {
 	log       *slog.Logger
 	tracer    *obs.Tracer
 	registry  *metrics.Registry
+	plane     *slo.Plane
 	startedAt time.Time
 
 	mRequests *metrics.RCounter
@@ -59,6 +63,10 @@ type Options struct {
 	// instances. Both are attached to the world via EnableObservability.
 	Tracer   *obs.Tracer
 	Registry *metrics.Registry
+	// SLO overrides the default latency plane (nil gets a fresh default
+	// plane). It is attached to the world via EnableSLO and backs the
+	// /v1/slo, /v1/health, and /v1/debug/flight endpoints.
+	SLO *slo.Plane
 }
 
 // NewServer returns a handler over the given world with default
@@ -76,10 +84,15 @@ func NewServerWith(w *declnet.World, opts Options) *Server {
 	if opts.Registry == nil {
 		opts.Registry = metrics.NewRegistry()
 	}
+	if opts.SLO == nil {
+		opts.SLO = slo.NewPlane(slo.Config{})
+	}
 	w.EnableObservability(opts.Tracer, opts.Registry)
+	w.EnableSLO(opts.SLO)
 	s := &Server{
 		world: w, mux: http.NewServeMux(),
 		log: opts.Logger, tracer: opts.Tracer, registry: opts.Registry,
+		plane:     opts.SLO,
 		startedAt: time.Now(),
 		mRequests: opts.Registry.Counter("declnet_http_requests_total", "HTTP API requests."),
 		mErrors:   opts.Registry.Counter("declnet_http_errors_total", "HTTP API error responses."),
@@ -104,6 +117,10 @@ func NewServerWith(w *declnet.World, opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/explain", s.explain)
 	s.mux.HandleFunc("GET /v1/trace", s.trace)
 	s.mux.HandleFunc("GET /v1/metrics", s.metrics)
+	s.mux.HandleFunc("GET /v1/slo", s.sloReport)
+	s.mux.HandleFunc("POST /v1/slo", s.sloSet)
+	s.mux.HandleFunc("GET /v1/health", s.health)
+	s.mux.HandleFunc("GET /v1/debug/flight", s.flight)
 	return s
 }
 
@@ -213,8 +230,8 @@ func (s *Server) requestEIP(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	eip, err := s.world.Tenant(req.Tenant).RequestEIP(declnet.NodeID(req.VM))
 	if err != nil {
 		writeErr(w, http.StatusConflict, err)
@@ -240,8 +257,8 @@ func (s *Server) releaseEIP(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if err := s.world.Tenant(req.Tenant).ReleaseEIP(ip); err != nil {
 		writeErr(w, http.StatusConflict, err)
 		return
@@ -266,8 +283,8 @@ func (s *Server) requestSIP(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	sip, err := s.world.Tenant(req.Tenant).RequestSIP(req.Provider)
 	if err != nil {
 		writeErr(w, http.StatusConflict, err)
@@ -312,8 +329,8 @@ func (s *Server) bindish(w http.ResponseWriter, r *http.Request, fn func(*declne
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if err := fn(s.world.Tenant(req.Tenant), eip, sip, req.Weight); err != nil {
 		writeErr(w, http.StatusConflict, err)
 		return
@@ -351,8 +368,8 @@ func (s *Server) setPermitList(w http.ResponseWriter, r *http.Request) {
 		}
 		entries = append(entries, p)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if err := s.world.Tenant(req.Tenant).SetPermitList(target, entries, req.Groups...); err != nil {
 		writeErr(w, http.StatusConflict, err)
 		return
@@ -384,8 +401,8 @@ func (s *Server) setQoS(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if err := s.world.Tenant(req.Tenant).SetQoS(req.Provider, req.Region, req.Bandwidth); err != nil {
 		writeErr(w, http.StatusConflict, err)
 		return
@@ -418,8 +435,8 @@ func (s *Server) setPotato(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("api: unknown policy %q", req.Policy))
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if err := s.world.Tenant(req.Tenant).SetPotato(req.Provider, policy); err != nil {
 		writeErr(w, http.StatusConflict, err)
 		return
@@ -449,8 +466,8 @@ func (s *Server) createGroup(w http.ResponseWriter, r *http.Request) {
 		}
 		members = append(members, ip)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if err := s.world.Tenant(req.Tenant).CreateGroup(req.Name, members...); err != nil {
 		writeErr(w, http.StatusConflict, err)
 		return
@@ -477,8 +494,8 @@ func (s *Server) registerName(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if err := s.world.Tenant(req.Tenant).Register(req.Name, target); err != nil {
 		writeErr(w, http.StatusConflict, err)
 		return
@@ -609,14 +626,19 @@ func (s *Server) probe(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	// The op opens here (not in core) so its service time covers the
+	// whole request path: name resolution, shard locking, datapath.
+	op := s.plane.Begin(slo.VerbProbe, q.Get("tenant"), "")
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	dst, err := s.resolveDst(q.Get("tenant"), q.Get("dst"))
 	if err != nil {
+		op.End(err)
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	rtt, ok, err := s.world.Tenant(q.Get("tenant")).Probe(src, dst)
+	rtt, ok, err := s.world.Tenant(q.Get("tenant")).ProbeWith(&op, src, dst)
+	op.End(err)
 	if err != nil {
 		writeErr(w, http.StatusForbidden, err)
 		return

@@ -2,6 +2,7 @@ package api
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"sync"
@@ -131,12 +132,17 @@ func TestConcurrentCrossShardWritePlane(t *testing.T) {
 	}
 
 	// Storm writers get their own tenants so each mutates a shard nobody
-	// else touches: (storm-a, cloudA/r1) and (storm-b, cloudB/r0).
+	// else touches: (storm-a, cloudA/r1), (storm-b, cloudB/r0), and
+	// (storm-h, cloudA/r0) for the HTTP-level writer.
 	ta, err := pa.RequestEIP("storm-a", w.Host(f.CloudA, f.RegionsA[1], "az2", 1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	tb, err := pb.RequestEIP("storm-b", w.Host(f.CloudB, f.RegionsB[0], "az2", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := pa.RequestEIP("storm-h", w.Host(f.CloudA, f.RegionsA[0], "az2", 2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,6 +210,36 @@ func TestConcurrentCrossShardWritePlane(t *testing.T) {
 			}
 		}()
 	}
+	// HTTP-level mutation storm: since the single-shard handlers demoted
+	// to the API read lock, these POSTs run concurrently with each other,
+	// with the core writers above, and with every reader below — the old
+	// write-lock code serialized all of them. /v1/permit replaces the
+	// list wholesale, so round i posts entries [0..i] and the final list
+	// carries everything.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		entries := make([]string, 0, rounds)
+		for i := 0; i < rounds; i++ {
+			entries = append(entries, addr.IP(0x0a030000+uint32(i)).String()+"/32")
+			body, err := json.Marshal(PermitRequest{Tenant: "storm-h", Target: th.String(),
+				Entries: append([]string(nil), entries...)})
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp, err := http.Post(ts.URL+"/v1/permit", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("POST /v1/permit round %d: status %d", i, resp.StatusCode)
+				return
+			}
+		}
+	}()
 	// HTTP readers ride along so the API read plane sees the same storm.
 	wg.Add(1)
 	go func() {
@@ -239,6 +275,9 @@ func TestConcurrentCrossShardWritePlane(t *testing.T) {
 		}
 		if !c.Admitted(addr.IP(0x0a020000+uint32(i)), tb) {
 			t.Fatalf("storm-b entry %d lost", i)
+		}
+		if !c.Admitted(addr.IP(0x0a030000+uint32(i)), th) {
+			t.Fatalf("storm-h (HTTP) entry %d lost", i)
 		}
 	}
 	if got := c.Shards().Len(); got < 3 {

@@ -30,6 +30,7 @@ import (
 	"declnet/internal/addr"
 	"declnet/internal/permit"
 	"declnet/internal/qos"
+	"declnet/internal/slo"
 	"declnet/internal/topo"
 )
 
@@ -165,8 +166,10 @@ func (c *Cloud) Batch(fn func() error) error {
 // so the op bodies below are the unlocked verb variants: taking a
 // shard's lock while holding the gate would self-deadlock.
 func (c *Cloud) ApplyBatch(tenant string, ops []BatchOp) ([]BatchResult, error) {
+	sop := c.slo.Begin(slo.VerbBatch, tenant, "")
 	defer c.shards.lockGlobal()()
 	if err := c.validateBatch(ops); err != nil {
+		sop.End(err)
 		return nil, err
 	}
 	results := make([]BatchResult, 0, len(ops))
@@ -175,10 +178,18 @@ func (c *Cloud) ApplyBatch(tenant string, ops []BatchOp) ([]BatchResult, error) 
 	for i := range ops {
 		res, err := c.applyOp(tenant, &ops[i], results)
 		if err != nil {
-			return results, &BatchError{Index: i, Op: ops[i].Op, Err: err}
+			berr := &BatchError{Index: i, Op: ops[i].Op, Err: err}
+			sop.End(berr)
+			c.tenantDelta(tenant, 0)
+			return results, berr
 		}
 		results = append(results, res)
 	}
+	sop.End(nil)
+	// A batch may have released the tenant's last address; End just
+	// recorded into its SLO shard, so re-sweep (zero-delta) to keep the
+	// fully-released eviction airtight.
+	c.tenantDelta(tenant, 0)
 	return results, nil
 }
 

@@ -15,6 +15,7 @@ import (
 	"declnet/internal/permit"
 	"declnet/internal/qos"
 	"declnet/internal/sim"
+	"declnet/internal/slo"
 	"declnet/internal/topo"
 )
 
@@ -75,6 +76,16 @@ type Cloud struct {
 		ip addr.IP
 		s  string
 	}
+
+	// slo is the live SLO plane, nil until EnableSLO (see slo.go);
+	// nil-safe at every call site like the tracer.
+	slo *slo.Plane
+
+	// refMu guards tenantRefs: live address grants per tenant, so the
+	// observability planes can evict a fully-released tenant's state
+	// (trace ring, SLO shards) instead of growing with tenant churn.
+	refMu      sync.Mutex
+	tenantRefs map[string]int
 
 	// router is the epoch-keyed path cache in front of qos.PathFor; every
 	// Connect/Probe/Explain routes through it.
@@ -163,11 +174,12 @@ func newCloud(seed int64, g *topo.Graph, singleShard bool) *Cloud {
 	eng := sim.New(seed)
 	c := &Cloud{
 		Eng: eng, G: g, Net: netsim.New(g, eng),
-		providers: make(map[string]*Provider),
-		shards:    newShardSet(singleShard),
-		groups:    make(map[string]map[string][]EIP),
-		names:     make(map[string]map[string]addr.IP),
-		router:    qos.NewRouter(g),
+		providers:  make(map[string]*Provider),
+		shards:     newShardSet(singleShard),
+		groups:     make(map[string]map[string][]EIP),
+		names:      make(map[string]map[string]addr.IP),
+		tenantRefs: make(map[string]int),
+		router:     qos.NewRouter(g),
 	}
 	for i := range c.adm {
 		c.adm[i].m = make(map[admKey]admVal)
@@ -205,6 +217,8 @@ func (c *Cloud) AddProvider(name string, cfg Config) (*Provider, error) {
 		p.trace = c.traceEvent
 	}
 	p.addrsChanged = c.noteAddrsChanged
+	p.tenantChanged = c.tenantDelta
+	p.slo = c.slo
 	c.providers[name] = p
 	c.rebuildIndex()
 	c.noteAddrsChanged()
@@ -350,6 +364,18 @@ func (c *Cloud) admitted(dstProv *Provider, src, dst addr.IP) bool {
 	}
 	s.m[key] = admVal{allowed: allowed, list: l, version: ver}
 	s.mu.Unlock()
+	// A fill means this destination's current permit list version just
+	// became visible to admission — the resolve point of the SLO plane's
+	// live permit-propagation-lag sampler. The fill path owns the shard
+	// derivation (the stamp side stays one atomic add when sampled out),
+	// and the pending gate keeps the idle cost to one atomic load.
+	if c.slo.PendingLagSamples() > 0 {
+		region := dstProv.Name
+		if ep, ok := dstProv.addrs.getEndpoint(dst); ok {
+			region = ep.shard
+		}
+		c.slo.ResolveLag(dst, region)
+	}
 	return allowed
 }
 
@@ -468,11 +494,21 @@ type ConnectOpts struct {
 // the netsim solver is single-writer; Probe is the fully concurrent
 // read-plane variant.
 func (c *Cloud) Connect(tenant string, src EIP, dst addr.IP, opts ConnectOpts) (*Conn, error) {
+	op := c.slo.Begin(slo.VerbConnect, tenant, "")
 	defer c.shards.rlockShards(c.shardKeyOf(tenant, src), c.shardKeyOf(tenant, dst))()
-	return c.connect(tenant, src, dst, opts)
+	cn, err := c.connect(&op, tenant, src, dst, opts)
+	op.End(err)
+	return cn, err
 }
 
-func (c *Cloud) connect(tenant string, src EIP, dst addr.IP, opts ConnectOpts) (*Conn, error) {
+// ConnectWith is Connect continuing a caller-owned SLO op (the API
+// layer threads its request span through here); the caller Ends it.
+func (c *Cloud) ConnectWith(op *slo.Op, tenant string, src EIP, dst addr.IP, opts ConnectOpts) (*Conn, error) {
+	defer c.shards.rlockShards(c.shardKeyOf(tenant, src), c.shardKeyOf(tenant, dst))()
+	return c.connect(op, tenant, src, dst, opts)
+}
+
+func (c *Cloud) connect(op *slo.Op, tenant string, src EIP, dst addr.IP, opts ConnectOpts) (*Conn, error) {
 	srcProv, ok := c.providerOfAddr(src)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown source EIP %s", src)
@@ -481,13 +517,17 @@ func (c *Cloud) connect(tenant string, src EIP, dst addr.IP, opts ConnectOpts) (
 	if err != nil {
 		return nil, err
 	}
+	op.SetRegion(srcEp.shard)
 	dstProv, ok := c.providerOfAddr(dst)
 	if !ok {
 		return nil, fmt.Errorf("core: destination %s is not a granted address", dst)
 	}
 	// (1) Default-off admission, enforced by the destination's provider
 	// against the address the client targeted (EIP or SIP).
-	if !c.admitted(dstProv, src, dst) {
+	stg := op.StageStart()
+	admitOK := c.admitted(dstProv, src, dst)
+	op.StageEnd(stg, "permit")
+	if !admitOK {
 		if c.trace != nil {
 			dec := dstProv.Permits.Explain(src, dst)
 			cause := obs.Chain("permit-deny:"+dst.String(), "src-not-in-permit-list")
@@ -509,7 +549,9 @@ func (c *Cloud) connect(tenant string, src EIP, dst addr.IP, opts ConnectOpts) (
 	dstEIP := dst
 	var release func()
 	if svc, isSIP := dstProv.addrs.getService(dst); isSIP {
+		stg = op.StageStart()
 		be, err := svc.balancer.Pick()
+		op.StageEnd(stg, "balance")
 		if err != nil {
 			c.traceEvent(obs.SIPPick, tenant, src, dst, "fail",
 				"healthy=0/"+strconv.Itoa(len(svc.balancer.Backends())),
@@ -534,7 +576,9 @@ func (c *Cloud) connect(tenant string, src EIP, dst addr.IP, opts ConnectOpts) (
 	}
 	// (3) Path under the tenant's transit profile.
 	policy := srcProv.potatoOf(tenant)
+	stg = op.StageStart()
 	path, err := c.router.PathFor(policy, srcEp.node, dstEp.node)
+	op.StageEnd(stg, "path")
 	if err != nil {
 		if release != nil {
 			release()
@@ -583,6 +627,7 @@ func (c *Cloud) connect(tenant string, src EIP, dst addr.IP, opts ConnectOpts) (
 		return nil, err
 	}
 	cn.Flow = flow
+	stg = op.StageStart()
 	if opts.Class == Reserved && (dstEp.provider != srcEp.provider || dstEp.region != srcEp.region) {
 		// Cross-region/cloud reserved egress: subject to the tenant's
 		// regional quota when one is set. Best-effort traffic bypasses
@@ -610,6 +655,7 @@ func (c *Cloud) connect(tenant string, src EIP, dst addr.IP, opts ConnectOpts) (
 			}
 		}
 	}
+	op.StageEnd(stg, "qos")
 	c.mConnects.Inc()
 	return cn, nil
 }
@@ -620,11 +666,22 @@ func (c *Cloud) connect(tenant string, src EIP, dst addr.IP, opts ConnectOpts) (
 // Probe touches only concurrency-safe structures and is the scale
 // harness's connect-latency instrument.
 func (c *Cloud) Probe(tenant string, src EIP, dst addr.IP) (time.Duration, bool, error) {
+	op := c.slo.Begin(slo.VerbProbe, tenant, "")
 	defer c.shards.rlockShards(c.shardKeyOf(tenant, src), c.shardKeyOf(tenant, dst))()
-	return c.probe(tenant, src, dst)
+	rtt, delivered, err := c.probe(&op, tenant, src, dst)
+	op.End(err)
+	return rtt, delivered, err
 }
 
-func (c *Cloud) probe(tenant string, src EIP, dst addr.IP) (time.Duration, bool, error) {
+// ProbeWith is Probe with a caller-owned span: the API layer threads its
+// request-scoped op through so stage timings land on the HTTP span. The
+// caller Ends the op.
+func (c *Cloud) ProbeWith(op *slo.Op, tenant string, src EIP, dst addr.IP) (time.Duration, bool, error) {
+	defer c.shards.rlockShards(c.shardKeyOf(tenant, src), c.shardKeyOf(tenant, dst))()
+	return c.probe(op, tenant, src, dst)
+}
+
+func (c *Cloud) probe(op *slo.Op, tenant string, src EIP, dst addr.IP) (time.Duration, bool, error) {
 	srcProv, ok := c.providerOfAddr(src)
 	if !ok {
 		return 0, false, fmt.Errorf("core: unknown source EIP %s", src)
@@ -633,11 +690,15 @@ func (c *Cloud) probe(tenant string, src EIP, dst addr.IP) (time.Duration, bool,
 	if err != nil {
 		return 0, false, err
 	}
+	op.SetRegion(srcEp.shard)
 	dstProv, ok := c.providerOfAddr(dst)
 	if !ok {
 		return 0, false, fmt.Errorf("core: destination %s is not a granted address", dst)
 	}
-	if !c.admitted(dstProv, src, dst) {
+	stg := op.StageStart()
+	admitOK := c.admitted(dstProv, src, dst)
+	op.StageEnd(stg, "permit")
+	if !admitOK {
 		return 0, false, fmt.Errorf("core: %s not permitted to reach %s (default-off)", src, dst)
 	}
 	dstEIP := dst
@@ -654,7 +715,9 @@ func (c *Cloud) probe(tenant string, src EIP, dst addr.IP) (time.Duration, bool,
 		return 0, false, fmt.Errorf("core: backend %s vanished", dstEIP)
 	}
 	policy := srcProv.potatoOf(tenant)
+	stg = op.StageStart()
 	path, err := c.router.PathFor(policy, srcEp.node, dstEp.node)
+	op.StageEnd(stg, "path")
 	if err != nil {
 		return 0, false, err
 	}

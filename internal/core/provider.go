@@ -33,6 +33,7 @@ import (
 	"declnet/internal/permit"
 	"declnet/internal/qos"
 	"declnet/internal/sim"
+	"declnet/internal/slo"
 	"declnet/internal/topo"
 )
 
@@ -51,6 +52,7 @@ type endpoint struct {
 	node      topo.NodeID // the VM/container the EIP fronts
 	provider  string
 	region    string
+	shard     string  // "provider/region", precomputed so per-op SLO tagging never allocates
 	egressCap float64 // per-VM egress guarantee/cap (bits/s), 0 = provider default
 }
 
@@ -136,6 +138,15 @@ type Provider struct {
 	// address epoch (batch windows coalesce the bumps).
 	addrsChanged func()
 
+	// tenantChanged, when set, reports address-grant refcount deltas to
+	// the Cloud so fully-released tenants' observability state can be
+	// evicted (see Cloud.tenantDelta).
+	tenantChanged func(tenant string, delta int)
+
+	// slo, when set, is the live SLO plane every verb wrapper records
+	// service time into (see internal/slo); nil-safe at every call site.
+	slo *slo.Plane
+
 	cfg Config
 }
 
@@ -159,6 +170,21 @@ func (p *Provider) notifyAddrs() {
 	if p.addrsChanged != nil {
 		p.addrsChanged()
 	}
+}
+
+// notifyTenant reports a grant-refcount delta to the enclosing Cloud.
+func (p *Provider) notifyTenant(tenant string, delta int) {
+	if p.tenantChanged != nil {
+		p.tenantChanged(tenant, delta)
+	}
+}
+
+// stampPermitLag marks an accepted permit update for the SLO plane's
+// live propagation-lag sampler; resolved at the next admission-cache
+// fill for target. Called from the unlocked verb bodies so the batch
+// path samples too.
+func (p *Provider) stampPermitLag(tenant string, target addr.IP) {
+	p.slo.StampPermit(tenant, target)
 }
 
 // tenantQuota is one (tenant, region) egress guarantee. mu guards the
@@ -308,8 +334,12 @@ func (p *Provider) RequestEIP(tenant string, vm topo.NodeID) (EIP, error) {
 	if n, ok := p.g.Node(vm); ok {
 		region = n.Region
 	}
-	defer p.lockShard(p.regionShardKey(tenant, region))()
-	return p.requestEIP(tenant, vm)
+	k := p.regionShardKey(tenant, region)
+	op := p.slo.Begin(slo.VerbGrant, tenant, k.Region)
+	defer p.lockShard(k)()
+	eip, err := p.requestEIP(tenant, vm)
+	op.End(err)
+	return eip, err
 }
 
 func (p *Provider) requestEIP(tenant string, vm topo.NodeID) (EIP, error) {
@@ -334,8 +364,10 @@ func (p *Provider) requestEIP(tenant string, vm topo.NodeID) (EIP, error) {
 	p.addrs.putEndpoint(eip, &endpoint{
 		eip: eip, tenant: tenant, node: vm,
 		provider: p.Name, region: n.Region,
+		shard: p.Name + "/" + n.Region,
 	})
 	p.notifyAddrs()
+	p.notifyTenant(tenant, 1)
 	if p.meter != nil {
 		p.meter.GrantEIP(tenant, p.eng.Now())
 	}
@@ -344,8 +376,16 @@ func (p *Provider) requestEIP(tenant string, vm topo.NodeID) (EIP, error) {
 
 // ReleaseEIP returns the endpoint address and tears down its permit state.
 func (p *Provider) ReleaseEIP(tenant string, eip EIP) error {
-	defer p.lockShard(p.shardKeyFor(tenant, eip))()
-	return p.releaseEIP(tenant, eip)
+	k := p.shardKeyFor(tenant, eip)
+	op := p.slo.Begin(slo.VerbGrant, tenant, k.Region)
+	defer p.lockShard(k)()
+	err := p.releaseEIP(tenant, eip)
+	op.End(err)
+	// End records into the tenant's SLO shard after releaseEIP may have
+	// evicted it (last address gone); a zero-delta notify re-sweeps so a
+	// churned tenant leaves no orphan shard behind.
+	p.notifyTenant(tenant, 0)
+	return err
 }
 
 func (p *Provider) releaseEIP(tenant string, eip EIP) error {
@@ -364,6 +404,7 @@ func (p *Provider) releaseEIP(tenant string, eip EIP) error {
 	p.Permits.Drop(eip)
 	p.addrs.delEndpoint(eip)
 	p.notifyAddrs()
+	p.notifyTenant(tenant, -1)
 	if p.meter != nil {
 		p.meter.ReleaseEIP(tenant, p.eng.Now())
 	}
@@ -372,8 +413,11 @@ func (p *Provider) releaseEIP(tenant string, eip EIP) error {
 
 // RequestSIP grants a service IP (Table 2: request_sip()).
 func (p *Provider) RequestSIP(tenant string) (SIP, error) {
+	op := p.slo.Begin(slo.VerbGrant, tenant, p.Name)
 	defer p.lockShard(p.regionShardKey(tenant, ""))()
-	return p.requestSIP(tenant)
+	sip, err := p.requestSIP(tenant)
+	op.End(err)
+	return sip, err
 }
 
 func (p *Provider) requestSIP(tenant string) (SIP, error) {
@@ -383,6 +427,7 @@ func (p *Provider) requestSIP(tenant string) (SIP, error) {
 	}
 	p.addrs.putService(sip, &service{sip: sip, tenant: tenant, balancer: lb.New(sip)})
 	p.notifyAddrs()
+	p.notifyTenant(tenant, 1)
 	if p.meter != nil {
 		p.meter.GrantSIP(tenant, p.eng.Now())
 	}
@@ -391,8 +436,14 @@ func (p *Provider) requestSIP(tenant string) (SIP, error) {
 
 // ReleaseSIP tears down a service address.
 func (p *Provider) ReleaseSIP(tenant string, sip SIP) error {
+	op := p.slo.Begin(slo.VerbGrant, tenant, p.Name)
 	defer p.lockShard(p.regionShardKey(tenant, ""))()
-	return p.releaseSIP(tenant, sip)
+	err := p.releaseSIP(tenant, sip)
+	op.End(err)
+	// See ReleaseEIP: re-sweep after End in case this released the
+	// tenant's last address.
+	p.notifyTenant(tenant, 0)
+	return err
 }
 
 func (p *Provider) releaseSIP(tenant string, sip SIP) error {
@@ -403,6 +454,7 @@ func (p *Provider) releaseSIP(tenant string, sip SIP) error {
 	p.Permits.Drop(sip)
 	p.addrs.delService(sip)
 	p.notifyAddrs()
+	p.notifyTenant(tenant, -1)
 	if p.meter != nil {
 		p.meter.ReleaseSIP(tenant, p.eng.Now())
 	}
@@ -412,8 +464,11 @@ func (p *Provider) releaseSIP(tenant string, sip SIP) error {
 // Bind associates an EIP with a SIP (Table 2: bind(eip, sip)) with the
 // optional weight extension; the provider owns all load balancing.
 func (p *Provider) Bind(tenant string, eip EIP, sip SIP, weight int) error {
+	op := p.slo.Begin(slo.VerbBind, tenant, p.Name)
 	defer p.lockShard(p.regionShardKey(tenant, ""))()
-	return p.bind(tenant, eip, sip, weight)
+	err := p.bind(tenant, eip, sip, weight)
+	op.End(err)
+	return err
 }
 
 func (p *Provider) bind(tenant string, eip EIP, sip SIP, weight int) error {
@@ -430,8 +485,11 @@ func (p *Provider) bind(tenant string, eip EIP, sip SIP, weight int) error {
 
 // Unbind removes an EIP from a SIP with connection draining.
 func (p *Provider) Unbind(tenant string, eip EIP, sip SIP) error {
+	op := p.slo.Begin(slo.VerbBind, tenant, p.Name)
 	defer p.lockShard(p.regionShardKey(tenant, ""))()
-	return p.unbind(tenant, eip, sip)
+	err := p.unbind(tenant, eip, sip)
+	op.End(err)
+	return err
 }
 
 func (p *Provider) unbind(tenant string, eip EIP, sip SIP) error {
@@ -446,8 +504,12 @@ func (p *Provider) unbind(tenant string, eip EIP, sip SIP) error {
 // set_permit_list(eip, permit_list)). Group references expand to their
 // current membership.
 func (p *Provider) SetPermitList(tenant string, target addr.IP, entries []permit.Entry, groupRefs ...string) error {
-	defer p.lockShard(p.shardKeyFor(tenant, target))()
-	return p.setPermitList(tenant, target, entries, groupRefs...)
+	k := p.shardKeyFor(tenant, target)
+	op := p.slo.Begin(slo.VerbPermit, tenant, k.Region)
+	defer p.lockShard(k)()
+	err := p.setPermitList(tenant, target, entries, groupRefs...)
+	op.End(err)
+	return err
 }
 
 func (p *Provider) setPermitList(tenant string, target addr.IP, entries []permit.Entry, groupRefs ...string) error {
@@ -481,6 +543,7 @@ func (p *Provider) setPermitList(tenant string, target addr.IP, entries []permit
 		}
 	}
 	p.Permits.Set(target, all)
+	p.stampPermitLag(tenant, target)
 	if p.meter != nil {
 		p.meter.PermitUpdate(tenant, p.eng.Now())
 	}
@@ -493,8 +556,12 @@ func (p *Provider) setPermitList(tenant string, target addr.IP, entries []permit
 
 // Permit incrementally allows one source.
 func (p *Provider) Permit(tenant string, target addr.IP, entry permit.Entry) error {
-	defer p.lockShard(p.shardKeyFor(tenant, target))()
-	return p.permitEntry(tenant, target, entry)
+	k := p.shardKeyFor(tenant, target)
+	op := p.slo.Begin(slo.VerbPermit, tenant, k.Region)
+	defer p.lockShard(k)()
+	err := p.permitEntry(tenant, target, entry)
+	op.End(err)
+	return err
 }
 
 func (p *Provider) permitEntry(tenant string, target addr.IP, entry permit.Entry) error {
@@ -502,6 +569,7 @@ func (p *Provider) permitEntry(tenant string, target addr.IP, entry permit.Entry
 		return err
 	}
 	p.Permits.Permit(target, entry)
+	p.stampPermitLag(tenant, target)
 	if p.meter != nil {
 		p.meter.PermitUpdate(tenant, p.eng.Now())
 	}
@@ -510,8 +578,12 @@ func (p *Provider) permitEntry(tenant string, target addr.IP, entry permit.Entry
 
 // Revoke incrementally removes one source.
 func (p *Provider) Revoke(tenant string, target addr.IP, entry permit.Entry) error {
-	defer p.lockShard(p.shardKeyFor(tenant, target))()
-	return p.revokeEntry(tenant, target, entry)
+	k := p.shardKeyFor(tenant, target)
+	op := p.slo.Begin(slo.VerbPermit, tenant, k.Region)
+	defer p.lockShard(k)()
+	err := p.revokeEntry(tenant, target, entry)
+	op.End(err)
+	return err
 }
 
 func (p *Provider) revokeEntry(tenant string, target addr.IP, entry permit.Entry) error {
@@ -519,6 +591,7 @@ func (p *Provider) revokeEntry(tenant string, target addr.IP, entry permit.Entry
 		return err
 	}
 	p.Permits.Revoke(target, entry)
+	p.stampPermitLag(tenant, target)
 	if p.meter != nil {
 		p.meter.PermitUpdate(tenant, p.eng.Now())
 	}
@@ -528,8 +601,12 @@ func (p *Provider) revokeEntry(tenant string, target addr.IP, entry permit.Entry
 // SetQoS sets the tenant's regional egress-bandwidth allowance (Table 2:
 // set_qos(region, bandwidth)).
 func (p *Provider) SetQoS(tenant, region string, bandwidth float64) error {
-	defer p.lockShard(p.regionShardKey(tenant, region))()
-	return p.setQoS(tenant, region, bandwidth)
+	k := p.regionShardKey(tenant, region)
+	op := p.slo.Begin(slo.VerbQoS, tenant, k.Region)
+	defer p.lockShard(k)()
+	err := p.setQoS(tenant, region, bandwidth)
+	op.End(err)
+	return err
 }
 
 func (p *Provider) setQoS(tenant, region string, bandwidth float64) error {
@@ -556,8 +633,10 @@ func (p *Provider) setQoS(tenant, region string, bandwidth float64) error {
 // SetPotato selects the tenant's transit profile (hot/cold/dedicated-
 // approximation; §4 QoS "adopt this option unchanged").
 func (p *Provider) SetPotato(tenant string, policy qos.PotatoPolicy) {
+	op := p.slo.Begin(slo.VerbQoS, tenant, p.Name)
 	defer p.lockShard(p.regionShardKey(tenant, ""))()
 	p.setPotato(tenant, policy)
+	op.End(nil)
 }
 
 func (p *Provider) setPotato(tenant string, policy qos.PotatoPolicy) {
@@ -587,19 +666,24 @@ func (p *Provider) quotaOf(tenant, region string) (*tenantQuota, bool) {
 
 // SetVMEgressCap overrides the per-VM egress guarantee for one endpoint.
 func (p *Provider) SetVMEgressCap(tenant string, eip EIP, bps float64) error {
-	defer p.lockShard(p.shardKeyFor(tenant, eip))()
+	k := p.shardKeyFor(tenant, eip)
+	op := p.slo.Begin(slo.VerbQoS, tenant, k.Region)
+	defer p.lockShard(k)()
 	ep, err := p.owned(tenant, eip)
-	if err != nil {
-		return err
+	if err == nil {
+		ep.egressCap = bps
 	}
-	ep.egressCap = bps
-	return nil
+	op.End(err)
+	return err
 }
 
 // CreateGroup defines or replaces a named endpoint group (extension).
 func (p *Provider) CreateGroup(tenant, name string, members ...EIP) error {
+	op := p.slo.Begin(slo.VerbBind, tenant, p.Name)
 	defer p.lockShard(p.regionShardKey(tenant, ""))()
-	return p.createGroup(tenant, name, members...)
+	err := p.createGroup(tenant, name, members...)
+	op.End(err)
+	return err
 }
 
 func (p *Provider) createGroup(tenant, name string, members ...EIP) error {

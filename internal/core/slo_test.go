@@ -1,0 +1,156 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"declnet/internal/obs"
+	"declnet/internal/slo"
+	"declnet/internal/topo"
+)
+
+// shardCountFor counts the plane's shards belonging to one tenant.
+func shardCountFor(p *slo.Plane, tenant string) int {
+	n := 0
+	for _, s := range p.Snapshot() {
+		if s.Key.Tenant == tenant {
+			n++
+		}
+	}
+	return n
+}
+
+// TestTenantEvictionOnFullRelease is the observability-lifetime
+// regression: a tenant that releases its last address must take its
+// decision-trace ring and SLO shard histograms with it — including the
+// shard the release verb's own End would respawn after eviction.
+func TestTenantEvictionOnFullRelease(t *testing.T) {
+	c, w, pa, pb, _ := fig1Cloud(t)
+	tr := obs.NewTracer(64)
+	c.EnableObservability(tr, nil)
+	plane := slo.NewPlane(slo.Config{Window: time.Hour, SampleEvery: 1})
+	c.EnableSLO(plane)
+	if c.SLO() != plane {
+		t.Fatal("SLO() did not return the attached plane")
+	}
+
+	eipA, err := pa.RequestEIP("churn", topo.HostID(w.CloudA, w.RegionsA[0], "az1", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eipB, err := pb.RequestEIP("churn", topo.HostID(w.CloudB, w.RegionsB[0], "az1", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sip, err := pa.RequestSIP("churn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.TenantRefs("churn"); got != 3 {
+		t.Fatalf("TenantRefs = %d, want 3", got)
+	}
+	tr.Record(obs.Event{Tenant: "churn", Kind: obs.PermitAllow, Detail: "live"})
+	if shardCountFor(plane, "churn") == 0 {
+		t.Fatal("grants recorded no SLO shards")
+	}
+
+	// Partial release keeps everything.
+	if err := pa.ReleaseEIP("churn", eipA); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.TenantRefs("churn"); got != 2 {
+		t.Fatalf("TenantRefs after partial release = %d, want 2", got)
+	}
+	if tr.Len("churn") == 0 || shardCountFor(plane, "churn") == 0 {
+		t.Fatal("partial release evicted live tenant state")
+	}
+
+	// Full release evicts ring and shards, with nothing respawned by the
+	// final release's own latency recording.
+	if err := pb.ReleaseEIP("churn", eipB); err != nil {
+		t.Fatal(err)
+	}
+	if err := pa.ReleaseSIP("churn", sip); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.TenantRefs("churn"); got != 0 {
+		t.Fatalf("TenantRefs after full release = %d, want 0", got)
+	}
+	if got := tr.Len("churn"); got != 0 {
+		t.Fatalf("trace ring survived eviction with %d events", got)
+	}
+	if got := shardCountFor(plane, "churn"); got != 0 {
+		t.Fatalf("%d SLO shards survived eviction", got)
+	}
+
+	// Re-onboarding starts fresh.
+	if _, err := pa.RequestEIP("churn", topo.HostID(w.CloudA, w.RegionsA[0], "az1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.TenantRefs("churn"); got != 1 {
+		t.Fatalf("TenantRefs after re-grant = %d, want 1", got)
+	}
+	if shardCountFor(plane, "churn") == 0 {
+		t.Fatal("re-onboarded tenant recorded no shards")
+	}
+}
+
+// TestTenantEvictionViaBatch covers the batch path: a batch whose ops
+// release the tenant's last address must sweep the shard the batch op's
+// own End records into.
+func TestTenantEvictionViaBatch(t *testing.T) {
+	c, w, pa, _, _ := fig1Cloud(t)
+	plane := slo.NewPlane(slo.Config{Window: time.Hour})
+	c.EnableSLO(plane)
+
+	eip, err := pa.RequestEIP("churn", topo.HostID(w.CloudA, w.RegionsA[0], "az1", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ApplyBatch("churn", []BatchOp{
+		{Op: "release_eip", EIP: eip.String()},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.TenantRefs("churn"); got != 0 {
+		t.Fatalf("TenantRefs after batch release = %d, want 0", got)
+	}
+	if got := shardCountFor(plane, "churn"); got != 0 {
+		t.Fatalf("%d SLO shards survived batch eviction", got)
+	}
+}
+
+// TestBreachLandsInDecisionTrace checks the EnableSLO bridge: a detector
+// breach fires the OnBreach callback into the victim tenant's trace ring
+// as an slo-breach event carrying the cause chain.
+func TestBreachLandsInDecisionTrace(t *testing.T) {
+	c, _, _, _, _ := fig1Cloud(t)
+	tr := obs.NewTracer(64)
+	c.EnableObservability(tr, nil)
+	plane := slo.NewPlane(slo.Config{Window: time.Hour, MinWindowSamples: 8})
+	c.EnableSLO(plane)
+
+	for i := 0; i < 16; i++ {
+		plane.Observe(slo.VerbConnect, "victim", "cloudA/a-east", time.Microsecond)
+	}
+	plane.AdvanceWindow()
+	for i := 0; i < 16; i++ {
+		plane.Observe(slo.VerbConnect, "victim", "cloudA/a-east", 100*time.Microsecond)
+	}
+	for i := 0; i < 100; i++ {
+		plane.Observe(slo.VerbPermit, "noisy", "cloudB/b-east", time.Microsecond)
+	}
+	if rep := plane.Health(); rep.Status != "degraded" {
+		t.Fatalf("expected breach, got %+v", rep)
+	}
+	evs := tr.Recent("victim", 0)
+	if len(evs) != 1 || evs[0].Kind != obs.SLOBreach {
+		t.Fatalf("victim trace = %v, want one slo-breach event", evs)
+	}
+	for _, want := range []string{"noisy-neighbor:noisy@cloudB/b-east", "slo-breach:connect-p99"} {
+		if !strings.Contains(evs[0].Cause, want) {
+			t.Errorf("cause %q missing %q", evs[0].Cause, want)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package exp
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestE14Shape checks the detector table's structure without pinning any
+// timing value: the breach must be detected and attributed to the right
+// shard, the flight recorder and lag sampler must report their
+// deterministic counts, and every wall-clock cell must be maskable.
+func TestE14Shape(t *testing.T) {
+	tbl, err := E14NoisyNeighbor(7) // different seed from the golden run
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := tbl.Text()
+	for _, want := range []string{
+		"breach detected",
+		"victim shard flagged",
+		"observer@cloudA/a-east",
+		"suspected noisy neighbor",
+		"noisy@cloudB/b-east",
+		"attribution correct",
+		"slo-breach event in decision trace",
+		"error spans retained in flight (why=error)",
+		"live permit-lag samples resolved",
+		"detection gate",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("table missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "FAIL") {
+		t.Errorf("detection gate failed:\n%s", text)
+	}
+	// After masking, no wall-clock cell may survive: any remaining float
+	// is a timing value the golden would pin across hosts.
+	masked := normalize("E14", text)
+	if !strings.Contains(masked, "<wall-clock>") {
+		t.Errorf("normalize(E14) masked nothing:\n%s", masked)
+	}
+	if leak := regexp.MustCompile(`\d+\.\d+`).FindString(masked); leak != "" && leak != "0.00" {
+		t.Errorf("unmasked float %q survives normalization:\n%s", leak, masked)
+	}
+}

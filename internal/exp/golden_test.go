@@ -23,6 +23,9 @@ var volatile = map[string]*regexp.Regexp{
 	// timing cell carries a us/ms/B//s/x suffix so exactly those cells
 	// mask while the deterministic counters stay pinned.
 	"E13": regexp.MustCompile(`-?\d+(\.\d+)?(us|ms|x|B|/s)\b`),
+	// E14's detector compares wall-clock window p99s; the us/x cells mask
+	// while the detection verdicts, attribution strings, and counts pin.
+	"E14": regexp.MustCompile(`-?\d+(\.\d+)?(us|ms|x|%|/s)\b`),
 }
 
 func normalize(id, text string) string {
@@ -34,11 +37,11 @@ func normalize(id, text string) string {
 	// padding; collapse runs of spaces so alignment can't fail the diff.
 	text = re.ReplaceAllString(text, "<wall-clock>")
 	text = regexp.MustCompile(`[ \t]+`).ReplaceAllString(text, " ")
-	if id == "E13" {
-		// E13 masks its value column, so run-to-run width changes leave
-		// trailing padding and a variable-width separator rule behind;
-		// normalize both. (E4/E12 goldens were blessed with trailing
-		// spaces intact — leave them be.)
+	if id == "E13" || id == "E14" {
+		// E13/E14 mask their value column, so run-to-run width changes
+		// leave trailing padding and a variable-width separator rule
+		// behind; normalize both. (E4/E12 goldens were blessed with
+		// trailing spaces intact — leave them be.)
 		text = regexp.MustCompile(`(?m) +$`).ReplaceAllString(text, "")
 		text = regexp.MustCompile(`-{3,}`).ReplaceAllString(text, "---")
 	}

@@ -55,6 +55,9 @@ func All() []Experiment {
 		{"E13", "million-endpoint scale drill (sharded control plane)", func() (*metrics.Table, error) {
 			return E13ScaleDrill(e13Tier)
 		}},
+		{"E14", "live SLO plane: noisy-neighbor detection", func() (*metrics.Table, error) {
+			return E14NoisyNeighbor(42)
+		}},
 	}
 }
 

@@ -51,6 +51,10 @@ const (
 	Rebind   Kind = "rebind"
 	// Explain is a tenant-requested decision replay (GET /v1/explain).
 	Explain Kind = "explain"
+	// SLOBreach is the SLO plane flagging a shard whose windowed p99
+	// breached its trailing baseline, with the suspected noisy neighbor
+	// in the cause chain.
+	SLOBreach Kind = "slo-breach"
 )
 
 // Event is one structured provider-side decision.
@@ -242,6 +246,26 @@ func (t *Tracer) Evicted() uint64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.nDrop
+}
+
+// Drop releases the tenant's ring. Called when a tenant's last address
+// is released: without eviction the rings map only ever grows, so a
+// workload that churns through short-lived tenants leaks one ring
+// (cap × sizeof(Event)) per tenant forever. Events already buffered
+// for the tenant are discarded; a later Record for the same tenant
+// starts a fresh ring. Nil-safe.
+func (t *Tracer) Drop(tenant string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.rings, tenant)
+	if t.lastTenant == tenant {
+		// Invalidate the lookup memo or the next Record for this tenant
+		// would write into the orphaned ring.
+		t.lastTenant, t.lastRing = "", nil
+	}
 }
 
 // Tenants returns the tenants with buffered events, sorted.

@@ -102,6 +102,38 @@ func TestTracerConcurrent(t *testing.T) {
 	}
 }
 
+// TestDrop is the unbounded-growth regression: a workload churning
+// short-lived tenants must not leak one ring per tenant, and dropping
+// the memoized tenant must not leave Record writing into the orphaned
+// ring.
+func TestDrop(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 100; i++ {
+		tenant := fmt.Sprintf("churn%d", i)
+		tr.Record(Event{Tenant: tenant, Detail: "hello"})
+		tr.Drop(tenant)
+	}
+	if got := tr.Tenants(); len(got) != 0 {
+		t.Fatalf("churned tenants leaked rings: %v", got)
+	}
+	// Drop the tenant the lookup memo points at, then Record again: the
+	// event must land in a fresh, discoverable ring — not the orphan.
+	tr.Record(Event{Tenant: "acme", Detail: "before"})
+	tr.Drop("acme")
+	if tr.Len("acme") != 0 {
+		t.Fatal("Drop left buffered events behind")
+	}
+	tr.Record(Event{Tenant: "acme", Detail: "after"})
+	evs := tr.Recent("acme", 0)
+	if len(evs) != 1 || evs[0].Detail != "after" {
+		t.Fatalf("post-drop events = %v, want exactly the fresh one", evs)
+	}
+	// Dropping a tenant that never recorded is a no-op.
+	tr.Drop("nobody")
+	var nilTr *Tracer
+	nilTr.Drop("x")
+}
+
 func TestChainAndString(t *testing.T) {
 	c := Chain("no-healthy-backend:104.255.0.1", "region-down:cloudB/b-east")
 	if c != "no-healthy-backend:104.255.0.1 <- region-down:cloudB/b-east" {

@@ -4,6 +4,7 @@ import (
 	"os"
 	"strconv"
 	"testing"
+	"time"
 )
 
 // BenchmarkScaleDrill runs the whole drill per iteration and reports the
@@ -49,4 +50,45 @@ func BenchmarkScaleDrill(b *testing.B) {
 	b.ReportMetric(last.BytesPerEP, "bytes/endpoint")
 	b.ReportMetric(last.GrantsPerSec, "grants/sec")
 	b.ReportMetric(last.StormIdleRatio, "storm_idle_p99_ratio")
+}
+
+// BenchmarkSLOOverhead runs the drill bare and with the SLO plane
+// attached and reports the relative wall-clock cost of instrumentation
+// as obs_overhead_pct — the number `make benchdiff` gates at <= 5%
+// (ISSUE E14 overhead budget). The arms run at the default (E13) tier,
+// where per-verb work is representative — the smoke tier's in-memory
+// µs-scale ops would put a few hundred nanoseconds of histogram and
+// span accounting at 10-20%, a denominator artifact, not a cost any
+// tenant-visible op profile would show. Reps alternate bare/instrumented
+// and each arm takes its minimum, so one-sided drift (CPU frequency
+// ramp, heap growth from the earlier arm's garbage) cannot masquerade
+// as instrumentation cost.
+func BenchmarkSLOOverhead(b *testing.B) {
+	bare := DefaultConfig()
+	inst := bare
+	inst.SLO = true
+	const reps = 5
+	var pct float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wallBare, wallInst := 0.0, 0.0
+		for r := 0; r < reps; r++ {
+			for _, arm := range []struct {
+				cfg  Config
+				best *float64
+			}{{bare, &wallBare}, {inst, &wallInst}} {
+				t0 := time.Now()
+				if _, err := Run(arm.cfg); err != nil {
+					b.Fatal(err)
+				}
+				if w := time.Since(t0).Seconds(); *arm.best == 0 || w < *arm.best {
+					*arm.best = w
+				}
+			}
+		}
+		pct = (wallInst - wallBare) / wallBare * 100
+	}
+	b.StopTimer()
+	b.ReportMetric(pct, "obs_overhead_pct")
 }

@@ -54,6 +54,10 @@ type Config struct {
 	Workers int
 	// Seed feeds every generator in the drill.
 	Seed int64
+	// SLO attaches a latency-accounting plane (internal/slo) to the
+	// drill's cloud, so the drill doubles as the instrumentation-overhead
+	// benchmark arm (BenchmarkSLOOverhead).
+	SLO bool
 }
 
 // DefaultConfig is the E13 tier: a 10^5-EIP, 200-tenant drill.
@@ -166,6 +170,15 @@ var fields = []struct {
 				return err
 			}
 			c.Seed = v
+			return nil
+		}},
+	{"slo", func(c *Config) string { return strconv.FormatBool(c.SLO) },
+		func(c *Config, s string) error {
+			v, err := strconv.ParseBool(s)
+			if err != nil {
+				return err
+			}
+			c.SLO = v
 			return nil
 		}},
 }

@@ -11,6 +11,7 @@ import (
 	"declnet/internal/addr"
 	"declnet/internal/core"
 	"declnet/internal/permit"
+	"declnet/internal/slo"
 	"declnet/internal/topo"
 	"declnet/internal/workload"
 )
@@ -88,6 +89,9 @@ func buildWorld(cfg Config) (*world, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if cfg.SLO {
+		c.EnableSLO(slo.NewPlane(slo.Config{}))
 	}
 	w := &world{cloud: c, prov: p}
 	for r := 0; r < cfg.Regions; r++ {

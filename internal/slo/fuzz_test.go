@@ -1,0 +1,91 @@
+package slo
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseObjective(t *testing.T) {
+	good := []struct {
+		in   string
+		want Objective
+	}{
+		{"connect_p99=5ms", Objective{ConnectP99: 5 * time.Millisecond}},
+		{"permit_lag_p99=1s", Objective{PermitLagP99: time.Second}},
+		{"connect_p99=100us;permit_lag_p99=2ms",
+			Objective{ConnectP99: 100 * time.Microsecond, PermitLagP99: 2 * time.Millisecond}},
+		{" connect_p99 = 5ms ; ", Objective{ConnectP99: 5 * time.Millisecond}},
+	}
+	for _, c := range good {
+		got, err := ParseObjective(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseObjective(%q) = %+v, %v; want %+v", c.in, got, err, c.want)
+		}
+	}
+	bad := []string{
+		"",                                // no targets
+		";",                               // no targets
+		"connect_p99",                     // not key=value
+		"connect_p99=",                    // empty duration
+		"connect_p99=fast",                // not a duration
+		"connect_p99=-1ms",                // non-positive
+		"connect_p99=0s",                  // non-positive
+		"latency=5ms",                     // unknown key
+		"connect_p99=5ms;connect_p99=6ms", // duplicate
+	}
+	for _, in := range bad {
+		if o, err := ParseObjective(in); err == nil {
+			t.Errorf("ParseObjective(%q) = %+v, want error", in, o)
+		}
+	}
+}
+
+func TestObjectiveRoundTrip(t *testing.T) {
+	for _, o := range []Objective{
+		{ConnectP99: 5 * time.Millisecond},
+		{PermitLagP99: 250 * time.Microsecond},
+		{ConnectP99: time.Second, PermitLagP99: 3 * time.Millisecond},
+	} {
+		back, err := ParseObjective(o.String())
+		if err != nil || back != o {
+			t.Errorf("round trip %+v -> %q -> %+v, %v", o, o.String(), back, err)
+		}
+	}
+}
+
+// FuzzParseObjective checks the wire-format invariants: the parser never
+// panics, never accepts a spec with no targets or non-positive bounds,
+// and every accepted objective round-trips exactly through String.
+func FuzzParseObjective(f *testing.F) {
+	for _, seed := range []string{
+		"connect_p99=5ms",
+		"permit_lag_p99=1ms",
+		"connect_p99=100us;permit_lag_p99=2ms",
+		"connect_p99=5ms;connect_p99=6ms",
+		" connect_p99 = 1h ",
+		"latency=5ms",
+		"connect_p99=-3ns",
+		";;=;",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		o, err := ParseObjective(s)
+		if err != nil {
+			if o != (Objective{}) {
+				t.Fatalf("error path leaked a value: %q -> %+v", s, o)
+			}
+			return
+		}
+		if o == (Objective{}) {
+			t.Fatalf("accepted %q with no targets", s)
+		}
+		if o.ConnectP99 < 0 || o.PermitLagP99 < 0 {
+			t.Fatalf("accepted negative bound: %q -> %+v", s, o)
+		}
+		back, err := ParseObjective(o.String())
+		if err != nil || back != o {
+			t.Fatalf("round trip %q -> %+v -> %q -> %+v, %v", s, o, o.String(), back, err)
+		}
+	})
+}
