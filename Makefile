@@ -6,7 +6,7 @@ BENCHTIME ?= 1s
 SCALE_EIPS ?= 1000000
 SCALE_TENANTS ?= 400
 
-.PHONY: build test vet race bench benchsmoke benchdiff scale staticcheck check fuzz
+.PHONY: build test vet race bench benchsmoke benchdiff scale soak staticcheck check fuzz
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ vet:
 # (core caches + API RWMutex), and the lock-free SLO/trace planes are the
 # concurrency-sensitive packages; run them under the race detector.
 race:
-	$(GO) test -race ./internal/netsim/... ./internal/exp/... ./internal/core/... ./internal/api/... ./internal/scale/... ./internal/slo/... ./internal/obs/...
+	$(GO) test -race ./internal/netsim/... ./internal/exp/... ./internal/core/... ./internal/api/... ./internal/scale/... ./internal/slo/... ./internal/obs/... ./internal/intent/...
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
@@ -51,6 +51,9 @@ benchdiff:
 	$(GO) test -run '^$$' -bench 'SLOOverhead' -benchtime 1x ./internal/scale/ \
 		| $(GO) run ./cmd/benchjson -o BENCH_slo.json -gate 'obs_overhead_pct<=5'
 	@cat BENCH_slo.json
+	$(GO) test -run '^$$' -bench 'Recovery' -benchtime 1x ./internal/scale/ \
+		| $(GO) run ./cmd/benchjson -o BENCH_recover.json -gate 'recover_sec<=5'
+	@cat BENCH_recover.json
 
 # The full-tier scale drill: a 10^6-EIP E13 run. The drill is
 # self-contained, so one benchmark iteration is the measurement.
@@ -78,6 +81,15 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzParsePermitEntry$$' -fuzztime $(FUZZTIME) ./internal/api/
 	$(GO) test -run '^$$' -fuzz '^FuzzParseConfig$$' -fuzztime $(FUZZTIME) ./internal/scale/
 	$(GO) test -run '^$$' -fuzz '^FuzzParseObjective$$' -fuzztime $(FUZZTIME) ./internal/slo/
+	$(GO) test -run '^$$' -fuzz '^FuzzJournalDecode$$' -fuzztime $(FUZZTIME) ./internal/intent/
+
+# The E15 chaos soak at full length: hours of virtual time of
+# fault/heal and churn with repeated mid-stream crash/restart cycles,
+# each recovery checked byte-for-byte against an uncrashed oracle.
+# DECLNET_SOAK_ROUNDS scales the run; the default golden (E15) uses the
+# short deterministic tier.
+soak:
+	DECLNET_SOAK_ROUNDS=48 $(GO) test -run TestChaosSoakFull -timeout 60m -v ./internal/exp/
 
 # Tier-1 verification plus vet, static analysis, the race pass, and the
 # benchmark smoke test.

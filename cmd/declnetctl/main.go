@@ -25,6 +25,8 @@
 //	slo set <spec>                         # declare objectives, e.g. connect_p99=5ms;permit_lag_p99=1ms
 //	health                                 # SLO health + noisy-neighbor breaches (exit 1 when degraded)
 //	flight [n]                             # last n retained request spans (flight recorder)
+//	reconcile [status|sweep]               # convergence counters, or force one sweep
+//	snapshot                               # compact the durable intent store
 //	metrics                                # Prometheus text exposition
 //	status
 package main
@@ -102,6 +104,10 @@ parsed:
 		err = c.health(rest)
 	case "flight":
 		err = c.flight(rest)
+	case "reconcile":
+		err = c.reconcile(rest)
+	case "snapshot":
+		err = c.snapshot(rest)
 	case "metrics":
 		err = c.metrics(rest)
 	case "status":
@@ -375,6 +381,27 @@ func (c client) flight(args []string) error {
 		path += "?n=" + args[0]
 	}
 	return c.call("GET", path, nil)
+}
+
+// reconcile shows the desired-state convergence loop's counters, or
+// with "sweep" forces one synchronous pass and prints what it repaired.
+func (c client) reconcile(args []string) error {
+	if len(args) >= 1 {
+		switch args[0] {
+		case "status":
+		case "sweep":
+			return c.call("POST", "/v1/reconcile/sweep", nil)
+		default:
+			return fmt.Errorf("usage: declnetctl reconcile [status|sweep]")
+		}
+	}
+	return c.call("GET", "/v1/reconcile", nil)
+}
+
+// snapshot compacts the durable intent store: write a snapshot of the
+// declared state and truncate the replay journal.
+func (c client) snapshot(args []string) error {
+	return c.call("POST", "/v1/snapshot", nil)
 }
 
 func (c client) metrics(args []string) error {

@@ -30,6 +30,19 @@
 //	GET  /v1/debug/flight?n=               last n retained request spans
 //	GET  /v1/metrics                       Prometheus text exposition
 //	GET  /v1/status
+//	GET  /v1/reconcile                     desired-state convergence counters
+//	POST /v1/reconcile/sweep               force one reconciliation sweep
+//	POST /v1/snapshot                      compact the durable intent store
+//
+// With -data-dir set, every accepted mutation is journaled to an
+// append-only log before the verb returns (fsync policy via -fsync /
+// -fsync-every), snapshots compact the journal every -compact-every
+// records, and on boot the daemon replays snapshot + journal tail to
+// recover the pre-crash control-plane state. The -seed and -hosts flags
+// must match the world the store was created with; the daemon refuses
+// to replay a foreign world's journal. A reconciler goroutine per
+// (provider, region) then keeps the dataplane converged to the declared
+// state (period -reconcile-interval, 0 disables).
 //
 // With -debug-addr set, a second listener serves net/http/pprof under
 // /debug/pprof/ and the expvar JSON dump under /debug/vars (the metrics
@@ -48,9 +61,13 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"runtime"
+	"strconv"
+	"time"
 
 	"declnet"
 	"declnet/internal/api"
+	"declnet/internal/core"
+	"declnet/internal/intent"
 )
 
 func parseLevel(s string) (slog.Level, error) {
@@ -71,6 +88,16 @@ func main() {
 		"with -debug-addr: sample 1/N mutex contention events (0 disables)")
 	blockRate := flag.Int("block-profile-rate", 10000,
 		"with -debug-addr: sample blocking events >= N ns (0 disables)")
+	dataDir := flag.String("data-dir", "",
+		"directory for the durable intent store (empty = in-memory only)")
+	fsync := flag.String("fsync", "interval",
+		"journal durability: none, always, or interval (fsync every -fsync-every records)")
+	fsyncEvery := flag.Int("fsync-every", 64,
+		"with -fsync interval: fsync the journal every N records")
+	compactEvery := flag.Int("compact-every", 4096,
+		"snapshot and truncate the journal every N records (0 = only on POST /v1/snapshot)")
+	reconcileInterval := flag.Duration("reconcile-interval", time.Second,
+		"period of the background desired-state reconciler (0 disables; needs -data-dir)")
 	flag.Parse()
 
 	lvl, err := parseLevel(*logLevel)
@@ -85,7 +112,60 @@ func main() {
 		logger.Error("building world", "err", err)
 		os.Exit(1)
 	}
+
+	var store *intent.Log
+	if *dataDir != "" {
+		policy, err := intent.ParseSyncPolicy(*fsync)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		store, err = intent.Open(*dataDir, intent.Options{
+			Sync:         policy,
+			SyncEvery:    *fsyncEvery,
+			CompactEvery: *compactEvery,
+			Meta: map[string]string{
+				"seed":  strconv.FormatInt(*seed, 10),
+				"hosts": strconv.Itoa(*hosts),
+			},
+		})
+		if err != nil {
+			logger.Error("opening intent store", "dir", *dataDir, "err", err)
+			os.Exit(1)
+		}
+		// Refuse to replay a journal recorded against a different world:
+		// replay assumes the same topology and allocation order.
+		meta := store.Meta()
+		if meta["seed"] != strconv.FormatInt(*seed, 10) || meta["hosts"] != strconv.Itoa(*hosts) {
+			logger.Error("intent store belongs to a different world",
+				"dir", *dataDir,
+				"store_seed", meta["seed"], "store_hosts", meta["hosts"],
+				"flag_seed", *seed, "flag_hosts", *hosts)
+			os.Exit(1)
+		}
+		if store.Seq() > 0 {
+			if err := world.RestoreIntent(store.State()); err != nil {
+				logger.Error("replaying intent store", "dir", *dataDir, "err", err)
+				os.Exit(1)
+			}
+			logger.Info("recovered control-plane state from intent store",
+				"dir", *dataDir, "seq", store.Seq(), "replayed", store.Stats().ReplayedRecords)
+		}
+		world.EnableIntent(store)
+	}
+
 	srv := api.NewServerWith(world, api.Options{Logger: logger})
+
+	if store != nil {
+		world.EnableReconciler(core.ReconcilerConfig{
+			Interval: *reconcileInterval,
+			Gate:     srv.WorldGate(),
+		})
+		if *reconcileInterval > 0 {
+			world.Reconciler().Start()
+			logger.Info("reconciler running", "interval", *reconcileInterval)
+		}
+	}
 
 	if *debugAddr != "" {
 		// Lock-contention profiles cover the API write lock the mutation

@@ -30,6 +30,7 @@ import (
 
 	"declnet/internal/addr"
 	"declnet/internal/core"
+	"declnet/internal/intent"
 	"declnet/internal/metrics"
 	"declnet/internal/obs"
 	"declnet/internal/permit"
@@ -217,6 +218,32 @@ func (w *World) EnableSLO(p *slo.Plane) { w.Cloud.EnableSLO(p) }
 
 // SLO returns the attached latency plane, nil until EnableSLO.
 func (w *World) SLO() *slo.Plane { return w.Cloud.SLO() }
+
+// EnableIntent attaches the durable intent store: every accepted
+// mutation from this point is journaled before the verb returns (see
+// internal/intent).
+func (w *World) EnableIntent(l *intent.Log) { w.Cloud.EnableIntent(l) }
+
+// Intent returns the attached intent store, nil until EnableIntent.
+func (w *World) Intent() *intent.Log { return w.Cloud.Intent() }
+
+// RestoreIntent rebuilds the in-memory control plane from a replayed
+// declared state — the daemon's restart-recovery path. Call on a fresh
+// world over the same topology, before EnableIntent.
+func (w *World) RestoreIntent(st *intent.State) error { return w.Cloud.RestoreIntent(st) }
+
+// StateDigest canonically hashes the durable control-plane state, for
+// kill-and-restart equivalence checks.
+func (w *World) StateDigest() string { return w.Cloud.StateDigest() }
+
+// EnableReconciler builds the desired-state convergence loop (requires
+// EnableIntent first).
+func (w *World) EnableReconciler(cfg core.ReconcilerConfig) (*core.Reconciler, error) {
+	return w.Cloud.EnableReconciler(cfg)
+}
+
+// Reconciler returns the convergence loop, nil until EnableReconciler.
+func (w *World) Reconciler() *core.Reconciler { return w.Cloud.Reconciler() }
 
 // Tracer returns the decision tracer, nil until EnableObservability.
 func (w *World) Tracer() *obs.Tracer { return w.Cloud.Tracer() }

@@ -210,3 +210,28 @@ func (h *HostPool) InUse() int {
 	defer h.mu.Unlock()
 	return len(h.inUse)
 }
+
+// Restore rewinds the pool to a recorded allocation cursor: the next
+// fresh address, the free list (in release order), and the addresses
+// currently held. Restart recovery uses it so a recovered pool hands
+// out exactly the addresses the pre-crash pool would have.
+func (h *HostPool) Restore(next IP, released []IP, inUse []IP) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if next != 0 {
+		h.next = next
+	}
+	h.released = append(h.released[:0], released...)
+	h.inUse = make(map[IP]bool, len(inUse))
+	for _, ip := range inUse {
+		h.inUse[ip] = true
+	}
+}
+
+// Cursor returns the pool's allocation cursor: the next fresh address
+// and a copy of the free list, for state digests and snapshots.
+func (h *HostPool) Cursor() (next IP, released []IP) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.next, append([]IP(nil), h.released...)
+}

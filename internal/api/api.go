@@ -121,6 +121,9 @@ func NewServerWith(w *declnet.World, opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/slo", s.sloSet)
 	s.mux.HandleFunc("GET /v1/health", s.health)
 	s.mux.HandleFunc("GET /v1/debug/flight", s.flight)
+	s.mux.HandleFunc("GET /v1/reconcile", s.reconcileStatus)
+	s.mux.HandleFunc("POST /v1/reconcile/sweep", s.reconcileSweep)
+	s.mux.HandleFunc("POST /v1/snapshot", s.snapshot)
 	return s
 }
 
@@ -137,6 +140,14 @@ func (s *Server) ExpvarMap() map[string]float64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.registry.ExpvarMap()
+}
+
+// WorldGate returns the serialization bracket background loops use
+// around world access: it takes the server's read lock (excluding
+// engine-advancing handlers, which hold the write lock) and returns the
+// release. The daemon passes this to the reconciler's Start loop.
+func (s *Server) WorldGate() func() func() {
+	return func() func() { s.mu.RLock(); return s.mu.RUnlock }
 }
 
 // statusRecorder captures the response code for logging and metrics.

@@ -1,0 +1,171 @@
+package api
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"declnet"
+	"declnet/internal/core"
+	"declnet/internal/intent"
+)
+
+// newPersistentServer builds a world with a durable store and a
+// reconciler, mirroring declnetd's -data-dir boot path.
+func newPersistentServer(t *testing.T) (*httptest.Server, *declnet.World, *intent.Log) {
+	t.Helper()
+	w, err := declnet.NewFig1World(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := intent.Open(t.TempDir(), intent.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	w.EnableIntent(l)
+	srv := NewServer(w)
+	if _, err := w.EnableReconciler(core.ReconcilerConfig{Gate: srv.WorldGate()}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts, w, l
+}
+
+func TestReconcileEndpointsDisabled(t *testing.T) {
+	ts, _ := newTestServer(t) // no -data-dir: store and reconciler absent
+	var status ReconcileResponse
+	if code := get(t, ts, "/v1/reconcile", &status); code != 200 {
+		t.Fatalf("GET /v1/reconcile status %d", code)
+	}
+	if status.Enabled {
+		t.Error("reconciler reports enabled without a store")
+	}
+	if code := post(t, ts, "/v1/reconcile/sweep", struct{}{}, nil); code != http.StatusConflict {
+		t.Errorf("sweep without reconciler status %d, want 409", code)
+	}
+	if code := post(t, ts, "/v1/snapshot", struct{}{}, nil); code != http.StatusConflict {
+		t.Errorf("snapshot without store status %d, want 409", code)
+	}
+}
+
+func TestReconcileEndpoints(t *testing.T) {
+	ts, w, _ := newPersistentServer(t)
+	f := w.Fig1
+
+	var eip EIPResponse
+	if code := post(t, ts, "/v1/eips", EIPRequest{Tenant: "acme",
+		VM: string(w.Host(f.CloudA, f.RegionsA[0], "az1", 1))}, &eip); code != 200 {
+		t.Fatalf("request_eip status %d", code)
+	}
+	var dst EIPResponse
+	post(t, ts, "/v1/eips", EIPRequest{Tenant: "acme", VM: string(w.Host(f.CloudA, f.RegionsA[0], "az1", 2))}, &dst)
+	if code := post(t, ts, "/v1/permit", PermitRequest{Tenant: "acme",
+		Target: dst.EIP, Entries: []string{eip.EIP}}, nil); code != 200 {
+		t.Fatalf("permit status %d", code)
+	}
+
+	var status ReconcileResponse
+	if code := get(t, ts, "/v1/reconcile", &status); code != 200 {
+		t.Fatalf("GET /v1/reconcile status %d", code)
+	}
+	if !status.Enabled {
+		t.Fatal("reconciler not enabled on a persistent server")
+	}
+
+	// Drift the dataplane, then converge it through the API.
+	target, err := ParsePermitEntry(dst.EIP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Cloud.DriftWipePermit(target.Addr) {
+		t.Fatal("DriftWipePermit failed")
+	}
+	var sweep core.SweepResult
+	if code := post(t, ts, "/v1/reconcile/sweep", struct{}{}, &sweep); code != 200 {
+		t.Fatalf("POST /v1/reconcile/sweep status %d", code)
+	}
+	if sweep.DriftPermits != 1 || sweep.Repaired != 1 {
+		t.Fatalf("sweep = %+v, want 1 permit drift repaired", sweep)
+	}
+	get(t, ts, "/v1/reconcile", &status)
+	if status.Sweeps == 0 || status.Repairs != 1 {
+		t.Errorf("status after sweep = %+v", status.ReconcileStatus)
+	}
+}
+
+func TestSnapshotEndpoint(t *testing.T) {
+	ts, w, l := newPersistentServer(t)
+	f := w.Fig1
+	for i, az := range []string{"az1", "az1", "az2"} {
+		if code := post(t, ts, "/v1/eips", EIPRequest{Tenant: "acme",
+			VM: string(w.Host(f.CloudA, f.RegionsA[0], az, i%2+1))}, nil); code != 200 {
+			t.Fatalf("request_eip %d failed", i)
+		}
+	}
+	seqBefore := l.Seq()
+	var snap SnapshotResponse
+	if code := post(t, ts, "/v1/snapshot", struct{}{}, &snap); code != 200 {
+		t.Fatalf("POST /v1/snapshot status %d", code)
+	}
+	if snap.Compactions != 1 {
+		t.Errorf("Compactions = %d, want 1", snap.Compactions)
+	}
+	if snap.Seq != seqBefore {
+		t.Errorf("snapshot Seq = %d, want %d", snap.Seq, seqBefore)
+	}
+	// The store still journals after compaction.
+	if code := post(t, ts, "/v1/eips", EIPRequest{Tenant: "acme",
+		VM: string(w.Host(f.CloudA, f.RegionsA[1], "az1", 1))}, nil); code != 200 {
+		t.Fatal("request_eip after snapshot failed")
+	}
+	if l.Seq() != seqBefore+1 {
+		t.Errorf("Seq after post-snapshot mutation = %d, want %d", l.Seq(), seqBefore+1)
+	}
+}
+
+// TestAPIKillRestartEquivalence drives mutations through the HTTP
+// layer, "crashes" (drops the server and world), recovers a fresh world
+// from the store, and compares digests.
+func TestAPIKillRestartEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	w, err := declnet.NewFig1World(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := intent.Open(dir, intent.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.EnableIntent(l)
+	ts := httptest.NewServer(NewServer(w))
+	f := w.Fig1
+
+	var src, be EIPResponse
+	post(t, ts, "/v1/eips", EIPRequest{Tenant: "acme", VM: string(w.Host(f.CloudA, f.RegionsA[0], "az1", 1))}, &src)
+	post(t, ts, "/v1/eips", EIPRequest{Tenant: "acme", VM: string(w.Host(f.CloudB, f.RegionsB[0], "az1", 1))}, &be)
+	var sip SIPResponse
+	post(t, ts, "/v1/sips", SIPRequest{Tenant: "acme", Provider: f.CloudB}, &sip)
+	post(t, ts, "/v1/bind", BindRequest{Tenant: "acme", EIP: be.EIP, SIP: sip.SIP}, nil)
+	post(t, ts, "/v1/permit", PermitRequest{Tenant: "acme", Target: sip.SIP, Entries: []string{src.EIP}}, nil)
+	post(t, ts, "/v1/qos", QoSRequest{Tenant: "acme", Provider: f.CloudB, Region: f.RegionsB[0], Bandwidth: 1e9}, nil)
+	want := w.StateDigest()
+	ts.Close() // crash: the Log is abandoned un-Closed
+
+	l2, err := intent.Open(dir, intent.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	w2, err := declnet.NewFig1World(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.RestoreIntent(l2.State()); err != nil {
+		t.Fatal(err)
+	}
+	if got := w2.StateDigest(); got != want {
+		t.Fatalf("digest mismatch after API-driven restart\n got %s\nwant %s", got, want)
+	}
+}

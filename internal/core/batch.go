@@ -28,6 +28,7 @@ import (
 	"strings"
 
 	"declnet/internal/addr"
+	"declnet/internal/intent"
 	"declnet/internal/permit"
 	"declnet/internal/qos"
 	"declnet/internal/slo"
@@ -173,17 +174,32 @@ func (c *Cloud) ApplyBatch(tenant string, ops []BatchOp) ([]BatchResult, error) 
 		return nil, err
 	}
 	results := make([]BatchResult, 0, len(ops))
+	var iops []intent.Op
 	c.beginBatch()
 	defer c.endBatch()
 	for i := range ops {
 		res, err := c.applyOp(tenant, &ops[i], results)
 		if err != nil {
 			berr := &BatchError{Index: i, Op: ops[i].Op, Err: err}
+			// The ops before Index stay applied, so they are journaled —
+			// still as one atomic frame for this batch.
+			if c.rec != nil && len(iops) > 0 {
+				c.rec.Record(tenant, iops...)
+			}
 			sop.End(berr)
 			c.tenantDelta(tenant, 0)
 			return results, berr
 		}
+		if c.rec != nil {
+			if iop, ok := c.intentOp(&ops[i], res, results); ok {
+				iops = append(iops, iop)
+			}
+		}
 		results = append(results, res)
+	}
+	if c.rec != nil && len(iops) > 0 {
+		// One frame for the whole batch: replay applies it atomically.
+		c.rec.Record(tenant, iops...)
 	}
 	sop.End(nil)
 	// A batch may have released the tenant's last address; End just
@@ -406,4 +422,60 @@ func (c *Cloud) applyOp(tenant string, op *BatchOp, prior []BatchResult) (BatchR
 		return res, c.registerName(tenant, op.Name, ip)
 	}
 	return res, nil
+}
+
+// intentOp translates one successfully applied batch op into its journal
+// record, resolving "$i" back-references against the results before it.
+// The verb wrappers record their own ops; this is the batch path's
+// equivalent, producing the same wire shapes so replay cannot tell the
+// two apart.
+func (c *Cloud) intentOp(op *BatchOp, res BatchResult, prior []BatchResult) (intent.Op, bool) {
+	ip := func(s string) addr.IP {
+		a, _ := batchAddr(s, prior) // already resolved once by applyOp
+		return a
+	}
+	switch op.Op {
+	case "request_eip":
+		n, ok := c.G.Node(op.VM)
+		if !ok {
+			return intent.Op{}, false
+		}
+		return intent.Op{Verb: intent.OpRequestEIP, VM: string(op.VM), Provider: n.Provider, Region: n.Region, Addr: res.Addr}, true
+	case "release_eip":
+		return intent.Op{Verb: intent.OpReleaseEIP, Addr: ip(op.EIP)}, true
+	case "request_sip":
+		return intent.Op{Verb: intent.OpRequestSIP, Provider: op.Provider, Addr: res.Addr}, true
+	case "release_sip":
+		return intent.Op{Verb: intent.OpReleaseSIP, Addr: ip(op.SIP)}, true
+	case "bind":
+		return intent.Op{Verb: intent.OpBind, EIP: ip(op.EIP), SIP: ip(op.SIP), Weight: op.Weight}, true
+	case "unbind":
+		return intent.Op{Verb: intent.OpUnbind, EIP: ip(op.EIP), SIP: ip(op.SIP)}, true
+	case "set_permit":
+		target := ip(op.Target)
+		prov := ""
+		if p, ok := c.blockOwner(target); ok {
+			prov = p.Name
+		}
+		return intent.Op{Verb: intent.OpSetPermit, Provider: prov, Target: target, Entries: append([]permit.Entry(nil), op.Entries...), Groups: op.Groups}, true
+	case "permit":
+		return intent.Op{Verb: intent.OpPermit, Target: ip(op.Target), Entries: append([]permit.Entry(nil), op.Entries...)}, true
+	case "revoke":
+		return intent.Op{Verb: intent.OpRevoke, Target: ip(op.Target), Entries: append([]permit.Entry(nil), op.Entries...)}, true
+	case "set_qos":
+		return intent.Op{Verb: intent.OpSetQoS, Provider: op.Provider, Region: op.Region, Bps: op.Bandwidth}, true
+	case "set_potato":
+		return intent.Op{Verb: intent.OpSetPotato, Provider: op.Provider, Policy: op.Policy.String()}, true
+	case "create_group":
+		members := make([]addr.IP, 0, len(op.Members))
+		for _, m := range op.Members {
+			members = append(members, ip(m))
+		}
+		// Batch create_group targets the cloud-level (cross-provider)
+		// group namespace, so Provider stays empty.
+		return intent.Op{Verb: intent.OpCreateGroup, Name: op.Name, Members: members}, true
+	case "register_name":
+		return intent.Op{Verb: intent.OpRegisterName, Name: op.Name, Addr: ip(op.Target)}, true
+	}
+	return intent.Op{}, false
 }

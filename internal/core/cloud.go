@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"declnet/internal/addr"
+	"declnet/internal/intent"
 	"declnet/internal/metrics"
 	"declnet/internal/netsim"
 	"declnet/internal/obs"
@@ -80,6 +81,14 @@ type Cloud struct {
 	// slo is the live SLO plane, nil until EnableSLO (see slo.go);
 	// nil-safe at every call site like the tracer.
 	slo *slo.Plane
+
+	// rec is the durable intent store, nil until EnableIntent (see
+	// intent.go in this package); nil-safe at every call site.
+	rec *intent.Log
+
+	// reconciler is the desired-state engine, nil until EnableReconciler
+	// (see reconcile.go).
+	reconciler *Reconciler
 
 	// refMu guards tenantRefs: live address grants per tenant, so the
 	// observability planes can evict a fully-released tenant's state
@@ -219,6 +228,7 @@ func (c *Cloud) AddProvider(name string, cfg Config) (*Provider, error) {
 	p.addrsChanged = c.noteAddrsChanged
 	p.tenantChanged = c.tenantDelta
 	p.slo = c.slo
+	p.rec = c.rec
 	c.providers[name] = p
 	c.rebuildIndex()
 	c.noteAddrsChanged()
@@ -275,7 +285,11 @@ func (c *Cloud) shardKeyOf(tenant string, ip addr.IP) ShardKey {
 // CreateGroup defines a tenant-scoped endpoint group whose members may
 // span providers; any provider resolves it in set_permit_list.
 func (c *Cloud) CreateGroup(tenant, name string, members ...EIP) error {
-	return c.createGroup(tenant, name, members...)
+	err := c.createGroup(tenant, name, members...)
+	if err == nil && c.rec != nil {
+		c.rec.Record(tenant, intent.Op{Verb: intent.OpCreateGroup, Name: name, Members: append([]EIP(nil), members...)})
+	}
+	return err
 }
 
 func (c *Cloud) createGroup(tenant, name string, members ...EIP) error {
@@ -731,7 +745,11 @@ func (c *Cloud) probe(op *slo.Op, tenant string, src EIP, dst addr.IP) (time.Dur
 // addresses (EIP or SIP). Re-registering a name repoints it — which is
 // how a tenant cuts over a service without clients noticing.
 func (c *Cloud) RegisterName(tenant, name string, target addr.IP) error {
-	return c.registerName(tenant, name, target)
+	err := c.registerName(tenant, name, target)
+	if err == nil && c.rec != nil {
+		c.rec.Record(tenant, intent.Op{Verb: intent.OpRegisterName, Name: name, Addr: target})
+	}
+	return err
 }
 
 func (c *Cloud) registerName(tenant, name string, target addr.IP) error {
@@ -762,12 +780,15 @@ func (c *Cloud) ResolveName(tenant, name string) (addr.IP, bool) {
 // UnregisterName removes a name binding.
 func (c *Cloud) UnregisterName(tenant, name string) bool {
 	c.nmMu.Lock()
-	defer c.nmMu.Unlock()
-	if _, ok := c.names[tenant][name]; !ok {
-		return false
+	_, ok := c.names[tenant][name]
+	if ok {
+		delete(c.names[tenant], name)
 	}
-	delete(c.names[tenant], name)
-	return true
+	c.nmMu.Unlock()
+	if ok && c.rec != nil {
+		c.rec.Record(tenant, intent.Op{Verb: intent.OpUnregisterName, Name: name})
+	}
+	return ok
 }
 
 // ConnectName is Connect with the destination given by name.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"declnet/internal/addr"
 	"declnet/internal/fault"
@@ -376,11 +377,9 @@ func (m *FaultMonitor) retryPermit(p *Provider, tenant string, target addr.IP, e
 }
 
 func sortIPs(s []addr.IP) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
+	// RestoreIntent and StateDigest sort full endpoint tables (10^5+ at
+	// the E13 tier), so this must not be quadratic.
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
 }
 
 func sortNodeIDs(s []topo.NodeID) {

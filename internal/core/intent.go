@@ -1,0 +1,379 @@
+// Durable intent: wiring between the control plane and the
+// append-only journal in internal/intent. EnableIntent attaches a store
+// so every verb wrapper records its accepted mutation; RestoreIntent
+// rebuilds the in-memory world from a replayed State after a daemon
+// restart; StateDigest canonically hashes the live control-plane state
+// so kill-and-restart equivalence is a string comparison. The Drift*
+// methods are test/chaos hooks that corrupt the simulated dataplane
+// behind the declared state's back, for the reconciler (reconcile.go)
+// to find and repair.
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"declnet/internal/addr"
+	"declnet/internal/intent"
+	"declnet/internal/lb"
+	"declnet/internal/qos"
+	"declnet/internal/topo"
+)
+
+// EnableIntent attaches the durable intent store. Mutations accepted
+// after this point are journaled; call it before serving traffic (the
+// daemon does, right after RestoreIntent).
+func (c *Cloud) EnableIntent(l *intent.Log) {
+	defer c.shards.lockGlobal()()
+	c.rec = l
+	for _, p := range c.providers {
+		p.rec = l
+	}
+}
+
+// Intent returns the attached store, or nil before EnableIntent.
+func (c *Cloud) Intent() *intent.Log { return c.rec }
+
+// parsePotatoPolicy maps the journal's policy strings (PotatoPolicy
+// wire names) back to policies; unknown strings fall back to hot, the
+// provider default.
+func parsePotatoPolicy(s string) qos.PotatoPolicy {
+	switch s {
+	case "cold":
+		return qos.ColdPotato
+	case "dedicated":
+		return qos.Dedicated
+	}
+	return qos.HotPotato
+}
+
+// RestoreIntent rebuilds the in-memory control plane from a replayed
+// declared state: address pools rewound to their recorded cursors,
+// endpoints and services re-granted at their original addresses,
+// balancers re-bound, permit lists re-installed, QoS and policy state
+// re-applied. Call it once, on an otherwise-fresh Cloud built over the
+// same world (the daemon compares the store's Meta stamps first), and
+// before EnableIntent — restoration itself must not re-journal.
+func (c *Cloud) RestoreIntent(st *intent.State) error {
+	if st == nil {
+		return nil
+	}
+	defer c.shards.lockGlobal()()
+	c.beginBatch()
+	defer c.endBatch()
+
+	provs := c.pidx.Load().list
+
+	// Pools first, so the cursors are exact even for addresses whose
+	// endpoints are restored below (Restore rebuilds inUse wholesale).
+	for _, p := range provs {
+		for _, region := range p.Regions() {
+			ps := st.EIPPools[intent.PoolKey(p.Name, region)]
+			if ps == nil {
+				continue
+			}
+			var inUse []addr.IP
+			for eip, ep := range st.Endpoints {
+				if ep.Provider == p.Name && ep.Region == region {
+					inUse = append(inUse, eip)
+				}
+			}
+			p.eipBlocks[region].pool.Restore(ps.Next, ps.Released, inUse)
+		}
+		if ps := st.SIPPools[p.Name]; ps != nil {
+			var inUse []addr.IP
+			for sip, svc := range st.Services {
+				if svc.Provider == p.Name {
+					inUse = append(inUse, sip)
+				}
+			}
+			p.sipBlock.Restore(ps.Next, ps.Released, inUse)
+		}
+	}
+
+	// Endpoints, sorted for determinism.
+	eips := make([]addr.IP, 0, len(st.Endpoints))
+	for eip := range st.Endpoints {
+		eips = append(eips, eip)
+	}
+	sortIPs(eips)
+	for _, eip := range eips {
+		ep := st.Endpoints[eip]
+		p, ok := c.providers[ep.Provider]
+		if !ok {
+			return fmt.Errorf("core: restore: endpoint %s references unknown provider %q", eip, ep.Provider)
+		}
+		p.addrs.putEndpoint(eip, &endpoint{
+			eip: eip, tenant: ep.Tenant, node: topo.NodeID(ep.VM),
+			provider: ep.Provider, region: ep.Region,
+			shard:     ep.Provider + "/" + ep.Region,
+			egressCap: ep.EgressCap,
+		})
+		c.tenantDelta(ep.Tenant, 1)
+	}
+
+	// Services and their bindings.
+	sips := make([]addr.IP, 0, len(st.Services))
+	for sip := range st.Services {
+		sips = append(sips, sip)
+	}
+	sortIPs(sips)
+	for _, sip := range sips {
+		svc := st.Services[sip]
+		p, ok := c.providers[svc.Provider]
+		if !ok {
+			return fmt.Errorf("core: restore: service %s references unknown provider %q", sip, svc.Provider)
+		}
+		bal := lb.New(sip)
+		for _, b := range svc.Binds {
+			bal.Bind(b.EIP, b.Weight)
+		}
+		p.addrs.putService(sip, &service{sip: sip, tenant: svc.Tenant, balancer: bal})
+		c.tenantDelta(svc.Tenant, 1)
+	}
+
+	// Permit lists, installed at the owning provider's engine.
+	targets := make([]addr.IP, 0, len(st.Permits))
+	for t := range st.Permits {
+		targets = append(targets, t)
+	}
+	sortIPs(targets)
+	for _, t := range targets {
+		p, ok := c.blockOwner(t)
+		if !ok {
+			return fmt.Errorf("core: restore: permit target %s is outside every provider's blocks", t)
+		}
+		p.Permits.Set(t, st.Permits[t].Entries)
+	}
+
+	// QoS quotas, potato profiles, groups, names.
+	for _, key := range sortedKeys(st.Quotas) {
+		parts := strings.SplitN(key, "|", 3)
+		if len(parts) != 3 {
+			return fmt.Errorf("core: restore: malformed quota key %q", key)
+		}
+		p, ok := c.providers[parts[0]]
+		if !ok {
+			return fmt.Errorf("core: restore: quota key %q references unknown provider", key)
+		}
+		if err := p.setQoS(parts[1], parts[2], st.Quotas[key]); err != nil {
+			return fmt.Errorf("core: restore: %w", err)
+		}
+	}
+	for _, key := range sortedKeys(st.Potato) {
+		parts := strings.SplitN(key, "|", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("core: restore: malformed potato key %q", key)
+		}
+		p, ok := c.providers[parts[0]]
+		if !ok {
+			return fmt.Errorf("core: restore: potato key %q references unknown provider", key)
+		}
+		p.setPotato(parts[1], parsePotatoPolicy(st.Potato[key]))
+	}
+	// Group and name maps are written directly: re-validating membership
+	// would reject declared state whose members were since released, and
+	// the declared maps are authoritative here.
+	for key, members := range st.ProvGroups {
+		parts := strings.SplitN(key, "|", 3)
+		if len(parts) != 3 {
+			return fmt.Errorf("core: restore: malformed group key %q", key)
+		}
+		p, ok := c.providers[parts[0]]
+		if !ok {
+			return fmt.Errorf("core: restore: group key %q references unknown provider", key)
+		}
+		p.polMu.Lock()
+		if p.groups[parts[1]] == nil {
+			p.groups[parts[1]] = make(map[string][]EIP)
+		}
+		p.groups[parts[1]][parts[2]] = append([]EIP(nil), members...)
+		p.polMu.Unlock()
+	}
+	c.nmMu.Lock()
+	for key, members := range st.Groups {
+		parts := strings.SplitN(key, "|", 2)
+		if len(parts) != 2 {
+			c.nmMu.Unlock()
+			return fmt.Errorf("core: restore: malformed group key %q", key)
+		}
+		if c.groups[parts[0]] == nil {
+			c.groups[parts[0]] = make(map[string][]EIP)
+		}
+		c.groups[parts[0]][parts[1]] = append([]EIP(nil), members...)
+	}
+	for key, target := range st.Names {
+		parts := strings.SplitN(key, "|", 2)
+		if len(parts) != 2 {
+			c.nmMu.Unlock()
+			return fmt.Errorf("core: restore: malformed name key %q", key)
+		}
+		if c.names[parts[0]] == nil {
+			c.names[parts[0]] = make(map[string]addr.IP)
+		}
+		c.names[parts[0]][parts[1]] = target
+	}
+	c.nmMu.Unlock()
+
+	c.noteAddrsChanged()
+	return nil
+}
+
+// sortedKeys returns a map's string keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	return keys
+}
+
+// StateDigest hashes the control plane's durable state in canonical
+// order: providers (name-sorted), their endpoints, services and
+// bindings, permit lists, quotas, potato profiles, groups, pool
+// cursors, and the cloud-level groups and names. Runtime-only state —
+// backend health bits, WRR counters, in-flight monitor state, permit
+// list versions — is excluded, so a recovered world that converged to
+// the same declared state digests identically to the world that never
+// crashed (the E15 equivalence check).
+func (c *Cloud) StateDigest() string {
+	defer c.shards.lockGlobal()()
+	h := sha256.New()
+	for _, p := range c.pidx.Load().list {
+		fmt.Fprintf(h, "provider %s\n", p.Name)
+		eps := p.addrs.endpointSnapshot()
+		ips := make([]addr.IP, 0, len(eps))
+		byIP := make(map[addr.IP]*endpoint, len(eps))
+		for _, ep := range eps {
+			ips = append(ips, ep.eip)
+			byIP[ep.eip] = ep
+		}
+		sortIPs(ips)
+		for _, ip := range ips {
+			ep := byIP[ip]
+			fmt.Fprintf(h, "ep %s %s %s %s %g\n", ip, ep.tenant, ep.node, ep.region, ep.egressCap)
+		}
+		svcs := p.addrs.serviceSnapshot()
+		sips := make([]addr.IP, 0, len(svcs))
+		svcByIP := make(map[addr.IP]*service, len(svcs))
+		for _, svc := range svcs {
+			sips = append(sips, svc.sip)
+			svcByIP[svc.sip] = svc
+		}
+		sortIPs(sips)
+		for _, sip := range sips {
+			svc := svcByIP[sip]
+			fmt.Fprintf(h, "svc %s %s\n", sip, svc.tenant)
+			for _, be := range sortedBackends(svc.balancer) {
+				fmt.Fprintf(h, "bind %s %d\n", be.EIP, be.Weight)
+			}
+		}
+		for _, t := range p.Permits.Targets() {
+			fmt.Fprintf(h, "permit %s", t)
+			for _, e := range p.Permits.EntriesOf(t) {
+				fmt.Fprintf(h, " %s", e)
+			}
+			fmt.Fprintln(h)
+		}
+		p.polMu.RLock()
+		for _, tenant := range sortedKeys(p.quotas) {
+			for _, region := range sortedKeys(p.quotas[tenant]) {
+				tq := p.quotas[tenant][region]
+				tq.mu.Lock()
+				q := tq.quota
+				tq.mu.Unlock()
+				fmt.Fprintf(h, "qos %s %s %g\n", tenant, region, q)
+			}
+		}
+		for _, tenant := range sortedKeys(p.potato) {
+			fmt.Fprintf(h, "potato %s %s\n", tenant, p.potato[tenant])
+		}
+		for _, tenant := range sortedKeys(p.groups) {
+			for _, name := range sortedKeys(p.groups[tenant]) {
+				fmt.Fprintf(h, "group %s %s %v\n", tenant, name, p.groups[tenant][name])
+			}
+		}
+		p.polMu.RUnlock()
+		for _, region := range p.Regions() {
+			next, released := p.eipBlocks[region].pool.Cursor()
+			fmt.Fprintf(h, "pool %s %s %v\n", region, next, released)
+		}
+		next, released := p.sipBlock.Cursor()
+		fmt.Fprintf(h, "sippool %s %v\n", next, released)
+	}
+	c.nmMu.RLock()
+	for _, tenant := range sortedKeys(c.groups) {
+		for _, name := range sortedKeys(c.groups[tenant]) {
+			fmt.Fprintf(h, "cgroup %s %s %v\n", tenant, name, c.groups[tenant][name])
+		}
+	}
+	for _, tenant := range sortedKeys(c.names) {
+		for _, name := range sortedKeys(c.names[tenant]) {
+			fmt.Fprintf(h, "name %s %s %s\n", tenant, name, c.names[tenant][name])
+		}
+	}
+	c.nmMu.RUnlock()
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// sortedBackends returns a balancer's backends ordered by EIP.
+func sortedBackends(bal *lb.Balancer) []*lb.Backend {
+	bes := bal.Backends()
+	for i := 1; i < len(bes); i++ {
+		for j := i; j > 0 && bes[j].EIP < bes[j-1].EIP; j-- {
+			bes[j], bes[j-1] = bes[j-1], bes[j]
+		}
+	}
+	return bes
+}
+
+// Drift injection: chaos hooks that corrupt the simulated dataplane
+// without touching declared state, exactly what a lost update or a
+// bad rollout would do in a real fleet. The reconciler must find and
+// repair every one. None of these record intent — that is the point.
+
+// DriftWipePermit drops target's installed permit list from its owning
+// provider's enforcement engine, leaving the declared list intact.
+func (c *Cloud) DriftWipePermit(target addr.IP) bool {
+	p, ok := c.blockOwner(target)
+	if !ok {
+		return false
+	}
+	p.Permits.Drop(target)
+	return true
+}
+
+// DriftUnbind removes a backend from a SIP's balancer behind the
+// declared bindings' back.
+func (c *Cloud) DriftUnbind(sip SIP, eip EIP) bool {
+	p, ok := c.providerOfAddr(sip)
+	if !ok {
+		return false
+	}
+	svc, ok := p.addrs.getService(sip)
+	if !ok {
+		return false
+	}
+	return svc.balancer.Unbind(eip) == nil
+}
+
+// DriftZeroQuota zeroes a (tenant, region) egress limiter without
+// touching the declared quota.
+func (c *Cloud) DriftZeroQuota(provider, tenant, region string) bool {
+	p, ok := c.providers[provider]
+	if !ok {
+		return false
+	}
+	tq, ok := p.quotaOf(tenant, region)
+	if !ok {
+		return false
+	}
+	tq.mu.Lock()
+	tq.quota = 0
+	tq.limiter.SetQuota(0)
+	tq.mu.Unlock()
+	return true
+}

@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"declnet/internal/addr"
+	"declnet/internal/intent"
 	"declnet/internal/lb"
 	"declnet/internal/netsim"
 	"declnet/internal/obs"
@@ -146,6 +147,11 @@ type Provider struct {
 	// slo, when set, is the live SLO plane every verb wrapper records
 	// service time into (see internal/slo); nil-safe at every call site.
 	slo *slo.Plane
+
+	// rec, when set, is the durable intent journal (see internal/intent).
+	// Verb wrappers record each accepted mutation under the shard lock,
+	// after the body succeeded and before the verb returns; nil-safe.
+	rec *intent.Log
 
 	cfg Config
 }
@@ -338,6 +344,9 @@ func (p *Provider) RequestEIP(tenant string, vm topo.NodeID) (EIP, error) {
 	op := p.slo.Begin(slo.VerbGrant, tenant, k.Region)
 	defer p.lockShard(k)()
 	eip, err := p.requestEIP(tenant, vm)
+	if err == nil && p.rec != nil {
+		p.rec.Record(tenant, intent.Op{Verb: intent.OpRequestEIP, VM: string(vm), Provider: p.Name, Region: region, Addr: eip})
+	}
 	op.End(err)
 	return eip, err
 }
@@ -380,6 +389,9 @@ func (p *Provider) ReleaseEIP(tenant string, eip EIP) error {
 	op := p.slo.Begin(slo.VerbGrant, tenant, k.Region)
 	defer p.lockShard(k)()
 	err := p.releaseEIP(tenant, eip)
+	if err == nil && p.rec != nil {
+		p.rec.Record(tenant, intent.Op{Verb: intent.OpReleaseEIP, Addr: eip})
+	}
 	op.End(err)
 	// End records into the tenant's SLO shard after releaseEIP may have
 	// evicted it (last address gone); a zero-delta notify re-sweeps so a
@@ -416,6 +428,9 @@ func (p *Provider) RequestSIP(tenant string) (SIP, error) {
 	op := p.slo.Begin(slo.VerbGrant, tenant, p.Name)
 	defer p.lockShard(p.regionShardKey(tenant, ""))()
 	sip, err := p.requestSIP(tenant)
+	if err == nil && p.rec != nil {
+		p.rec.Record(tenant, intent.Op{Verb: intent.OpRequestSIP, Provider: p.Name, Addr: sip})
+	}
 	op.End(err)
 	return sip, err
 }
@@ -439,6 +454,9 @@ func (p *Provider) ReleaseSIP(tenant string, sip SIP) error {
 	op := p.slo.Begin(slo.VerbGrant, tenant, p.Name)
 	defer p.lockShard(p.regionShardKey(tenant, ""))()
 	err := p.releaseSIP(tenant, sip)
+	if err == nil && p.rec != nil {
+		p.rec.Record(tenant, intent.Op{Verb: intent.OpReleaseSIP, Addr: sip})
+	}
 	op.End(err)
 	// See ReleaseEIP: re-sweep after End in case this released the
 	// tenant's last address.
@@ -467,6 +485,9 @@ func (p *Provider) Bind(tenant string, eip EIP, sip SIP, weight int) error {
 	op := p.slo.Begin(slo.VerbBind, tenant, p.Name)
 	defer p.lockShard(p.regionShardKey(tenant, ""))()
 	err := p.bind(tenant, eip, sip, weight)
+	if err == nil && p.rec != nil {
+		p.rec.Record(tenant, intent.Op{Verb: intent.OpBind, EIP: eip, SIP: sip, Weight: weight})
+	}
 	op.End(err)
 	return err
 }
@@ -488,6 +509,9 @@ func (p *Provider) Unbind(tenant string, eip EIP, sip SIP) error {
 	op := p.slo.Begin(slo.VerbBind, tenant, p.Name)
 	defer p.lockShard(p.regionShardKey(tenant, ""))()
 	err := p.unbind(tenant, eip, sip)
+	if err == nil && p.rec != nil {
+		p.rec.Record(tenant, intent.Op{Verb: intent.OpUnbind, EIP: eip, SIP: sip})
+	}
 	op.End(err)
 	return err
 }
@@ -508,6 +532,9 @@ func (p *Provider) SetPermitList(tenant string, target addr.IP, entries []permit
 	op := p.slo.Begin(slo.VerbPermit, tenant, k.Region)
 	defer p.lockShard(k)()
 	err := p.setPermitList(tenant, target, entries, groupRefs...)
+	if err == nil && p.rec != nil {
+		p.rec.Record(tenant, intent.Op{Verb: intent.OpSetPermit, Provider: p.Name, Target: target, Entries: append([]permit.Entry(nil), entries...), Groups: groupRefs})
+	}
 	op.End(err)
 	return err
 }
@@ -560,6 +587,9 @@ func (p *Provider) Permit(tenant string, target addr.IP, entry permit.Entry) err
 	op := p.slo.Begin(slo.VerbPermit, tenant, k.Region)
 	defer p.lockShard(k)()
 	err := p.permitEntry(tenant, target, entry)
+	if err == nil && p.rec != nil {
+		p.rec.Record(tenant, intent.Op{Verb: intent.OpPermit, Target: target, Entries: []permit.Entry{entry}})
+	}
 	op.End(err)
 	return err
 }
@@ -582,6 +612,9 @@ func (p *Provider) Revoke(tenant string, target addr.IP, entry permit.Entry) err
 	op := p.slo.Begin(slo.VerbPermit, tenant, k.Region)
 	defer p.lockShard(k)()
 	err := p.revokeEntry(tenant, target, entry)
+	if err == nil && p.rec != nil {
+		p.rec.Record(tenant, intent.Op{Verb: intent.OpRevoke, Target: target, Entries: []permit.Entry{entry}})
+	}
 	op.End(err)
 	return err
 }
@@ -605,6 +638,9 @@ func (p *Provider) SetQoS(tenant, region string, bandwidth float64) error {
 	op := p.slo.Begin(slo.VerbQoS, tenant, k.Region)
 	defer p.lockShard(k)()
 	err := p.setQoS(tenant, region, bandwidth)
+	if err == nil && p.rec != nil {
+		p.rec.Record(tenant, intent.Op{Verb: intent.OpSetQoS, Provider: p.Name, Region: region, Bps: bandwidth})
+	}
 	op.End(err)
 	return err
 }
@@ -636,6 +672,9 @@ func (p *Provider) SetPotato(tenant string, policy qos.PotatoPolicy) {
 	op := p.slo.Begin(slo.VerbQoS, tenant, p.Name)
 	defer p.lockShard(p.regionShardKey(tenant, ""))()
 	p.setPotato(tenant, policy)
+	if p.rec != nil {
+		p.rec.Record(tenant, intent.Op{Verb: intent.OpSetPotato, Provider: p.Name, Policy: policy.String()})
+	}
 	op.End(nil)
 }
 
@@ -672,6 +711,9 @@ func (p *Provider) SetVMEgressCap(tenant string, eip EIP, bps float64) error {
 	ep, err := p.owned(tenant, eip)
 	if err == nil {
 		ep.egressCap = bps
+		if p.rec != nil {
+			p.rec.Record(tenant, intent.Op{Verb: intent.OpSetVMEgress, EIP: eip, Bps: bps})
+		}
 	}
 	op.End(err)
 	return err
@@ -682,6 +724,9 @@ func (p *Provider) CreateGroup(tenant, name string, members ...EIP) error {
 	op := p.slo.Begin(slo.VerbBind, tenant, p.Name)
 	defer p.lockShard(p.regionShardKey(tenant, ""))()
 	err := p.createGroup(tenant, name, members...)
+	if err == nil && p.rec != nil {
+		p.rec.Record(tenant, intent.Op{Verb: intent.OpCreateGroup, Provider: p.Name, Name: name, Members: append([]EIP(nil), members...)})
+	}
 	op.End(err)
 	return err
 }

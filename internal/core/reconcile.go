@@ -1,0 +1,529 @@
+// Desired-state reconciliation: the convergence loop that keeps the
+// simulated dataplane (permit engines, SIP balancers, QoS limiters)
+// equal to the declared intent in the durable store. Declared state is
+// what the journal replays (internal/intent.State); the dataplane can
+// drift from it through faults, lost updates, or the chaos hooks in
+// intent.go. Each sweep clones the declared state under the log's
+// lock, releases it, and then diffs and repairs under ordinary shard
+// locks — never holding the log lock and a shard lock together, which
+// keeps the reconciler out of the wrappers' shard-lock -> log-lock
+// order.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"declnet/internal/addr"
+	"declnet/internal/intent"
+	"declnet/internal/metrics"
+	"declnet/internal/obs"
+)
+
+// ReconcilerConfig tunes the convergence loop.
+type ReconcilerConfig struct {
+	// Interval is the wall-clock sweep period for Start's per-region
+	// goroutines (default 1s).
+	Interval time.Duration
+	// RepairBudget caps repairs per sweep; divergence beyond it stays
+	// queued for the next sweep (reported as queue depth). Default 256.
+	RepairBudget int
+	// Gate, when set, brackets each background sweep: it acquires
+	// whatever external serialization the embedder needs (the daemon
+	// passes the API server's world read lock, which excludes engine
+	// advancement) and returns the release. RunSweep itself never calls
+	// it — synchronous callers own their serialization.
+	Gate func() func()
+}
+
+// SweepResult summarizes one reconciliation sweep.
+type SweepResult struct {
+	DriftPermits int `json:"drift_permits"`
+	DriftBinds   int `json:"drift_binds"`
+	DriftQuotas  int `json:"drift_quotas"`
+	Repaired     int `json:"repaired"`
+	// Deferred counts divergences found but left for the next sweep
+	// (repair budget exhausted or enforcement point unreachable).
+	Deferred int `json:"deferred"`
+}
+
+// Reconciler owns the convergence loop over one Cloud. Create it with
+// EnableReconciler; drive it synchronously with RunSweep (tests, the
+// chaos soak) or in the background with Start (the daemon).
+type Reconciler struct {
+	cloud *Cloud
+	cfg   ReconcilerConfig
+
+	sweeps       atomic.Uint64
+	repairs      atomic.Uint64
+	driftPermits atomic.Uint64
+	driftBinds   atomic.Uint64
+	driftQuotas  atomic.Uint64
+	queueDepth   atomic.Int64
+	lastSweepNs  atomic.Int64 // wall clock, UnixNano; 0 = never
+	lastSweepDur atomic.Int64 // nanoseconds
+
+	mu      sync.Mutex
+	running bool
+	stop    chan struct{}
+	done    sync.WaitGroup
+}
+
+// EnableReconciler builds the convergence loop. Requires EnableIntent
+// first — without a declared state there is nothing to converge to.
+func (c *Cloud) EnableReconciler(cfg ReconcilerConfig) (*Reconciler, error) {
+	if c.rec == nil {
+		return nil, fmt.Errorf("core: EnableReconciler requires EnableIntent first")
+	}
+	if c.reconciler != nil {
+		return c.reconciler, nil
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.RepairBudget <= 0 {
+		cfg.RepairBudget = 256
+	}
+	r := &Reconciler{cloud: c, cfg: cfg}
+	c.reconciler = r
+	if c.reg != nil {
+		c.reg.GaugeFunc("declnet_reconcile_sweeps_total",
+			"Reconciliation sweeps completed.", func() float64 { return float64(r.sweeps.Load()) })
+		c.reg.GaugeFunc("declnet_reconcile_repairs_total",
+			"Dataplane divergences repaired.", func() float64 { return float64(r.repairs.Load()) })
+		c.reg.GaugeFunc("declnet_reconcile_drift_total",
+			"Divergences found, by surface.", func() float64 { return float64(r.driftPermits.Load()) },
+			metrics.L("surface", "permit"))
+		c.reg.GaugeFunc("declnet_reconcile_drift_total",
+			"Divergences found, by surface.", func() float64 { return float64(r.driftBinds.Load()) },
+			metrics.L("surface", "bind"))
+		c.reg.GaugeFunc("declnet_reconcile_drift_total",
+			"Divergences found, by surface.", func() float64 { return float64(r.driftQuotas.Load()) },
+			metrics.L("surface", "qos"))
+		c.reg.GaugeFunc("declnet_reconcile_queue_depth",
+			"Divergences deferred to the next sweep.", func() float64 { return float64(r.queueDepth.Load()) })
+		c.reg.GaugeFunc("declnet_reconcile_lag_seconds",
+			"Wall-clock seconds since the last completed sweep.", func() float64 {
+				last := r.lastSweepNs.Load()
+				if last == 0 {
+					return 0
+				}
+				return time.Since(time.Unix(0, last)).Seconds()
+			})
+	}
+	return r, nil
+}
+
+// Reconciler returns the convergence loop, or nil before
+// EnableReconciler.
+func (c *Cloud) Reconciler() *Reconciler { return c.reconciler }
+
+// RunSweep performs one full deterministic sweep: every provider, every
+// region (plus each provider's region-less SIP plane), permits then
+// binds then quotas. Safe to call concurrently with API verbs — repairs
+// take the ordinary shard locks — but callers that also advance the
+// simulation engine must serialize that themselves (see
+// ReconcilerConfig.Gate).
+func (r *Reconciler) RunSweep() SweepResult {
+	start := time.Now()
+	st := r.cloud.rec.State()
+	budget := r.cfg.RepairBudget
+	var res SweepResult
+	for _, p := range r.cloud.pidx.Load().list {
+		for _, region := range append(p.Regions(), "") {
+			r.sweepScope(p, region, st, &budget, &res)
+		}
+	}
+	r.finishSweep(start, &res)
+	return res
+}
+
+// finishSweep folds one sweep's result into the running counters.
+func (r *Reconciler) finishSweep(start time.Time, res *SweepResult) {
+	r.sweeps.Add(1)
+	r.repairs.Add(uint64(res.Repaired))
+	r.driftPermits.Add(uint64(res.DriftPermits))
+	r.driftBinds.Add(uint64(res.DriftBinds))
+	r.driftQuotas.Add(uint64(res.DriftQuotas))
+	r.queueDepth.Store(int64(res.Deferred))
+	r.lastSweepNs.Store(start.UnixNano())
+	r.lastSweepDur.Store(int64(time.Since(start)))
+}
+
+// sweepScope reconciles one (provider, region) scope. region "" is the
+// provider's SIP plane: service addresses, their bindings, and SIP
+// permit lists.
+func (r *Reconciler) sweepScope(p *Provider, region string, st *intent.State, budget *int, res *SweepResult) {
+	r.sweepPermits(p, region, st, budget, res)
+	if region == "" {
+		r.sweepBinds(p, st, budget, res)
+	}
+	r.sweepQuotas(p, region, st, budget, res)
+}
+
+// entriesEqual compares two permit entry sets canonically (sorted by
+// address then length).
+func entriesEqual(a, b []addr.Prefix) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	a, b = sortedEntries(a), sortedEntries(b)
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedEntries(in []addr.Prefix) []addr.Prefix {
+	out := append([]addr.Prefix(nil), in...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && (out[j].Addr < out[j-1].Addr ||
+			(out[j].Addr == out[j-1].Addr && out[j].Len < out[j-1].Len)); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// sweepPermits converges the provider's permit engine to the declared
+// lists for targets in this region scope: missing or mismatched lists
+// are re-installed, undeclared lists dropped. Targets with a deferred
+// (fault-pending) permit update are skipped — the fault monitor owns
+// them until they land or time out.
+func (r *Reconciler) sweepPermits(p *Provider, region string, st *intent.State, budget *int, res *SweepResult) {
+	c := r.cloud
+	// Declared targets owned by this provider and scope.
+	declared := make([]addr.IP, 0, len(st.Permits))
+	for t := range st.Permits {
+		if owner, ok := c.blockOwner(t); ok && owner == p && p.regionOf(t) == region {
+			declared = append(declared, t)
+		}
+	}
+	sortIPs(declared)
+	for _, t := range declared {
+		if c.monitor != nil {
+			if _, pending := c.monitor.PendingPermit(t); pending {
+				continue
+			}
+		}
+		pl := st.Permits[t]
+		actual := p.Permits.EntriesOf(t)
+		_, hasList := p.Permits.List(t)
+		if hasList && entriesEqual(pl.Entries, actual) {
+			continue
+		}
+		res.DriftPermits++
+		cause := "drift:entries-mismatch"
+		if !hasList {
+			cause = "drift:missing-list"
+		}
+		if *budget <= 0 {
+			res.Deferred++
+			continue
+		}
+		// Respect fault-deferral semantics: an endpoint whose enforcement
+		// point is unreachable cannot take the repair now.
+		if c.monitor != nil {
+			if ep, ok := p.addrs.getEndpoint(t); ok && !c.monitor.Inj.Reachable(ep.node) {
+				res.Deferred++
+				continue
+			}
+		}
+		*budget--
+		unlock := p.lockShard(p.shardKeyFor(pl.Tenant, t))
+		// Re-check liveness under the lock: the target may have been
+		// released since the declared state was cloned.
+		if _, ok := p.addrs.getEndpoint(t); ok {
+			p.Permits.Set(t, pl.Entries)
+		} else if _, ok := p.addrs.getService(t); ok {
+			p.Permits.Set(t, pl.Entries)
+		} else {
+			unlock()
+			continue
+		}
+		unlock()
+		res.Repaired++
+		c.traceEvent(obs.Reconcile, pl.Tenant, 0, t, "repaired",
+			fmt.Sprintf("surface=permit entries=%d", len(pl.Entries)),
+			obs.Chain("reconcile:permit:"+t.String(), cause))
+	}
+	// Undeclared lists still installed in the engine.
+	for _, t := range p.Permits.Targets() {
+		if p.regionOf(t) != region {
+			continue
+		}
+		if _, ok := st.Permits[t]; ok {
+			continue
+		}
+		if c.monitor != nil {
+			if _, pending := c.monitor.PendingPermit(t); pending {
+				continue
+			}
+		}
+		res.DriftPermits++
+		if *budget <= 0 {
+			res.Deferred++
+			continue
+		}
+		*budget--
+		tenant := ""
+		if ep, ok := p.addrs.getEndpoint(t); ok {
+			tenant = ep.tenant
+		} else if svc, ok := p.addrs.getService(t); ok {
+			tenant = svc.tenant
+		}
+		unlock := p.lockShard(p.shardKeyFor(tenant, t))
+		p.Permits.Drop(t)
+		unlock()
+		res.Repaired++
+		c.traceEvent(obs.Reconcile, tenant, 0, t, "repaired",
+			"surface=permit entries=0",
+			obs.Chain("reconcile:permit:"+t.String(), "drift:undeclared-list"))
+	}
+}
+
+// sweepBinds converges every declared service's balancer membership:
+// missing backends re-bound, weights corrected, undeclared backends
+// unbound. Health bits are runtime state owned by the fault monitor and
+// are left alone.
+func (r *Reconciler) sweepBinds(p *Provider, st *intent.State, budget *int, res *SweepResult) {
+	c := r.cloud
+	declared := make([]addr.IP, 0, len(st.Services))
+	for sip, svc := range st.Services {
+		if svc.Provider == p.Name {
+			declared = append(declared, sip)
+		}
+	}
+	sortIPs(declared)
+	for _, sip := range declared {
+		want := st.Services[sip]
+		live, ok := p.addrs.getService(sip)
+		if !ok {
+			continue // released since the clone
+		}
+		actual := make(map[addr.IP]int)
+		for _, be := range live.balancer.Backends() {
+			actual[be.EIP] = be.Weight
+		}
+		type fix struct {
+			eip    addr.IP
+			weight int // 0 = unbind
+			cause  string
+		}
+		var fixes []fix
+		seen := make(map[addr.IP]bool, len(want.Binds))
+		for _, b := range want.Binds {
+			seen[b.EIP] = true
+			w := b.Weight
+			if w < 1 {
+				w = 1
+			}
+			cur, bound := actual[b.EIP]
+			switch {
+			case !bound:
+				fixes = append(fixes, fix{b.EIP, w, "drift:missing-backend"})
+			case cur != w:
+				fixes = append(fixes, fix{b.EIP, w, "drift:weight-mismatch"})
+			}
+		}
+		for _, be := range sortedBackends(live.balancer) {
+			if !seen[be.EIP] {
+				fixes = append(fixes, fix{be.EIP, 0, "drift:undeclared-backend"})
+			}
+		}
+		if len(fixes) == 0 {
+			continue
+		}
+		res.DriftBinds += len(fixes)
+		for _, f := range fixes {
+			if *budget <= 0 {
+				res.Deferred++
+				continue
+			}
+			*budget--
+			unlock := p.lockShard(p.regionShardKey(want.Tenant, ""))
+			if f.weight > 0 {
+				live.balancer.Bind(f.eip, f.weight)
+			} else {
+				live.balancer.Unbind(f.eip)
+			}
+			unlock()
+			res.Repaired++
+			c.traceEvent(obs.Reconcile, want.Tenant, f.eip, sip, "repaired",
+				fmt.Sprintf("surface=bind weight=%d", f.weight),
+				obs.Chain("reconcile:bind:"+sip.String(), f.cause))
+		}
+	}
+}
+
+// sweepQuotas converges declared (tenant, region) egress quotas against
+// the live limiters.
+func (r *Reconciler) sweepQuotas(p *Provider, region string, st *intent.State, budget *int, res *SweepResult) {
+	c := r.cloud
+	for _, key := range sortedKeys(st.Quotas) {
+		prov, tenant, reg, ok := splitQuotaKey(key)
+		if !ok || prov != p.Name || reg != region {
+			continue
+		}
+		want := st.Quotas[key]
+		var got float64
+		if tq, live := p.quotaOf(tenant, reg); live {
+			tq.mu.Lock()
+			got = tq.quota
+			tq.mu.Unlock()
+		}
+		if got == want {
+			continue
+		}
+		res.DriftQuotas++
+		if *budget <= 0 {
+			res.Deferred++
+			continue
+		}
+		*budget--
+		unlock := p.lockShard(p.regionShardKey(tenant, reg))
+		err := p.setQoS(tenant, reg, want)
+		unlock()
+		if err != nil {
+			res.Deferred++
+			continue
+		}
+		res.Repaired++
+		c.traceEvent(obs.Reconcile, tenant, 0, 0, "repaired",
+			fmt.Sprintf("surface=qos region=%s bps=%g", reg, want),
+			obs.Chain("reconcile:qos:"+prov+"/"+reg, "drift:quota-mismatch"))
+	}
+}
+
+// splitQuotaKey parses intent.QuotaKey's provider|tenant|region form.
+func splitQuotaKey(key string) (prov, tenant, region string, ok bool) {
+	i := indexByte(key, '|')
+	if i < 0 {
+		return "", "", "", false
+	}
+	j := indexByte(key[i+1:], '|')
+	if j < 0 {
+		return "", "", "", false
+	}
+	return key[:i], key[i+1 : i+1+j], key[i+1+j+1:], true
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// Start launches one reconciler goroutine per (provider, region) —
+// plus each provider's SIP plane — each sweeping its own scope every
+// Interval. Scopes share the store clone per firing wave only
+// incidentally; each goroutine clones independently, which keeps them
+// free of cross-scope coordination. Idempotent.
+func (r *Reconciler) Start() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.running {
+		return
+	}
+	r.running = true
+	r.stop = make(chan struct{})
+	for _, p := range r.cloud.pidx.Load().list {
+		for _, region := range append(p.Regions(), "") {
+			p, region := p, region
+			r.done.Add(1)
+			go r.loop(p, region)
+		}
+	}
+}
+
+// loop is one scope's periodic sweep.
+func (r *Reconciler) loop(p *Provider, region string) {
+	defer r.done.Done()
+	t := time.NewTicker(r.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case start := <-t.C:
+			release := func() {}
+			if r.cfg.Gate != nil {
+				release = r.cfg.Gate()
+			}
+			st := r.cloud.rec.State()
+			budget := r.cfg.RepairBudget
+			var res SweepResult
+			r.sweepScope(p, region, st, &budget, &res)
+			release()
+			r.finishSweep(start, &res)
+		}
+	}
+}
+
+// Stop halts the background goroutines and waits for them to exit.
+// Idempotent; RunSweep remains usable afterwards.
+func (r *Reconciler) Stop() {
+	r.mu.Lock()
+	if !r.running {
+		r.mu.Unlock()
+		return
+	}
+	r.running = false
+	close(r.stop)
+	r.mu.Unlock()
+	r.done.Wait()
+}
+
+// ReconcileStatus is the GET /v1/reconcile payload.
+type ReconcileStatus struct {
+	Enabled        bool    `json:"enabled"`
+	Running        bool    `json:"running"`
+	IntervalMillis float64 `json:"interval_ms"`
+	RepairBudget   int     `json:"repair_budget"`
+	Sweeps         uint64  `json:"sweeps"`
+	Repairs        uint64  `json:"repairs"`
+	DriftPermits   uint64  `json:"drift_permits"`
+	DriftBinds     uint64  `json:"drift_binds"`
+	DriftQuotas    uint64  `json:"drift_quotas"`
+	QueueDepth     int64   `json:"queue_depth"`
+	// LagSeconds is wall-clock time since the last completed sweep
+	// (0 before the first).
+	LagSeconds        float64 `json:"lag_seconds"`
+	LastSweepMillis   float64 `json:"last_sweep_ms"`
+	LastSweepUnixNano int64   `json:"last_sweep_unix_ns,omitempty"`
+}
+
+// Status snapshots the loop's counters.
+func (r *Reconciler) Status() ReconcileStatus {
+	if r == nil {
+		return ReconcileStatus{}
+	}
+	r.mu.Lock()
+	running := r.running
+	r.mu.Unlock()
+	s := ReconcileStatus{
+		Enabled:           true,
+		Running:           running,
+		IntervalMillis:    float64(r.cfg.Interval) / float64(time.Millisecond),
+		RepairBudget:      r.cfg.RepairBudget,
+		Sweeps:            r.sweeps.Load(),
+		Repairs:           r.repairs.Load(),
+		DriftPermits:      r.driftPermits.Load(),
+		DriftBinds:        r.driftBinds.Load(),
+		DriftQuotas:       r.driftQuotas.Load(),
+		QueueDepth:        r.queueDepth.Load(),
+		LastSweepMillis:   float64(r.lastSweepDur.Load()) / float64(time.Millisecond),
+		LastSweepUnixNano: r.lastSweepNs.Load(),
+	}
+	if last := r.lastSweepNs.Load(); last != 0 {
+		s.LagSeconds = time.Since(time.Unix(0, last)).Seconds()
+	}
+	return s
+}

@@ -1,0 +1,73 @@
+package exp
+
+import (
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestE15Shape checks the soak table's structure off the golden seed:
+// every gate and accounting row must be present, the gate must pass,
+// and normalization must mask the one measured wall-clock cell.
+func TestE15Shape(t *testing.T) {
+	tbl, err := E15ChaosSoak(7, 5) // different seed and tier from the golden run
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := tbl.Text()
+	for _, want := range []string{
+		"rounds completed",
+		"mutations journaled",
+		"crash/restart cycles",
+		"recoveries byte-identical to oracle",
+		"divergence windows opened/closed",
+		"repaired by reconciler",
+		"healed by crash recovery",
+		"repairs traced (reconcile:* <- drift:*)",
+		"state digest matches",
+		"explain verdicts compared/mismatched",
+		"pool grants identical across worlds",
+		"soak gate",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("table missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "FAIL") {
+		t.Errorf("soak gate failed:\n%s", text)
+	}
+	masked := normalize("E15", text)
+	if !strings.Contains(masked, "<wall-clock>") {
+		t.Errorf("normalize(E15) masked nothing:\n%s", masked)
+	}
+	if leak := regexp.MustCompile(`\d+\.\d+`).FindString(masked); leak != "" {
+		t.Errorf("unmasked float %q survives normalization:\n%s", leak, masked)
+	}
+}
+
+// TestChaosSoakFull is the long-form E15 run `make soak` drives:
+// DECLNET_SOAK_ROUNDS scales the round count (48 rounds = 24 virtual
+// hours of fault/heal and churn with 12 crash/restart cycles). Without
+// the env var it runs the golden tier, so plain `go test` keeps the
+// soak protocol itself covered.
+func TestChaosSoakFull(t *testing.T) {
+	rounds := e15Rounds
+	if v := os.Getenv("DECLNET_SOAK_ROUNDS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad DECLNET_SOAK_ROUNDS=%q: %v", v, err)
+		}
+		rounds = n
+	}
+	tbl, err := E15ChaosSoak(42, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := tbl.Text()
+	t.Logf("\n%s", text)
+	if strings.Contains(text, "FAIL") {
+		t.Fatalf("soak gate failed after %d rounds", rounds)
+	}
+}

@@ -348,8 +348,8 @@ func TestE10Shape(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 14 {
-		t.Fatalf("registry size = %d, want 14", len(all))
+	if len(all) != 15 {
+		t.Fatalf("registry size = %d, want 15", len(all))
 	}
 	if _, err := ByID("E7"); err != nil {
 		t.Fatal(err)

@@ -26,6 +26,9 @@ var volatile = map[string]*regexp.Regexp{
 	// E14's detector compares wall-clock window p99s; the us/x cells mask
 	// while the detection verdicts, attribution strings, and counts pin.
 	"E14": regexp.MustCompile(`-?\d+(\.\d+)?(us|ms|x|%|/s)\b`),
+	// E15's only measured cell is the mean crash-recovery wall clock;
+	// every other row is a deterministic count or verdict.
+	"E15": regexp.MustCompile(`-?\d+(\.\d+)?(us|ms)\b`),
 }
 
 func normalize(id, text string) string {
@@ -37,8 +40,8 @@ func normalize(id, text string) string {
 	// padding; collapse runs of spaces so alignment can't fail the diff.
 	text = re.ReplaceAllString(text, "<wall-clock>")
 	text = regexp.MustCompile(`[ \t]+`).ReplaceAllString(text, " ")
-	if id == "E13" || id == "E14" {
-		// E13/E14 mask their value column, so run-to-run width changes
+	if id == "E13" || id == "E14" || id == "E15" {
+		// E13/E14/E15 mask their value column, so run-to-run width changes
 		// leave trailing padding and a variable-width separator rule
 		// behind; normalize both. (E4/E12 goldens were blessed with
 		// trailing spaces intact — leave them be.)

@@ -58,6 +58,9 @@ func All() []Experiment {
 		{"E14", "live SLO plane: noisy-neighbor detection", func() (*metrics.Table, error) {
 			return E14NoisyNeighbor(42)
 		}},
+		{"E15", "chaos soak: durable intent, crash/restart, reconciliation", func() (*metrics.Table, error) {
+			return E15ChaosSoak(42, e15Rounds)
+		}},
 	}
 }
 

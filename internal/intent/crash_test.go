@@ -1,0 +1,195 @@
+// Crash-safety property test: a journal cut at ANY byte offset must
+// recover to a serial-oracle prefix of the recorded history — the state
+// you get by folding the first k whole frames, for the k the decoder
+// reports. Schedules are randomized and Records run concurrently, so
+// -race covers the append path too.
+package intent
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"declnet/internal/addr"
+)
+
+// genSchedule builds nRecs valid mutation records, pre-partitioned into
+// one slice per worker so concurrent Records never produce an op that
+// fails validation (each worker owns its own addresses and tenant).
+func genSchedule(rng *rand.Rand, workers, perWorker int) [][][]Op {
+	sched := make([][][]Op, workers)
+	for w := 0; w < workers; w++ {
+		base := addr.IP(0x0a000000 + uint32(w)<<12)
+		sipBase := addr.IP(0xac100000 + uint32(w)<<12)
+		var eips, sips []addr.IP
+		nextEIP, nextSIP := base+1, sipBase+1
+		for i := 0; i < perWorker; i++ {
+			var ops []Op
+			switch v := rng.Intn(10); {
+			case v < 3 || len(eips) == 0:
+				ops = append(ops, Op{Verb: OpRequestEIP, VM: fmt.Sprintf("vm-%d-%d", w, i),
+					Provider: "p", Region: "r", Addr: nextEIP})
+				eips = append(eips, nextEIP)
+				nextEIP++
+			case v < 4:
+				ops = append(ops, Op{Verb: OpRequestSIP, Provider: "p", Addr: nextSIP})
+				sips = append(sips, nextSIP)
+				nextSIP++
+			case v < 6 && len(sips) > 0:
+				ops = append(ops, Op{Verb: OpBind, EIP: eips[rng.Intn(len(eips))],
+					SIP: sips[rng.Intn(len(sips))], Weight: rng.Intn(4)})
+			case v < 8:
+				ops = append(ops, Op{Verb: OpSetPermit, Provider: "p", Target: eips[rng.Intn(len(eips))],
+					Entries: []addr.Prefix{addr.NewPrefix(addr.IP(rng.Uint32()), 24)}})
+			case v == 8:
+				ops = append(ops, Op{Verb: OpSetQoS, Provider: "p", Region: "r",
+					Bps: float64(1 + rng.Intn(1000))})
+			default:
+				// A small batch: grant + bind, one atomic frame.
+				ops = append(ops,
+					Op{Verb: OpRequestEIP, VM: fmt.Sprintf("vm-%d-%d b", w, i),
+						Provider: "p", Region: "r", Addr: nextEIP},
+					Op{Verb: OpSetVMEgress, EIP: nextEIP, Bps: 42})
+				eips = append(eips, nextEIP)
+				nextEIP++
+			}
+			sched[w] = append(sched[w], ops)
+		}
+	}
+	return sched
+}
+
+func TestCrashAtEveryOffset(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const workers, perWorker = 4, 10
+
+	// Record the schedule concurrently; the journal's append order IS
+	// the serial oracle order.
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := genSchedule(rng, workers, perWorker)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("tenant-%d", w)
+			for _, ops := range sched[w] {
+				l.Record(tenant, ops...)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := l.Stats(); st.AppendErrors != 0 {
+		t.Fatalf("schedule produced append errors: %+v", st)
+	}
+	l.Close()
+
+	journal, err := os.ReadFile(filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _, derr := DecodeJournal(bytes.NewReader(journal))
+	if derr != nil {
+		t.Fatalf("full journal does not decode clean: %v", derr)
+	}
+	if len(recs) != workers*perWorker {
+		t.Fatalf("journal holds %d records, want %d", len(recs), workers*perWorker)
+	}
+
+	// Serial oracle: state after each whole-frame prefix.
+	oracle := make([]string, len(recs)+1)
+	st := NewState()
+	oracle[0] = mustJSON(t, st)
+	for i := range recs {
+		if err := st.Apply(&recs[i]); err != nil {
+			t.Fatalf("oracle apply %d: %v", i, err)
+		}
+		oracle[i+1] = mustJSON(t, st)
+	}
+
+	// Crash at every offset: recovery must land exactly on oracle[k].
+	root := t.TempDir()
+	for cut := 0; cut <= len(journal); cut++ {
+		cdir := filepath.Join(root, fmt.Sprintf("cut-%d", cut))
+		if err := os.MkdirAll(cdir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(cdir, journalName), journal[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rl, err := Open(cdir, Options{})
+		if err != nil {
+			t.Fatalf("cut %d: Open failed: %v", cut, err)
+		}
+		k := rl.Stats().ReplayedRecords
+		if k < 0 || k > len(recs) {
+			t.Fatalf("cut %d: replayed %d records, outside [0, %d]", cut, k, len(recs))
+		}
+		if got := mustJSON(t, rl.State()); got != oracle[k] {
+			t.Fatalf("cut %d: recovered state is not the serial prefix after %d records\n got %s\nwant %s",
+				cut, k, got, oracle[k])
+		}
+		// A full-length cut must lose nothing.
+		if cut == len(journal) && k != len(recs) {
+			t.Fatalf("uncut journal replayed only %d of %d records", k, len(recs))
+		}
+		// The store must accept appends after any crash point.
+		if seq := rl.Record("tenant-0", Op{Verb: OpSetQoS, Provider: "p", Region: "r", Bps: 7}); seq == 0 {
+			t.Fatalf("cut %d: post-recovery Record rejected", cut)
+		}
+		rl.Close()
+		os.RemoveAll(cdir)
+	}
+}
+
+// TestCrashDuringCompaction covers the snapshot+journal interaction: a
+// cut journal alongside a snapshot recovers to snapshot ∘ prefix.
+func TestCrashDuringCompaction(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := genSchedule(rand.New(rand.NewSource(2)), 1, 12)
+	for i, ops := range sched[0] {
+		l.Record("acme", ops...)
+		if i == 5 {
+			if err := l.Compact(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	want := mustJSON(t, l.State())
+	l.Close()
+
+	// Recovery from snapshot + post-compaction tail.
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := mustJSON(t, l2.State()); got != want {
+		t.Fatalf("snapshot+tail recovery differs\n got %s\nwant %s", got, want)
+	}
+	if l2.Stats().ReplayedRecords != 6 {
+		t.Fatalf("replayed %d tail records, want 6", l2.Stats().ReplayedRecords)
+	}
+}
+
+func mustJSON(t testing.TB, s *State) string {
+	t.Helper()
+	buf, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(buf)
+}

@@ -1,0 +1,77 @@
+package intent
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"declnet/internal/addr"
+)
+
+// FuzzJournalDecode is the crash-safety contract of the journal format:
+// DecodeJournal over ANY byte stream must return the longest valid
+// prefix and a typed *CorruptError (or nil on clean EOF) — never panic,
+// never over-read, never return records past the corruption point.
+// Folding the returned records into a State must not panic either.
+func FuzzJournalDecode(f *testing.F) {
+	// A valid two-frame journal as the structured seed.
+	var valid bytes.Buffer
+	valid.Write(journalMagic)
+	seedOps := []Op{
+		{Verb: OpRequestEIP, VM: "vm-1", Provider: "p", Region: "r", Addr: addr.IP(0x0a000001)},
+		{Verb: OpSetPermit, Provider: "p", Target: addr.IP(0x0a000001),
+			Entries: []addr.Prefix{addr.NewPrefix(addr.IP(0xc0a80000), 24)}},
+	}
+	for i, op := range seedOps {
+		frame, err := encodeFrame(&Record{Seq: uint64(i + 1), Tenant: "acme", Ops: []Op{op}})
+		if err != nil {
+			f.Fatal(err)
+		}
+		valid.Write(frame)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("DNETJNL1"))
+	f.Add([]byte("NOTAJNL0xxxxxxxx"))
+	f.Add(append(append([]byte{}, journalMagic...), 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0))
+	f.Add(valid.Bytes()[:valid.Len()-5]) // truncated mid-frame
+	flipped := append([]byte{}, valid.Bytes()...)
+	flipped[len(flipped)-1] ^= 0xff
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, off, err := DecodeJournal(bytes.NewReader(data))
+		if off < 0 || off > int64(len(data)) {
+			t.Fatalf("offset %d out of range [0, %d]", off, len(data))
+		}
+		if err != nil {
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("error is %T (%v), want *CorruptError", err, err)
+			}
+			if ce.Offset != off {
+				t.Fatalf("CorruptError.Offset = %d, decode offset = %d", ce.Offset, off)
+			}
+		}
+		// The reported prefix must itself decode clean and identically:
+		// this is what Open truncates to and appends after.
+		if off >= int64(len(journalMagic)) {
+			recs2, off2, err2 := DecodeJournal(bytes.NewReader(data[:off]))
+			if err2 != nil {
+				t.Fatalf("valid prefix re-decode failed: %v", err2)
+			}
+			if off2 != off || len(recs2) != len(recs) {
+				t.Fatalf("prefix re-decode: %d recs at %d, want %d recs at %d",
+					len(recs2), off2, len(recs), off)
+			}
+		}
+		// Replay must tolerate whatever records survive the CRC: apply
+		// errors are fine (Open stops there); panics are not.
+		st := NewState()
+		for i := range recs {
+			if err := st.Apply(&recs[i]); err != nil {
+				break
+			}
+		}
+	})
+}

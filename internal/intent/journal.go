@@ -1,0 +1,117 @@
+// Journal framing: a fixed magic+version header followed by
+// length-prefixed, CRC-guarded JSON frames. The decoder is the
+// crash-safety contract of the whole subsystem — it must stop cleanly
+// at the last valid frame of an arbitrarily truncated or corrupted
+// file, returning a typed *CorruptError, and must never panic
+// (FuzzJournalDecode holds it to that).
+package intent
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// journalMagic opens every journal file: format name plus version. A
+// future frame-format change bumps the trailing digit and keeps a
+// decoder for the old one.
+var journalMagic = []byte("DNETJNL1")
+
+// maxFrame bounds a frame payload (64 MiB). Real records are a few KiB
+// at most — even a 4096-op batch stays far under this — so a larger
+// claimed length can only be corruption.
+const maxFrame = 1 << 26
+
+// frameHeaderLen is the per-frame prefix: 4-byte little-endian payload
+// length, 4-byte little-endian CRC32 (IEEE) of the payload.
+const frameHeaderLen = 8
+
+// CorruptError reports where and why journal decoding stopped. Replay
+// treats it as "the durable prefix ends here", not as failure: every
+// frame before Offset decoded clean.
+type CorruptError struct {
+	Offset int64
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("intent: journal corrupt at offset %d: %s", e.Offset, e.Reason)
+}
+
+// encodeFrame renders one record as a wire frame.
+func encodeFrame(rec *Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, frameHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[frameHeaderLen:], payload)
+	return buf, nil
+}
+
+// DecodeJournal scans a journal byte stream. It returns every record of
+// the longest valid prefix, the offset just past the last valid frame,
+// and the corruption that stopped the scan — nil on a clean EOF. Any
+// input is safe: a truncated, bit-flipped, or entirely foreign stream
+// yields a *CorruptError, never a panic.
+func DecodeJournal(r io.Reader) ([]Record, int64, error) {
+	hdr := make([]byte, len(journalMagic))
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, 0, &CorruptError{Offset: 0, Reason: "missing or truncated header"}
+	}
+	if !bytes.Equal(hdr, journalMagic) {
+		return nil, 0, &CorruptError{Offset: 0, Reason: fmt.Sprintf("bad magic %q", hdr)}
+	}
+	var recs []Record
+	off := int64(len(journalMagic))
+	fh := make([]byte, frameHeaderLen)
+	for {
+		if _, err := io.ReadFull(r, fh); err != nil {
+			if err == io.EOF {
+				return recs, off, nil
+			}
+			return recs, off, &CorruptError{Offset: off, Reason: "truncated frame header"}
+		}
+		n := binary.LittleEndian.Uint32(fh[0:4])
+		sum := binary.LittleEndian.Uint32(fh[4:8])
+		if n == 0 || n > maxFrame {
+			return recs, off, &CorruptError{Offset: off, Reason: fmt.Sprintf("implausible frame length %d", n)}
+		}
+		payload, err := readPayload(r, int(n))
+		if err != nil {
+			return recs, off, &CorruptError{Offset: off, Reason: "truncated frame payload"}
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return recs, off, &CorruptError{Offset: off, Reason: "frame checksum mismatch"}
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return recs, off, &CorruptError{Offset: off, Reason: "frame payload is not a record: " + err.Error()}
+		}
+		recs = append(recs, rec)
+		off += int64(frameHeaderLen) + int64(n)
+	}
+}
+
+// readPayload reads exactly n bytes. Large claims are read
+// incrementally so a lying length prefix on a short stream cannot force
+// a 64 MiB allocation (this keeps the fuzz target honest too).
+func readPayload(r io.Reader, n int) ([]byte, error) {
+	if n <= 1<<16 {
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+	var buf bytes.Buffer
+	if _, err := io.CopyN(&buf, r, int64(n)); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

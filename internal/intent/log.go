@@ -1,0 +1,408 @@
+// Log is the durable store: an append-only journal file plus a
+// periodic snapshot that lets the journal truncate. Open replays
+// snapshot + journal tail into State; Record appends one frame per
+// accepted mutation (batch = one frame) under a configurable fsync
+// policy; Compact snapshots and truncates.
+package intent
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// SyncPolicy selects when the journal file is fsynced.
+type SyncPolicy int
+
+const (
+	// SyncNone never fsyncs; the OS flushes on its own schedule. Fastest,
+	// loses the tail on machine (not process) crash.
+	SyncNone SyncPolicy = iota
+	// SyncAlways fsyncs after every record. Slowest, loses nothing.
+	SyncAlways
+	// SyncInterval fsyncs every Options.SyncEvery records.
+	SyncInterval
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	default:
+		return "none"
+	}
+}
+
+// ParseSyncPolicy maps the -fsync flag values to a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "none":
+		return SyncNone, nil
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	}
+	return SyncNone, fmt.Errorf("intent: bad fsync policy %q (want none, always, or interval)", s)
+}
+
+// Options configures Open.
+type Options struct {
+	// Sync is the fsync policy; SyncEvery is the record interval for
+	// SyncInterval (default 64).
+	Sync      SyncPolicy
+	SyncEvery int
+	// CompactEvery snapshots and truncates the journal automatically
+	// after this many appended records (0 = only on explicit Compact).
+	CompactEvery int
+	// Meta stamps world identity (seed, topology) into the first record
+	// of a fresh journal; on reopen the caller compares it against
+	// State.Meta and refuses to replay a foreign world's journal.
+	Meta map[string]string
+}
+
+const (
+	journalName  = "journal.log"
+	snapshotName = "snapshot.json"
+)
+
+// Log is the durable intent store rooted at one directory. All methods
+// are safe for concurrent use; a nil *Log is a no-op recorder so core
+// can call Record unconditionally.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu           sync.Mutex
+	f            *os.File
+	st           *State
+	sinceSync    int
+	sinceCompact int
+	records      uint64 // frames appended this process (not lifetime)
+	compactions  uint64
+	appendErrs   uint64
+	lastErr      error
+	replayed     int   // journal records folded at Open
+	replayOff    int64 // journal offset replay stopped at
+	replayCut    bool  // true if Open truncated a corrupt tail
+}
+
+// Stats is a point-in-time summary for /v1/snapshot and declnetctl.
+type Stats struct {
+	Dir             string `json:"dir"`
+	Seq             uint64 `json:"seq"`
+	JournalRecords  uint64 `json:"journal_records"`
+	ReplayedRecords int    `json:"replayed_records"`
+	Compactions     uint64 `json:"compactions"`
+	AppendErrors    uint64 `json:"append_errors"`
+	LastError       string `json:"last_error,omitempty"`
+	TailTruncated   bool   `json:"tail_truncated,omitempty"`
+}
+
+// Open loads (or creates) the store at dir: snapshot first, then the
+// journal tail, folding both into State. A corrupt journal tail is cut
+// off — everything before it replays — so a crash mid-append recovers
+// to the last whole frame. A corrupt snapshot is an error: it is
+// written atomically (tmp + rename), so corruption there means
+// something other than a crash went wrong.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.SyncEvery <= 0 {
+		opts.SyncEvery = 64
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("intent: %w", err)
+	}
+	l := &Log{dir: dir, opts: opts, st: NewState()}
+
+	if buf, err := os.ReadFile(filepath.Join(dir, snapshotName)); err == nil {
+		if err := json.Unmarshal(buf, l.st); err != nil {
+			return nil, fmt.Errorf("intent: snapshot corrupt: %w", err)
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("intent: %w", err)
+	}
+
+	f, err := os.OpenFile(filepath.Join(dir, journalName), os.O_APPEND|os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("intent: %w", err)
+	}
+	l.f = f
+
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("intent: %w", err)
+	}
+	if size == 0 {
+		if err := l.writeHeaderLocked(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if len(opts.Meta) > 0 {
+			// Stamp world identity as the journal's first record.
+			l.mu.Lock()
+			l.appendLocked("", nil, opts.Meta)
+			l.mu.Unlock()
+		}
+		return l, nil
+	}
+
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("intent: %w", err)
+	}
+	recs, off, decErr := DecodeJournal(f)
+	for i := range recs {
+		if err := l.st.Apply(&recs[i]); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	l.replayed = len(recs)
+	l.replayOff = off
+	if decErr != nil {
+		// Cut the corrupt tail so O_APPEND writes land right after the
+		// last whole frame.
+		if err := f.Truncate(off); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("intent: truncating corrupt tail: %w", err)
+		}
+		l.replayCut = true
+		if off < int64(len(journalMagic)) {
+			// Even the header was bad; rewrite it.
+			if err := l.writeHeaderLocked(); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("intent: %w", err)
+	}
+	return l, nil
+}
+
+func (l *Log) writeHeaderLocked() error {
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("intent: %w", err)
+	}
+	// The file is O_APPEND, so this Write lands at the new end — offset 0.
+	if _, err := l.f.Write(journalMagic); err != nil {
+		return fmt.Errorf("intent: %w", err)
+	}
+	return nil
+}
+
+// Record journals one accepted mutation (all its ops in one atomic
+// frame) and folds it into State. Called by core's verb wrappers with
+// the shard lock held, after the body succeeded and before the verb
+// returns — so anything the tenant was told succeeded is on disk (to
+// the limit of the fsync policy). Nil-safe; returns the assigned
+// sequence number (0 when disabled).
+//
+// Append errors are counted, not returned: the mutation has already
+// been applied in memory and cannot be unwound here. Stats surfaces
+// them; an operator seeing append_errors > 0 knows the journal has a
+// hole from that point.
+func (l *Log) Record(tenant string, ops ...Op) uint64 {
+	if l == nil || len(ops) == 0 {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appendLocked(tenant, ops, nil)
+}
+
+func (l *Log) appendLocked(tenant string, ops []Op, meta map[string]string) uint64 {
+	rec := Record{Seq: l.st.Seq + 1, Tenant: tenant, Ops: ops, Meta: meta}
+	// Apply first: it validates the ops against declared state, so a
+	// record that would not replay is never persisted.
+	if err := l.st.Apply(&rec); err != nil {
+		l.appendErrs++
+		l.lastErr = err
+		return 0
+	}
+	frame, err := encodeFrame(&rec)
+	if err == nil {
+		if l.f == nil {
+			err = errors.New("intent: log closed")
+		} else {
+			_, err = l.f.Write(frame)
+		}
+	}
+	if err != nil {
+		l.appendErrs++
+		l.lastErr = err
+		return rec.Seq
+	}
+	l.records++
+	l.sinceSync++
+	l.sinceCompact++
+	switch l.opts.Sync {
+	case SyncAlways:
+		l.syncLocked()
+	case SyncInterval:
+		if l.sinceSync >= l.opts.SyncEvery {
+			l.syncLocked()
+		}
+	}
+	if l.opts.CompactEvery > 0 && l.sinceCompact >= l.opts.CompactEvery {
+		if err := l.compactLocked(); err != nil {
+			l.appendErrs++
+			l.lastErr = err
+		}
+	}
+	return rec.Seq
+}
+
+func (l *Log) syncLocked() {
+	if l.f == nil {
+		return
+	}
+	if err := l.f.Sync(); err != nil {
+		l.appendErrs++
+		l.lastErr = err
+		return
+	}
+	l.sinceSync = 0
+}
+
+// Compact snapshots State atomically (tmp + fsync + rename) and resets
+// the journal to an empty header. A crash between rename and truncate
+// is safe: replay skips journal records at or below the snapshot's
+// sequence number.
+func (l *Log) Compact() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.compactLocked()
+}
+
+func (l *Log) compactLocked() error {
+	if l.f == nil {
+		return errors.New("intent: log closed")
+	}
+	buf, err := json.Marshal(l.st)
+	if err != nil {
+		return fmt.Errorf("intent: %w", err)
+	}
+	tmp := filepath.Join(l.dir, snapshotName+".tmp")
+	tf, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("intent: %w", err)
+	}
+	if _, err := tf.Write(buf); err != nil {
+		tf.Close()
+		return fmt.Errorf("intent: %w", err)
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		return fmt.Errorf("intent: %w", err)
+	}
+	if err := tf.Close(); err != nil {
+		return fmt.Errorf("intent: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, snapshotName)); err != nil {
+		return fmt.Errorf("intent: %w", err)
+	}
+	if err := l.writeHeaderLocked(); err != nil {
+		return err
+	}
+	l.sinceCompact = 0
+	l.compactions++
+	return nil
+}
+
+// State returns a deep copy of the declared world. The copy is made
+// under the log's lock and diffed outside it, keeping the reconciler
+// out of the wrapper's shard-lock -> log-lock order.
+func (l *Log) State() *State {
+	if l == nil {
+		return NewState()
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.st.Clone()
+}
+
+// Seq returns the last assigned sequence number.
+func (l *Log) Seq() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.st.Seq
+}
+
+// Meta returns the world-identity stamps folded from snapshot+journal.
+func (l *Log) Meta() map[string]string {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	m := make(map[string]string, len(l.st.Meta))
+	for k, v := range l.st.Meta {
+		m[k] = v
+	}
+	return m
+}
+
+// Stats returns a point-in-time summary.
+func (l *Log) Stats() Stats {
+	if l == nil {
+		return Stats{}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := Stats{
+		Dir:             l.dir,
+		Seq:             l.st.Seq,
+		JournalRecords:  l.records,
+		ReplayedRecords: l.replayed,
+		Compactions:     l.compactions,
+		AppendErrors:    l.appendErrs,
+		TailTruncated:   l.replayCut,
+	}
+	if l.lastErr != nil {
+		s.LastError = l.lastErr.Error()
+	}
+	return s
+}
+
+// Dir returns the store's root directory.
+func (l *Log) Dir() string {
+	if l == nil {
+		return ""
+	}
+	return l.dir
+}
+
+// Close syncs and closes the journal file. The store stays readable
+// via State but further Records will count append errors.
+func (l *Log) Close() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}

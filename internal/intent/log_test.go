@@ -1,0 +1,435 @@
+package intent
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"declnet/internal/addr"
+)
+
+func mustIP(t testing.TB, s string) addr.IP {
+	t.Helper()
+	ip, err := addr.ParseIP(s)
+	if err != nil {
+		t.Fatalf("ParseIP(%q): %v", s, err)
+	}
+	return ip
+}
+
+// sampleOps is a valid mutation history touching every journal surface:
+// grants, binds, permits (direct and group-expanded), QoS, potato,
+// egress caps, groups, names, and a release.
+func sampleOps(t testing.TB) []struct {
+	tenant string
+	ops    []Op
+} {
+	t.Helper()
+	eip1 := mustIP(t, "10.0.0.1")
+	eip2 := mustIP(t, "10.0.0.2")
+	sip := mustIP(t, "172.16.0.1")
+	return []struct {
+		tenant string
+		ops    []Op
+	}{
+		{"acme", []Op{{Verb: OpRequestEIP, VM: "vm-1", Provider: "cloudA", Region: "us-east", Addr: eip1}}},
+		{"acme", []Op{{Verb: OpRequestEIP, VM: "vm-2", Provider: "cloudA", Region: "us-east", Addr: eip2}}},
+		{"acme", []Op{{Verb: OpRequestSIP, Provider: "cloudA", Addr: sip}}},
+		{"acme", []Op{
+			{Verb: OpBind, EIP: eip1, SIP: sip, Weight: 2},
+			{Verb: OpBind, EIP: eip2, SIP: sip}, // weight clamps to 1
+		}},
+		{"acme", []Op{{Verb: OpCreateGroup, Provider: "cloudA", Name: "web", Members: []addr.IP{eip1, eip2}}}},
+		{"acme", []Op{{Verb: OpSetPermit, Provider: "cloudA", Target: eip1,
+			Entries: []addr.Prefix{addr.MustParsePrefix("192.168.0.0/24")}, Groups: []string{"web"}}}},
+		{"acme", []Op{{Verb: OpPermit, Target: eip2, Entries: []addr.Prefix{addr.MustParsePrefix("192.168.1.7/32")}}}},
+		{"acme", []Op{{Verb: OpRevoke, Target: eip2, Entries: []addr.Prefix{addr.MustParsePrefix("192.168.1.7/32")}}}},
+		{"acme", []Op{{Verb: OpSetQoS, Provider: "cloudA", Region: "us-east", Bps: 1e9}}},
+		{"acme", []Op{{Verb: OpSetPotato, Provider: "cloudA", Policy: "cold"}}},
+		{"acme", []Op{{Verb: OpSetVMEgress, EIP: eip1, Bps: 5e8}}},
+		{"acme", []Op{{Verb: OpRegisterName, Name: "frontend", Addr: sip}}},
+		{"acme", []Op{{Verb: OpUnbind, EIP: eip2, SIP: sip}}},
+		{"acme", []Op{{Verb: OpReleaseEIP, Addr: eip2}}},
+	}
+}
+
+func recordAll(t testing.TB, l *Log) {
+	t.Helper()
+	for _, m := range sampleOps(t) {
+		if seq := l.Record(m.tenant, m.ops...); seq == 0 {
+			t.Fatalf("Record(%v) rejected", m.ops)
+		}
+	}
+}
+
+// stateJSON canonicalizes a state for comparison (encoding/json sorts
+// map keys, so equal states marshal identically).
+func stateJSON(t testing.TB, s *State) string {
+	t.Helper()
+	buf, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("marshal state: %v", err)
+	}
+	return string(buf)
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Meta: map[string]string{"seed": "7"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recordAll(t, l)
+	want := stateJSON(t, l.State())
+	wantSeq := l.Seq()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := stateJSON(t, l2.State()); got != want {
+		t.Errorf("replayed state differs\n got %s\nwant %s", got, want)
+	}
+	if l2.Seq() != wantSeq {
+		t.Errorf("Seq = %d, want %d", l2.Seq(), wantSeq)
+	}
+	if l2.Meta()["seed"] != "7" {
+		t.Errorf("Meta = %v, want seed=7", l2.Meta())
+	}
+	st := l2.Stats()
+	if st.ReplayedRecords == 0 || st.TailTruncated || st.AppendErrors != 0 {
+		t.Errorf("unexpected stats after clean reopen: %+v", st)
+	}
+}
+
+func TestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recordAll(t, l)
+	want := stateJSON(t, l.State())
+	if err := l.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Stats().Compactions != 1 {
+		t.Errorf("Compactions = %d, want 1", l.Stats().Compactions)
+	}
+	// The journal is now just a header; state must come from the snapshot.
+	fi, err := os.Stat(filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != int64(len(journalMagic)) {
+		t.Errorf("journal size after compact = %d, want %d", fi.Size(), len(journalMagic))
+	}
+	l.Close()
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := stateJSON(t, l2.State()); got != want {
+		t.Errorf("state after compact+reopen differs\n got %s\nwant %s", got, want)
+	}
+	if l2.Stats().ReplayedRecords != 0 {
+		t.Errorf("ReplayedRecords = %d, want 0 (journal was truncated)", l2.Stats().ReplayedRecords)
+	}
+}
+
+func TestAutoCompact(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{CompactEvery: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	recordAll(t, l) // 14 records -> at least 2 automatic compactions
+	if c := l.Stats().Compactions; c < 2 {
+		t.Errorf("Compactions = %d, want >= 2", c)
+	}
+}
+
+// TestSeqSkip simulates a crash between the snapshot rename and the
+// journal truncation: the journal still holds records the snapshot
+// already covers. Replay must skip them.
+func TestSeqSkip(t *testing.T) {
+	dirA := t.TempDir()
+	l, err := Open(dirA, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recordAll(t, l)
+	want := stateJSON(t, l.State())
+	wantSeq := l.Seq()
+	snap, err := json.Marshal(l.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	journal, err := os.ReadFile(filepath.Join(dirA, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dirB := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dirB, snapshotName), snap, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dirB, journalName), journal, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dirB, Options{})
+	if err != nil {
+		t.Fatalf("replaying a snapshot-covered journal: %v", err)
+	}
+	defer l2.Close()
+	if got := stateJSON(t, l2.State()); got != want {
+		t.Errorf("state differs after covered replay\n got %s\nwant %s", got, want)
+	}
+	if l2.Seq() != wantSeq {
+		t.Errorf("Seq = %d, want %d", l2.Seq(), wantSeq)
+	}
+	// The store must keep assigning fresh sequence numbers.
+	seq := l2.Record("acme", Op{Verb: OpSetQoS, Provider: "cloudA", Region: "us-east", Bps: 2e9})
+	if seq != wantSeq+1 {
+		t.Errorf("next Seq = %d, want %d", seq, wantSeq+1)
+	}
+}
+
+func TestCorruptTailRecovers(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recordAll(t, l)
+	l.Close()
+
+	path := filepath.Join(dir, journalName)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the last frame's payload: CRC fails, replay
+	// must stop at the previous frame.
+	buf[len(buf)-3] ^= 0xff
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("corrupt tail must not fail Open: %v", err)
+	}
+	st := l2.Stats()
+	if !st.TailTruncated {
+		t.Error("TailTruncated = false, want true")
+	}
+	n := len(sampleOps(t))
+	if st.ReplayedRecords != n-1 {
+		t.Errorf("ReplayedRecords = %d, want %d", st.ReplayedRecords, n-1)
+	}
+	// Appends land after the cut; the next reopen replays clean.
+	if seq := l2.Record("acme", Op{Verb: OpSetQoS, Provider: "cloudA", Region: "us-east", Bps: 3e9}); seq == 0 {
+		t.Fatal("Record after tail cut rejected")
+	}
+	want := stateJSON(t, l2.State())
+	l2.Close()
+	l3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	if got := stateJSON(t, l3.State()); got != want {
+		t.Errorf("state after cut+append+reopen differs\n got %s\nwant %s", got, want)
+	}
+	if l3.Stats().TailTruncated {
+		t.Error("second reopen still reports a truncated tail")
+	}
+}
+
+func TestCorruptSnapshotIsFatal(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, snapshotName), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("Open accepted a corrupt snapshot")
+	}
+}
+
+func TestInvalidOpRejected(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	// Releasing an endpoint that was never granted cannot replay; the
+	// record must not be persisted.
+	if seq := l.Record("acme", Op{Verb: OpReleaseEIP, Addr: mustIP(t, "10.9.9.9")}); seq != 0 {
+		t.Errorf("invalid op assigned seq %d, want 0", seq)
+	}
+	st := l.Stats()
+	if st.AppendErrors != 1 || st.JournalRecords != 0 {
+		t.Errorf("stats = %+v, want 1 append error and 0 journal records", st)
+	}
+	if l.Seq() != 0 {
+		t.Errorf("Seq advanced to %d on a rejected record", l.Seq())
+	}
+}
+
+func TestRecordAfterClose(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l.Record("acme", Op{Verb: OpRequestEIP, VM: "vm-1", Provider: "p", Region: "r", Addr: mustIP(t, "10.0.0.1")})
+	if l.Stats().AppendErrors == 0 {
+		t.Error("Record after Close did not count an append error")
+	}
+	if err := l.Compact(); err == nil {
+		t.Error("Compact after Close did not error")
+	}
+	// Nil receivers are no-op recorders.
+	var nl *Log
+	if seq := nl.Record("acme", Op{Verb: OpBind}); seq != 0 {
+		t.Errorf("nil log assigned seq %d", seq)
+	}
+	if nl.State() == nil || nl.Seq() != 0 || nl.Close() != nil {
+		t.Error("nil log accessors misbehaved")
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	for _, s := range []string{"none", "always", "interval"} {
+		if _, err := ParseSyncPolicy(s); err != nil {
+			t.Errorf("ParseSyncPolicy(%q): %v", s, err)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Error("ParseSyncPolicy accepted a bogus policy")
+	}
+	// Exercise both fsync paths end to end.
+	for _, p := range []SyncPolicy{SyncAlways, SyncInterval} {
+		dir := t.TempDir()
+		l, err := Open(dir, Options{Sync: p, SyncEvery: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		recordAll(t, l)
+		if st := l.Stats(); st.AppendErrors != 0 {
+			t.Errorf("policy %v: append errors %d", p, st.AppendErrors)
+		}
+		l.Close()
+	}
+}
+
+func TestPoolClaimOutOfOrder(t *testing.T) {
+	ps := &PoolState{}
+	ps.claim(12) // first claim seeds the cursor
+	if ps.Next != 13 {
+		t.Fatalf("Next = %d, want 13", ps.Next)
+	}
+	ps.claim(15) // skip-fill 13, 14
+	if ps.Next != 16 || len(ps.Released) != 2 {
+		t.Fatalf("after gap claim: Next = %d, Released = %v", ps.Next, ps.Released)
+	}
+	ps.claim(13) // consumes its skip-fill entry
+	ps.claim(14)
+	if len(ps.Released) != 0 {
+		t.Fatalf("Released = %v, want empty", ps.Released)
+	}
+	ps.claim(10) // below cursor, already consumed elsewhere: no-op
+	if ps.Next != 16 || len(ps.Released) != 0 {
+		t.Fatalf("below-cursor claim changed the pool: Next = %d, Released = %v", ps.Next, ps.Released)
+	}
+	ps.release(13)
+	ps.claim(13) // free-list reuse
+	if len(ps.Released) != 0 || ps.Next != 16 {
+		t.Fatalf("free-list reclaim: Next = %d, Released = %v", ps.Next, ps.Released)
+	}
+}
+
+// TestReleaseRegrantInversion covers the concurrent-shard hazard: a
+// release and a re-grant of the same address can reach the journal in
+// inverted order. The re-grant's apply cleans up the old incarnation;
+// the late release folds to a no-op.
+func TestReleaseRegrantInversion(t *testing.T) {
+	eip := addr.IP(0x0a000001)
+	sip := addr.IP(0xac100001)
+	s := NewState()
+	apply := func(seq uint64, tenant string, ops ...Op) {
+		t.Helper()
+		if err := s.Apply(&Record{Seq: seq, Tenant: tenant, Ops: ops}); err != nil {
+			t.Fatalf("apply %d: %v", seq, err)
+		}
+	}
+	apply(1, "alice", Op{Verb: OpRequestEIP, VM: "vm-a", Provider: "p", Region: "r", Addr: eip})
+	apply(2, "alice", Op{Verb: OpRequestSIP, Provider: "p", Addr: sip})
+	apply(3, "alice", Op{Verb: OpBind, EIP: eip, SIP: sip, Weight: 1})
+	apply(4, "alice", Op{Verb: OpPermit, Target: eip, Entries: []addr.Prefix{addr.NewPrefix(sip, 32)}})
+	// Inverted order: bob's re-grant journals before alice's release.
+	apply(5, "bob", Op{Verb: OpRequestEIP, VM: "vm-b", Provider: "p", Region: "r", Addr: eip})
+	apply(6, "alice", Op{Verb: OpReleaseEIP, Addr: eip})
+
+	ep := s.Endpoints[eip]
+	if ep == nil || ep.Tenant != "bob" {
+		t.Fatalf("endpoint = %+v, want bob's", ep)
+	}
+	if s.Permits[eip] != nil {
+		t.Errorf("stale permit list survived: %+v", s.Permits[eip])
+	}
+	if svc := s.Services[sip]; len(svc.Binds) != 0 {
+		t.Errorf("stale binds survived: %+v", svc.Binds)
+	}
+	// Same shape for SIPs.
+	apply(7, "bob", Op{Verb: OpRequestSIP, Provider: "p", Addr: sip})
+	apply(8, "alice", Op{Verb: OpReleaseSIP, Addr: sip})
+	if svc := s.Services[sip]; svc == nil || svc.Tenant != "bob" {
+		t.Fatalf("service = %+v, want bob's", s.Services[sip])
+	}
+}
+
+func TestDecodeJournalTrailingGarbage(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(journalMagic)
+	frame, err := encodeFrame(&Record{Seq: 1, Tenant: "t", Ops: []Op{{Verb: OpSetQoS, Provider: "p", Bps: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Write(frame)
+	cut := buf.Len()
+	buf.WriteString("\x07\x00\x00\x00garbage-without-valid-crc")
+
+	recs, off, derr := DecodeJournal(bytes.NewReader(buf.Bytes()))
+	if len(recs) != 1 || off != int64(cut) {
+		t.Fatalf("recs = %d, off = %d, want 1 record ending at %d", len(recs), off, cut)
+	}
+	var ce *CorruptError
+	if !asCorrupt(derr, &ce) {
+		t.Fatalf("err = %v, want *CorruptError", derr)
+	}
+	if ce.Offset != int64(cut) {
+		t.Errorf("corrupt offset = %d, want %d", ce.Offset, cut)
+	}
+}
+
+func asCorrupt(err error, target **CorruptError) bool {
+	ce, ok := err.(*CorruptError)
+	if ok {
+		*target = ce
+	}
+	return ok
+}

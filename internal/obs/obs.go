@@ -55,6 +55,10 @@ const (
 	// breached its trailing baseline, with the suspected noisy neighbor
 	// in the cause chain.
 	SLOBreach Kind = "slo-breach"
+	// Reconcile is the desired-state engine repairing dataplane drift,
+	// the divergence it closed in the cause chain
+	// ("reconcile:permit:10.0.0.3 <- drift:missing-entries").
+	Reconcile Kind = "reconcile"
 )
 
 // Event is one structured provider-side decision.

@@ -371,6 +371,35 @@ func (e *Engine) Explain(src, dst addr.IP) Decision {
 	return d
 }
 
+// Targets returns every guarded destination, sorted — the reconciler's
+// walk order over the engine's actual state.
+func (e *Engine) Targets() []addr.IP {
+	var out []addr.IP
+	for i := range e.stripes {
+		s := &e.stripes[i]
+		s.mu.RLock()
+		for dst := range s.lists {
+			out = append(out, dst)
+		}
+		s.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// EntriesOf returns dst's installed entries (Entries() order) under the
+// stripe read lock, or nil when dst is unguarded.
+func (e *Engine) EntriesOf(dst addr.IP) []Entry {
+	s := e.stripeOf(dst)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	l, ok := s.lists[dst]
+	if !ok {
+		return nil
+	}
+	return l.Entries()
+}
+
 // Endpoints returns the number of guarded EIPs.
 func (e *Engine) Endpoints() int {
 	var n int

@@ -1,0 +1,107 @@
+package scale
+
+import (
+	"testing"
+
+	"declnet/internal/addr"
+	"declnet/internal/intent"
+	"declnet/internal/permit"
+)
+
+// BenchmarkRecovery measures restart recovery at the E13 default tier
+// (10^5 endpoints, 200 tenants): onboard a full drill world with the
+// durable intent store attached, compact mid-history so recovery
+// exercises snapshot load AND journal-tail replay, then time
+// Open -> buildWorld -> RestoreIntent per iteration. The per-iteration
+// wall clock is reported as recover_sec — the number `make benchdiff`
+// gates at <= 5s (ISSUE E15 recovery budget).
+func BenchmarkRecovery(b *testing.B) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	l, err := intent.Open(dir, intent.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := buildWorld(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w.cloud.EnableIntent(l)
+
+	// Onboard exactly like the drill's phase 1: grants plus a permit
+	// list per endpoint, fanned out over workers so the journal sees
+	// real concurrent append order.
+	perTenant := cfg.EIPs / cfg.Tenants
+	extra := cfg.EIPs % cfg.Tenants
+	err = forEachTenant(cfg, w.tenants, func(_ int, ts *tenantState) error {
+		n := perTenant
+		if tenantIndex(ts.name) < extra {
+			n++
+		}
+		var regionEntry []permit.Entry
+		for i := 0; i < n; i++ {
+			eip, err := w.prov.RequestEIP(ts.name, ts.hosts[i%len(ts.hosts)])
+			if err != nil {
+				return err
+			}
+			if regionEntry == nil {
+				regionEntry = []permit.Entry{addr.NewPrefix(addr.IP(eip), 16)}
+			}
+			if err := w.prov.SetPermitList(ts.name, eip, regionEntry); err != nil {
+				return err
+			}
+			ts.eips = append(ts.eips, eip)
+			// Snapshot halfway through: recovery must fold snapshot and
+			// the journal tail written after it.
+			if i == n/2 && tenantIndex(ts.name) == 0 {
+				if err := l.Compact(); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A QoS tail after the snapshot point.
+	for _, ts := range w.tenants {
+		if err := w.prov.SetQoS(ts.name, regionName(ts.region), 1e9); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if st := l.Stats(); st.AppendErrors != 0 {
+		b.Fatalf("onboard journaling hit append errors: %+v", st)
+	}
+	wantDigest := w.cloud.StateDigest()
+	// Crash: the live Log is abandoned un-Closed.
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var recovered *world
+	for i := 0; i < b.N; i++ {
+		rl, err := intent.Open(dir, intent.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rw, err := buildWorld(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rw.cloud.RestoreIntent(rl.State()); err != nil {
+			b.Fatal(err)
+		}
+		rl.Close()
+		recovered = rw
+	}
+	b.StopTimer()
+	b.ReportMetric(0, "ns/op") // recover_sec is the meaningful unit
+	b.ReportMetric(b.Elapsed().Seconds()/float64(b.N), "recover_sec")
+
+	if got := recovered.cloud.StateDigest(); got != wantDigest {
+		b.Fatalf("recovered digest differs from the crashed world\n got %s\nwant %s", got, wantDigest)
+	}
+}
