@@ -116,6 +116,21 @@ func main() {
 			}
 		}
 	}
+	// Reconcile sweep cost (BENCH_reconcile.json): steady-state
+	// incremental vs full-scan sweep over the same 10^5 tier. The ratio
+	// is the incremental reconciler's acceptance number, gated at <= 0.1
+	// (a converged sweep must cost an order of magnitude less than a
+	// world walk).
+	if full, incr := find(s.Results, "BenchmarkReconcileSweep/full"), find(s.Results, "BenchmarkReconcileSweep/incr"); full != nil && incr != nil && full.NsPerOp > 0 {
+		s.Derived["reconcile_full_ms"] = round2(full.NsPerOp / 1e6)
+		s.Derived["reconcile_incr_ms"] = round2(incr.NsPerOp / 1e6)
+		s.Derived["reconcile_incr_full_ratio"] = round4(incr.NsPerOp / full.NsPerOp)
+	}
+	if storm := find(s.Results, "BenchmarkReconcileSweep/incr_drift_storm"); storm != nil {
+		if v, ok := storm.Extra["storm_cycle_ms"]; ok {
+			s.Derived["reconcile_storm_cycle_ms"] = round2(v)
+		}
+	}
 	// SLO instrumentation cost (BENCH_slo.json): the paired
 	// bare-vs-instrumented drill delta, gated at <= 5%.
 	if ov := find(s.Results, "BenchmarkSLOOverhead"); ov != nil {
@@ -236,4 +251,10 @@ func find(rs []Result, name string) *Result {
 
 func round2(v float64) float64 {
 	return float64(int64(v*100+0.5)) / 100
+}
+
+// round4 keeps small ratios (e.g. an incremental sweep at 0.3% of the
+// full scan) from rounding to zero in the artifact.
+func round4(v float64) float64 {
+	return float64(int64(v*10000+0.5)) / 10000
 }

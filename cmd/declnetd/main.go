@@ -98,6 +98,8 @@ func main() {
 		"snapshot and truncate the journal every N records (0 = only on POST /v1/snapshot)")
 	reconcileInterval := flag.Duration("reconcile-interval", time.Second,
 		"period of the background desired-state reconciler (0 disables; needs -data-dir)")
+	antiEntropyK := flag.Int("anti-entropy-k", 8,
+		"incremental reconciliation: sweep dirty targets plus a rotating 1/K anti-entropy slice (0 = full scan every sweep)")
 	flag.Parse()
 
 	lvl, err := parseLevel(*logLevel)
@@ -158,12 +160,13 @@ func main() {
 
 	if store != nil {
 		world.EnableReconciler(core.ReconcilerConfig{
-			Interval: *reconcileInterval,
-			Gate:     srv.WorldGate(),
+			Interval:     *reconcileInterval,
+			AntiEntropyK: *antiEntropyK,
+			Gate:         srv.WorldGate(),
 		})
 		if *reconcileInterval > 0 {
 			world.Reconciler().Start()
-			logger.Info("reconciler running", "interval", *reconcileInterval)
+			logger.Info("reconciler running", "interval", *reconcileInterval, "anti_entropy_k", *antiEntropyK)
 		}
 	}
 

@@ -106,6 +106,33 @@ func (a *addrSpace) endpointSnapshot() []*endpoint {
 	return out
 }
 
+// endpointsWithin returns the endpoints whose EIPs fall inside block.
+// Region blocks are /16s and the stripe index is the /16 bits, so a
+// region's endpoints live in exactly one stripe; the Contains filter
+// handles the (provider count > stripe count) collision case. Blocks
+// wider than /16 fall back to the full snapshot scan.
+func (a *addrSpace) endpointsWithin(block addr.Prefix) []*endpoint {
+	if block.Len < 16 {
+		var out []*endpoint
+		for _, ep := range a.endpointSnapshot() {
+			if block.Contains(ep.eip) {
+				out = append(out, ep)
+			}
+		}
+		return out
+	}
+	s := &a.eps[stripeOf(block.Addr)]
+	s.mu.RLock()
+	out := make([]*endpoint, 0, len(s.m))
+	for ip, ep := range s.m {
+		if block.Contains(ip) {
+			out = append(out, ep)
+		}
+	}
+	s.mu.RUnlock()
+	return out
+}
+
 // serviceSnapshot is endpointSnapshot for services.
 func (a *addrSpace) serviceSnapshot() []*service {
 	var out []*service

@@ -90,6 +90,15 @@ type Cloud struct {
 	// (see reconcile.go).
 	reconciler *Reconciler
 
+	// conv tracks per-scope dirty sets and digest section versions; see
+	// convtrack.go. Fed by the intent log's record hook once EnableIntent
+	// wires it, plus the non-journaled mutation sites (drift hooks,
+	// reconciler repairs, fault-deferred permit landings). digests is the
+	// per-section digest memo StateDigest reads through; both are
+	// zero-value-usable.
+	conv    convTracker
+	digests digestCache
+
 	// refMu guards tenantRefs: live address grants per tenant, so the
 	// observability planes can evict a fully-released tenant's state
 	// (trace ring, SLO shards) instead of growing with tenant churn.

@@ -351,6 +351,12 @@ func (m *FaultMonitor) retryPermit(p *Provider, tenant string, target addr.IP, e
 		}
 		if m.Inj.Reachable(node) {
 			p.Permits.Set(target, entries)
+			// The deferred update lands outside any journaled record: bump
+			// the digest section it changed, and mark the target dirty so
+			// the next incremental sweep re-verifies it against the latest
+			// declared list (which may have moved on while we retried).
+			m.cloud.convBumpTarget(p, target)
+			m.cloud.convMarkPermit(p, target)
 			if p.meter != nil {
 				p.meter.PermitUpdate(tenant, m.cloud.Eng.Now())
 			}
@@ -367,6 +373,10 @@ func (m *FaultMonitor) retryPermit(p *Provider, tenant string, target addr.IP, e
 				fmt.Sprintf("after=%v", m.cloud.Eng.Now()-accepted),
 				obs.Chain(append([]string{"permit-timeout:" + target.String()}, m.Inj.Cause(node)...)...))
 			delete(m.pending, target)
+			// Timed out: the live list never took the declared update. Mark
+			// it dirty — with the pending flag gone, the reconciler owns
+			// the repair and should find it promptly, not in K sweeps.
+			m.cloud.convMarkPermit(p, target)
 			return
 		}
 		m.PermitRetries++

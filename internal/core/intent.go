@@ -13,7 +13,12 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"io"
+	"runtime"
+	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"declnet/internal/addr"
 	"declnet/internal/intent"
@@ -31,6 +36,12 @@ func (c *Cloud) EnableIntent(l *intent.Log) {
 	for _, p := range c.providers {
 		p.rec = l
 	}
+	// Every journaled mutation now feeds the convergence tracker: dirty
+	// sets for the incremental reconciler, section versions for the
+	// incremental digest (convtrack.go). Retire any cached digests —
+	// mutations before this point were not tracked.
+	l.SetOnRecord(c.noteRecorded)
+	c.conv.invalidateAll()
 }
 
 // Intent returns the attached store, or nil before EnableIntent.
@@ -56,13 +67,27 @@ func parsePotatoPolicy(s string) qos.PotatoPolicy {
 // re-applied. Call it once, on an otherwise-fresh Cloud built over the
 // same world (the daemon compares the store's Meta stamps first), and
 // before EnableIntent — restoration itself must not re-journal.
+// Restoration fans out across GOMAXPROCS workers phase by phase.
 func (c *Cloud) RestoreIntent(st *intent.State) error {
+	return c.RestoreIntentWorkers(st, runtime.GOMAXPROCS(0))
+}
+
+// RestoreIntentWorkers is RestoreIntent with an explicit worker count
+// (tests force >1 on single-core machines; 1 restores serially).
+// Phases run in dependency order — pools, then endpoints, services, and
+// permit lists each fanned out across workers, then the serial policy
+// tail — so no worker ever needs state a concurrent worker is building.
+// Within a phase items are independent: every write lands in a striped
+// table under its own stripe lock, keyed by a distinct address, and the
+// final state is identical for any interleaving.
+func (c *Cloud) RestoreIntentWorkers(st *intent.State, workers int) error {
 	if st == nil {
 		return nil
 	}
 	defer c.shards.lockGlobal()()
 	c.beginBatch()
 	defer c.endBatch()
+	defer c.conv.invalidateAll()
 
 	provs := c.pidx.Load().list
 
@@ -93,13 +118,16 @@ func (c *Cloud) RestoreIntent(st *intent.State) error {
 		}
 	}
 
-	// Endpoints, sorted for determinism.
+	// Endpoints. The sort is not for determinism of the result — the
+	// tables are maps — but keeps worker chunks region-contiguous, so
+	// parallel installs mostly touch disjoint stripes.
 	eips := make([]addr.IP, 0, len(st.Endpoints))
 	for eip := range st.Endpoints {
 		eips = append(eips, eip)
 	}
 	sortIPs(eips)
-	for _, eip := range eips {
+	err := restoreParallel(len(eips), workers, func(i int) error {
+		eip := eips[i]
 		ep := st.Endpoints[eip]
 		p, ok := c.providers[ep.Provider]
 		if !ok {
@@ -112,15 +140,21 @@ func (c *Cloud) RestoreIntent(st *intent.State) error {
 			egressCap: ep.EgressCap,
 		})
 		c.tenantDelta(ep.Tenant, 1)
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 
-	// Services and their bindings.
+	// Services and their bindings. Each worker builds a balancer
+	// privately and publishes it with one striped-table store.
 	sips := make([]addr.IP, 0, len(st.Services))
 	for sip := range st.Services {
 		sips = append(sips, sip)
 	}
 	sortIPs(sips)
-	for _, sip := range sips {
+	err = restoreParallel(len(sips), workers, func(i int) error {
+		sip := sips[i]
 		svc := st.Services[sip]
 		p, ok := c.providers[svc.Provider]
 		if !ok {
@@ -132,20 +166,33 @@ func (c *Cloud) RestoreIntent(st *intent.State) error {
 		}
 		p.addrs.putService(sip, &service{sip: sip, tenant: svc.Tenant, balancer: bal})
 		c.tenantDelta(svc.Tenant, 1)
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 
-	// Permit lists, installed at the owning provider's engine.
+	// Permit lists, installed at the owning provider's engine. SetFresh
+	// (not Set) for two reasons: it skips the verb path's change-tracking
+	// bookkeeping, whose batch-window fields are not safe under
+	// concurrent workers, and it builds each list off-line so a target's
+	// stripe lock is held only for the final install.
 	targets := make([]addr.IP, 0, len(st.Permits))
 	for t := range st.Permits {
 		targets = append(targets, t)
 	}
 	sortIPs(targets)
-	for _, t := range targets {
+	err = restoreParallel(len(targets), workers, func(i int) error {
+		t := targets[i]
 		p, ok := c.blockOwner(t)
 		if !ok {
 			return fmt.Errorf("core: restore: permit target %s is outside every provider's blocks", t)
 		}
-		p.Permits.Set(t, st.Permits[t].Entries)
+		p.Permits.SetFresh(t, st.Permits[t].Entries)
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 
 	// QoS quotas, potato profiles, groups, names.
@@ -221,6 +268,49 @@ func (c *Cloud) RestoreIntent(st *intent.State) error {
 	return nil
 }
 
+// restoreParallel runs fn(0..n-1) across workers, stopping each worker
+// at its first error. Which error surfaces when several workers fail is
+// unspecified — any error aborts the whole restore.
+func restoreParallel(n, workers int, fn func(i int) error) error {
+	if workers <= 1 || n < 2 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[slot] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // sortedKeys returns a map's string keys in sorted order.
 func sortedKeys[V any](m map[string]V) []string {
 	keys := make([]string, 0, len(m))
@@ -239,84 +329,158 @@ func sortedKeys[V any](m map[string]V) []string {
 // list versions — is excluded, so a recovered world that converged to
 // the same declared state digests identically to the world that never
 // crashed (the E15 equivalence check).
+//
+// The walk is sectioned: each (provider, region) scope, each provider's
+// SIP and policy planes, and the cloud plane hash independently, and
+// the world digest combines the per-section sums — O(sections) work
+// when the section sums are memoized. With an intent store attached
+// (EnableIntent) the convergence tracker versions every section, so a
+// steady-state digest recomputes only the sections that mutated since
+// the last call. Without one there is no mutation hook to invalidate
+// on, so every call recomputes cold — identical to StateDigestFull.
 func (c *Cloud) StateDigest() string {
+	return c.stateDigest(true)
+}
+
+// StateDigestFull recomputes every section cold, bypassing the memo.
+// It is the parity oracle for the incremental digest: on one world at
+// one instant, StateDigest() == StateDigestFull() iff no cached
+// section went stale (a mutation path that forgot its version bump).
+// E15 asserts this equality every round of the chaos soak.
+func (c *Cloud) StateDigestFull() string {
+	return c.stateDigest(false)
+}
+
+func (c *Cloud) stateDigest(useCache bool) string {
 	defer c.shards.lockGlobal()()
+	useCache = useCache && c.rec != nil
 	h := sha256.New()
 	for _, p := range c.pidx.Load().list {
+		p := p
 		fmt.Fprintf(h, "provider %s\n", p.Name)
-		eps := p.addrs.endpointSnapshot()
-		ips := make([]addr.IP, 0, len(eps))
-		byIP := make(map[addr.IP]*endpoint, len(eps))
-		for _, ep := range eps {
-			ips = append(ips, ep.eip)
-			byIP[ep.eip] = ep
-		}
-		sortIPs(ips)
-		for _, ip := range ips {
-			ep := byIP[ip]
-			fmt.Fprintf(h, "ep %s %s %s %s %g\n", ip, ep.tenant, ep.node, ep.region, ep.egressCap)
-		}
-		svcs := p.addrs.serviceSnapshot()
-		sips := make([]addr.IP, 0, len(svcs))
-		svcByIP := make(map[addr.IP]*service, len(svcs))
-		for _, svc := range svcs {
-			sips = append(sips, svc.sip)
-			svcByIP[svc.sip] = svc
-		}
-		sortIPs(sips)
-		for _, sip := range sips {
-			svc := svcByIP[sip]
-			fmt.Fprintf(h, "svc %s %s\n", sip, svc.tenant)
-			for _, be := range sortedBackends(svc.balancer) {
-				fmt.Fprintf(h, "bind %s %d\n", be.EIP, be.Weight)
-			}
-		}
-		for _, t := range p.Permits.Targets() {
-			fmt.Fprintf(h, "permit %s", t)
-			for _, e := range p.Permits.EntriesOf(t) {
-				fmt.Fprintf(h, " %s", e)
-			}
-			fmt.Fprintln(h)
-		}
-		p.polMu.RLock()
-		for _, tenant := range sortedKeys(p.quotas) {
-			for _, region := range sortedKeys(p.quotas[tenant]) {
-				tq := p.quotas[tenant][region]
-				tq.mu.Lock()
-				q := tq.quota
-				tq.mu.Unlock()
-				fmt.Fprintf(h, "qos %s %s %g\n", tenant, region, q)
-			}
-		}
-		for _, tenant := range sortedKeys(p.potato) {
-			fmt.Fprintf(h, "potato %s %s\n", tenant, p.potato[tenant])
-		}
-		for _, tenant := range sortedKeys(p.groups) {
-			for _, name := range sortedKeys(p.groups[tenant]) {
-				fmt.Fprintf(h, "group %s %s %v\n", tenant, name, p.groups[tenant][name])
-			}
-		}
-		p.polMu.RUnlock()
 		for _, region := range p.Regions() {
-			next, released := p.eipBlocks[region].pool.Cursor()
-			fmt.Fprintf(h, "pool %s %s %v\n", region, next, released)
+			region := region
+			sum := c.sectionSum(useCache, regionScope(p.Name, region), func(w io.Writer) {
+				writeRegionSection(w, p, region)
+			})
+			fmt.Fprintf(h, "region %s %x\n", region, sum)
 		}
-		next, released := p.sipBlock.Cursor()
-		fmt.Fprintf(h, "sippool %s %v\n", next, released)
+		sum := c.sectionSum(useCache, sipScope(p.Name), func(w io.Writer) { writeSIPSection(w, p) })
+		fmt.Fprintf(h, "sip %x\n", sum)
+		sum = c.sectionSum(useCache, polScope(p.Name), func(w io.Writer) { writePolSection(w, p) })
+		fmt.Fprintf(h, "policy %x\n", sum)
 	}
+	sum := c.sectionSum(useCache, cloudScope(), func(w io.Writer) { c.writeCloudSection(w) })
+	fmt.Fprintf(h, "cloud %x\n", sum)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// sectionSum returns one section's sha256, through the memo when the
+// caller allows it. The version pair is read before filling: the global
+// gate excludes mutations for the whole digest, so the computed sum is
+// valid at exactly that version.
+func (c *Cloud) sectionSum(useCache bool, s convScope, fill func(io.Writer)) [sha256.Size]byte {
+	if !useCache {
+		return sectionHash(fill)
+	}
+	gen, ver := c.conv.version(s)
+	if sum, ok := c.digests.get(s, gen, ver); ok {
+		return sum
+	}
+	sum := sectionHash(fill)
+	c.digests.put(s, gen, ver, sum)
+	return sum
+}
+
+func sectionHash(fill func(io.Writer)) [sha256.Size]byte {
+	h := sha256.New()
+	fill(h)
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return sum
+}
+
+// writeRegionSection renders one (provider, region) scope: the region
+// block's endpoints, its installed permit lists, and its pool cursor.
+// Both enumerations are single-stripe scans — region blocks are /16s,
+// the stripe unit.
+func writeRegionSection(w io.Writer, p *Provider, region string) {
+	b := p.eipBlocks[region]
+	eps := p.addrs.endpointsWithin(b.base)
+	sort.Slice(eps, func(i, j int) bool { return eps[i].eip < eps[j].eip })
+	for _, ep := range eps {
+		fmt.Fprintf(w, "ep %s %s %s %s %g\n", ep.eip, ep.tenant, ep.node, ep.region, ep.egressCap)
+	}
+	writePermitLines(w, p, p.Permits.TargetsWithin(b.base))
+	next, released := b.pool.Cursor()
+	fmt.Fprintf(w, "pool %s %s %v\n", region, next, released)
+}
+
+// writeSIPSection renders a provider's SIP plane: services and their
+// bindings, SIP permit lists, and the SIP pool cursor.
+func writeSIPSection(w io.Writer, p *Provider) {
+	svcs := p.addrs.serviceSnapshot()
+	sort.Slice(svcs, func(i, j int) bool { return svcs[i].sip < svcs[j].sip })
+	for _, svc := range svcs {
+		fmt.Fprintf(w, "svc %s %s\n", svc.sip, svc.tenant)
+		for _, be := range sortedBackends(svc.balancer) {
+			fmt.Fprintf(w, "bind %s %d\n", be.EIP, be.Weight)
+		}
+	}
+	writePermitLines(w, p, p.Permits.TargetsWithin(p.cfg.SIPBase))
+	next, released := p.sipBlock.Cursor()
+	fmt.Fprintf(w, "sippool %s %v\n", next, released)
+}
+
+func writePermitLines(w io.Writer, p *Provider, targets []addr.IP) {
+	for _, t := range targets {
+		fmt.Fprintf(w, "permit %s", t)
+		for _, e := range p.Permits.EntriesOf(t) {
+			fmt.Fprintf(w, " %s", e)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// writePolSection renders a provider's policy plane: quotas, potato
+// profiles, groups.
+func writePolSection(w io.Writer, p *Provider) {
+	p.polMu.RLock()
+	for _, tenant := range sortedKeys(p.quotas) {
+		for _, region := range sortedKeys(p.quotas[tenant]) {
+			tq := p.quotas[tenant][region]
+			tq.mu.Lock()
+			q := tq.quota
+			tq.mu.Unlock()
+			fmt.Fprintf(w, "qos %s %s %g\n", tenant, region, q)
+		}
+	}
+	for _, tenant := range sortedKeys(p.potato) {
+		fmt.Fprintf(w, "potato %s %s\n", tenant, p.potato[tenant])
+	}
+	for _, tenant := range sortedKeys(p.groups) {
+		for _, name := range sortedKeys(p.groups[tenant]) {
+			fmt.Fprintf(w, "group %s %s %v\n", tenant, name, p.groups[tenant][name])
+		}
+	}
+	p.polMu.RUnlock()
+}
+
+// writeCloudSection renders the cloud plane: cross-provider groups and
+// names.
+func (c *Cloud) writeCloudSection(w io.Writer) {
 	c.nmMu.RLock()
 	for _, tenant := range sortedKeys(c.groups) {
 		for _, name := range sortedKeys(c.groups[tenant]) {
-			fmt.Fprintf(h, "cgroup %s %s %v\n", tenant, name, c.groups[tenant][name])
+			fmt.Fprintf(w, "cgroup %s %s %v\n", tenant, name, c.groups[tenant][name])
 		}
 	}
 	for _, tenant := range sortedKeys(c.names) {
 		for _, name := range sortedKeys(c.names[tenant]) {
-			fmt.Fprintf(h, "name %s %s %s\n", tenant, name, c.names[tenant][name])
+			fmt.Fprintf(w, "name %s %s %s\n", tenant, name, c.names[tenant][name])
 		}
 	}
 	c.nmMu.RUnlock()
-	return hex.EncodeToString(h.Sum(nil))
 }
 
 // sortedBackends returns a balancer's backends ordered by EIP.
@@ -334,6 +498,10 @@ func sortedBackends(bal *lb.Balancer) []*lb.Backend {
 // without touching declared state, exactly what a lost update or a
 // bad rollout would do in a real fleet. The reconciler must find and
 // repair every one. None of these record intent — that is the point.
+// Each hook does bump its digest section version (the digest hashes the
+// live dataplane, and a silent injection would leave a stale cached
+// sum) but deliberately leaves the reconciler's dirty sets alone: the
+// anti-entropy rotation must find hook-injected drift on its own.
 
 // DriftWipePermit drops target's installed permit list from its owning
 // provider's enforcement engine, leaving the declared list intact.
@@ -343,6 +511,7 @@ func (c *Cloud) DriftWipePermit(target addr.IP) bool {
 		return false
 	}
 	p.Permits.Drop(target)
+	c.convBumpTarget(p, target)
 	return true
 }
 
@@ -357,7 +526,11 @@ func (c *Cloud) DriftUnbind(sip SIP, eip EIP) bool {
 	if !ok {
 		return false
 	}
-	return svc.balancer.Unbind(eip) == nil
+	if svc.balancer.Unbind(eip) != nil {
+		return false
+	}
+	c.conv.bump(sipScope(p.Name))
+	return true
 }
 
 // DriftZeroQuota zeroes a (tenant, region) egress limiter without
@@ -375,5 +548,6 @@ func (c *Cloud) DriftZeroQuota(provider, tenant, region string) bool {
 	tq.quota = 0
 	tq.limiter.SetQuota(0)
 	tq.mu.Unlock()
+	c.conv.bump(polScope(provider))
 	return true
 }

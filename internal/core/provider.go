@@ -293,6 +293,19 @@ func (p *Provider) Regions() []string {
 	return out
 }
 
+// sweepScopes returns the reconciler's scope list for this provider:
+// every region plus "" for the region-less SIP plane. The slice is
+// built with exactly the spare capacity the append needs, so callers
+// never alias the backing array Regions hands out — the reconciler used
+// to do append(p.Regions(), "") inline, which was only safe because
+// Regions happened to return a full-capacity slice.
+func (p *Provider) sweepScopes() []string {
+	regions := p.Regions()
+	out := make([]string, 0, len(regions)+1)
+	out = append(out, regions...)
+	return append(out, "")
+}
+
 // regionOf maps a granted-range address back to its region via the
 // immutable block carving ("" for SIPs and foreign addresses).
 func (p *Provider) regionOf(ip addr.IP) string {

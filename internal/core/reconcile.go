@@ -3,15 +3,25 @@
 // equal to the declared intent in the durable store. Declared state is
 // what the journal replays (internal/intent.State); the dataplane can
 // drift from it through faults, lost updates, or the chaos hooks in
-// intent.go. Each sweep clones the declared state under the log's
-// lock, releases it, and then diffs and repairs under ordinary shard
-// locks — never holding the log lock and a shard lock together, which
-// keeps the reconciler out of the wrappers' shard-lock -> log-lock
-// order.
+// intent.go. Each sweep takes the log's copy-on-write view, releases
+// the log lock, and then diffs and repairs under ordinary shard locks —
+// never holding the log lock and a shard lock together, which keeps the
+// reconciler out of the wrappers' shard-lock -> log-lock order.
+//
+// Two sweep modes share the per-target check helpers. The legacy full
+// sweep (AntiEntropyK == 0) walks every declared target every time.
+// The incremental sweep (AntiEntropyK == K > 0) checks only targets the
+// convergence tracker marked dirty since the last sweep, plus a
+// rotating anti-entropy slice — 1/K of the declared world and 1/K of
+// the installed permit stripes per sweep — so drift injected behind the
+// recorder's back (the Drift* chaos hooks) is still found within K
+// sweeps of injection: a bounded detection lag instead of a bounded
+// per-sweep cost times the whole world.
 package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,12 +34,18 @@ import (
 
 // ReconcilerConfig tunes the convergence loop.
 type ReconcilerConfig struct {
-	// Interval is the wall-clock sweep period for Start's per-region
+	// Interval is the wall-clock sweep period for Start's background
 	// goroutines (default 1s).
 	Interval time.Duration
 	// RepairBudget caps repairs per sweep; divergence beyond it stays
 	// queued for the next sweep (reported as queue depth). Default 256.
 	RepairBudget int
+	// AntiEntropyK selects the sweep mode. 0 (the default) is the full
+	// scan: every declared target diffed every sweep. K > 0 is the
+	// incremental sweep: dirty-marked targets plus a rotating 1/K
+	// anti-entropy slice, bounding undirtied-drift detection lag to K
+	// sweeps. The daemon runs K=8 by default (-anti-entropy-k).
+	AntiEntropyK int
 	// Gate, when set, brackets each background sweep: it acquires
 	// whatever external serialization the embedder needs (the daemon
 	// passes the API server's world read lock, which excludes engine
@@ -47,6 +63,15 @@ type SweepResult struct {
 	// Deferred counts divergences found but left for the next sweep
 	// (repair budget exhausted or enforcement point unreachable).
 	Deferred int `json:"deferred"`
+	// Scanned counts targets examined this sweep, across every surface;
+	// the full sweep scans the world, the incremental sweep scans
+	// dirty + anti-entropy only — the ratio is the incremental win.
+	Scanned int `json:"scanned"`
+	// DirtyHits counts dirty-set checks that confirmed real drift.
+	DirtyHits int `json:"dirty_hits"`
+	// AntiEntropyScanned counts checks driven by the rotation rather
+	// than a dirty mark (0 in full sweeps).
+	AntiEntropyScanned int `json:"anti_entropy_scanned"`
 }
 
 // Reconciler owns the convergence loop over one Cloud. Create it with
@@ -61,9 +86,18 @@ type Reconciler struct {
 	driftPermits atomic.Uint64
 	driftBinds   atomic.Uint64
 	driftQuotas  atomic.Uint64
+	scanned      atomic.Uint64
+	dirtyHits    atomic.Uint64
+	antiScanned  atomic.Uint64
 	queueDepth   atomic.Int64
 	lastSweepNs  atomic.Int64 // wall clock, UnixNano; 0 = never
 	lastSweepDur atomic.Int64 // nanoseconds
+
+	// aeIdx memoizes the anti-entropy bucket partition of one declared
+	// view; valid while the log publishes the same view (same Seq), so
+	// steady-state sweeps never re-bucket the world.
+	aeMu  sync.Mutex
+	aeIdx *aeIndex
 
 	mu      sync.Mutex
 	running bool
@@ -102,6 +136,12 @@ func (c *Cloud) EnableReconciler(cfg ReconcilerConfig) (*Reconciler, error) {
 		c.reg.GaugeFunc("declnet_reconcile_drift_total",
 			"Divergences found, by surface.", func() float64 { return float64(r.driftQuotas.Load()) },
 			metrics.L("surface", "qos"))
+		c.reg.GaugeFunc("declnet_reconcile_scanned_total",
+			"Targets examined by sweeps, all surfaces.", func() float64 { return float64(r.scanned.Load()) })
+		c.reg.GaugeFunc("declnet_reconcile_dirty_hits_total",
+			"Dirty-set checks that confirmed drift.", func() float64 { return float64(r.dirtyHits.Load()) })
+		c.reg.GaugeFunc("declnet_reconcile_anti_entropy_scanned_total",
+			"Targets examined by the anti-entropy rotation.", func() float64 { return float64(r.antiScanned.Load()) })
 		c.reg.GaugeFunc("declnet_reconcile_queue_depth",
 			"Divergences deferred to the next sweep.", func() float64 { return float64(r.queueDepth.Load()) })
 		c.reg.GaugeFunc("declnet_reconcile_lag_seconds",
@@ -120,21 +160,26 @@ func (c *Cloud) EnableReconciler(cfg ReconcilerConfig) (*Reconciler, error) {
 // EnableReconciler.
 func (c *Cloud) Reconciler() *Reconciler { return c.reconciler }
 
-// RunSweep performs one full deterministic sweep: every provider, every
-// region (plus each provider's region-less SIP plane), permits then
-// binds then quotas. Safe to call concurrently with API verbs — repairs
-// take the ordinary shard locks — but callers that also advance the
-// simulation engine must serialize that themselves (see
-// ReconcilerConfig.Gate).
+// RunSweep performs one deterministic sweep. With AntiEntropyK == 0:
+// every provider, every region (plus each provider's region-less SIP
+// plane), permits then binds then quotas. With K > 0: the dirty sets
+// accumulated since the last sweep plus this sweep's anti-entropy
+// slice. Safe to call concurrently with API verbs — repairs take the
+// ordinary shard locks — but callers that also advance the simulation
+// engine must serialize that themselves (see ReconcilerConfig.Gate).
 func (r *Reconciler) RunSweep() SweepResult {
 	start := time.Now()
-	st := r.cloud.rec.State()
 	budget := r.cfg.RepairBudget
 	var res SweepResult
-	for _, p := range r.cloud.pidx.Load().list {
-		for _, region := range append(p.Regions(), "") {
-			r.sweepScope(p, region, st, &budget, &res)
+	if r.cfg.AntiEntropyK <= 0 {
+		st := r.cloud.rec.View()
+		for _, p := range r.cloud.pidx.Load().list {
+			for _, region := range p.sweepScopes() {
+				r.sweepScope(p, region, st, &budget, &res)
+			}
 		}
+	} else {
+		r.incrementalSweep(&budget, &res)
 	}
 	r.finishSweep(start, &res)
 	return res
@@ -147,14 +192,17 @@ func (r *Reconciler) finishSweep(start time.Time, res *SweepResult) {
 	r.driftPermits.Add(uint64(res.DriftPermits))
 	r.driftBinds.Add(uint64(res.DriftBinds))
 	r.driftQuotas.Add(uint64(res.DriftQuotas))
+	r.scanned.Add(uint64(res.Scanned))
+	r.dirtyHits.Add(uint64(res.DirtyHits))
+	r.antiScanned.Add(uint64(res.AntiEntropyScanned))
 	r.queueDepth.Store(int64(res.Deferred))
 	r.lastSweepNs.Store(start.UnixNano())
 	r.lastSweepDur.Store(int64(time.Since(start)))
 }
 
-// sweepScope reconciles one (provider, region) scope. region "" is the
-// provider's SIP plane: service addresses, their bindings, and SIP
-// permit lists.
+// sweepScope reconciles one (provider, region) scope of the full sweep.
+// region "" is the provider's SIP plane: service addresses, their
+// bindings, and SIP permit lists.
 func (r *Reconciler) sweepScope(p *Provider, region string, st *intent.State, budget *int, res *SweepResult) {
 	r.sweepPermits(p, region, st, budget, res)
 	if region == "" {
@@ -164,7 +212,9 @@ func (r *Reconciler) sweepScope(p *Provider, region string, st *intent.State, bu
 }
 
 // entriesEqual compares two permit entry sets canonically (sorted by
-// address then length).
+// address then length). Safe on unsorted, deduplicated input; the hot
+// path uses permit.Engine.EqualsEntries instead (no copies, no sort),
+// and the parity property test uses this as its independent oracle.
 func entriesEqual(a, b []addr.Prefix) bool {
 	if len(a) != len(b) {
 		return false
@@ -180,20 +230,107 @@ func entriesEqual(a, b []addr.Prefix) bool {
 
 func sortedEntries(in []addr.Prefix) []addr.Prefix {
 	out := append([]addr.Prefix(nil), in...)
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && (out[j].Addr < out[j-1].Addr ||
-			(out[j].Addr == out[j-1].Addr && out[j].Len < out[j-1].Len)); j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	// sort.Slice, not an insertion sort: this used to run per target per
+	// sweep and went quadratic on large lists.
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Addr < out[j].Addr ||
+			(out[i].Addr == out[j].Addr && out[i].Len < out[j].Len)
+	})
 	return out
 }
 
-// sweepPermits converges the provider's permit engine to the declared
-// lists for targets in this region scope: missing or mismatched lists
-// are re-installed, undeclared lists dropped. Targets with a deferred
-// (fault-pending) permit update are skipped — the fault monitor owns
-// them until they land or time out.
+// checkDeclaredPermit diffs one declared permit target against the
+// enforcement engine and repairs in place. Reports whether divergence
+// was found. Targets with a deferred (fault-pending) permit update are
+// skipped — the fault monitor owns them until they land or time out.
+func (r *Reconciler) checkDeclaredPermit(p *Provider, t addr.IP, pl *intent.PermitList, budget *int, res *SweepResult) bool {
+	c := r.cloud
+	if c.monitor != nil {
+		if _, pending := c.monitor.PendingPermit(t); pending {
+			return false
+		}
+	}
+	// Declared entries are kept canonically sorted and deduplicated at
+	// apply time, so the steady-state comparison is a containment probe
+	// against the installed set — no clone, no sort, no allocation.
+	equal, hasList := p.Permits.EqualsEntries(t, pl.Entries)
+	if hasList && equal {
+		return false
+	}
+	res.DriftPermits++
+	cause := "drift:entries-mismatch"
+	if !hasList {
+		cause = "drift:missing-list"
+	}
+	if *budget <= 0 {
+		res.Deferred++
+		return true
+	}
+	// Respect fault-deferral semantics: an endpoint whose enforcement
+	// point is unreachable cannot take the repair now.
+	if c.monitor != nil {
+		if ep, ok := p.addrs.getEndpoint(t); ok && !c.monitor.Inj.Reachable(ep.node) {
+			res.Deferred++
+			return true
+		}
+	}
+	*budget--
+	unlock := p.lockShard(p.shardKeyFor(pl.Tenant, t))
+	// Re-check liveness under the lock: the target may have been
+	// released since the declared view was taken.
+	if _, ok := p.addrs.getEndpoint(t); ok {
+		p.Permits.Set(t, pl.Entries)
+	} else if _, ok := p.addrs.getService(t); ok {
+		p.Permits.Set(t, pl.Entries)
+	} else {
+		unlock()
+		return true
+	}
+	unlock()
+	c.convBumpTarget(p, t)
+	res.Repaired++
+	c.traceEvent(obs.Reconcile, pl.Tenant, 0, t, "repaired",
+		fmt.Sprintf("surface=permit entries=%d", len(pl.Entries)),
+		obs.Chain("reconcile:permit:"+t.String(), cause))
+	return true
+}
+
+// checkUndeclaredPermit drops a list installed for a target the
+// declared state no longer guards. The caller established that the
+// target is undeclared and a list is installed.
+func (r *Reconciler) checkUndeclaredPermit(p *Provider, t addr.IP, budget *int, res *SweepResult) bool {
+	c := r.cloud
+	if c.monitor != nil {
+		if _, pending := c.monitor.PendingPermit(t); pending {
+			return false
+		}
+	}
+	res.DriftPermits++
+	if *budget <= 0 {
+		res.Deferred++
+		return true
+	}
+	*budget--
+	tenant := ""
+	if ep, ok := p.addrs.getEndpoint(t); ok {
+		tenant = ep.tenant
+	} else if svc, ok := p.addrs.getService(t); ok {
+		tenant = svc.tenant
+	}
+	unlock := p.lockShard(p.shardKeyFor(tenant, t))
+	p.Permits.Drop(t)
+	unlock()
+	c.convBumpTarget(p, t)
+	res.Repaired++
+	c.traceEvent(obs.Reconcile, tenant, 0, t, "repaired",
+		"surface=permit entries=0",
+		obs.Chain("reconcile:permit:"+t.String(), "drift:undeclared-list"))
+	return true
+}
+
+// sweepPermits is the full sweep over one region scope's permit
+// surface: every declared target diffed, every undeclared installed
+// list dropped.
 func (r *Reconciler) sweepPermits(p *Provider, region string, st *intent.State, budget *int, res *SweepResult) {
 	c := r.cloud
 	// Declared targets owned by this provider and scope.
@@ -205,51 +342,8 @@ func (r *Reconciler) sweepPermits(p *Provider, region string, st *intent.State, 
 	}
 	sortIPs(declared)
 	for _, t := range declared {
-		if c.monitor != nil {
-			if _, pending := c.monitor.PendingPermit(t); pending {
-				continue
-			}
-		}
-		pl := st.Permits[t]
-		actual := p.Permits.EntriesOf(t)
-		_, hasList := p.Permits.List(t)
-		if hasList && entriesEqual(pl.Entries, actual) {
-			continue
-		}
-		res.DriftPermits++
-		cause := "drift:entries-mismatch"
-		if !hasList {
-			cause = "drift:missing-list"
-		}
-		if *budget <= 0 {
-			res.Deferred++
-			continue
-		}
-		// Respect fault-deferral semantics: an endpoint whose enforcement
-		// point is unreachable cannot take the repair now.
-		if c.monitor != nil {
-			if ep, ok := p.addrs.getEndpoint(t); ok && !c.monitor.Inj.Reachable(ep.node) {
-				res.Deferred++
-				continue
-			}
-		}
-		*budget--
-		unlock := p.lockShard(p.shardKeyFor(pl.Tenant, t))
-		// Re-check liveness under the lock: the target may have been
-		// released since the declared state was cloned.
-		if _, ok := p.addrs.getEndpoint(t); ok {
-			p.Permits.Set(t, pl.Entries)
-		} else if _, ok := p.addrs.getService(t); ok {
-			p.Permits.Set(t, pl.Entries)
-		} else {
-			unlock()
-			continue
-		}
-		unlock()
-		res.Repaired++
-		c.traceEvent(obs.Reconcile, pl.Tenant, 0, t, "repaired",
-			fmt.Sprintf("surface=permit entries=%d", len(pl.Entries)),
-			obs.Chain("reconcile:permit:"+t.String(), cause))
+		res.Scanned++
+		r.checkDeclaredPermit(p, t, st.Permits[t], budget, res)
 	}
 	// Undeclared lists still installed in the engine.
 	for _, t := range p.Permits.Targets() {
@@ -259,39 +353,79 @@ func (r *Reconciler) sweepPermits(p *Provider, region string, st *intent.State, 
 		if _, ok := st.Permits[t]; ok {
 			continue
 		}
-		if c.monitor != nil {
-			if _, pending := c.monitor.PendingPermit(t); pending {
-				continue
-			}
+		res.Scanned++
+		r.checkUndeclaredPermit(p, t, budget, res)
+	}
+}
+
+// checkBindService converges one declared service's balancer
+// membership: missing backends re-bound, weights corrected, undeclared
+// backends unbound. Health bits are runtime state owned by the fault
+// monitor and are left alone. Reports whether divergence was found.
+func (r *Reconciler) checkBindService(p *Provider, sip addr.IP, want *intent.Service, budget *int, res *SweepResult) bool {
+	c := r.cloud
+	live, ok := p.addrs.getService(sip)
+	if !ok {
+		return false // released since the view was taken
+	}
+	actual := make(map[addr.IP]int)
+	for _, be := range live.balancer.Backends() {
+		actual[be.EIP] = be.Weight
+	}
+	type fix struct {
+		eip    addr.IP
+		weight int // 0 = unbind
+		cause  string
+	}
+	var fixes []fix
+	seen := make(map[addr.IP]bool, len(want.Binds))
+	for _, b := range want.Binds {
+		seen[b.EIP] = true
+		w := b.Weight
+		if w < 1 {
+			w = 1
 		}
-		res.DriftPermits++
+		cur, bound := actual[b.EIP]
+		switch {
+		case !bound:
+			fixes = append(fixes, fix{b.EIP, w, "drift:missing-backend"})
+		case cur != w:
+			fixes = append(fixes, fix{b.EIP, w, "drift:weight-mismatch"})
+		}
+	}
+	for _, be := range sortedBackends(live.balancer) {
+		if !seen[be.EIP] {
+			fixes = append(fixes, fix{be.EIP, 0, "drift:undeclared-backend"})
+		}
+	}
+	if len(fixes) == 0 {
+		return false
+	}
+	res.DriftBinds += len(fixes)
+	for _, f := range fixes {
 		if *budget <= 0 {
 			res.Deferred++
 			continue
 		}
 		*budget--
-		tenant := ""
-		if ep, ok := p.addrs.getEndpoint(t); ok {
-			tenant = ep.tenant
-		} else if svc, ok := p.addrs.getService(t); ok {
-			tenant = svc.tenant
+		unlock := p.lockShard(p.regionShardKey(want.Tenant, ""))
+		if f.weight > 0 {
+			live.balancer.Bind(f.eip, f.weight)
+		} else {
+			live.balancer.Unbind(f.eip)
 		}
-		unlock := p.lockShard(p.shardKeyFor(tenant, t))
-		p.Permits.Drop(t)
 		unlock()
+		c.conv.bump(sipScope(p.Name))
 		res.Repaired++
-		c.traceEvent(obs.Reconcile, tenant, 0, t, "repaired",
-			"surface=permit entries=0",
-			obs.Chain("reconcile:permit:"+t.String(), "drift:undeclared-list"))
+		c.traceEvent(obs.Reconcile, want.Tenant, f.eip, sip, "repaired",
+			fmt.Sprintf("surface=bind weight=%d", f.weight),
+			obs.Chain("reconcile:bind:"+sip.String(), f.cause))
 	}
+	return true
 }
 
-// sweepBinds converges every declared service's balancer membership:
-// missing backends re-bound, weights corrected, undeclared backends
-// unbound. Health bits are runtime state owned by the fault monitor and
-// are left alone.
+// sweepBinds is the full sweep over one provider's bind surface.
 func (r *Reconciler) sweepBinds(p *Provider, st *intent.State, budget *int, res *SweepResult) {
-	c := r.cloud
 	declared := make([]addr.IP, 0, len(st.Services))
 	for sip, svc := range st.Services {
 		if svc.Provider == p.Name {
@@ -300,102 +434,237 @@ func (r *Reconciler) sweepBinds(p *Provider, st *intent.State, budget *int, res 
 	}
 	sortIPs(declared)
 	for _, sip := range declared {
-		want := st.Services[sip]
-		live, ok := p.addrs.getService(sip)
-		if !ok {
-			continue // released since the clone
-		}
-		actual := make(map[addr.IP]int)
-		for _, be := range live.balancer.Backends() {
-			actual[be.EIP] = be.Weight
-		}
-		type fix struct {
-			eip    addr.IP
-			weight int // 0 = unbind
-			cause  string
-		}
-		var fixes []fix
-		seen := make(map[addr.IP]bool, len(want.Binds))
-		for _, b := range want.Binds {
-			seen[b.EIP] = true
-			w := b.Weight
-			if w < 1 {
-				w = 1
-			}
-			cur, bound := actual[b.EIP]
-			switch {
-			case !bound:
-				fixes = append(fixes, fix{b.EIP, w, "drift:missing-backend"})
-			case cur != w:
-				fixes = append(fixes, fix{b.EIP, w, "drift:weight-mismatch"})
-			}
-		}
-		for _, be := range sortedBackends(live.balancer) {
-			if !seen[be.EIP] {
-				fixes = append(fixes, fix{be.EIP, 0, "drift:undeclared-backend"})
-			}
-		}
-		if len(fixes) == 0 {
-			continue
-		}
-		res.DriftBinds += len(fixes)
-		for _, f := range fixes {
-			if *budget <= 0 {
-				res.Deferred++
-				continue
-			}
-			*budget--
-			unlock := p.lockShard(p.regionShardKey(want.Tenant, ""))
-			if f.weight > 0 {
-				live.balancer.Bind(f.eip, f.weight)
-			} else {
-				live.balancer.Unbind(f.eip)
-			}
-			unlock()
-			res.Repaired++
-			c.traceEvent(obs.Reconcile, want.Tenant, f.eip, sip, "repaired",
-				fmt.Sprintf("surface=bind weight=%d", f.weight),
-				obs.Chain("reconcile:bind:"+sip.String(), f.cause))
-		}
+		res.Scanned++
+		r.checkBindService(p, sip, st.Services[sip], budget, res)
 	}
 }
 
-// sweepQuotas converges declared (tenant, region) egress quotas against
-// the live limiters.
-func (r *Reconciler) sweepQuotas(p *Provider, region string, st *intent.State, budget *int, res *SweepResult) {
+// checkQuota converges one declared (tenant, region) egress quota
+// against the live limiter. Reports whether divergence was found.
+func (r *Reconciler) checkQuota(p *Provider, tenant, reg string, want float64, budget *int, res *SweepResult) bool {
 	c := r.cloud
+	var got float64
+	if tq, live := p.quotaOf(tenant, reg); live {
+		tq.mu.Lock()
+		got = tq.quota
+		tq.mu.Unlock()
+	}
+	if got == want {
+		return false
+	}
+	res.DriftQuotas++
+	if *budget <= 0 {
+		res.Deferred++
+		return true
+	}
+	*budget--
+	unlock := p.lockShard(p.regionShardKey(tenant, reg))
+	err := p.setQoS(tenant, reg, want)
+	unlock()
+	if err != nil {
+		res.Deferred++
+		return true
+	}
+	c.conv.bump(polScope(p.Name))
+	res.Repaired++
+	c.traceEvent(obs.Reconcile, tenant, 0, 0, "repaired",
+		fmt.Sprintf("surface=qos region=%s bps=%g", reg, want),
+		obs.Chain("reconcile:qos:"+p.Name+"/"+reg, "drift:quota-mismatch"))
+	return true
+}
+
+// sweepQuotas is the full sweep over one region scope's quota surface.
+func (r *Reconciler) sweepQuotas(p *Provider, region string, st *intent.State, budget *int, res *SweepResult) {
 	for _, key := range sortedKeys(st.Quotas) {
 		prov, tenant, reg, ok := splitQuotaKey(key)
 		if !ok || prov != p.Name || reg != region {
 			continue
 		}
-		want := st.Quotas[key]
-		var got float64
-		if tq, live := p.quotaOf(tenant, reg); live {
-			tq.mu.Lock()
-			got = tq.quota
-			tq.mu.Unlock()
+		res.Scanned++
+		r.checkQuota(p, tenant, reg, st.Quotas[key], budget, res)
+	}
+}
+
+// aeIndex partitions one declared view into K anti-entropy buckets per
+// surface. Built once per published view (the log's COW view pointer is
+// the identity): in steady state — including drift storms, which never
+// touch declared state — consecutive sweeps reuse it, so the 1/K slice
+// really is 1/K work, not an O(world) rebucketing per sweep.
+type aeIndex struct {
+	st      *intent.State
+	k       int
+	permits [][]addr.IP
+	binds   [][]addr.IP
+	quotas  [][]string
+}
+
+func (r *Reconciler) indexFor(st *intent.State, k int) *aeIndex {
+	r.aeMu.Lock()
+	defer r.aeMu.Unlock()
+	if r.aeIdx != nil && r.aeIdx.st == st && r.aeIdx.k == k {
+		return r.aeIdx
+	}
+	idx := &aeIndex{
+		st: st, k: k,
+		permits: make([][]addr.IP, k),
+		binds:   make([][]addr.IP, k),
+		quotas:  make([][]string, k),
+	}
+	for t := range st.Permits {
+		b := int(uint32(t) % uint32(k))
+		idx.permits[b] = append(idx.permits[b], t)
+	}
+	for _, bkt := range idx.permits {
+		sortIPs(bkt)
+	}
+	for s := range st.Services {
+		b := int(uint32(s) % uint32(k))
+		idx.binds[b] = append(idx.binds[b], s)
+	}
+	for _, bkt := range idx.binds {
+		sortIPs(bkt)
+	}
+	for key := range st.Quotas {
+		b := bucketString(key, k)
+		idx.quotas[b] = append(idx.quotas[b], key)
+	}
+	for _, bkt := range idx.quotas {
+		sortStrings(bkt)
+	}
+	r.aeIdx = idx
+	return idx
+}
+
+// bucketString is FNV-1a mod k.
+func bucketString(s string, k int) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return int(h % uint32(k))
+}
+
+// incrementalSweep is one dirty + anti-entropy sweep across every
+// provider. Dirty sets are consumed before the view is taken: a
+// mutation recorded in between is covered by this view and marked for
+// the next sweep — at worst one redundant check, never a lost one.
+func (r *Reconciler) incrementalSweep(budget *int, res *SweepResult) {
+	c := r.cloud
+	k := r.cfg.AntiEntropyK
+	phase := int(r.sweeps.Load() % uint64(k))
+	provs := c.pidx.Load().list
+	dirt := make([]*convDirty, len(provs))
+	for i, p := range provs {
+		dirt[i] = c.conv.take(p.Name)
+	}
+	st := c.rec.View()
+	idx := r.indexFor(st, k)
+	for i, p := range provs {
+		r.sweepDirty(p, dirt[i], st, budget, res)
+		r.sweepAntiEntropy(p, st, idx, phase, budget, res)
+	}
+}
+
+// sweepDirty checks every target the convergence tracker marked for
+// this provider since the last sweep.
+func (r *Reconciler) sweepDirty(p *Provider, d *convDirty, st *intent.State, budget *int, res *SweepResult) {
+	if d == nil {
+		return
+	}
+	targets := make([]addr.IP, 0, len(d.permits))
+	for t := range d.permits {
+		targets = append(targets, t)
+	}
+	sortIPs(targets)
+	for _, t := range targets {
+		res.Scanned++
+		found := false
+		if pl, ok := st.Permits[t]; ok {
+			found = r.checkDeclaredPermit(p, t, pl, budget, res)
+		} else if _, installed := p.Permits.List(t); installed {
+			found = r.checkUndeclaredPermit(p, t, budget, res)
 		}
-		if got == want {
+		if found {
+			res.DirtyHits++
+		}
+	}
+	sips := make([]addr.IP, 0, len(d.binds))
+	for s := range d.binds {
+		sips = append(sips, s)
+	}
+	sortIPs(sips)
+	for _, sip := range sips {
+		want, ok := st.Services[sip]
+		if !ok {
+			continue // released: the live service went with it
+		}
+		res.Scanned++
+		if r.checkBindService(p, sip, want, budget, res) {
+			res.DirtyHits++
+		}
+	}
+	keys := make([]string, 0, len(d.quotas))
+	for k := range d.quotas {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	for _, key := range keys {
+		want, ok := st.Quotas[key]
+		if !ok {
 			continue
 		}
-		res.DriftQuotas++
-		if *budget <= 0 {
-			res.Deferred++
+		prov, tenant, reg, ok := splitQuotaKey(key)
+		if !ok || prov != p.Name {
 			continue
 		}
-		*budget--
-		unlock := p.lockShard(p.regionShardKey(tenant, reg))
-		err := p.setQoS(tenant, reg, want)
-		unlock()
-		if err != nil {
-			res.Deferred++
+		res.Scanned++
+		if r.checkQuota(p, tenant, reg, want, budget, res) {
+			res.DirtyHits++
+		}
+	}
+}
+
+// sweepAntiEntropy checks this sweep's 1/K rotation slice: the phase's
+// declared buckets (drift on declared targets) and the phase's permit
+// engine stripes (installed-but-undeclared lists). Every declared
+// target and every installed stripe is visited once per K sweeps, which
+// is the detection-lag bound for drift that never marked a dirty set.
+func (r *Reconciler) sweepAntiEntropy(p *Provider, st *intent.State, idx *aeIndex, phase int, budget *int, res *SweepResult) {
+	c := r.cloud
+	for _, t := range idx.permits[phase] {
+		if owner, ok := c.blockOwner(t); !ok || owner != p {
 			continue
 		}
-		res.Repaired++
-		c.traceEvent(obs.Reconcile, tenant, 0, 0, "repaired",
-			fmt.Sprintf("surface=qos region=%s bps=%g", reg, want),
-			obs.Chain("reconcile:qos:"+prov+"/"+reg, "drift:quota-mismatch"))
+		res.Scanned++
+		res.AntiEntropyScanned++
+		r.checkDeclaredPermit(p, t, st.Permits[t], budget, res)
+	}
+	for _, t := range p.Permits.TargetsOf(phase, idx.k) {
+		if _, ok := st.Permits[t]; ok {
+			continue
+		}
+		res.Scanned++
+		res.AntiEntropyScanned++
+		r.checkUndeclaredPermit(p, t, budget, res)
+	}
+	for _, sip := range idx.binds[phase] {
+		want := st.Services[sip]
+		if want.Provider != p.Name {
+			continue
+		}
+		res.Scanned++
+		res.AntiEntropyScanned++
+		r.checkBindService(p, sip, want, budget, res)
+	}
+	for _, key := range idx.quotas[phase] {
+		prov, tenant, reg, ok := splitQuotaKey(key)
+		if !ok || prov != p.Name {
+			continue
+		}
+		res.Scanned++
+		res.AntiEntropyScanned++
+		r.checkQuota(p, tenant, reg, st.Quotas[key], budget, res)
 	}
 }
 
@@ -421,11 +690,11 @@ func indexByte(s string, b byte) int {
 	return -1
 }
 
-// Start launches one reconciler goroutine per (provider, region) —
-// plus each provider's SIP plane — each sweeping its own scope every
-// Interval. Scopes share the store clone per firing wave only
-// incidentally; each goroutine clones independently, which keeps them
-// free of cross-scope coordination. Idempotent.
+// Start launches the background sweep. In full-scan mode (K == 0) it
+// runs one goroutine per (provider, region) scope — plus each
+// provider's SIP plane — each sweeping its own slice every Interval.
+// In incremental mode the dirty sets are global consumables, so one
+// goroutine runs whole incremental sweeps instead. Idempotent.
 func (r *Reconciler) Start() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -434,8 +703,13 @@ func (r *Reconciler) Start() {
 	}
 	r.running = true
 	r.stop = make(chan struct{})
+	if r.cfg.AntiEntropyK > 0 {
+		r.done.Add(1)
+		go r.loopIncremental()
+		return
+	}
 	for _, p := range r.cloud.pidx.Load().list {
-		for _, region := range append(p.Regions(), "") {
+		for _, region := range p.sweepScopes() {
 			p, region := p, region
 			r.done.Add(1)
 			go r.loop(p, region)
@@ -443,7 +717,7 @@ func (r *Reconciler) Start() {
 	}
 }
 
-// loop is one scope's periodic sweep.
+// loop is one scope's periodic full sweep.
 func (r *Reconciler) loop(p *Provider, region string) {
 	defer r.done.Done()
 	t := time.NewTicker(r.cfg.Interval)
@@ -457,10 +731,33 @@ func (r *Reconciler) loop(p *Provider, region string) {
 			if r.cfg.Gate != nil {
 				release = r.cfg.Gate()
 			}
-			st := r.cloud.rec.State()
+			st := r.cloud.rec.View()
 			budget := r.cfg.RepairBudget
 			var res SweepResult
 			r.sweepScope(p, region, st, &budget, &res)
+			release()
+			r.finishSweep(start, &res)
+		}
+	}
+}
+
+// loopIncremental is the background incremental sweep.
+func (r *Reconciler) loopIncremental() {
+	defer r.done.Done()
+	t := time.NewTicker(r.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case start := <-t.C:
+			release := func() {}
+			if r.cfg.Gate != nil {
+				release = r.cfg.Gate()
+			}
+			budget := r.cfg.RepairBudget
+			var res SweepResult
+			r.incrementalSweep(&budget, &res)
 			release()
 			r.finishSweep(start, &res)
 		}
@@ -487,12 +784,21 @@ type ReconcileStatus struct {
 	Running        bool    `json:"running"`
 	IntervalMillis float64 `json:"interval_ms"`
 	RepairBudget   int     `json:"repair_budget"`
-	Sweeps         uint64  `json:"sweeps"`
-	Repairs        uint64  `json:"repairs"`
-	DriftPermits   uint64  `json:"drift_permits"`
-	DriftBinds     uint64  `json:"drift_binds"`
-	DriftQuotas    uint64  `json:"drift_quotas"`
-	QueueDepth     int64   `json:"queue_depth"`
+	// AntiEntropyK is 0 for the full-scan sweep, K for the incremental
+	// sweep with a 1/K anti-entropy rotation.
+	AntiEntropyK int    `json:"anti_entropy_k"`
+	Sweeps       uint64 `json:"sweeps"`
+	Repairs      uint64 `json:"repairs"`
+	DriftPermits uint64 `json:"drift_permits"`
+	DriftBinds   uint64 `json:"drift_binds"`
+	DriftQuotas  uint64 `json:"drift_quotas"`
+	// Scanned / DirtyHits / AntiEntropyScanned expose sweep cost live:
+	// how many targets sweeps examined, how many dirty-set checks found
+	// real drift, and how much of the scanning was rotation coverage.
+	Scanned            uint64 `json:"scanned"`
+	DirtyHits          uint64 `json:"dirty_hits"`
+	AntiEntropyScanned uint64 `json:"anti_entropy_scanned"`
+	QueueDepth         int64  `json:"queue_depth"`
 	// LagSeconds is wall-clock time since the last completed sweep
 	// (0 before the first).
 	LagSeconds        float64 `json:"lag_seconds"`
@@ -509,18 +815,22 @@ func (r *Reconciler) Status() ReconcileStatus {
 	running := r.running
 	r.mu.Unlock()
 	s := ReconcileStatus{
-		Enabled:           true,
-		Running:           running,
-		IntervalMillis:    float64(r.cfg.Interval) / float64(time.Millisecond),
-		RepairBudget:      r.cfg.RepairBudget,
-		Sweeps:            r.sweeps.Load(),
-		Repairs:           r.repairs.Load(),
-		DriftPermits:      r.driftPermits.Load(),
-		DriftBinds:        r.driftBinds.Load(),
-		DriftQuotas:       r.driftQuotas.Load(),
-		QueueDepth:        r.queueDepth.Load(),
-		LastSweepMillis:   float64(r.lastSweepDur.Load()) / float64(time.Millisecond),
-		LastSweepUnixNano: r.lastSweepNs.Load(),
+		Enabled:            true,
+		Running:            running,
+		IntervalMillis:     float64(r.cfg.Interval) / float64(time.Millisecond),
+		RepairBudget:       r.cfg.RepairBudget,
+		AntiEntropyK:       r.cfg.AntiEntropyK,
+		Sweeps:             r.sweeps.Load(),
+		Repairs:            r.repairs.Load(),
+		DriftPermits:       r.driftPermits.Load(),
+		DriftBinds:         r.driftBinds.Load(),
+		DriftQuotas:        r.driftQuotas.Load(),
+		Scanned:            r.scanned.Load(),
+		DirtyHits:          r.dirtyHits.Load(),
+		AntiEntropyScanned: r.antiScanned.Load(),
+		QueueDepth:         r.queueDepth.Load(),
+		LastSweepMillis:    float64(r.lastSweepDur.Load()) / float64(time.Millisecond),
+		LastSweepUnixNano:  r.lastSweepNs.Load(),
 	}
 	if last := r.lastSweepNs.Load(); last != 0 {
 		s.LagSeconds = time.Since(time.Unix(0, last)).Seconds()

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"declnet/internal/addr"
+	"declnet/internal/intent"
+	"declnet/internal/topo"
+)
+
+// TestSweepScopesNoAlias pins the fix for the reconciler's old
+// append(p.Regions(), "") pattern: scope lists and region lists must
+// never share a backing array, so mutating one can never corrupt a
+// scope another goroutine is sweeping.
+func TestSweepScopesNoAlias(t *testing.T) {
+	_, _, pa, _, _ := fig1Cloud(t)
+	scopes := pa.sweepScopes()
+	regions := pa.Regions()
+	if len(scopes) != len(regions)+1 || scopes[len(scopes)-1] != "" {
+		t.Fatalf("sweepScopes = %v, want regions %v plus \"\"", scopes, regions)
+	}
+	for i, r := range regions {
+		if scopes[i] != r {
+			t.Fatalf("sweepScopes[%d] = %q, want %q", i, scopes[i], r)
+		}
+	}
+	// The historical hazard: appending to one returned slice must not
+	// rewrite another's contents.
+	s1 := pa.sweepScopes()
+	_ = append(pa.Regions(), "clobber")
+	_ = append(pa.sweepScopes(), "clobber")
+	for i := range s1 {
+		if s1[i] != scopes[i] {
+			t.Fatalf("scope slice aliased: index %d became %q", i, s1[i])
+		}
+	}
+	s2 := pa.sweepScopes()
+	s2[len(s2)-1] = "mutated"
+	if got := pa.sweepScopes(); got[len(got)-1] != "" {
+		t.Fatal("mutating a returned scope slice leaked into a later call")
+	}
+}
+
+// incrWorld is one subject world of the parity property test.
+type incrWorld struct {
+	c      *Cloud
+	w      *topo.Fig1World
+	pa, pb *Provider
+	l      *intent.Log
+	rIncr  *Reconciler // incremental sweep under test
+	rFull  *Reconciler // full-scan oracle on the same world
+	eip1   addr.IP
+	eip2   addr.IP
+	dst    addr.IP
+	sip    addr.IP
+}
+
+const incrK = 3
+
+func (iw *incrWorld) buildReconcilers(t *testing.T) {
+	t.Helper()
+	var err error
+	if iw.rIncr, err = iw.c.EnableReconciler(ReconcilerConfig{AntiEntropyK: incrK}); err != nil {
+		t.Fatal(err)
+	}
+	// A cloud holds one reconciler; the oracle is built directly so the
+	// same world can be swept both ways.
+	iw.rFull = &Reconciler{cloud: iw.c, cfg: ReconcilerConfig{RepairBudget: 256}}
+}
+
+// TestIncrementalSweepParity is the property test: under randomized
+// journaled mutation, chaos-hook drift, and crash recovery, K+1
+// incremental sweeps must leave nothing for a full-scan sweep to find,
+// and the incremental (cached) digest must equal a cold full walk.
+func TestIncrementalSweepParity(t *testing.T) {
+	dir := t.TempDir()
+	iw := &incrWorld{}
+	var err error
+	iw.c, iw.w, iw.pa, iw.pb, _ = fig1Cloud(t)
+	if iw.l, err = intent.Open(dir, intent.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	iw.c.EnableIntent(iw.l)
+	iw.eip1, iw.eip2, iw.dst, iw.sip = populate(t, iw.c, iw.w, iw.pa, iw.pb)
+	iw.buildReconcilers(t)
+
+	rng := rand.New(rand.NewSource(11))
+	const rounds = 24
+	for round := 0; round < rounds; round++ {
+		// Journaled mutations: marked dirty via the record hook.
+		for n := rng.Intn(3); n >= 0; n-- {
+			switch rng.Intn(4) {
+			case 0:
+				p := pfx(fmt.Sprintf("10.%d.0.0/16", rng.Intn(40)))
+				if err := iw.pa.Permit("acme", iw.eip1, p); err != nil {
+					t.Fatal(err)
+				}
+			case 1:
+				entries := []addr.Prefix{addr.NewPrefix(iw.eip1, 32)}
+				if rng.Intn(2) == 0 {
+					entries = append(entries, pfx(fmt.Sprintf("172.16.%d.0/24", rng.Intn(40))))
+				}
+				if err := iw.pb.SetPermitList("acme", iw.dst, entries); err != nil {
+					t.Fatal(err)
+				}
+			case 2:
+				if err := iw.pa.SetQoS("acme", iw.w.RegionsA[0], float64(1+rng.Intn(9))*1e8); err != nil {
+					t.Fatal(err)
+				}
+			case 3:
+				if err := iw.pa.Unbind("acme", iw.eip2, iw.sip); err == nil {
+					if err := iw.pa.Bind("acme", iw.eip2, iw.sip, 1+rng.Intn(3)); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		// Chaos drift: bumps the digest tracker, never the dirty sets —
+		// only the anti-entropy rotation can find it.
+		switch rng.Intn(4) {
+		case 0:
+			iw.c.DriftWipePermit(iw.dst)
+		case 1:
+			iw.c.DriftWipePermit(iw.sip)
+		case 2:
+			iw.c.DriftUnbind(iw.sip, iw.eip1)
+		case 3:
+			iw.c.DriftZeroQuota(iw.pa.Name, "acme", iw.w.RegionsA[0])
+		}
+
+		// Crash every 4th round mid-divergence: abandon the log
+		// un-Closed, recover a fresh world with parallel restore.
+		if round%4 == 3 {
+			l2, err := intent.Open(dir, intent.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			c2, w2, pa2, pb2, _ := fig1Cloud(t)
+			if err := c2.RestoreIntentWorkers(l2.State(), 4); err != nil {
+				t.Fatal(err)
+			}
+			c2.EnableIntent(l2)
+			iw.c, iw.w, iw.pa, iw.pb, iw.l = c2, w2, pa2, pb2, l2
+			iw.buildReconcilers(t)
+		}
+
+		// K sweeps cover every anti-entropy phase; +1 for the repair
+		// confirm. After that a full scan must find a converged world.
+		for i := 0; i < incrK+1; i++ {
+			iw.rIncr.RunSweep()
+		}
+		if res := iw.rFull.RunSweep(); sweepWork(res) != (SweepResult{}) {
+			t.Fatalf("round %d: full sweep found work after incremental convergence: %+v", round, res)
+		}
+		if inc, full := iw.c.StateDigest(), iw.c.StateDigestFull(); inc != full {
+			t.Fatalf("round %d: incremental digest %s != full walk %s", round, inc, full)
+		}
+	}
+}
+
+// TestChaosDriftDetectedWithinK pins the anti-entropy detection bound:
+// drift injected behind the recorder's back — no journal record, no
+// dirty mark — is found and repaired within K incremental sweeps.
+func TestChaosDriftDetectedWithinK(t *testing.T) {
+	dir := t.TempDir()
+	c, w, pa, pb, _ := fig1Cloud(t)
+	l, err := intent.Open(dir, intent.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	c.EnableIntent(l)
+	eip1, _, dst, _ := populate(t, c, w, pa, pb)
+	const k = 4
+	r, err := c.EnableReconciler(ReconcilerConfig{AntiEntropyK: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < k+1; i++ {
+		r.RunSweep() // drain setup dirt, converge
+	}
+	if !c.Admitted(eip1, dst) {
+		t.Fatal("world not admitting before drift injection")
+	}
+	if !c.DriftWipePermit(dst) {
+		t.Fatal("DriftWipePermit failed")
+	}
+	if c.Admitted(eip1, dst) {
+		t.Fatal("drift injection did not break admission")
+	}
+	sweeps, repaired, dirtyHits, aeScanned := 0, 0, 0, 0
+	for ; sweeps < k && repaired == 0; sweeps++ {
+		res := r.RunSweep()
+		repaired += res.Repaired
+		dirtyHits += res.DirtyHits
+		aeScanned += res.AntiEntropyScanned
+	}
+	if repaired == 0 {
+		t.Fatalf("chaos drift not repaired within K=%d sweeps", k)
+	}
+	if !c.Admitted(eip1, dst) {
+		t.Error("repair did not restore admission")
+	}
+	// The detection must have come from the rotation, not a dirty mark:
+	// nothing journaled between injection and repair.
+	if dirtyHits != 0 {
+		t.Errorf("chaos-only drift produced %d dirty hits, want 0", dirtyHits)
+	}
+	if aeScanned == 0 {
+		t.Error("no anti-entropy scanning during detection window")
+	}
+	t.Logf("chaos drift repaired after %d/%d sweeps, %d anti-entropy checks", sweeps, k, aeScanned)
+}
+
+// TestRestoreIntentWorkersParallel pins the parallel recovery path to
+// the serial contract: same digest, same pool cursors, regardless of
+// worker count.
+func TestRestoreIntentWorkersParallel(t *testing.T) {
+	dir := t.TempDir()
+	c, w, pa, pb, _ := fig1Cloud(t)
+	l, err := intent.Open(dir, intent.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.EnableIntent(l)
+	eip1, _, dst, _ := populate(t, c, w, pa, pb)
+	want := c.StateDigestFull()
+	// Crash: no Close.
+
+	l2, err := intent.Open(dir, intent.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	for _, workers := range []int{1, 4} {
+		c2, w2, pa2, _, _ := fig1Cloud(t)
+		if err := c2.RestoreIntentWorkers(l2.State(), workers); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := c2.StateDigestFull(); got != want {
+			t.Fatalf("workers=%d: digest mismatch\n got %s\nwant %s", workers, got, want)
+		}
+		if !c2.Admitted(eip1, dst) {
+			t.Errorf("workers=%d: recovered world rejects a declared-permitted flow", workers)
+		}
+		// Pool cursors restored: the next grant matches the live world's.
+		nextLive, err := pa.RequestEIP("acme", topo.HostID(w.CloudA, w.RegionsA[0], "az2", 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nextRec, err := pa2.RequestEIP("acme", topo.HostID(w2.CloudA, w2.RegionsA[0], "az2", 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nextLive != nextRec {
+			t.Fatalf("workers=%d: pool divergence: live %s, recovered %s", workers, nextLive, nextRec)
+		}
+		// Rewind the live pool so the next loop iteration compares from
+		// the same cursor.
+		if err := pa.ReleaseEIP("acme", nextLive); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -239,6 +239,7 @@ func E15ChaosSoak(seed int64, rounds int) (*metrics.Table, error) {
 		repaired, deferred, sweeps     int
 		traced, seenTraced             int
 		digestOK, verdicts, mismatches int
+		parityOK                       int
 		poolDiverged                   int
 		appendErrs                     uint64
 		recoverWall                    time.Duration
@@ -358,6 +359,13 @@ func E15ChaosSoak(seed int64, rounds int) (*metrics.Table, error) {
 		if subject.c.StateDigest() == oracle.c.StateDigest() {
 			digestOK++
 		}
+		// The incremental digest (cached per-scope sections, invalidated
+		// by the convergence tracker) must equal a cold full walk every
+		// round — across churn, drift, repair, and crash recovery. A
+		// divergence means a mutation path forgot to bump its scope.
+		if subject.c.StateDigest() == subject.c.StateDigestFull() {
+			parityOK++
+		}
 		sv, err := e15Explain(subject, sa)
 		if err != nil {
 			return nil, err
@@ -422,8 +430,8 @@ func E15ChaosSoak(seed int64, rounds int) (*metrics.Table, error) {
 	t.AddRow("journal append errors", fmt.Sprintf("%d", appendErrs))
 	t.AddRow("pool grants identical across worlds", yn(poolDiverged == 0))
 	gate := "pass"
-	if opened != closed || digestOK != rounds || mismatches != 0 || traced != repaired ||
-		recoveredOK != crashes || healedByRecovery+repaired != opened ||
+	if opened != closed || digestOK != rounds || parityOK != rounds || mismatches != 0 ||
+		traced != repaired || recoveredOK != crashes || healedByRecovery+repaired != opened ||
 		appendErrs != 0 || poolDiverged != 0 {
 		gate = "FAIL"
 	}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"sync"
 )
 
 // journalMagic opens every journal file: format name plus version. A
@@ -96,6 +97,102 @@ func DecodeJournal(r io.Reader) ([]Record, int64, error) {
 		recs = append(recs, rec)
 		off += int64(frameHeaderLen) + int64(n)
 	}
+}
+
+// DecodeJournalParallel is DecodeJournal with CRC verification and JSON
+// unmarshalling fanned out across workers. Framing is inherently serial
+// (each frame's offset depends on the previous length prefix), so one
+// pass scans frame boundaries and payloads; the per-frame work — the
+// bulk of recovery time — runs in parallel. The contract is bit-for-bit
+// DecodeJournal's: the longest valid prefix of records, the offset just
+// past the last valid frame, and the corruption that stopped the scan.
+// A payload error at frame i wins over any later scan-stop, exactly as
+// the serial decoder would have reported it.
+func DecodeJournalParallel(r io.Reader, workers int) ([]Record, int64, error) {
+	if workers <= 1 {
+		return DecodeJournal(r)
+	}
+	hdr := make([]byte, len(journalMagic))
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, 0, &CorruptError{Offset: 0, Reason: "missing or truncated header"}
+	}
+	if !bytes.Equal(hdr, journalMagic) {
+		return nil, 0, &CorruptError{Offset: 0, Reason: fmt.Sprintf("bad magic %q", hdr)}
+	}
+	type frame struct {
+		off     int64
+		sum     uint32
+		payload []byte
+	}
+	var frames []frame
+	off := int64(len(journalMagic))
+	var scanErr error // the serial scan's stopping corruption, if any
+	fh := make([]byte, frameHeaderLen)
+	for {
+		if _, err := io.ReadFull(r, fh); err != nil {
+			if err != io.EOF {
+				scanErr = &CorruptError{Offset: off, Reason: "truncated frame header"}
+			}
+			break
+		}
+		n := binary.LittleEndian.Uint32(fh[0:4])
+		sum := binary.LittleEndian.Uint32(fh[4:8])
+		if n == 0 || n > maxFrame {
+			scanErr = &CorruptError{Offset: off, Reason: fmt.Sprintf("implausible frame length %d", n)}
+			break
+		}
+		payload, err := readPayload(r, int(n))
+		if err != nil {
+			scanErr = &CorruptError{Offset: off, Reason: "truncated frame payload"}
+			break
+		}
+		frames = append(frames, frame{off: off, sum: sum, payload: payload})
+		off += int64(frameHeaderLen) + int64(n)
+	}
+
+	recs := make([]Record, len(frames))
+	errs := make([]*CorruptError, len(frames))
+	var next int64 // atomically claimed frame index
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	if workers > len(frames) {
+		workers = len(frames)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := int(next)
+				next++
+				mu.Unlock()
+				if i >= len(frames) {
+					return
+				}
+				f := &frames[i]
+				if crc32.ChecksumIEEE(f.payload) != f.sum {
+					errs[i] = &CorruptError{Offset: f.off, Reason: "frame checksum mismatch"}
+					continue
+				}
+				if err := json.Unmarshal(f.payload, &recs[i]); err != nil {
+					errs[i] = &CorruptError{Offset: f.off, Reason: "frame payload is not a record: " + err.Error()}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i, e := range errs {
+		if e != nil {
+			// Everything before the first bad frame decoded clean; the
+			// valid prefix ends where the serial decoder would have stopped.
+			return recs[:i], frames[i].off, e
+		}
+	}
+	if scanErr != nil {
+		return recs, off, scanErr
+	}
+	return recs, off, nil
 }
 
 // readPayload reads exactly n bytes. Large claims are read

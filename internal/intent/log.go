@@ -6,12 +6,14 @@
 package intent
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
 )
 
@@ -82,6 +84,8 @@ type Log struct {
 	mu           sync.Mutex
 	f            *os.File
 	st           *State
+	view         *State // last published copy-on-write snapshot (immutable)
+	onRecord     func(tenant string, ops []Op)
 	sinceSync    int
 	sinceCompact int
 	records      uint64 // frames appended this process (not lifetime)
@@ -120,9 +124,14 @@ func Open(dir string, opts Options) (*Log, error) {
 	}
 	l := &Log{dir: dir, opts: opts, st: NewState()}
 
-	if buf, err := os.ReadFile(filepath.Join(dir, snapshotName)); err == nil {
-		if err := json.Unmarshal(buf, l.st); err != nil {
-			return nil, fmt.Errorf("intent: snapshot corrupt: %w", err)
+	// Stream the snapshot through the decoder instead of slurping the
+	// whole file: at the million-endpoint tier the snapshot is hundreds
+	// of megabytes, and buffering it doubles recovery's peak memory.
+	if sf, err := os.Open(filepath.Join(dir, snapshotName)); err == nil {
+		derr := json.NewDecoder(bufio.NewReaderSize(sf, 1<<20)).Decode(l.st)
+		sf.Close()
+		if derr != nil {
+			return nil, fmt.Errorf("intent: snapshot corrupt: %w", derr)
 		}
 	} else if !errors.Is(err, os.ErrNotExist) {
 		return nil, fmt.Errorf("intent: %w", err)
@@ -157,7 +166,7 @@ func Open(dir string, opts Options) (*Log, error) {
 		f.Close()
 		return nil, fmt.Errorf("intent: %w", err)
 	}
-	recs, off, decErr := DecodeJournal(f)
+	recs, off, decErr := DecodeJournalParallel(bufio.NewReaderSize(f, 1<<20), runtime.GOMAXPROCS(0))
 	for i := range recs {
 		if err := l.st.Apply(&recs[i]); err != nil {
 			f.Close()
@@ -216,8 +225,31 @@ func (l *Log) Record(tenant string, ops ...Op) uint64 {
 		return 0
 	}
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.appendLocked(tenant, ops, nil)
+	seq := l.appendLocked(tenant, ops, nil)
+	fn := l.onRecord
+	l.mu.Unlock()
+	// The observer fires outside the log lock (it may take its own leaf
+	// locks) but before Record returns — the caller still holds its
+	// shard lock, so anything serialized against the mutation (a digest
+	// under the global gate, a sweep) observes the notification too.
+	// Fired even when the append itself failed: the in-memory mutation
+	// has happened either way.
+	if fn != nil {
+		fn(tenant, ops)
+	}
+	return seq
+}
+
+// SetOnRecord registers an observer called after every Record with the
+// accepted ops — core's dirty-set tracker and incremental digest hang
+// off it. Set once, at EnableIntent time, before concurrent use.
+func (l *Log) SetOnRecord(fn func(tenant string, ops []Op)) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.onRecord = fn
+	l.mu.Unlock()
 }
 
 func (l *Log) appendLocked(tenant string, ops []Op, meta map[string]string) uint64 {
@@ -291,16 +323,19 @@ func (l *Log) compactLocked() error {
 	if l.f == nil {
 		return errors.New("intent: log closed")
 	}
-	buf, err := json.Marshal(l.st)
-	if err != nil {
-		return fmt.Errorf("intent: %w", err)
-	}
 	tmp := filepath.Join(l.dir, snapshotName+".tmp")
 	tf, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("intent: %w", err)
 	}
-	if _, err := tf.Write(buf); err != nil {
+	// Stream the encode: no full-snapshot byte buffer alongside the
+	// state itself (see the matching streamed decode in Open).
+	bw := bufio.NewWriterSize(tf, 1<<20)
+	if err := json.NewEncoder(bw).Encode(l.st); err != nil {
+		tf.Close()
+		return fmt.Errorf("intent: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
 		tf.Close()
 		return fmt.Errorf("intent: %w", err)
 	}
@@ -332,6 +367,24 @@ func (l *Log) State() *State {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.st.Clone()
+}
+
+// View returns an immutable copy-on-write snapshot of the declared
+// world. While no mutation lands, repeated calls return the same
+// pointer with zero copying — the steady-state reconciler's per-sweep
+// cost — and a refresh after mutations deep-copies only the touched
+// sections, sharing the rest with the previous snapshot. Callers must
+// treat the result as read-only. Nil-safe like State.
+func (l *Log) View() *State {
+	if l == nil {
+		return NewState()
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.view == nil || l.view.Seq != l.st.Seq {
+		l.view = l.st.cloneView(l.view)
+	}
+	return l.view
 }
 
 // Seq returns the last assigned sequence number.

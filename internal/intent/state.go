@@ -9,6 +9,7 @@ package intent
 
 import (
 	"fmt"
+	"sort"
 
 	"declnet/internal/addr"
 )
@@ -108,6 +109,54 @@ type State struct {
 	// SIPPools keys the provider name.
 	EIPPools map[string]*PoolState `json:"eip_pools,omitempty"`
 	SIPPools map[string]*PoolState `json:"sip_pools,omitempty"`
+
+	// dirty accumulates which sections applyOp has touched since the
+	// last published view (see Log.View): the copy-on-write refresh
+	// deep-copies only those and shares the rest with the previous
+	// immutable snapshot. Never serialized.
+	dirty uint32
+}
+
+// Section bits for the copy-on-write view. An op's mask may overstate
+// (a no-op apply still marks) — that only costs a spurious copy.
+const (
+	secEndpoints uint32 = 1 << iota
+	secServices
+	secPermits
+	secQuotas
+	secPotato
+	secProvGroups
+	secGroups
+	secNames
+	secEIPPools
+	secSIPPools
+	secMeta
+	secAll = secMeta<<1 - 1
+)
+
+// dirtyMask maps a verb to the sections its apply can touch.
+func dirtyMask(verb string) uint32 {
+	switch verb {
+	case OpRequestEIP, OpReleaseEIP:
+		return secEndpoints | secServices | secPermits | secEIPPools
+	case OpRequestSIP, OpReleaseSIP:
+		return secServices | secPermits | secSIPPools
+	case OpBind, OpUnbind:
+		return secServices
+	case OpSetPermit, OpPermit, OpRevoke:
+		return secPermits
+	case OpSetQoS:
+		return secQuotas
+	case OpSetPotato:
+		return secPotato
+	case OpSetVMEgress:
+		return secEndpoints
+	case OpCreateGroup:
+		return secProvGroups | secGroups
+	case OpRegisterName, OpUnregisterName:
+		return secNames
+	}
+	return secAll
 }
 
 // NewState returns an empty declared world.
@@ -171,8 +220,10 @@ func (s *State) Apply(rec *Record) error {
 		for k, v := range rec.Meta {
 			s.Meta[k] = v
 		}
+		s.dirty |= secMeta
 	}
 	for i := range rec.Ops {
+		s.dirty |= dirtyMask(rec.Ops[i].Verb)
 		if err := s.applyOp(rec.Tenant, &rec.Ops[i]); err != nil {
 			return fmt.Errorf("intent: record %d op %d (%s): %w", rec.Seq, i, rec.Ops[i].Verb, err)
 		}
@@ -259,12 +310,13 @@ func (s *State) applyOp(tenant string, op *Op) error {
 		// Deduplicate while expanding: the enforcement engine's entry set
 		// dedups (/32s in a map, prefixes in a trie), and the reconciler
 		// compares declared vs installed entry sets — a duplicate here
-		// would read as permanent drift.
-		var all []addr.Prefix
+		// would read as permanent drift. Entries are kept in canonical
+		// (address, length) order at install time, so the reconciler's
+		// steady-state comparison never sorts, and dedup is a binary
+		// search instead of a linear scan.
+		all := make([]addr.Prefix, 0, len(op.Entries))
 		for _, e := range op.Entries {
-			if !containsPrefix(all, e) {
-				all = append(all, e)
-			}
+			all = insertEntry(all, e)
 		}
 		for _, g := range op.Groups {
 			// Same resolution order as core.setPermitList: the provider
@@ -277,9 +329,7 @@ func (s *State) applyOp(tenant string, op *Op) error {
 				return fmt.Errorf("unknown group %q", g)
 			}
 			for _, m := range members {
-				if e := addr.NewPrefix(m, 32); !containsPrefix(all, e) {
-					all = append(all, e)
-				}
+				all = insertEntry(all, addr.NewPrefix(m, 32))
 			}
 		}
 		s.Permits[op.Target] = &PermitList{Tenant: tenant, Entries: all}
@@ -290,9 +340,7 @@ func (s *State) applyOp(tenant string, op *Op) error {
 			s.Permits[op.Target] = pl
 		}
 		for _, e := range op.Entries {
-			if !containsPrefix(pl.Entries, e) {
-				pl.Entries = append(pl.Entries, e)
-			}
+			pl.Entries = insertEntry(pl.Entries, e)
 		}
 	case OpRevoke:
 		pl := s.Permits[op.Target]
@@ -343,13 +391,132 @@ func removeBind(svc *Service, eip addr.IP) {
 	}
 }
 
-func containsPrefix(entries []addr.Prefix, e addr.Prefix) bool {
-	for _, have := range entries {
-		if have == e {
-			return true
-		}
+// insertEntry adds e to a canonically-sorted entry set — ordered by
+// address then length — keeping it deduplicated. Binary search makes a
+// full list build O(n log n) where the old contains-scan was O(n²).
+func insertEntry(entries []addr.Prefix, e addr.Prefix) []addr.Prefix {
+	i := sort.Search(len(entries), func(i int) bool {
+		return entries[i].Addr > e.Addr ||
+			(entries[i].Addr == e.Addr && entries[i].Len >= e.Len)
+	})
+	if i < len(entries) && entries[i] == e {
+		return entries
 	}
-	return false
+	entries = append(entries, addr.Prefix{})
+	copy(entries[i+1:], entries[i:])
+	entries[i] = e
+	return entries
+}
+
+// cloneView publishes an immutable snapshot of s for Log.View: every
+// section applyOp has touched since the previous view is deep-copied,
+// everything else shares the previous view's section map. prev must be
+// the previously published (immutable) view or nil; its clean sections
+// are by construction identical to s's, so sharing them is safe, and
+// nothing ever aliases s's own live maps. Clears the dirty mask.
+func (s *State) cloneView(prev *State) *State {
+	d := s.dirty
+	if prev == nil {
+		d = secAll
+	}
+	s.dirty = 0
+	c := &State{Seq: s.Seq}
+	if d&secMeta != 0 {
+		if s.Meta != nil {
+			c.Meta = make(map[string]string, len(s.Meta))
+			for k, v := range s.Meta {
+				c.Meta[k] = v
+			}
+		}
+	} else {
+		c.Meta = prev.Meta
+	}
+	if d&secEndpoints != 0 {
+		c.Endpoints = make(map[addr.IP]*Endpoint, len(s.Endpoints))
+		for k, v := range s.Endpoints {
+			ep := *v
+			c.Endpoints[k] = &ep
+		}
+	} else {
+		c.Endpoints = prev.Endpoints
+	}
+	if d&secServices != 0 {
+		c.Services = make(map[addr.IP]*Service, len(s.Services))
+		for k, v := range s.Services {
+			svc := *v
+			svc.Binds = append([]Bind(nil), v.Binds...)
+			c.Services[k] = &svc
+		}
+	} else {
+		c.Services = prev.Services
+	}
+	if d&secPermits != 0 {
+		c.Permits = make(map[addr.IP]*PermitList, len(s.Permits))
+		for k, v := range s.Permits {
+			pl := *v
+			pl.Entries = append([]addr.Prefix(nil), v.Entries...)
+			c.Permits[k] = &pl
+		}
+	} else {
+		c.Permits = prev.Permits
+	}
+	if d&secQuotas != 0 {
+		c.Quotas = make(map[string]float64, len(s.Quotas))
+		for k, v := range s.Quotas {
+			c.Quotas[k] = v
+		}
+	} else {
+		c.Quotas = prev.Quotas
+	}
+	if d&secPotato != 0 {
+		c.Potato = make(map[string]string, len(s.Potato))
+		for k, v := range s.Potato {
+			c.Potato[k] = v
+		}
+	} else {
+		c.Potato = prev.Potato
+	}
+	if d&secProvGroups != 0 {
+		c.ProvGroups = make(map[string][]addr.IP, len(s.ProvGroups))
+		for k, v := range s.ProvGroups {
+			c.ProvGroups[k] = append([]addr.IP(nil), v...)
+		}
+	} else {
+		c.ProvGroups = prev.ProvGroups
+	}
+	if d&secGroups != 0 {
+		c.Groups = make(map[string][]addr.IP, len(s.Groups))
+		for k, v := range s.Groups {
+			c.Groups[k] = append([]addr.IP(nil), v...)
+		}
+	} else {
+		c.Groups = prev.Groups
+	}
+	if d&secNames != 0 {
+		c.Names = make(map[string]addr.IP, len(s.Names))
+		for k, v := range s.Names {
+			c.Names[k] = v
+		}
+	} else {
+		c.Names = prev.Names
+	}
+	if d&secEIPPools != 0 {
+		c.EIPPools = make(map[string]*PoolState, len(s.EIPPools))
+		for k, v := range s.EIPPools {
+			c.EIPPools[k] = &PoolState{Next: v.Next, Released: append([]addr.IP(nil), v.Released...)}
+		}
+	} else {
+		c.EIPPools = prev.EIPPools
+	}
+	if d&secSIPPools != 0 {
+		c.SIPPools = make(map[string]*PoolState, len(s.SIPPools))
+		for k, v := range s.SIPPools {
+			c.SIPPools[k] = &PoolState{Next: v.Next, Released: append([]addr.IP(nil), v.Released...)}
+		}
+	} else {
+		c.SIPPools = prev.SIPPools
+	}
+	return c
 }
 
 // Clone deep-copies the state. The reconciler clones under the log's

@@ -283,6 +283,25 @@ func (e *Engine) Revoke(dst addr.IP, en Entry) bool {
 	return removed
 }
 
+// SetFresh installs a brand-new list for dst without enrolling it in
+// any open batch window. Parallel restore workers use it: the fresh
+// list pointer alone invalidates version-keyed verdicts, and skipping
+// enrollment keeps the batch bookkeeping — which requires external
+// write exclusion over the whole engine — off the concurrent path.
+// Only the stripe lock is taken, so workers in different stripes never
+// serialize and same-stripe workers serialize only on the map write.
+func (e *Engine) SetFresh(dst addr.IP, entries []Entry) {
+	l := NewList()
+	for _, en := range entries {
+		l.Add(en)
+	}
+	s := e.stripeOf(dst)
+	s.mu.Lock()
+	s.lists[dst] = l
+	s.mu.Unlock()
+	e.Updates.Add(1)
+}
+
 // Drop removes dst's entire list (endpoint teardown).
 func (e *Engine) Drop(dst addr.IP) {
 	s := e.stripeOf(dst)
@@ -385,6 +404,88 @@ func (e *Engine) Targets() []addr.IP {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// TargetsOf returns the guarded destinations in stripes where
+// stripe%mod == phase, sorted. The reconciler's anti-entropy rotation
+// walks 1/mod of the engine per sweep with it; mod 1, phase 0 is
+// Targets. mod must divide the stripe count (both are powers of two
+// here) so every stripe lands in exactly one phase.
+func (e *Engine) TargetsOf(phase, mod int) []addr.IP {
+	if mod <= 1 {
+		return e.Targets()
+	}
+	var out []addr.IP
+	for i := range e.stripes {
+		if i%mod != phase {
+			continue
+		}
+		s := &e.stripes[i]
+		s.mu.RLock()
+		for dst := range s.lists {
+			out = append(out, dst)
+		}
+		s.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TargetsWithin returns the guarded destinations inside block, sorted.
+// When block is a /16 or longer — the granularity regions are carved
+// at — only the single owning stripe is touched, which is what keeps
+// the incremental digest's per-region recompute O(region), not
+// O(engine).
+func (e *Engine) TargetsWithin(block addr.Prefix) []addr.IP {
+	var out []addr.IP
+	scan := func(s *engineStripe) {
+		s.mu.RLock()
+		for dst := range s.lists {
+			if block.Contains(dst) {
+				out = append(out, dst)
+			}
+		}
+		s.mu.RUnlock()
+	}
+	if block.Len >= 16 {
+		scan(e.stripeOf(block.Addr))
+	} else {
+		for i := range e.stripes {
+			scan(&e.stripes[i])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// EqualsEntries reports whether dst's installed list equals want as a
+// set, and whether dst is guarded at all. Both sides are deduplicated
+// sets (the list by construction, want by the declared-state apply),
+// so equal length plus containment of every want entry is equality.
+// The probe runs under the stripe read lock with zero allocations —
+// the steady-state reconciler compares every declared list this way,
+// every sweep.
+func (e *Engine) EqualsEntries(dst addr.IP, want []Entry) (equal, hasList bool) {
+	s := e.stripeOf(dst)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	l, ok := s.lists[dst]
+	if !ok {
+		return false, false
+	}
+	if l.Len() != len(want) {
+		return false, true
+	}
+	for _, en := range want {
+		if en.Len == 32 {
+			if !l.exact[en.Addr] {
+				return false, true
+			}
+		} else if _, ok := l.prefixes.Get(en); !ok {
+			return false, true
+		}
+	}
+	return true, true
 }
 
 // EntriesOf returns dst's installed entries (Entries() order) under the

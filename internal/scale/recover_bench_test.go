@@ -1,6 +1,8 @@
 package scale
 
 import (
+	"os"
+	"strconv"
 	"testing"
 
 	"declnet/internal/addr"
@@ -14,9 +16,29 @@ import (
 // exercises snapshot load AND journal-tail replay, then time
 // Open -> buildWorld -> RestoreIntent per iteration. The per-iteration
 // wall clock is reported as recover_sec — the number `make benchdiff`
-// gates at <= 5s (ISSUE E15 recovery budget).
+// gates (ISSUE E15 recovery budget). DECLNET_RECOVER_EIPS / _TENANTS /
+// _REGIONS raise the tier toward 10^6 (`make recover-scale` does);
+// recovery decodes the journal and restores surfaces across
+// GOMAXPROCS-wide worker pools, so the big tier is where the parallel
+// path shows.
 func BenchmarkRecovery(b *testing.B) {
 	cfg := DefaultConfig()
+	for _, ov := range []struct {
+		env string
+		dst *int
+	}{
+		{"DECLNET_RECOVER_EIPS", &cfg.EIPs},
+		{"DECLNET_RECOVER_TENANTS", &cfg.Tenants},
+		{"DECLNET_RECOVER_REGIONS", &cfg.Regions},
+	} {
+		if v := os.Getenv(ov.env); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				b.Fatalf("%s: %v", ov.env, err)
+			}
+			*ov.dst = n
+		}
+	}
 	if err := cfg.Validate(); err != nil {
 		b.Fatal(err)
 	}
